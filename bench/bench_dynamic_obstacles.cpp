@@ -1,0 +1,98 @@
+// Extension bench — robustness under dynamic obstacles.
+//
+// The paper's deadline model (Eq. 1) exists precisely because new obstacles
+// can appear inside the sensing horizon ("higher speeds shorten the time
+// available to dodge new obstacles"). This bench layers moving cross-traffic
+// over zone B and sweeps its speed, measuring success rate, mission time,
+// and collision count for both designs. The claim under test: RoboRun's
+// latency adaptation keeps its missions safe among movers while retaining
+// most of its speed advantage — its deadline shortens near movers exactly
+// as it does near static congestion.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "env/dynamic.h"
+#include "geom/stats.h"
+#include "viz/svg_plot.h"
+
+int main() {
+  using namespace roborun;
+  runtime::printBanner(std::cout, "Extension: robustness under dynamic obstacles");
+  if (!bench::fullScale())
+    std::cout << "  (reduced scale; set ROBORUN_FULL=1 for more seeds)\n";
+
+  const std::size_t mover_count = 6;
+  const std::vector<double> mover_speeds{0.0, 0.5, 1.0, 2.0};
+  const int seeds = bench::fullScale() ? 9 : 3;
+
+  env::EnvSpec base_spec;
+  base_spec.obstacle_density = 0.4;
+  base_spec.obstacle_spread = 40.0;
+  base_spec.goal_distance = bench::fullScale() ? 900.0 : 400.0;
+
+  auto config = bench::benchMissionConfig();
+
+  runtime::CsvWriter csv((bench::outDir() / "dynamic_obstacles.csv").string());
+  csv.header({"design", "mover_speed_mps", "success_rate", "collision_rate",
+              "mean_mission_time_s", "mean_velocity_mps"});
+
+  viz::SvgPlot plot("Mission success vs mover speed", "mover speed (m/s)", "success rate");
+  viz::Series series_baseline{"spatial oblivious", {}, {}, "", true, true};
+  viz::Series series_roborun{"roborun", {}, {}, "", false, true};
+
+  std::cout << "  design            | mover speed | success | collisions | time (s) | vel "
+               "(m/s)\n";
+  std::cout << "  ------------------+-------------+---------+------------+----------+------"
+               "----\n";
+  for (const double mover_speed : mover_speeds) {
+    for (const auto design :
+         {runtime::DesignType::SpatialOblivious, runtime::DesignType::RoboRun}) {
+      int ok = 0;
+      int collisions = 0;
+      geom::RunningStats time_stats, vel_stats;
+      for (int s = 0; s < seeds; ++s) {
+        auto spec = base_spec;
+        spec.seed = static_cast<std::uint64_t>(s) + 1;
+        const auto environment = env::generateEnvironment(spec);
+        auto run_config = config;
+        if (mover_speed > 0.0)
+          run_config.dynamic_obstacles =
+              env::crossTraffic(spec, mover_count, mover_speed, spec.seed);
+        const auto result = runtime::runMission(environment, design, run_config);
+        if (result.reached_goal) {
+          ++ok;
+          time_stats.add(result.mission_time);
+          vel_stats.add(result.averageVelocity());
+        }
+        if (result.collided) ++collisions;
+      }
+      const double success = static_cast<double>(ok) / seeds;
+      const double collision_rate = static_cast<double>(collisions) / seeds;
+      std::cout << "  " << std::setw(17) << std::left << runtime::designName(design)
+                << std::right << " | " << std::setw(11) << mover_speed << " | "
+                << std::setw(5) << ok << "/" << seeds << " | " << std::setw(10)
+                << collisions << " | " << std::setw(8) << std::fixed
+                << std::setprecision(1) << (time_stats.count() ? time_stats.mean() : 0.0)
+                << " | " << std::setw(8) << std::setprecision(2)
+                << (vel_stats.count() ? vel_stats.mean() : 0.0) << "\n";
+      csv.row({design == runtime::DesignType::RoboRun ? 1.0 : 0.0, mover_speed, success,
+               collision_rate, time_stats.count() ? time_stats.mean() : 0.0,
+               vel_stats.count() ? vel_stats.mean() : 0.0});
+      auto& series = design == runtime::DesignType::RoboRun ? series_roborun
+                                                            : series_baseline;
+      series.x.push_back(mover_speed);
+      series.y.push_back(success);
+    }
+  }
+  plot.addSeries(series_baseline);
+  plot.addSeries(series_roborun);
+  plot.write((bench::outDir() / "dynamic_obstacles.svg").string());
+
+  std::cout << "\n  expected shape: success degrades with mover speed for both designs\n"
+               "  (the paper's protocol tolerates up to 20% collisions even statically).\n"
+               "  The slow baseline spends ~7x longer exposed to the traffic per mission\n"
+               "  and suffers at high mover speeds despite flying slower; RoboRun keeps\n"
+               "  its multi-x velocity advantage throughout.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Eq. 2 — the stopping-distance model.
+//
+// The paper models dstop(v) by flying the simulated drone at various
+// velocities, measuring the stopping distance, and fitting a quadratic with
+// 2% MSE. We run the same protocol against our kinematic drone: command a
+// cruise velocity, cut the command to zero, integrate until standstill, and
+// fit the measured distances.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "geom/polyfit.h"
+#include "sim/drone.h"
+#include "sim/stopping_model.h"
+
+int main() {
+  using namespace roborun;
+  runtime::printBanner(std::cout, "Eq. 2: stopping-distance model fit");
+
+  runtime::CsvWriter csv((bench::outDir() / "eq2_stopping.csv").string());
+  csv.header({"velocity_mps", "measured_dstop_m", "model_dstop_m"});
+
+  const sim::StoppingModel model;
+  std::vector<double> vs;
+  std::vector<double> ds;
+  for (double v = 0.25; v <= 5.0; v += 0.25) {
+    sim::Drone drone;
+    drone.reset({0, 0, 3});
+    drone.commandVelocity({v, 0, 0});
+    // Reach cruise.
+    for (int i = 0; i < 200; ++i) drone.update(0.01);
+    const double x0 = drone.state().position.x;
+    // Brake: command zero and integrate to standstill.
+    drone.commandVelocity({0, 0, 0});
+    int guard = 0;
+    while (drone.state().speed() > 1e-4 && ++guard < 100000) drone.update(0.01);
+    // The model's constant term is a safety margin, not vehicle dynamics.
+    const double measured = drone.state().position.x - x0 + model.constant;
+    vs.push_back(v);
+    ds.push_back(measured);
+    csv.row({v, measured, model.stoppingDistance(v)});
+  }
+
+  const auto coeffs = geom::polyfit(vs, ds, 2);
+  std::vector<double> pred;
+  for (const double v : vs) pred.push_back(geom::polyval(coeffs, v));
+  const double rel_mse = geom::relativeMeanSquaredError(pred, ds);
+
+  std::cout << "  fitted: dstop(v) = " << coeffs[2] << " v^2 + " << coeffs[1] << " v + "
+            << coeffs[0] << "\n";
+  runtime::printComparison(std::cout, "quadratic coefficient", model.quad, coeffs[2]);
+  runtime::printComparison(std::cout, "linear coefficient", model.linear, coeffs[1]);
+  runtime::printComparison(std::cout, "constant term", model.constant, coeffs[0]);
+  runtime::printComparison(std::cout, "fit relative MSE (paper 2%)", 0.02, rel_mse);
+  std::cout << "  series written to " << (bench::outDir() / "eq2_stopping.csv").string()
+            << "\n";
+  return 0;
+}

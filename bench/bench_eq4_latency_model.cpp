@@ -1,0 +1,42 @@
+// Eq. 4 — the per-stage latency model fit.
+//
+// The paper profiles a representative set of precision-volume combinations
+// per stage and fits delta_i(p, v) = (q0 phat^3 + q1 phat^2 + q2 phat)(q3 v)
+// with <8% average MSE. We regenerate the profile grid from the kernels'
+// work models and report the per-stage fit quality and coefficients.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/latency_calibration.h"
+
+int main() {
+  using namespace roborun;
+  runtime::printBanner(std::cout, "Eq. 4: per-stage latency model fit");
+
+  const sim::LatencyModel model;
+  const core::KnobConfig knobs;
+  const core::CalibrationScene scene;
+  const auto result = core::calibratePredictor(model, knobs, scene);
+
+  runtime::CsvWriter csv((bench::outDir() / "eq4_fit.csv").string());
+  csv.header({"stage", "precision_m", "volume_m3", "profiled_s", "predicted_s"});
+
+  double mse_sum = 0.0;
+  for (std::size_t i = 0; i < core::kNumStages; ++i) {
+    const auto stage = static_cast<core::Stage>(i);
+    const auto& q = result.predictor.coeffs(stage);
+    std::cout << "  stage " << core::stageName(stage) << ": q = [" << q[0] << ", " << q[1]
+              << ", " << q[2] << ", " << q[3] << "]\n";
+    runtime::printMetric(std::cout, std::string("  relative MSE"), result.relative_mse[i]);
+    mse_sum += result.relative_mse[i];
+
+    for (const auto& s : core::calibrationSamples(stage, model, knobs, scene))
+      csv.row({static_cast<double>(i), s.precision, s.volume, s.latency,
+               result.predictor.predict(stage, s.precision, s.volume)});
+  }
+  runtime::printComparison(std::cout, "average relative MSE (paper <8%)", 0.08,
+                           mse_sum / core::kNumStages);
+  std::cout << "  series written to " << (bench::outDir() / "eq4_fit.csv").string() << "\n";
+  return 0;
+}

@@ -1,0 +1,168 @@
+// Fig. 11 — end-to-end latency breakdown for the representative mission:
+// (a) per-decision latency split into computation and communication stages,
+//     with RoboRun's ~11x median reduction, the fixed 210 ms point-cloud
+//     cost, and the ~50 ms runtime overhead;
+// (b) normalized per-zone stage shares (the baseline pressures OctoMap
+//     everywhere; RoboRun's bottleneck shifts with congestion).
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.h"
+#include "viz/svg_plot.h"
+#include "geom/stats.h"
+
+namespace {
+
+using roborun::env::Zone;
+using roborun::runtime::MissionResult;
+using roborun::runtime::StageLatencies;
+
+StageLatencies zoneMean(const MissionResult& r, Zone zone) {
+  StageLatencies mean;
+  std::size_t n = 0;
+  for (const auto& rec : r.records) {
+    if (rec.zone != zone) continue;
+    ++n;
+    mean.runtime += rec.latencies.runtime;
+    mean.point_cloud += rec.latencies.point_cloud;
+    mean.octomap += rec.latencies.octomap;
+    mean.bridge += rec.latencies.bridge;
+    mean.planning += rec.latencies.planning;
+    mean.smoothing += rec.latencies.smoothing;
+    mean.comm_point_cloud += rec.latencies.comm_point_cloud;
+    mean.comm_map += rec.latencies.comm_map;
+    mean.comm_trajectory += rec.latencies.comm_trajectory;
+  }
+  if (n == 0) return mean;
+  const double inv = 1.0 / static_cast<double>(n);
+  mean.runtime *= inv;
+  mean.point_cloud *= inv;
+  mean.octomap *= inv;
+  mean.bridge *= inv;
+  mean.planning *= inv;
+  mean.smoothing *= inv;
+  mean.comm_point_cloud *= inv;
+  mean.comm_map *= inv;
+  mean.comm_trajectory *= inv;
+  return mean;
+}
+
+void printShares(const char* label, const StageLatencies& m) {
+  const double total = m.total();
+  if (total <= 0) return;
+  std::cout << "    " << std::left << std::setw(18) << label << std::right << std::fixed
+            << std::setprecision(1);
+  std::cout << " rt " << 100 * m.runtime / total << "%";
+  std::cout << " | pc " << 100 * m.point_cloud / total << "%";
+  std::cout << " | om " << 100 * m.octomap / total << "%";
+  std::cout << " | bridge " << 100 * m.bridge / total << "%";
+  std::cout << " | plan " << 100 * (m.planning + m.smoothing) / total << "%";
+  std::cout << " | comm " << 100 * m.comm() / total << "%\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace roborun;
+  runtime::printBanner(std::cout, "Fig. 11: latency breakdown, representative mission");
+
+  env::EnvSpec spec = env::representativeSpec();
+  if (!bench::fullScale()) {
+    spec.obstacle_spread = 50.0;
+    spec.goal_distance = 375.0;
+  }
+  const auto config = bench::benchMissionConfig();
+
+  std::vector<bench::MissionJob> jobs{
+      {spec, runtime::DesignType::SpatialOblivious, {}},
+      {spec, runtime::DesignType::RoboRun, {}},
+  };
+  bench::runMissions(jobs, config);
+  const auto& baseline = jobs[0].result;
+  const auto& roborun = jobs[1].result;
+
+  // (a) time series.
+  runtime::CsvWriter csv((bench::outDir() / "fig11_breakdown.csv").string());
+  csv.header({"design", "t", "zone", "runtime", "point_cloud", "octomap", "bridge",
+              "planning", "smoothing", "comm_pc", "comm_map", "comm_traj"});
+  for (std::size_t d = 0; d < jobs.size(); ++d) {
+    for (const auto& rec : jobs[d].result.records) {
+      const auto& l = rec.latencies;
+      csv.row({static_cast<double>(d), rec.t, static_cast<double>(rec.zone), l.runtime,
+               l.point_cloud, l.octomap, l.bridge, l.planning, l.smoothing,
+               l.comm_point_cloud, l.comm_map, l.comm_trajectory});
+    }
+  }
+
+  runtime::printComparison(std::cout, "median E2E latency reduction", 11.0,
+                           baseline.medianLatency() / std::max(roborun.medianLatency(), 1e-9));
+  runtime::printComparison(std::cout, "fixed point-cloud latency (ms)", 210.0,
+                           1000.0 * roborun.records.front().latencies.point_cloud);
+  runtime::printComparison(std::cout, "roborun runtime overhead (ms)", 50.0,
+                           1000.0 * roborun.records.front().latencies.runtime);
+
+  // Latency variation per zone (paper: ~0.15 s in B; large in A/C).
+  auto zoneVariation = [](const MissionResult& r, Zone zone) {
+    double lo = 1e18, hi = 0;
+    for (const auto& rec : r.records) {
+      if (rec.zone != zone) continue;
+      lo = std::min(lo, rec.latencies.total());
+      hi = std::max(hi, rec.latencies.total());
+    }
+    return lo <= hi ? hi - lo : 0.0;
+  };
+  std::cout << "  roborun E2E latency variation per zone (s): A="
+            << zoneVariation(roborun, Zone::A) << " B=" << zoneVariation(roborun, Zone::B)
+            << " C=" << zoneVariation(roborun, Zone::C) << "\n";
+  std::cout << "  baseline E2E latency variation per zone (s): A="
+            << zoneVariation(baseline, Zone::A) << " B=" << zoneVariation(baseline, Zone::B)
+            << " C=" << zoneVariation(baseline, Zone::C) << "\n";
+
+  // (b) normalized breakdown per zone.
+  std::cout << "  (b) normalized stage shares:\n";
+  for (const auto zone : {Zone::A, Zone::B, Zone::C}) {
+    std::cout << "   zone " << env::zoneName(zone) << ":\n";
+    printShares("oblivious", zoneMean(baseline, zone));
+    printShares("roborun", zoneMean(roborun, zone));
+  }
+  std::cout << "  series written to " << (bench::outDir() / "fig11_breakdown.csv").string()
+            << "\n";
+
+  // Fig. 11a as SVG: end-to-end latency time series, one panel per design.
+  {
+    viz::PlotOptions opt;
+    opt.log_y = true;
+    viz::SvgPlot plot("Fig. 11a: end-to-end latency over the mission", "t (s)",
+                      "latency (s)", opt);
+    viz::Series s_rr{"roborun", {}, {}, "", false, false};
+    viz::Series s_bl{"oblivious", {}, {}, "", true, false};
+    for (const auto& rec : roborun.records) {
+      s_rr.x.push_back(rec.t);
+      s_rr.y.push_back(rec.latencies.total());
+    }
+    for (const auto& rec : baseline.records) {
+      s_bl.x.push_back(rec.t);
+      s_bl.y.push_back(rec.latencies.total());
+    }
+    plot.addSeries(std::move(s_rr));
+    plot.addSeries(std::move(s_bl));
+    plot.write((bench::outDir() / "fig11a_latency.svg").string());
+  }
+  // Fig. 11b as SVG: mean normalized stage shares per zone for RoboRun.
+  {
+    viz::SvgBarChart chart("Fig. 11b: roborun normalized stage shares per zone", "share",
+                           {"runtime", "point cloud", "octomap", "bridge", "planning+PS",
+                            "comm"});
+    for (const auto zone : {Zone::A, Zone::B, Zone::C}) {
+      const auto m = zoneMean(roborun, zone);
+      const double total = std::max(m.total(), 1e-9);
+      chart.addGroup({std::string("zone ") + env::zoneName(zone),
+                      {m.runtime / total, m.point_cloud / total, m.octomap / total,
+                       m.bridge / total, (m.planning + m.smoothing) / total,
+                       m.comm() / total}});
+    }
+    chart.write((bench::outDir() / "fig11b_shares.svg").string());
+  }
+  return 0;
+}

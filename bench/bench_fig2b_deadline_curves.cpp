@@ -1,0 +1,63 @@
+// Fig. 2b — processing deadline vs traversal speed and visibility.
+//
+// Eq. 1: budget = (d - dstop(v)) / v. The paper's curves show the deadline
+// falling with speed and rising with visibility; the top (high-visibility)
+// curve dominates at every velocity.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/stopping_model.h"
+#include "viz/svg_plot.h"
+
+int main() {
+  using namespace roborun;
+  runtime::printBanner(std::cout, "Fig. 2b: deadline vs speed x visibility");
+
+  const sim::StoppingModel stopping;
+  runtime::CsvWriter csv((bench::outDir() / "fig2b_deadline.csv").string());
+  csv.header({"velocity_mps", "visibility_m", "deadline_s"});
+
+  const std::vector<double> visibilities{5.0, 10.0, 20.0, 40.0};
+  std::cout << "  deadline (s):\n  velocity";
+  for (const double d : visibilities) std::cout << "\td=" << d;
+  std::cout << "\n";
+
+  viz::PlotOptions plot_options;
+  plot_options.log_y = true;
+  viz::SvgPlot plot("Fig. 2b: deadline vs speed x visibility", "velocity (m/s)",
+                    "deadline (s)", plot_options);
+  std::vector<viz::Series> curves(visibilities.size());
+  for (std::size_t i = 0; i < visibilities.size(); ++i)
+    curves[i].label = "visibility " + std::to_string(static_cast<int>(visibilities[i])) + " m";
+
+  for (double v = 0.25; v <= 5.0; v += 0.25) {
+    std::cout << "  " << v;
+    for (std::size_t i = 0; i < visibilities.size(); ++i) {
+      const double d = visibilities[i];
+      const double budget = stopping.timeBudget(v, d, 1e3);
+      std::cout << "\t" << budget;
+      csv.row({v, d, budget});
+      curves[i].x.push_back(v);
+      curves[i].y.push_back(budget);
+    }
+    std::cout << "\n";
+  }
+  for (auto& curve : curves) plot.addSeries(std::move(curve));
+  plot.write((bench::outDir() / "fig2b_deadline.svg").string());
+
+  // Shape checks: monotone down in v, monotone up in d.
+  bool down_in_v = true;
+  bool up_in_d = true;
+  for (double v = 0.5; v < 4.5; v += 0.5) {
+    if (stopping.timeBudget(v + 0.5, 20.0, 1e3) > stopping.timeBudget(v, 20.0, 1e3))
+      down_in_v = false;
+    if (stopping.timeBudget(v, 20.0, 1e3) < stopping.timeBudget(v, 10.0, 1e3))
+      up_in_d = false;
+  }
+  std::cout << "  deadline decreases with speed: " << (down_in_v ? "yes" : "NO") << "\n";
+  std::cout << "  deadline increases with visibility: " << (up_in_d ? "yes" : "NO") << "\n";
+  std::cout << "  series written to " << (bench::outDir() / "fig2b_deadline.csv").string()
+            << "\n";
+  return 0;
+}

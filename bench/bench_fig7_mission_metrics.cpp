@@ -1,0 +1,88 @@
+// Fig. 7 — mission-level metrics averaged over the 27-environment suite:
+// flight velocity (paper: 5x), flight time (4.5x), flight energy (4x), and
+// CPU utilization (-36%).
+//
+// Writes per-mission rows to bench_out/suite_results.csv, which
+// bench_fig8_sensitivity reuses (the two figures share the same runs in the
+// paper too).
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "geom/stats.h"
+#include "viz/svg_plot.h"
+
+int main() {
+  using namespace roborun;
+  runtime::printBanner(std::cout, "Fig. 7: mission metrics over the 27-environment suite");
+  if (!bench::fullScale())
+    std::cout << "  (reduced scale; set ROBORUN_FULL=1 for the paper protocol)\n";
+
+  const auto specs = env::evaluationSuite(42, bench::benchSuiteKnobs());
+  const auto config = bench::benchMissionConfig();
+
+  std::vector<bench::MissionJob> jobs;
+  for (const auto& spec : specs) {
+    jobs.push_back({spec, runtime::DesignType::SpatialOblivious, {}});
+    jobs.push_back({spec, runtime::DesignType::RoboRun, {}});
+  }
+  bench::runMissions(jobs, config);
+  bench::printSuccessRate(jobs, runtime::DesignType::SpatialOblivious);
+  bench::printSuccessRate(jobs, runtime::DesignType::RoboRun);
+
+  runtime::CsvWriter csv((bench::outDir() / "suite_results.csv").string());
+  csv.header({"design", "density", "spread_m", "goal_m", "reached", "mission_time_s",
+              "flight_energy_J", "avg_velocity_mps", "median_latency_s", "cpu_util"});
+
+  geom::RunningStats time_b, time_r, energy_b, energy_r, vel_b, vel_r, cpu_b, cpu_r;
+  for (const auto& job : jobs) {
+    const auto& r = job.result;
+    const bool is_rr = job.design == runtime::DesignType::RoboRun;
+    csv.row({is_rr ? 1.0 : 0.0, job.spec.obstacle_density, job.spec.obstacle_spread,
+             job.spec.goal_distance, r.reached_goal ? 1.0 : 0.0, r.mission_time,
+             r.flight_energy, r.averageVelocity(), r.medianLatency(),
+             r.averageCpuUtilization()});
+    if (!r.reached_goal) continue;  // the paper averages successful flights
+    auto& time = is_rr ? time_r : time_b;
+    auto& energy = is_rr ? energy_r : energy_b;
+    auto& vel = is_rr ? vel_r : vel_b;
+    auto& cpu = is_rr ? cpu_r : cpu_b;
+    time.add(r.mission_time);
+    energy.add(r.flight_energy);
+    vel.add(r.averageVelocity());
+    cpu.add(r.averageCpuUtilization());
+  }
+
+  std::cout << "\n  averages over successful missions:\n";
+  runtime::printMetric(std::cout, "oblivious velocity", vel_b.mean(), "m/s");
+  runtime::printMetric(std::cout, "roborun velocity", vel_r.mean(), "m/s");
+  runtime::printMetric(std::cout, "oblivious mission time", time_b.mean(), "s");
+  runtime::printMetric(std::cout, "roborun mission time", time_r.mean(), "s");
+  runtime::printMetric(std::cout, "oblivious flight energy", energy_b.mean() / 1000.0, "kJ");
+  runtime::printMetric(std::cout, "roborun flight energy", energy_r.mean() / 1000.0, "kJ");
+  runtime::printMetric(std::cout, "oblivious CPU utilization", 100.0 * cpu_b.mean(), "%");
+  runtime::printMetric(std::cout, "roborun CPU utilization", 100.0 * cpu_r.mean(), "%");
+
+  std::cout << "\n  improvement factors (paper Fig. 7):\n";
+  runtime::printComparison(std::cout, "velocity improvement", 5.0,
+                           vel_r.mean() / std::max(vel_b.mean(), 1e-9));
+  runtime::printComparison(std::cout, "mission-time improvement", 4.5,
+                           time_b.mean() / std::max(time_r.mean(), 1e-9));
+  runtime::printComparison(std::cout, "energy improvement", 4.0,
+                           energy_b.mean() / std::max(energy_r.mean(), 1e-9));
+  runtime::printComparison(std::cout, "CPU utilization reduction (%)", 36.0,
+                           100.0 * (cpu_b.mean() - cpu_r.mean()) /
+                               std::max(cpu_b.mean(), 1e-9));
+  std::cout << "  per-mission rows written to "
+            << (bench::outDir() / "suite_results.csv").string() << "\n";
+
+  // Normalized bar chart (oblivious = 1.0 per metric), the shape of Fig. 7.
+  viz::SvgBarChart chart("Fig. 7: mission metrics (normalized to oblivious)", "relative",
+                         {"spatial oblivious", "roborun"});
+  chart.addGroup({"velocity", {1.0, vel_r.mean() / std::max(vel_b.mean(), 1e-9)}});
+  chart.addGroup({"1/time", {1.0, time_b.mean() / std::max(time_r.mean(), 1e-9)}});
+  chart.addGroup({"1/energy", {1.0, energy_b.mean() / std::max(energy_r.mean(), 1e-9)}});
+  chart.addGroup({"cpu util", {1.0, cpu_r.mean() / std::max(cpu_b.mean(), 1e-9)}});
+  chart.write((bench::outDir() / "fig7_metrics.svg").string());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 9 — the mission example map: congestion heatmap of the
+// representative environment with both designs' trajectories overlaid.
+// Emits the congestion grid and the trajectories as CSV and prints a small
+// ASCII rendering.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "viz/map_render.h"
+
+int main() {
+  using namespace roborun;
+  runtime::printBanner(std::cout, "Fig. 9: representative mission map");
+
+  env::EnvSpec spec = env::representativeSpec();
+  if (!bench::fullScale()) {
+    spec.obstacle_spread = 50.0;
+    spec.goal_distance = 375.0;
+  }
+  const auto environment = env::generateEnvironment(spec);
+  const auto config = bench::benchMissionConfig();
+
+  std::vector<bench::MissionJob> jobs{
+      {spec, runtime::DesignType::SpatialOblivious, {}},
+      {spec, runtime::DesignType::RoboRun, {}},
+  };
+  bench::runMissions(jobs, config);
+
+  // Congestion field.
+  runtime::CsvWriter grid((bench::outDir() / "fig9_congestion.csv").string());
+  grid.header({"x", "y", "congestion"});
+  const auto& world = *environment.world;
+  const double step = 10.0;
+  for (double y = world.extent().lo.y; y <= world.extent().hi.y; y += step)
+    for (double x = world.extent().lo.x; x <= world.extent().hi.x; x += step)
+      grid.row({x, y, world.congestion({x, y, 0}, 12.0)});
+
+  // Trajectories.
+  runtime::CsvWriter traj((bench::outDir() / "fig9_trajectories.csv").string());
+  traj.header({"design", "t", "x", "y"});
+  for (std::size_t d = 0; d < jobs.size(); ++d)
+    for (const auto& rec : jobs[d].result.records)
+      traj.row({static_cast<double>(d), rec.t, rec.position.x, rec.position.y});
+
+  // ASCII rendering: congestion shading + RoboRun trajectory (*).
+  const int cols = 72;
+  const int rows = 15;
+  const auto& ext = world.extent();
+  std::vector<std::string> canvas(rows, std::string(cols, ' '));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double x = ext.lo.x + (c + 0.5) / cols * (ext.hi.x - ext.lo.x);
+      const double y = ext.lo.y + (r + 0.5) / rows * (ext.hi.y - ext.lo.y);
+      const double cong = world.congestion({x, y, 0}, 12.0);
+      canvas[r][c] = cong > 0.15 ? '#' : (cong > 0.05 ? '+' : (cong > 0.01 ? '.' : ' '));
+    }
+  }
+  for (const auto& rec : jobs[1].result.records) {
+    const int c = static_cast<int>((rec.position.x - ext.lo.x) / (ext.hi.x - ext.lo.x) * cols);
+    const int r = static_cast<int>((rec.position.y - ext.lo.y) / (ext.hi.y - ext.lo.y) * rows);
+    if (r >= 0 && r < rows && c >= 0 && c < cols) canvas[r][c] = '*';
+  }
+  std::cout << "  congestion map ('#' dense, '+' medium, '.' sparse) with roborun path (*):\n";
+  for (const auto& line : canvas) std::cout << "  |" << line << "|\n";
+
+  std::cout << "  zones: A = x < " << spec.zoneABoundary() << ", C = x > "
+            << spec.zoneCBoundary() << "\n";
+  for (const auto& job : jobs)
+    std::cout << "  " << runtime::designName(job.design) << ": "
+              << (job.result.reached_goal ? "reached goal" : "DID NOT FINISH") << " in "
+              << job.result.mission_time << " s\n";
+  std::cout << "  grids written to " << (bench::outDir() / "fig9_congestion.csv").string()
+            << " and fig9_trajectories.csv\n";
+
+  // Full-resolution rendering (congestion heat + pillars + both paths).
+  const auto ppm_path = (bench::outDir() / "fig9_mission_map.ppm").string();
+  if (viz::renderMissionMap(environment, {&jobs[0].result, &jobs[1].result}, ppm_path))
+    std::cout << "  rendered map written to " << ppm_path
+              << " (blue = oblivious, green = roborun)\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Wall-clock microbenchmarks of the substrate kernels (google-benchmark).
+//
+// The paper-facing experiments use the deterministic latency *model*; these
+// microbenchmarks measure the actual C++ kernels so regressions in the real
+// data structures (octree insertion, planner map queries, RRT*, sensor
+// raycasting) are visible.
+
+#include <benchmark/benchmark.h>
+
+#include "env/env_gen.h"
+#include "geom/rng.h"
+#include "perception/map_bridge.h"
+#include "perception/octomap_kernel.h"
+#include "perception/point_cloud.h"
+#include "planning/rrt_star.h"
+#include "sim/sensor.h"
+
+namespace {
+
+using namespace roborun;
+
+env::Environment& benchEnvironment() {
+  static env::Environment environment = [] {
+    env::EnvSpec spec;
+    spec.obstacle_density = 0.5;
+    spec.obstacle_spread = 50.0;
+    spec.goal_distance = 300.0;
+    spec.seed = 7;
+    return env::generateEnvironment(spec);
+  }();
+  return environment;
+}
+
+void BM_WorldRaycast(benchmark::State& state) {
+  const auto& env = benchEnvironment();
+  geom::Rng rng(1);
+  for (auto _ : state) {
+    const geom::Vec3 dir =
+        geom::Vec3{rng.uniform(-1, 1), rng.uniform(-1, 1), rng.uniform(-0.2, 0.2)}
+            .normalized();
+    benchmark::DoNotOptimize(env.world->raycast({40, 0, 3}, dir, 30.0));
+  }
+}
+BENCHMARK(BM_WorldRaycast);
+
+void BM_SensorSweep(benchmark::State& state) {
+  const auto& env = benchEnvironment();
+  sim::SensorConfig config;
+  config.rays_horizontal = static_cast<int>(state.range(0));
+  config.rays_vertical = static_cast<int>(state.range(0) * 2 / 3);
+  const sim::DepthCameraArray sensor(config);
+  for (auto _ : state) benchmark::DoNotOptimize(sensor.capture(*env.world, {40, 0, 3}));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sensor.raysPerFrame()));
+}
+BENCHMARK(BM_SensorSweep)->Arg(12)->Arg(20);
+
+void BM_OctomapInsert(benchmark::State& state) {
+  const auto& env = benchEnvironment();
+  const sim::DepthCameraArray sensor;
+  const auto frame = sensor.capture(*env.world, {40, 0, 3});
+  const auto cloud = perception::fromSensorFrame(frame);
+  const double precision = 0.3 * static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    perception::OccupancyOctree tree(env.world->extent(), 0.3);
+    perception::OctomapInsertParams params;
+    params.precision = precision;
+    params.volume_budget = 60000.0;
+    benchmark::DoNotOptimize(perception::insertPointCloud(tree, cloud, params, {}));
+  }
+}
+BENCHMARK(BM_OctomapInsert)->Arg(1)->Arg(4)->Arg(32);  // 0.3, 1.2, 9.6 m
+
+void BM_Downsample(benchmark::State& state) {
+  const auto& env = benchEnvironment();
+  const sim::DepthCameraArray sensor;
+  const auto cloud = perception::fromSensorFrame(sensor.capture(*env.world, {40, 0, 3}));
+  const double precision = 0.3 * static_cast<double>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(perception::downsample(cloud, precision));
+}
+BENCHMARK(BM_Downsample)->Arg(1)->Arg(32);
+
+void BM_BridgeBuild(benchmark::State& state) {
+  const auto& env = benchEnvironment();
+  const sim::DepthCameraArray sensor;
+  perception::OccupancyOctree tree(env.world->extent(), 0.3);
+  for (double x = 20; x <= 60; x += 10) {
+    const auto cloud = perception::fromSensorFrame(sensor.capture(*env.world, {x, 0, 3}));
+    perception::OctomapInsertParams params;
+    params.volume_budget = 60000.0;
+    perception::insertPointCloud(tree, cloud, params, {});
+  }
+  perception::BridgeParams bp;
+  bp.precision = 0.3 * static_cast<double>(state.range(0));
+  bp.volume_budget = 150000.0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(perception::buildPlannerMap(tree, {40, 0, 3}, bp));
+}
+BENCHMARK(BM_BridgeBuild)->Arg(1)->Arg(8);
+
+void BM_RrtStar(benchmark::State& state) {
+  const auto& env = benchEnvironment();
+  const sim::DepthCameraArray sensor;
+  perception::OccupancyOctree tree(env.world->extent(), 0.3);
+  for (double x = 20; x <= 60; x += 10) {
+    const auto cloud = perception::fromSensorFrame(sensor.capture(*env.world, {x, 0, 3}));
+    perception::OctomapInsertParams params;
+    params.volume_budget = 60000.0;
+    perception::insertPointCloud(tree, cloud, params, {});
+  }
+  perception::BridgeParams bp;
+  bp.volume_budget = 150000.0;
+  const auto bridge = perception::buildPlannerMap(tree, {40, 0, 3}, bp);
+
+  planning::RrtParams rp;
+  rp.bounds = {{15, -40, 1}, {75, 40, 8}};
+  rp.max_iterations = static_cast<std::size_t>(state.range(0));
+  geom::Rng rng(3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        planning::planPath(bridge.msg.map, {40, 0, 3}, {70, 0, 3}, rp, rng));
+}
+BENCHMARK(BM_RrtStar)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Example: pre-flight battery planning.
+//
+// Before committing a drone to a delivery, an operator wants to know whether
+// the mission fits the pack for each navigation design. This example uses
+// the analytic feasibility model for the go/no-go call, then verifies the
+// call with a closed-loop mission under an enforced battery.
+//
+// Build & run:  ./build/examples/battery_planning
+
+#include <iostream>
+
+#include "env/env_gen.h"
+#include "runtime/designs.h"
+#include "runtime/mission.h"
+#include "sim/battery.h"
+
+int main() {
+  using namespace roborun;
+
+  sim::BatteryConfig pack;
+  pack.capacity = 0.5e6;  // a small 500 kJ pack
+  pack.reserve_fraction = 0.15;
+  const sim::EnergyModel energy;
+
+  const double goal_distance = 400.0;
+  std::cout << "Mission: deliver over " << goal_distance << " m on a "
+            << pack.capacity / 1e3 << " kJ pack (usable " << pack.usable() / 1e3
+            << " kJ)\n\n";
+
+  // Go/no-go from the analytic range model at each design's cruise velocity.
+  struct DesignPoint {
+    const char* name;
+    runtime::DesignType type;
+    double cruise_velocity;
+  };
+  const DesignPoint designs[] = {
+      {"spatial-oblivious", runtime::DesignType::SpatialOblivious, 0.4},
+      {"roborun", runtime::DesignType::RoboRun, 2.0},
+  };
+  for (const auto& design : designs) {
+    const double range = sim::maxFeasibleDistance(design.cruise_velocity, energy, pack);
+    std::cout << design.name << ": feasible range at " << design.cruise_velocity
+              << " m/s is " << range << " m -> " << (range >= goal_distance ? "GO" : "NO-GO")
+              << "\n";
+  }
+
+  // Verify the calls in the closed loop.
+  env::EnvSpec spec;
+  spec.obstacle_density = 0.4;
+  spec.obstacle_spread = 40.0;
+  spec.goal_distance = goal_distance;
+  spec.seed = 3;
+  const auto environment = env::generateEnvironment(spec);
+
+  auto config = runtime::testMissionConfig();
+  config.enforce_battery = true;
+  config.battery = pack;
+
+  std::cout << "\nClosed-loop verification:\n";
+  for (const auto& design : designs) {
+    const auto result = runtime::runMission(environment, design.type, config);
+    std::cout << design.name << ": "
+              << (result.reached_goal       ? "delivered"
+                  : result.battery_depleted ? "battery depleted mid-flight"
+                  : result.collided         ? "collided"
+                                            : "timed out")
+              << " (t=" << result.mission_time << " s, energy "
+              << result.flight_energy / 1e3 << " kJ, SoC " << result.battery_soc << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Example: delivery through a live warehouse.
+//
+// Layers moving "forklift" traffic over the open zone between two congested
+// warehouse clusters and flies both designs through it. Demonstrates the
+// DynamicObstacleField API: building custom movers, the crossTraffic
+// generator, and mission integration via MissionConfig.
+//
+// Build & run:  ./build/examples/dynamic_warehouse
+
+#include <iostream>
+
+#include "env/dynamic.h"
+#include "env/env_gen.h"
+#include "runtime/designs.h"
+#include "runtime/mission.h"
+
+int main() {
+  using namespace roborun;
+
+  env::EnvSpec spec;
+  spec.obstacle_density = 0.4;
+  spec.obstacle_spread = 40.0;
+  spec.goal_distance = 400.0;
+  spec.seed = 3;
+  const auto environment = env::generateEnvironment(spec);
+
+  // Six generated cross-traffic movers plus one hand-built slow pallet
+  // truck patrolling right across the corridor centerline.
+  auto traffic = env::crossTraffic(spec, 6, 1.0, 11);
+  env::MovingObstacle pallet_truck;
+  pallet_truck.base = {spec.goal_distance * 0.5, -15.0, 0.0};
+  pallet_truck.direction = {0.0, 1.0, 0.0};
+  pallet_truck.speed = 0.6;
+  pallet_truck.patrol_span = 30.0;
+  pallet_truck.radius = 1.4;
+  pallet_truck.height = 4.0;
+  traffic.add(pallet_truck);
+
+  std::cout << "warehouse corridor with " << traffic.size() << " moving obstacles\n\n";
+
+  auto config = runtime::testMissionConfig();
+  config.dynamic_obstacles = traffic;
+
+  for (const auto design :
+       {runtime::DesignType::SpatialOblivious, runtime::DesignType::RoboRun}) {
+    const auto result = runtime::runMission(environment, design, config);
+    std::cout << runtime::designName(design) << ": "
+              << (result.reached_goal ? "delivered" : result.collided ? "COLLIDED"
+                                                                      : "timed out")
+              << " in " << result.mission_time << " s at "
+              << result.averageVelocity() << " m/s average\n";
+  }
+  std::cout << "\nthe movers are ordinary obstacles to the pipeline: they appear in the\n"
+               "depth frames, enter the octree, shrink the profiled visibility, and so\n"
+               "shorten RoboRun's deadline exactly when reaction time matters.\n";
+  return 0;
+}

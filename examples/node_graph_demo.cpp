@@ -1,0 +1,71 @@
+// The ROS-style node graph in action: the paper's Fig. 6 stack (sensor ->
+// perception -> perception-to-planning -> planning -> control, governed by
+// the RoboRun runtime layer) wired purely through mini-ROS topics, with the
+// vehicle pose fed back from the control commands — a minimal closed loop
+// without the mission runner.
+
+#include <iomanip>
+#include <iostream>
+
+#include "env/env_gen.h"
+#include "miniros/recorder.h"
+#include "runtime/node_pipeline.h"
+
+int main() {
+  using namespace roborun;
+
+  env::EnvSpec spec;
+  spec.goal_distance = 260.0;
+  spec.obstacle_spread = 45.0;
+  spec.seed = 31;
+  const auto environment = env::generateEnvironment(spec);
+
+  // Vehicle state integrated from the control node's commands.
+  runtime::Pose pose{environment.spec.start(), {0, 0, 0}};
+  runtime::NodeGraph graph(*environment.world, environment.spec.goal(),
+                           [&] { return pose; }, 17);
+
+  // Bag the command stream like `rosbag record /cmd_vel` would.
+  miniros::BagRecorder bag;
+  bag.record<geom::Vec3>(graph.bus(), "/cmd_vel");
+
+  graph.bus().subscribe<geom::Vec3>("/cmd_vel", [&](const geom::Vec3& cmd) {
+    // Crude integration: each executor cycle advances 0.5 s of flight.
+    pose.velocity = cmd;
+    pose.position += cmd * 0.5;
+  });
+
+  std::cout << "cycle |     x      y   | precision | deadline | mapped volume\n";
+  for (int cycle = 1; cycle <= 120; ++cycle) {
+    graph.cycle();
+    if (cycle % 10 == 0) {
+      std::cout << std::setw(5) << cycle << " | " << std::setw(6) << std::fixed
+                << std::setprecision(1) << pose.position.x << " " << std::setw(6)
+                << pose.position.y << " | " << std::setw(9)
+                << graph.params().getDoubleOr("/roborun/perception/precision", 0.0)
+                << " | " << std::setw(8)
+                << graph.params().getDoubleOr("/roborun/deadline", 0.0) << " | "
+                << std::setw(12) << graph.map().stats().mappedVolume() << "\n";
+    }
+    if (pose.position.dist(environment.spec.goal()) < 6.0) {
+      std::cout << "goal reached at cycle " << cycle << "\n";
+      break;
+    }
+  }
+
+  std::cout << "\nbag: recorded " << bag.messageCount() << " /cmd_vel messages";
+  const auto stats = bag.stats();
+  if (stats.count("/cmd_vel") && stats.at("/cmd_vel").messages >= 2)
+    std::cout << ", mean inter-arrival " << std::setprecision(4)
+              << stats.at("/cmd_vel").mean_interarrival << " s";
+  std::cout << "\n";
+  bag.saveIndex("node_graph_bag_index.csv");
+  std::cout << "bag index written to node_graph_bag_index.csv\n";
+
+  std::cout << "\ncommunication ledger:\n";
+  for (const auto& [topic, entry] : graph.bus().ledger().entries())
+    std::cout << "  " << std::left << std::setw(16) << topic << " " << entry.messages
+              << " msgs, " << entry.bytes / 1024 << " KiB, " << std::setprecision(3)
+              << entry.latency << " s\n";
+  return 0;
+}

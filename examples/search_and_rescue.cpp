@@ -1,0 +1,55 @@
+// Search and rescue: the paper's second motivating mission — medical
+// equipment flown from a hospital to patients in a disaster zone. Compared
+// to package delivery, the environment is sparser but visibility can be
+// poor (smoke / dust), which caps the sensing range and with it every
+// deadline: this example shows RoboRun degrading gracefully as visibility
+// drops — the spatial-awareness mechanism working in reverse.
+
+#include <iostream>
+#include <string>
+
+#include "env/env_gen.h"
+#include "runtime/designs.h"
+#include "runtime/report.h"
+
+int main() {
+  using namespace roborun;
+
+  env::EnvSpec spec;
+  spec.obstacle_density = 0.35;  // rubble, not racks
+  spec.obstacle_spread = 45.0;
+  spec.goal_distance = 450.0;
+  spec.seed = 911;
+  const auto environment = env::generateEnvironment(spec);
+
+  runtime::MissionConfig config = runtime::defaultMissionConfig();
+
+  std::cout << "search and rescue: " << spec.label() << "\n";
+  std::cout << "weather visibility sweep (RoboRun):\n";
+  for (const double visibility : {1e9, 20.0, 12.0}) {
+    config.sensor.weather_visibility = visibility;
+    const auto result =
+        runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+    std::cout << "  visibility "
+              << (visibility > 1e6 ? std::string("clear")
+                                   : std::to_string(static_cast<int>(visibility)) + " m")
+              << ": "
+              << (result.reached_goal ? "rescued"
+                                      : (result.collided ? "CRASHED" : "timed out"))
+              << " in " << result.mission_time << " s, avg velocity "
+              << result.averageVelocity() << " m/s, median latency "
+              << result.medianLatency() << " s\n";
+  }
+
+  // The oblivious design in clear weather, for contrast.
+  config.sensor.weather_visibility = 1e9;
+  const auto oblivious =
+      runtime::runMission(environment, runtime::DesignType::SpatialOblivious, config);
+  runtime::printBanner(std::cout, "spatial-oblivious reference (clear weather)");
+  std::cout << "  " << (oblivious.reached_goal ? "rescued" : "did not finish") << " in "
+            << oblivious.mission_time << " s at " << oblivious.averageVelocity()
+            << " m/s\n";
+  std::cout << "\nLower visibility shrinks RoboRun's deadlines and velocity — the same\n"
+               "mechanism that lets it sprint in clear air slows it in smoke.\n";
+  return 0;
+}

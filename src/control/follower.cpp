@@ -1,0 +1,42 @@
+#include "control/follower.h"
+
+#include <algorithm>
+
+namespace roborun::control {
+
+void TrajectoryFollower::setTrajectory(planning::Trajectory trajectory) {
+  trajectory_ = std::move(trajectory);
+  pid_.reset();
+  progress_ = 0.0;
+}
+
+double TrajectoryFollower::remaining() const {
+  return std::max(0.0, trajectory_.length() - progress_);
+}
+
+Vec3 TrajectoryFollower::velocityCommand(const Vec3& position, double speed, double dt) {
+  if (trajectory_.empty() || speed <= 0.0) return {};
+
+  // Progress only moves forward (no backtracking on noisy localization).
+  progress_ = std::max(progress_, trajectory_.closestArcLength(position));
+
+  const double total = trajectory_.length();
+  const double left = total - progress_;
+  double v = speed;
+  if (left < params_.arrive_radius) v = speed * std::max(left / params_.arrive_radius, 0.15);
+
+  const Vec3 carrot = trajectory_.sampleAtArcLength(
+      std::min(progress_ + params_.lookahead, total));
+  const Vec3 on_path = trajectory_.sampleAtArcLength(progress_);
+
+  const Vec3 to_carrot = carrot - position;
+  const Vec3 dir = to_carrot.norm() > 1e-6 ? to_carrot.normalized() : Vec3{};
+  // PID on cross-track error pulls the vehicle back onto the path.
+  const Vec3 correction = pid_.update(on_path - position, dt);
+  Vec3 cmd = dir * v + correction;
+  const double n = cmd.norm();
+  if (n > speed && n > 1e-9) cmd = cmd * (speed / n);
+  return cmd;
+}
+
+}  // namespace roborun::control

@@ -1,0 +1,47 @@
+// Trajectory follower: turns (trajectory, commanded speed) into velocity
+// setpoints for the vehicle. Carrot-point pursuit along the path with a PID
+// cross-track correction; the *speed* it flies at is whatever the runtime's
+// safe-velocity decision allows, which is how RoboRun's relaxed deadlines
+// become actual flight speed.
+#pragma once
+
+#include "control/pid.h"
+#include "geom/vec3.h"
+#include "planning/trajectory.h"
+
+namespace roborun::control {
+
+using geom::Vec3;
+
+struct FollowerParams {
+  double lookahead = 2.5;     ///< m; carrot distance along the path
+  PidGains cross_track{0.8, 0.0, 0.1, 5.0};
+  double arrive_radius = 2.0; ///< m; slow-down radius at the trajectory end
+};
+
+class TrajectoryFollower {
+ public:
+  explicit TrajectoryFollower(const FollowerParams& params = {}) : params_(params), pid_(params.cross_track) {}
+
+  /// Install a new trajectory (resets progress and PID state).
+  void setTrajectory(planning::Trajectory trajectory);
+
+  bool hasTrajectory() const { return !trajectory_.empty(); }
+  const planning::Trajectory& trajectory() const { return trajectory_; }
+
+  /// Progress (arc length) of the last command along the trajectory.
+  double progress() const { return progress_; }
+  /// Remaining path length from current progress.
+  double remaining() const;
+
+  /// Compute the velocity command for the current position at `speed` m/s.
+  Vec3 velocityCommand(const Vec3& position, double speed, double dt);
+
+ private:
+  FollowerParams params_;
+  planning::Trajectory trajectory_;
+  Pid3 pid_;
+  double progress_ = 0.0;
+};
+
+}  // namespace roborun::control

@@ -1,0 +1,22 @@
+#include "control/pid.h"
+
+#include <algorithm>
+
+namespace roborun::control {
+
+double Pid::update(double error, double dt) {
+  if (dt <= 0.0) return gains_.kp * error;
+  integral_ = std::clamp(integral_ + error * dt, -gains_.integral_limit, gains_.integral_limit);
+  const double derivative = has_prev_ ? (error - prev_error_) / dt : 0.0;
+  prev_error_ = error;
+  has_prev_ = true;
+  return gains_.kp * error + gains_.ki * integral_ + gains_.kd * derivative;
+}
+
+void Pid::reset() {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  has_prev_ = false;
+}
+
+}  // namespace roborun::control

@@ -1,0 +1,54 @@
+// Standard PID control — the paper's control stage ("We use standard PID
+// control") ensuring the MAV closely follows the generated trajectory.
+#pragma once
+
+#include "geom/vec3.h"
+
+namespace roborun::control {
+
+struct PidGains {
+  double kp = 1.0;
+  double ki = 0.0;
+  double kd = 0.0;
+  double integral_limit = 10.0;  ///< anti-windup clamp on the integral term
+};
+
+class Pid {
+ public:
+  Pid() = default;
+  explicit Pid(const PidGains& gains) : gains_(gains) {}
+
+  const PidGains& gains() const { return gains_; }
+
+  /// One controller step; returns the control output for this error.
+  double update(double error, double dt);
+
+  void reset();
+
+ private:
+  PidGains gains_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool has_prev_ = false;
+};
+
+/// Independent PID per axis, for 3D position error.
+class Pid3 {
+ public:
+  Pid3() = default;
+  explicit Pid3(const PidGains& gains) : x_(gains), y_(gains), z_(gains) {}
+
+  geom::Vec3 update(const geom::Vec3& error, double dt) {
+    return {x_.update(error.x, dt), y_.update(error.y, dt), z_.update(error.z, dt)};
+  }
+  void reset() {
+    x_.reset();
+    y_.reset();
+    z_.reset();
+  }
+
+ private:
+  Pid x_, y_, z_;
+};
+
+}  // namespace roborun::control

@@ -1,0 +1,58 @@
+#include "core/latency_predictor.h"
+
+#include <cmath>
+#include <vector>
+
+#include "geom/polyfit.h"
+#include "geom/stats.h"
+
+namespace roborun::core {
+
+LatencyPredictor::LatencyPredictor() {
+  // Conservative placeholder coefficients; real deployments calibrate via
+  // fit() (see latency_calibration.h, used by the runtime factories).
+  for (auto& c : coeffs_) c = {0.0, 0.0, 1e-4, 0.0};
+}
+
+double LatencyPredictor::predict(Stage stage, double precision, double volume) const {
+  const auto& q = coeffs_[static_cast<std::size_t>(stage)];
+  const double phat = 1.0 / std::max(precision, 1e-6);
+  const double poly =
+      q[0] * phat * phat * phat + q[1] * phat * phat + q[2] * phat + q[3];
+  return std::max(0.0, poly * volume);
+}
+
+double LatencyPredictor::predictTotal(const PipelinePolicy& policy) const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    const auto& s = policy.stages[i];
+    total += predict(static_cast<Stage>(i), s.precision, s.volume);
+  }
+  return total;
+}
+
+double LatencyPredictor::fit(Stage stage, std::span<const LatencySample> samples) {
+  std::vector<double> rows;
+  std::vector<double> y;
+  rows.reserve(samples.size() * 4);
+  y.reserve(samples.size());
+  for (const auto& s : samples) {
+    const double phat = 1.0 / std::max(s.precision, 1e-6);
+    rows.push_back(phat * phat * phat * s.volume);
+    rows.push_back(phat * phat * s.volume);
+    rows.push_back(phat * s.volume);
+    rows.push_back(s.volume);
+    y.push_back(s.latency);
+  }
+  const auto beta = geom::leastSquares(rows, y, 4);
+  setCoeffs(stage, {beta[0], beta[1], beta[2], beta[3]});
+
+  std::vector<double> pred;
+  pred.reserve(samples.size());
+  for (const auto& s : samples) pred.push_back(predict(stage, s.precision, s.volume));
+  const double scale = geom::mean(y);
+  if (scale < 1e-12) return 0.0;
+  return std::sqrt(geom::meanSquaredError(pred, y)) / scale;
+}
+
+}  // namespace roborun::core

@@ -1,0 +1,42 @@
+// Pipeline policies — the knob settings RoboRun's governor hands to the
+// operators each decision.
+//
+// The paper's application layer has three governed stages (Eq. 3's i):
+//   i = 0  perception            (point cloud + OctoMap)
+//   i = 1  perception-to-planning (map pruning + serialization bridge)
+//   i = 2  planning              (RRT* + smoothing)
+// each with a precision and a volume knob (6 knobs total).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace roborun::core {
+
+enum class Stage : std::size_t { Perception = 0, PerceptionToPlanning = 1, Planning = 2 };
+inline constexpr std::size_t kNumStages = 3;
+
+inline const char* stageName(Stage s) {
+  switch (s) {
+    case Stage::Perception: return "perception";
+    case Stage::PerceptionToPlanning: return "perception_to_planning";
+    case Stage::Planning: return "planning";
+  }
+  return "?";
+}
+
+struct StagePolicy {
+  double precision = 0.3;  ///< m; voxel size / raytracer step (p_i)
+  double volume = 0.0;     ///< m^3; space processed (v_i)
+};
+
+struct PipelinePolicy {
+  std::array<StagePolicy, kNumStages> stages;
+  double deadline = 0.0;           ///< s; time budget this policy was solved for
+  double predicted_latency = 0.0;  ///< s; solver's sum of stage latencies
+
+  const StagePolicy& stage(Stage s) const { return stages[static_cast<std::size_t>(s)]; }
+  StagePolicy& stage(Stage s) { return stages[static_cast<std::size_t>(s)]; }
+};
+
+}  // namespace roborun::core

@@ -1,0 +1,78 @@
+// RoboRun profilers — paper Table I.
+//
+// Profilers post-process each pipeline stage's data structures to extract
+// the space characteristics the governor consumes:
+//
+//   Variable                  Profiled from              Used for
+//   ------------------------  -------------------------  -------------------
+//   gap between obstacles     point cloud / sensor rays  precision
+//   closest obstacle/unknown  point cloud, OctoMap,      precision, volume,
+//                             smoother trajectory        deadline
+//   sensor & map volume       point cloud, OctoMap       volume
+//   velocity, position        sensors (state estimate)   deadline
+//   trajectory                smoother                   deadline
+#pragma once
+
+#include <vector>
+
+#include "geom/vec3.h"
+#include "perception/octree.h"
+#include "planning/trajectory.h"
+#include "sim/sensor.h"
+
+namespace roborun::core {
+
+using geom::Vec3;
+
+/// Per-upcoming-waypoint state for the time budgeter (Algorithm 1).
+struct WaypointState {
+  Vec3 position;
+  double velocity = 0.0;          ///< planned speed at this waypoint
+  double visibility = 0.0;        ///< m; how far the MAV can see/knows there
+  double flight_time_from_prev = 0.0;  ///< s
+};
+
+/// Everything the governor needs for one decision.
+struct SpaceProfile {
+  // Precision demands (from point cloud).
+  double gap_avg = 0.0;  ///< m; average gap between observed obstacles
+  double gap_min = 0.0;  ///< m; smallest observed gap
+  // Threat distances.
+  double d_obstacle = 0.0;  ///< m; closest sensed obstacle
+  double d_unknown = 0.0;   ///< m; known-free horizon: distance along the
+                            ///< trajectory to the first non-free map cell
+  // Volume bounds.
+  double sensor_volume = 0.0;  ///< m^3; max the sensors can ingest (v_sensor)
+  double map_volume = 0.0;     ///< m^3; current mapped volume (v_map)
+  // Deadline inputs.
+  double velocity = 0.0;        ///< m/s; current speed
+  Vec3 position;                ///< current position
+  double visibility = 0.0;      ///< m; line-of-sight along the travel direction
+  std::vector<WaypointState> waypoints;  ///< upcoming trajectory horizon
+};
+
+struct ProfilerConfig {
+  double horizontal_band = 0.25;  ///< |dir.z| bound for the gap-scan ray band
+  double gap_cap = 100.0;         ///< m; "no gap constraint" sentinel
+  std::size_t waypoint_horizon = 12;  ///< waypoints fed to the budgeter
+  double unknown_probe_step = 1.0;    ///< m; sampling step along trajectory
+};
+
+/// Gap statistics extracted from the azimuthal hit pattern of a sensor
+/// sweep: runs of free rays between hit rays become gap chords.
+struct GapStats {
+  double average = 0.0;
+  double minimum = 0.0;
+  std::size_t count = 0;
+};
+GapStats profileGaps(const sim::SensorFrame& frame, const ProfilerConfig& config = {});
+
+/// Full profile for one decision. `trajectory` may be empty (hover/startup);
+/// `travel_dir` is the current direction of motion (or toward the goal).
+SpaceProfile profileSpace(const sim::SensorFrame& frame,
+                          const perception::OccupancyOctree& map,
+                          const planning::Trajectory& trajectory, const Vec3& position,
+                          const Vec3& velocity, const Vec3& travel_dir,
+                          const ProfilerConfig& config = {});
+
+}  // namespace roborun::core

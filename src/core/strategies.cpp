@@ -1,0 +1,187 @@
+#include "core/strategies.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace roborun::core {
+
+namespace {
+
+/// Total predicted knob-stage latency for (p0, p1, volume scale).
+double totalLatency(const LatencyPredictor& predictor, const KnobEnvelope& env, double p0,
+                    double p1, double scale) {
+  const auto v = env.volumesAtScale(scale);
+  return predictor.predict(Stage::Perception, p0, v[0]) +
+         predictor.predict(Stage::PerceptionToPlanning, p1, v[1]) +
+         predictor.predict(Stage::Planning, p1, v[2]);
+}
+
+SolverResult makeResult(const KnobEnvelope& env, const SolverInputs& inputs, double p0,
+                        double p1, double scale, double latency) {
+  SolverResult result;
+  const auto v = env.volumesAtScale(scale);
+  result.policy.stage(Stage::Perception) = {p0, v[0]};
+  result.policy.stage(Stage::PerceptionToPlanning) = {p1, v[1]};
+  result.policy.stage(Stage::Planning) = {p1, v[2]};
+  result.policy.deadline = inputs.budget;
+  result.policy.predicted_latency = latency + inputs.fixed_overhead;
+  const double knob_budget = std::max(inputs.budget - inputs.fixed_overhead, 0.0);
+  const double diff = knob_budget - latency;
+  result.objective = diff * diff;
+  result.budget_met = latency <= knob_budget + 1e-9;
+  return result;
+}
+
+int ladderIndexOf(const KnobConfig& knobs, double p) {
+  const auto ladder = knobs.precisionLadder();
+  for (int i = 0; i < knobs.precision_levels; ++i)
+    if (std::fabs(ladder[static_cast<std::size_t>(i)] - p) < 1e-9) return i;
+  return 0;
+}
+
+}  // namespace
+
+SolverResult GreedyStrategy::solve(const SolverInputs& inputs) {
+  const KnobEnvelope env = computeEnvelope(knobs_, inputs.profile);
+  const auto ladder = knobs_.precisionLadder();
+  const double knob_budget = std::max(inputs.budget - inputs.fixed_overhead, 0.0);
+  const int hi = ladderIndexOf(knobs_, env.p0_hi);
+
+  // Same end-state preference as the exhaustive solver: precision finer
+  // than the space demands buys no safety, so start at the *coarsest*
+  // demand-allowed rung and spend the budget on volume first.
+  int l0 = hi;
+  int l1 = hi;
+  const auto latencyAt = [&](int a, int b, double s) {
+    return totalLatency(*predictor_, env, ladder[static_cast<std::size_t>(a)],
+                        ladder[static_cast<std::size_t>(b)], s);
+  };
+
+  // Volume descent: halve the scale until the budget fits (or the floor —
+  // the horizon-sphere demand — is reached; then the violation stands, as
+  // it does for the exhaustive solver).
+  double scale = 1.0;
+  double latency = latencyAt(l0, l1, scale);
+  while (latency > knob_budget && scale > 1.0 / 64.0) {
+    scale *= 0.5;
+    latency = latencyAt(l0, l1, scale);
+  }
+
+  // No refinement into leftover budget: precision beyond the space demand
+  // buys no safety, only latency (Fig. 10c pins RoboRun at the coarse end
+  // in the open zone) — leftover budget becomes velocity instead.
+  return makeResult(env, inputs, ladder[static_cast<std::size_t>(l0)],
+                    ladder[static_cast<std::size_t>(l1)], scale, latency);
+}
+
+SolverResult UniformSplitStrategy::solve(const SolverInputs& inputs) {
+  const KnobEnvelope env = computeEnvelope(knobs_, inputs.profile);
+  const auto ladder = knobs_.precisionLadder();
+  const double knob_budget = std::max(inputs.budget - inputs.fixed_overhead, 0.0);
+  const double per_stage = knob_budget / 3.0;
+  const int lo = ladderIndexOf(knobs_, env.p0_lo);
+  const int hi = ladderIndexOf(knobs_, env.p0_hi);
+
+  // Stage volumes at full demand; each stage independently coarsens its
+  // precision until its own share fits (volume is not traded at all —
+  // that is the point of the strawman).
+  const auto v = env.volumesAtScale(1.0);
+  const std::array<Stage, 3> stages{Stage::Perception, Stage::PerceptionToPlanning,
+                                    Stage::Planning};
+  std::array<double, 3> precision{};
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    int level = lo;
+    while (level < hi &&
+           predictor_->predict(stages[i], ladder[static_cast<std::size_t>(level)], v[i]) >
+               per_stage)
+      ++level;
+    precision[i] = ladder[static_cast<std::size_t>(level)];
+  }
+  // Framework constraint p1 == p2 (the bridge and planner share a map);
+  // and p0 <= p1 in ladder order.
+  const double p1 = std::max(precision[1], precision[2]);
+  const double p0 = std::min(precision[0], p1);
+  const double latency = totalLatency(*predictor_, env, p0, p1, 1.0);
+  return makeResult(env, inputs, p0, p1, 1.0, latency);
+}
+
+SolverResult HysteresisStrategy::solve(const SolverInputs& inputs) {
+  SolverResult result = inner_->solve(inputs);
+  const double proposed = result.policy.stage(Stage::Perception).precision;
+  if (!has_last_) {
+    has_last_ = true;
+    last_p0_ = proposed;
+    coarsen_streak_ = 0;
+    return result;
+  }
+
+  double granted = proposed;
+  if (proposed > last_p0_ + 1e-9) {
+    // Coarsening (relaxing) request: wait out the patience window, then move
+    // one rung at a time.
+    ++coarsen_streak_;
+    granted = coarsen_streak_ >= patience_ ? std::min(proposed, last_p0_ * 2.0) : last_p0_;
+  } else {
+    // Finer-or-equal precision is the safety direction: grant immediately.
+    coarsen_streak_ = 0;
+  }
+
+  if (std::fabs(granted - proposed) > 1e-9) {
+    const KnobEnvelope env = computeEnvelope(knobs_, inputs.profile);
+    const double p1 = std::max(granted, result.policy.stage(Stage::Planning).precision);
+    // Re-derive the volume scale for the adjusted precision so the budget
+    // fit stays honest.
+    const double knob_budget = std::max(inputs.budget - inputs.fixed_overhead, 0.0);
+    double scale = 1.0;
+    double latency = totalLatency(*predictor_, env, granted, p1, scale);
+    while (latency > knob_budget && scale > 1.0 / 64.0) {
+      scale *= 0.5;
+      latency = totalLatency(*predictor_, env, granted, p1, scale);
+    }
+    result = makeResult(env, inputs, granted, p1, scale, latency);
+  }
+  last_p0_ = result.policy.stage(Stage::Perception).precision;
+  return result;
+}
+
+void HysteresisStrategy::reset() {
+  inner_->reset();
+  has_last_ = false;
+  last_p0_ = 0.0;
+  coarsen_streak_ = 0;
+}
+
+const char* strategyName(StrategyType type) {
+  switch (type) {
+    case StrategyType::Exhaustive: return "exhaustive";
+    case StrategyType::Greedy: return "greedy";
+    case StrategyType::UniformSplit: return "uniform_split";
+    case StrategyType::HysteresisExhaustive: return "hysteresis_exhaustive";
+    case StrategyType::HysteresisGreedy: return "hysteresis_greedy";
+  }
+  return "?";
+}
+
+std::unique_ptr<SolverStrategy> makeStrategy(StrategyType type, const KnobConfig& knobs,
+                                             const LatencyPredictor& predictor,
+                                             int patience) {
+  switch (type) {
+    case StrategyType::Exhaustive:
+      return std::make_unique<ExhaustiveStrategy>(knobs, predictor);
+    case StrategyType::Greedy:
+      return std::make_unique<GreedyStrategy>(knobs, predictor);
+    case StrategyType::UniformSplit:
+      return std::make_unique<UniformSplitStrategy>(knobs, predictor);
+    case StrategyType::HysteresisExhaustive:
+      return std::make_unique<HysteresisStrategy>(
+          std::make_unique<ExhaustiveStrategy>(knobs, predictor), knobs, predictor,
+          patience);
+    case StrategyType::HysteresisGreedy:
+      return std::make_unique<HysteresisStrategy>(
+          std::make_unique<GreedyStrategy>(knobs, predictor), knobs, predictor, patience);
+  }
+  return std::make_unique<ExhaustiveStrategy>(knobs, predictor);
+}
+
+}  // namespace roborun::core

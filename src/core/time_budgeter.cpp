@@ -1,0 +1,54 @@
+#include "core/time_budgeter.h"
+
+#include <algorithm>
+
+namespace roborun::core {
+
+double TimeBudgeter::localBudget(double velocity, double visibility) const {
+  // The planned velocity profile is an upper bound (the smoother plans at
+  // v_max); the budget must reflect the speed actually flyable at this
+  // waypoint's visibility, or a fast-planned waypoint in a tight spot
+  // would zero the whole budget.
+  const double attainable = config_.stopping.maxSafeVelocity(0.0, visibility);
+  const double v = std::clamp(velocity, 0.05, std::max(attainable * 0.9, 0.05));
+  const double b = config_.stopping.timeBudget(v, visibility, config_.budget_cap);
+  return std::max(b, config_.budget_floor);
+}
+
+double TimeBudgeter::globalBudget(std::span<const WaypointState> waypoints) const {
+  if (waypoints.empty()) return config_.budget_floor;
+
+  // Algorithm 1, verbatim:
+  //   bg <- 0, br <- Eq.1 at W0
+  //   for i = 1..|W|:
+  //     br <- br - flightTime(i, i-1)
+  //     bl <- Eq.1 at Wi
+  //     br <- min(br, bl)
+  //     if br <= 0: break
+  //     bg <- bg + flightTime(i, i-1)
+  //   return bg
+  // If the horizon is exhausted without the remaining budget hitting zero,
+  // the leftover br is still available on top of the accumulated flight
+  // time (the algorithm as printed returns only bg, which for a short
+  // horizon would unduly truncate the budget; we add the final br, which
+  // preserves the algorithm's safety argument: br already respects every
+  // waypoint's local cap).
+  double bg = 0.0;
+  double br = localBudget(waypoints[0].velocity, waypoints[0].visibility);
+  bool broke = false;
+  for (std::size_t i = 1; i < waypoints.size(); ++i) {
+    const double ft = waypoints[i].flight_time_from_prev;
+    br -= ft;
+    const double bl = localBudget(waypoints[i].velocity, waypoints[i].visibility);
+    br = std::min(br, bl);
+    if (br <= 0.0) {
+      broke = true;
+      break;
+    }
+    bg += ft;
+  }
+  if (!broke) bg += std::max(br, 0.0);
+  return std::clamp(bg, config_.budget_floor, config_.budget_cap);
+}
+
+}  // namespace roborun::core

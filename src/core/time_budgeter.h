@@ -1,0 +1,42 @@
+// Time budgeter — paper Sec. III-D-1: Eq. 1 plus Algorithm 1.
+//
+// Eq. 1 gives the local budget at one waypoint from its velocity and
+// visibility. Algorithm 1 improves on the naive "Eq. 1 at the current
+// state" by walking the upcoming waypoints, discounting the flight time to
+// reach each one and capping the remaining budget by every waypoint's local
+// budget — so a tight spot three waypoints ahead shortens today's deadline.
+#pragma once
+
+#include <span>
+
+#include "core/profilers.h"
+#include "sim/stopping_model.h"
+
+namespace roborun::core {
+
+struct BudgeterConfig {
+  sim::StoppingModel stopping;
+  double budget_cap = 10.0;  ///< s; open-space budgets are clipped here (the
+                             ///< map ages out beyond this horizon anyway)
+  double budget_floor = 0.05;///< s; never demand less than one sensor frame
+};
+
+class TimeBudgeter {
+ public:
+  TimeBudgeter() = default;
+  explicit TimeBudgeter(const BudgeterConfig& config) : config_(config) {}
+
+  const BudgeterConfig& config() const { return config_; }
+
+  /// Eq. 1 at a single waypoint: (d - dstop(v)) / v, capped.
+  double localBudget(double velocity, double visibility) const;
+
+  /// Algorithm 1 over the waypoint horizon (waypoints[0] is W0, the current
+  /// state). Returns the global budget bg.
+  double globalBudget(std::span<const WaypointState> waypoints) const;
+
+ private:
+  BudgeterConfig config_;
+};
+
+}  // namespace roborun::core

@@ -1,0 +1,132 @@
+#include "env/dynamic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/rng.h"
+
+namespace roborun::env {
+
+using geom::Vec3;
+
+namespace {
+
+/// Triangle wave: distance along the patrol at time t (in [0, span]).
+double pingPong(double t, double speed, double span) {
+  if (span <= 0.0 || speed <= 0.0) return 0.0;
+  const double cycle = 2.0 * span / speed;
+  const double phase = std::fmod(t, cycle);
+  const double dist = phase * speed;
+  return dist <= span ? dist : 2.0 * span - dist;
+}
+
+/// First hit of a ray against one vertical cylinder; nullopt when clear.
+std::optional<double> rayCylinder(const Vec3& origin, const Vec3& dir, double max_dist,
+                                  const Vec3& center, double radius, double height) {
+  // Inside already (horizontal disc + height band): immediate hit.
+  const double px = origin.x - center.x;
+  const double py = origin.y - center.y;
+  if (px * px + py * py <= radius * radius && origin.z >= 0.0 && origin.z <= height)
+    return 0.0;
+
+  // Side surface: quadratic in the horizontal projection.
+  const double a = dir.x * dir.x + dir.y * dir.y;
+  std::optional<double> best;
+  if (a > 1e-12) {
+    const double b = 2.0 * (px * dir.x + py * dir.y);
+    const double c = px * px + py * py - radius * radius;
+    const double disc = b * b - 4.0 * a * c;
+    if (disc >= 0.0) {
+      const double sq = std::sqrt(disc);
+      for (const double t : {(-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a)}) {
+        if (t < 0.0 || t > max_dist) continue;
+        const double z = origin.z + dir.z * t;
+        if (z < 0.0 || z > height) continue;
+        if (!best || t < *best) best = t;
+      }
+    }
+  }
+  // Top cap (relevant when flying above the movers and descending).
+  if (std::fabs(dir.z) > 1e-12) {
+    const double t = (height - origin.z) / dir.z;
+    if (t >= 0.0 && t <= max_dist) {
+      const double x = px + dir.x * t;
+      const double y = py + dir.y * t;
+      if (x * x + y * y <= radius * radius && (!best || t < *best)) best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Vec3 DynamicObstacleField::positionOf(std::size_t i) const {
+  const auto& o = obstacles_[i];
+  Vec3 dir{o.direction.x, o.direction.y, 0.0};
+  dir = dir.normalized();
+  const double dist = pingPong(time_ + o.phase, o.speed, o.patrol_span);
+  return {o.base.x + dir.x * dist, o.base.y + dir.y * dist, 0.0};
+}
+
+bool DynamicObstacleField::occupied(const Vec3& p) const {
+  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
+    const auto& o = obstacles_[i];
+    if (p.z < 0.0 || p.z > o.height) continue;
+    const Vec3 c = positionOf(i);
+    const double dx = p.x - c.x;
+    const double dy = p.y - c.y;
+    if (dx * dx + dy * dy <= o.radius * o.radius) return true;
+  }
+  return false;
+}
+
+std::optional<double> DynamicObstacleField::raycast(const Vec3& origin, const Vec3& dir,
+                                                    double max_dist) const {
+  std::optional<double> best;
+  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
+    const auto& o = obstacles_[i];
+    const auto hit = rayCylinder(origin, dir, max_dist, positionOf(i), o.radius, o.height);
+    if (hit && (!best || *hit < *best)) best = hit;
+  }
+  return best;
+}
+
+double DynamicObstacleField::nearestObstacleXY(const Vec3& p, double max_r) const {
+  double best = max_r;
+  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
+    const Vec3 c = positionOf(i);
+    const double dx = p.x - c.x;
+    const double dy = p.y - c.y;
+    const double d = std::sqrt(dx * dx + dy * dy) - obstacles_[i].radius;
+    best = std::min(best, std::max(d, 0.0));
+  }
+  return best;
+}
+
+DynamicObstacleField crossTraffic(const EnvSpec& spec, std::size_t count, double speed,
+                                  std::uint64_t seed) {
+  geom::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+  DynamicObstacleField field;
+  // Movers live strictly inside zone B so they cross the corridor both
+  // designs must traverse; patrols run across the corridor (y axis).
+  const double x_lo = spec.zoneABoundary() + 10.0;
+  const double x_hi = spec.zoneCBoundary() - 10.0;
+  if (x_hi <= x_lo) return field;
+  const double span = std::min(2.0 * spec.world_half_width - 10.0, 60.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    MovingObstacle o;
+    const double x = rng.uniform(x_lo, x_hi);
+    o.base = {x, -span * 0.5, 0.0};
+    o.direction = {0.0, 1.0, 0.0};
+    o.speed = speed * rng.uniform(0.6, 1.4);
+    o.patrol_span = span;
+    o.radius = rng.uniform(0.8, 1.6);
+    o.height = rng.uniform(5.0, spec.ceiling * 0.5);
+    // Random patrol phase so the movers are spread along their paths.
+    o.phase = rng.uniform(0.0, 2.0 * o.patrol_span / std::max(o.speed, 1e-6));
+    field.add(o);
+  }
+  return field;
+}
+
+}  // namespace roborun::env

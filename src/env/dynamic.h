@@ -1,0 +1,78 @@
+// Dynamic (moving) obstacles.
+//
+// The paper's deadline model exists because new obstacles can appear inside
+// the MAV's horizon: "higher speeds shorten the time available to dodge new
+// obstacles". The static worlds exercise that only through occlusion; this
+// module adds the literal case — moving obstacles (forklifts in a
+// warehouse, vehicles in a disaster zone) that cross the mission corridor.
+// Obstacles are vertical cylinders on deterministic ping-pong patrol paths,
+// a function of mission time only, so runs stay exactly replayable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "env/env_spec.h"
+#include "geom/vec3.h"
+
+namespace roborun::env {
+
+/// One moving cylindrical obstacle. Motion is a ping-pong patrol: the
+/// center oscillates from `base` along `direction` over `patrol_span`
+/// meters at `speed` m/s, reversing at the ends (triangle wave in time).
+struct MovingObstacle {
+  geom::Vec3 base;          ///< patrol start (z ignored; columns sit on the ground)
+  geom::Vec3 direction;     ///< patrol direction (normalized on use; z ignored)
+  double speed = 1.0;       ///< m/s along the patrol
+  double patrol_span = 20.0;///< m; one-way patrol distance (0 = stationary)
+  double phase = 0.0;       ///< s; patrol time offset (randomizes start points)
+  double radius = 1.0;      ///< m; cylinder radius
+  double height = 8.0;      ///< m; cylinder height from the ground
+};
+
+/// A set of moving obstacles evaluated at a common mission time.
+class DynamicObstacleField {
+ public:
+  DynamicObstacleField() = default;
+  explicit DynamicObstacleField(std::vector<MovingObstacle> obstacles)
+      : obstacles_(std::move(obstacles)) {}
+
+  void add(const MovingObstacle& obstacle) { obstacles_.push_back(obstacle); }
+  std::size_t size() const { return obstacles_.size(); }
+  bool empty() const { return obstacles_.empty(); }
+  const std::vector<MovingObstacle>& obstacles() const { return obstacles_; }
+
+  /// Set the field's mission clock (absolute, seconds).
+  void setTime(double t) { time_ = t; }
+  void advance(double dt) { time_ += dt; }
+  double time() const { return time_; }
+
+  /// Center of obstacle `i` at the current time.
+  geom::Vec3 positionOf(std::size_t i) const;
+
+  /// Is `p` inside any obstacle at the current time?
+  bool occupied(const geom::Vec3& p) const;
+
+  /// First intersection of the ray with any obstacle within `max_dist`
+  /// (`dir` must be normalized). Returns nullopt when clear.
+  std::optional<double> raycast(const geom::Vec3& origin, const geom::Vec3& dir,
+                                double max_dist) const;
+
+  /// Horizontal distance from `p` to the nearest obstacle surface at the
+  /// current time (`max_r` if none closer).
+  double nearestObstacleXY(const geom::Vec3& p, double max_r) const;
+
+ private:
+  std::vector<MovingObstacle> obstacles_;
+  double time_ = 0.0;
+};
+
+/// Generator: `count` movers patrolling across the mission corridor
+/// (perpendicular to the start-goal line) inside zone B — the open zone the
+/// baseline crosses slowly and RoboRun crosses fast, so both expose
+/// themselves to the same traffic per meter. Deterministic in `seed`.
+DynamicObstacleField crossTraffic(const EnvSpec& spec, std::size_t count, double speed,
+                                  std::uint64_t seed);
+
+}  // namespace roborun::env

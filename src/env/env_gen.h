@@ -1,0 +1,38 @@
+// Environment generator (paper Sec. IV "Environment Generation").
+//
+// Reproduces the paper's generator: two congested Gaussian clusters (zones A
+// and C) at the mission endpoints emulating warehouse/hospital buildings,
+// an open homogeneous zone B between them, with hyperparameters for peak
+// obstacle density, obstacle spread (Gaussian sigma), and goal distance.
+// A narrow aisle is carved through each cluster so every mission is feasible
+// at fine precision — mirroring the very-narrow-aisle warehouses the paper
+// cites as requiring high-precision navigation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "env/env_spec.h"
+#include "env/world.h"
+#include "geom/rng.h"
+
+namespace roborun::env {
+
+/// A generated mission environment: the ground-truth world plus its spec.
+struct Environment {
+  EnvSpec spec;
+  std::shared_ptr<World> world;
+
+  Zone zoneAt(const Vec3& p) const { return spec.zoneOf(p.x); }
+  /// Ambient (weather) visibility at a position — per-zone, see EnvSpec.
+  double weatherVisibilityAt(const Vec3& p) const { return spec.weatherVisibilityAt(p.x); }
+};
+
+/// Generate the world for a spec. Deterministic in spec.seed.
+Environment generateEnvironment(const EnvSpec& spec);
+
+/// The aisle waypoints carved through the clusters (exposed for tests and
+/// for the Fig. 9 map bench, which overlays them).
+std::vector<Vec3> aislePath(const EnvSpec& spec);
+
+}  // namespace roborun::env

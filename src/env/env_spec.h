@@ -1,0 +1,90 @@
+// Environment specification — the paper's difficulty knobs (Fig. 8a) plus
+// the geometric layout constants of the generated missions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "geom/vec3.h"
+
+namespace roborun::env {
+
+/// Mission zone labels used throughout the paper's Sec. V analysis:
+/// congested zones A (mission start) and C (mission end) sandwiching the
+/// open, homogeneous zone B.
+enum class Zone { A, B, C };
+
+inline const char* zoneName(Zone z) {
+  switch (z) {
+    case Zone::A: return "A";
+    case Zone::B: return "B";
+    case Zone::C: return "C";
+  }
+  return "?";
+}
+
+/// The generator's hyperparameters. Defaults are the paper's mid-difficulty
+/// values (density 0.45, spread 80 m, goal distance 900 m).
+struct EnvSpec {
+  // --- the three difficulty knobs swept in Fig. 8 ---
+  double obstacle_density = 0.45;  ///< peak occupied-cell ratio at a cluster center
+  double obstacle_spread = 80.0;   ///< m; Gaussian sigma of obstacle placement
+  double goal_distance = 900.0;    ///< m; straight-line start->goal distance
+
+  // --- layout constants ---
+  double world_half_width = 80.0;  ///< m; world spans y in [-w, +w]
+  double ceiling = 30.0;           ///< m; world top (warehouse-scale)
+  double margin = 40.0;            ///< m; world padding before start / after goal
+  double cell = 1.0;               ///< m; ground-truth grid resolution
+  double aisle_width = 3.0;        ///< m; carved corridor width through clusters
+                                   ///< (narrow-aisle warehouses, refs [2]-[4])
+  double clear_pocket = 12.0;      ///< m; obstacle-free radius around start/goal
+  double flight_altitude = 3.0;    ///< m; nominal cruise height
+
+  // Per-zone ambient (weather) visibility caps in meters — the paper's
+  // fourth spatial feature. Defaults are clear air; a hazy disaster zone or
+  // dusty warehouse lowers them locally (see Fig. 4's visibility panels).
+  double visibility_zone_a = 1e9;
+  double visibility_zone_b = 1e9;
+  double visibility_zone_c = 1e9;
+
+  std::uint64_t seed = 1;
+
+  double weatherVisibilityAt(double x) const {
+    switch (zoneOf(x)) {
+      case Zone::A: return visibility_zone_a;
+      case Zone::B: return visibility_zone_b;
+      case Zone::C: return visibility_zone_c;
+    }
+    return 1e9;
+  }
+
+  // Cluster centers sit just inside the mission ends: zone A around the
+  // start warehouse, zone C around the destination building.
+  double clusterAx() const { return obstacle_spread * 0.9; }
+  double clusterCx() const { return goal_distance - obstacle_spread * 0.9; }
+
+  /// Zone boundaries: a point belongs to A/C if within 2 sigma of that
+  /// cluster center, else B (matches the gradual congestion falloff).
+  double zoneABoundary() const { return clusterAx() + 2.0 * obstacle_spread * 0.55; }
+  double zoneCBoundary() const { return clusterCx() - 2.0 * obstacle_spread * 0.55; }
+
+  Zone zoneOf(double x) const {
+    if (x <= zoneABoundary()) return Zone::A;
+    if (x >= zoneCBoundary()) return Zone::C;
+    return Zone::B;
+  }
+
+  geom::Vec3 start() const { return {0.0, 0.0, flight_altitude}; }
+  geom::Vec3 goal() const { return {goal_distance, 0.0, flight_altitude}; }
+
+  std::string label() const;
+};
+
+inline std::string EnvSpec::label() const {
+  return "d" + std::to_string(obstacle_density).substr(0, 4) + "_s" +
+         std::to_string(static_cast<int>(obstacle_spread)) + "_g" +
+         std::to_string(static_cast<int>(goal_distance)) + "_seed" + std::to_string(seed);
+}
+
+}  // namespace roborun::env

@@ -1,0 +1,33 @@
+#include "env/suite.h"
+
+namespace roborun::env {
+
+std::vector<EnvSpec> evaluationSuite(std::uint64_t base_seed, const SuiteKnobs& knobs) {
+  std::vector<EnvSpec> specs;
+  specs.reserve(knobs.densities.size() * knobs.spreads.size() * knobs.goal_distances.size());
+  std::uint64_t i = 0;
+  for (const double d : knobs.densities) {
+    for (const double s : knobs.spreads) {
+      for (const double g : knobs.goal_distances) {
+        EnvSpec spec;
+        spec.obstacle_density = d;
+        spec.obstacle_spread = s;
+        spec.goal_distance = g;
+        spec.seed = base_seed + 1000 * (++i);
+        specs.push_back(spec);
+      }
+    }
+  }
+  return specs;
+}
+
+EnvSpec representativeSpec(std::uint64_t base_seed) {
+  EnvSpec spec;
+  spec.obstacle_density = 0.45;
+  spec.obstacle_spread = 80.0;
+  spec.goal_distance = 900.0;
+  spec.seed = base_seed + 14000;  // mid cell of the suite
+  return spec;
+}
+
+}  // namespace roborun::env

@@ -1,0 +1,189 @@
+#include "env/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace roborun::env {
+
+World::World(const Aabb& extent, double cell) : extent_(extent), cell_(cell) {
+  if (cell <= 0.0) throw std::invalid_argument("World: cell size must be positive");
+  const Vec3 size = extent.size();
+  if (size.x <= 0.0 || size.y <= 0.0 || size.z <= 0.0)
+    throw std::invalid_argument("World: degenerate extent");
+  nx_ = std::max(1, static_cast<int>(std::ceil(size.x / cell)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(size.y / cell)));
+  height_.assign(static_cast<std::size_t>(nx_) * static_cast<std::size_t>(ny_), 0.0F);
+}
+
+void World::setColumn(int ix, int iy, double height) {
+  if (!inGrid(ix, iy)) return;
+  height_[idx(ix, iy)] = static_cast<float>(std::clamp(height, 0.0, extent_.hi.z));
+}
+
+double World::columnHeight(int ix, int iy) const {
+  if (!inGrid(ix, iy)) return 0.0;
+  return height_[idx(ix, iy)];
+}
+
+double World::columnHeightAt(double x, double y) const {
+  const int ix = static_cast<int>(std::floor((x - extent_.lo.x) / cell_));
+  const int iy = static_cast<int>(std::floor((y - extent_.lo.y) / cell_));
+  return columnHeight(ix, iy);
+}
+
+int World::toIx(double x) const {
+  return std::clamp(static_cast<int>(std::floor((x - extent_.lo.x) / cell_)), 0, nx_ - 1);
+}
+
+int World::toIy(double y) const {
+  return std::clamp(static_cast<int>(std::floor((y - extent_.lo.y) / cell_)), 0, ny_ - 1);
+}
+
+double World::cellCenterX(int ix) const { return extent_.lo.x + (ix + 0.5) * cell_; }
+double World::cellCenterY(int iy) const { return extent_.lo.y + (iy + 0.5) * cell_; }
+
+bool World::occupied(const Vec3& p) const {
+  if (p.z < 0.0) return true;  // underground
+  if (!extent_.contains(p)) return false;
+  return p.z <= columnHeightAt(p.x, p.y);
+}
+
+std::optional<double> World::raycast(const Vec3& origin, const Vec3& dir, double max_dist) const {
+  if (max_dist <= 0.0) return std::nullopt;
+  // Ground-plane hit.
+  double ground_t = max_dist + 1.0;
+  if (dir.z < -1e-12) ground_t = -origin.z / dir.z;
+
+  // 2D DDA across the column grid. We track the parametric interval [t0, t1]
+  // within each crossed cell and test the ray's z-range against the column.
+  int ix = static_cast<int>(std::floor((origin.x - extent_.lo.x) / cell_));
+  int iy = static_cast<int>(std::floor((origin.y - extent_.lo.y) / cell_));
+
+  const int step_x = dir.x > 0 ? 1 : (dir.x < 0 ? -1 : 0);
+  const int step_y = dir.y > 0 ? 1 : (dir.y < 0 ? -1 : 0);
+
+  const double inv_dx = std::abs(dir.x) > 1e-12 ? 1.0 / dir.x : 0.0;
+  const double inv_dy = std::abs(dir.y) > 1e-12 ? 1.0 / dir.y : 0.0;
+
+  // Parametric distance to the next grid line in x / y.
+  auto boundary_x = [&](int i) { return extent_.lo.x + i * cell_; };
+  auto boundary_y = [&](int i) { return extent_.lo.y + i * cell_; };
+
+  double t_max_x = std::numeric_limits<double>::infinity();
+  double t_max_y = std::numeric_limits<double>::infinity();
+  double t_delta_x = std::numeric_limits<double>::infinity();
+  double t_delta_y = std::numeric_limits<double>::infinity();
+  if (step_x != 0) {
+    const double next = boundary_x(step_x > 0 ? ix + 1 : ix);
+    t_max_x = (next - origin.x) * inv_dx;
+    t_delta_x = cell_ * std::abs(inv_dx);
+  }
+  if (step_y != 0) {
+    const double next = boundary_y(step_y > 0 ? iy + 1 : iy);
+    t_max_y = (next - origin.y) * inv_dy;
+    t_delta_y = cell_ * std::abs(inv_dy);
+  }
+
+  double t0 = 0.0;
+  while (t0 <= max_dist) {
+    const double t1 = std::min({t_max_x, t_max_y, max_dist});
+    if (inGrid(ix, iy)) {
+      const double h = height_[idx(ix, iy)];
+      if (h > 0.0) {
+        const double z0 = origin.z + dir.z * t0;
+        const double z1 = origin.z + dir.z * t1;
+        if (std::min(z0, z1) <= h) {
+          // Hit within this cell; refine the hit parameter.
+          if (z0 <= h) return std::min(t0, ground_t <= max_dist ? ground_t : t0);
+          // Descending into the column: z(t) = h.
+          const double t_hit = t0 + (h - z0) / (z1 - z0) * (t1 - t0);
+          if (t_hit <= max_dist) return std::min(t_hit, ground_t);
+        }
+      }
+    }
+    if (t1 >= max_dist) break;
+    if (t_max_x < t_max_y) {
+      ix += step_x;
+      t0 = t_max_x;
+      t_max_x += t_delta_x;
+    } else {
+      iy += step_y;
+      t0 = t_max_y;
+      t_max_y += t_delta_y;
+    }
+    if ((step_x > 0 && ix >= nx_) || (step_x < 0 && ix < 0) || (step_y > 0 && iy >= ny_) ||
+        (step_y < 0 && iy < 0)) {
+      break;  // left the grid; only the ground plane can still be hit
+    }
+  }
+  if (ground_t <= max_dist) return ground_t;
+  return std::nullopt;
+}
+
+double World::visibility(const Vec3& origin, const Vec3& dir, double max_range) const {
+  const auto hit = raycast(origin, dir, max_range);
+  return hit.value_or(max_range);
+}
+
+double World::nearestObstacleXY(const Vec3& p, double max_r) const {
+  const int cx = toIx(p.x);
+  const int cy = toIy(p.y);
+  const int max_ring = static_cast<int>(std::ceil(max_r / cell_)) + 1;
+  double best = max_r;
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Once the ring's inner edge is farther than the best hit, stop.
+    if ((ring - 1) * cell_ > best) break;
+    const int x0 = cx - ring;
+    const int x1 = cx + ring;
+    const int y0 = cy - ring;
+    const int y1 = cy + ring;
+    auto visit = [&](int ix, int iy) {
+      if (!inGrid(ix, iy) || height_[idx(ix, iy)] <= 0.0F) return;
+      const double dx = cellCenterX(ix) - p.x;
+      const double dy = cellCenterY(iy) - p.y;
+      best = std::min(best, std::hypot(dx, dy));
+    };
+    for (int ix = x0; ix <= x1; ++ix) {
+      visit(ix, y0);
+      if (ring > 0) visit(ix, y1);
+    }
+    for (int iy = y0 + 1; iy < y1; ++iy) {
+      visit(x0, iy);
+      visit(x1, iy);
+    }
+  }
+  return best;
+}
+
+double World::congestion(const Vec3& p, double radius) const {
+  const int cx = toIx(p.x);
+  const int cy = toIy(p.y);
+  const int r = std::max(1, static_cast<int>(std::round(radius / cell_)));
+  int total = 0;
+  int occ = 0;
+  for (int iy = cy - r; iy <= cy + r; ++iy) {
+    for (int ix = cx - r; ix <= cx + r; ++ix) {
+      if (!inGrid(ix, iy)) continue;
+      ++total;
+      if (height_[idx(ix, iy)] > 0.0F) ++occ;
+    }
+  }
+  return total > 0 ? static_cast<double>(occ) / total : 0.0;
+}
+
+bool World::segmentFree(const Vec3& a, const Vec3& b) const {
+  const Vec3 d = b - a;
+  const double len = d.norm();
+  if (len < 1e-9) return !occupied(a);
+  return !raycast(a, d / len, len).has_value() && !occupied(a);
+}
+
+std::int64_t World::occupiedColumnCount() const {
+  std::int64_t n = 0;
+  for (const float h : height_)
+    if (h > 0.0F) ++n;
+  return n;
+}
+
+}  // namespace roborun::env

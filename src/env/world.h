@@ -1,0 +1,85 @@
+// Ground-truth world model.
+//
+// This is the substitute for the paper's Unreal environment: a column world —
+// a 2D grid of vertical obstacle columns over a flat ground plane — which is
+// how warehouse racks and urban obstacles present to a low-flying MAV. The
+// simulator raycasts depth-camera rays against this world; the navigation
+// pipeline never reads it directly (it only sees sensor output), preserving
+// the paper's separation between physical environment and cyber system.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+
+namespace roborun::env {
+
+using geom::Aabb;
+using geom::Vec3;
+
+class World {
+ public:
+  /// `extent` is the world bounding box (z from 0 = ground to ceiling);
+  /// `cell` is the horizontal grid resolution in meters.
+  World(const Aabb& extent, double cell);
+
+  const Aabb& extent() const { return extent_; }
+  double cellSize() const { return cell_; }
+  int cellsX() const { return nx_; }
+  int cellsY() const { return ny_; }
+
+  /// Set the obstacle column height at grid cell (ix, iy); 0 clears it.
+  void setColumn(int ix, int iy, double height);
+  /// Column height at a grid cell (0 if free or out of range).
+  double columnHeight(int ix, int iy) const;
+  /// Column height at a world position.
+  double columnHeightAt(double x, double y) const;
+
+  /// Convert world x/y to grid indices (clamped to the grid).
+  int toIx(double x) const;
+  int toIy(double y) const;
+  double cellCenterX(int ix) const;
+  double cellCenterY(int iy) const;
+
+  /// Is this point inside an obstacle (or outside the world / underground)?
+  bool occupied(const Vec3& p) const;
+
+  /// March a ray from `origin` along normalized `dir`, up to `max_dist`.
+  /// Returns distance to the first obstacle/ground hit, or nullopt if clear.
+  std::optional<double> raycast(const Vec3& origin, const Vec3& dir, double max_dist) const;
+
+  /// Line-of-sight distance: raycast hit distance, or `max_range` if clear.
+  double visibility(const Vec3& origin, const Vec3& dir, double max_range) const;
+
+  /// Horizontal distance to the nearest occupied column within `max_r`
+  /// (returns max_r if none). Ring search over the grid.
+  double nearestObstacleXY(const Vec3& p, double max_r) const;
+
+  /// Fraction of occupied cells within a horizontal radius — the congestion
+  /// level plotted as the heatmap in the paper's Fig. 9.
+  double congestion(const Vec3& p, double radius) const;
+
+  /// Does the straight segment [a, b] stay collision-free?
+  bool segmentFree(const Vec3& a, const Vec3& b) const;
+
+  /// Total number of occupied columns (for tests / generator statistics).
+  std::int64_t occupiedColumnCount() const;
+
+ private:
+  std::size_t idx(int ix, int iy) const {
+    return static_cast<std::size_t>(iy) * static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(ix);
+  }
+  bool inGrid(int ix, int iy) const { return ix >= 0 && ix < nx_ && iy >= 0 && iy < ny_; }
+
+  Aabb extent_;
+  double cell_;
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<float> height_;  // column height per cell, 0 = free
+};
+
+}  // namespace roborun::env

@@ -1,0 +1,81 @@
+// Axis-aligned bounding box with the intersection/containment queries the
+// world model, octree and planner sampling need.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/vec3.h"
+
+namespace roborun::geom {
+
+struct Aabb {
+  Vec3 lo;
+  Vec3 hi;
+
+  constexpr Aabb() = default;
+  constexpr Aabb(const Vec3& lo_, const Vec3& hi_) : lo(lo_), hi(hi_) {}
+
+  /// An empty box that grows to fit whatever is merged into it.
+  static Aabb empty() {
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    return {{inf, inf, inf}, {-inf, -inf, -inf}};
+  }
+
+  bool contains(const Vec3& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z && p.z <= hi.z;
+  }
+
+  bool intersects(const Aabb& o) const {
+    return lo.x <= o.hi.x && hi.x >= o.lo.x && lo.y <= o.hi.y && hi.y >= o.lo.y &&
+           lo.z <= o.hi.z && hi.z >= o.lo.z;
+  }
+
+  void merge(const Vec3& p) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+
+  Vec3 center() const { return (lo + hi) * 0.5; }
+  Vec3 size() const { return hi - lo; }
+  double volume() const {
+    const Vec3 s = size();
+    return (s.x > 0 && s.y > 0 && s.z > 0) ? s.x * s.y * s.z : 0.0;
+  }
+
+  /// Clamp a point into the box.
+  Vec3 clamp(const Vec3& p) const {
+    return {std::clamp(p.x, lo.x, hi.x), std::clamp(p.y, lo.y, hi.y),
+            std::clamp(p.z, lo.z, hi.z)};
+  }
+
+  /// Slab test: does the segment [a,b] intersect this box?
+  bool intersectsSegment(const Vec3& a, const Vec3& b) const {
+    double tmin = 0.0;
+    double tmax = 1.0;
+    const Vec3 d = b - a;
+    const double al[3] = {a.x, a.y, a.z};
+    const double dl[3] = {d.x, d.y, d.z};
+    const double lol[3] = {lo.x, lo.y, lo.z};
+    const double hil[3] = {hi.x, hi.y, hi.z};
+    for (int i = 0; i < 3; ++i) {
+      if (std::abs(dl[i]) < 1e-12) {
+        if (al[i] < lol[i] || al[i] > hil[i]) return false;
+      } else {
+        double t1 = (lol[i] - al[i]) / dl[i];
+        double t2 = (hil[i] - al[i]) / dl[i];
+        if (t1 > t2) std::swap(t1, t2);
+        tmin = std::max(tmin, t1);
+        tmax = std::min(tmax, t2);
+        if (tmin > tmax) return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace roborun::geom

@@ -1,0 +1,117 @@
+#include "geom/polyfit.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace roborun::geom {
+
+bool solveLinearSystem(std::vector<double>& a, std::vector<double>& b, std::size_t n) {
+  if (a.size() != n * n || b.size() != n) return false;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-12) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[col * n + c], a[pivot * n + c]);
+      std::swap(b[col], b[pivot]);
+    }
+    const double diag = a[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / diag;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= factor * a[col * n + c];
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= a[i * n + c] * b[c];
+    b[i] = sum / a[i * n + i];
+  }
+  return true;
+}
+
+std::vector<double> leastSquares(std::span<const double> x_rows, std::span<const double> y,
+                                 std::size_t num_features) {
+  if (num_features == 0) throw std::invalid_argument("leastSquares: zero features");
+  if (x_rows.size() % num_features != 0)
+    throw std::invalid_argument("leastSquares: row size mismatch");
+  const std::size_t m = x_rows.size() / num_features;
+  if (m != y.size()) throw std::invalid_argument("leastSquares: sample count mismatch");
+  if (m < num_features) throw std::invalid_argument("leastSquares: underdetermined");
+
+  // Normal equations: (X^T X) beta = X^T y. Our design matrices are tiny
+  // (<= 4 features), so this is numerically adequate.
+  const std::size_t n = num_features;
+  std::vector<double> xtx(n * n, 0.0);
+  std::vector<double> xty(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* row = x_rows.data() + r * n;
+    for (std::size_t i = 0; i < n; ++i) {
+      xty[i] += row[i] * y[r];
+      for (std::size_t j = 0; j < n; ++j) xtx[i * n + j] += row[i] * row[j];
+    }
+  }
+  if (!solveLinearSystem(xtx, xty, n))
+    throw std::invalid_argument("leastSquares: singular normal matrix");
+  return xty;
+}
+
+std::vector<double> polyfit(std::span<const double> x, std::span<const double> y, int degree) {
+  if (degree < 0) throw std::invalid_argument("polyfit: negative degree");
+  const auto n = static_cast<std::size_t>(degree) + 1;
+  std::vector<double> rows;
+  rows.reserve(x.size() * n);
+  for (const double xi : x) {
+    double p = 1.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      rows.push_back(p);
+      p *= xi;
+    }
+  }
+  return leastSquares(rows, y, n);
+}
+
+double polyval(std::span<const double> coeffs, double x) {
+  double result = 0.0;
+  for (std::size_t k = coeffs.size(); k-- > 0;) result = result * x + coeffs[k];
+  return result;
+}
+
+double meanSquaredError(std::span<const double> pred, std::span<const double> truth) {
+  if (pred.size() != truth.size() || pred.empty())
+    throw std::invalid_argument("meanSquaredError: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double e = pred[i] - truth[i];
+    sum += e * e;
+  }
+  return sum / static_cast<double>(pred.size());
+}
+
+double relativeMeanSquaredError(std::span<const double> pred, std::span<const double> truth,
+                                double eps) {
+  if (pred.size() != truth.size() || pred.empty())
+    throw std::invalid_argument("relativeMeanSquaredError: size mismatch");
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (std::abs(truth[i]) < eps) continue;
+    const double e = (pred[i] - truth[i]) / truth[i];
+    sum += e * e;
+    ++count;
+  }
+  if (count == 0) throw std::invalid_argument("relativeMeanSquaredError: all targets ~0");
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace roborun::geom

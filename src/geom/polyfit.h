@@ -1,0 +1,39 @@
+// Least-squares fitting used for the paper's two calibrated models:
+//   Eq. 2 — quadratic stopping-distance model dstop(v) (2% MSE in the paper)
+//   Eq. 4 — per-stage latency model, cubic in 1/precision, linear in volume
+//           (<8% average MSE in the paper)
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace roborun::geom {
+
+/// Solve the dense linear system A x = b in place via Gaussian elimination
+/// with partial pivoting. `a` is row-major n x n. Returns false if singular.
+bool solveLinearSystem(std::vector<double>& a, std::vector<double>& b, std::size_t n);
+
+/// Ordinary least squares: given rows of features X (m x n, row-major) and
+/// targets y (m), return coefficients beta (n) minimizing ||X beta - y||^2.
+/// Throws std::invalid_argument on shape mismatch or singular normal matrix.
+std::vector<double> leastSquares(std::span<const double> x_rows, std::span<const double> y,
+                                 std::size_t num_features);
+
+/// Fit y ~ sum_k coeff[k] * x^k for k in [0, degree]. Returns degree+1
+/// coefficients, constant term first.
+std::vector<double> polyfit(std::span<const double> x, std::span<const double> y, int degree);
+
+/// Evaluate a polynomial (constant term first) at x.
+double polyval(std::span<const double> coeffs, double x);
+
+/// Mean squared error between predictions and targets.
+double meanSquaredError(std::span<const double> pred, std::span<const double> truth);
+
+/// Relative MSE: mean of squared relative errors ((pred-truth)/truth)^2,
+/// skipping entries with |truth| < eps. This is the "percent MSE" the paper
+/// quotes for its model fits.
+double relativeMeanSquaredError(std::span<const double> pred, std::span<const double> truth,
+                                double eps = 1e-9);
+
+}  // namespace roborun::geom

@@ -1,0 +1,33 @@
+// Point-to-polyline distance helpers, used by the volume operators (sorting
+// space by distance to the MAV's trajectory) and the environment generator.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <span>
+
+#include "geom/vec3.h"
+
+namespace roborun::geom {
+
+/// Distance from p to segment [a, b].
+inline double distPointSegment(const Vec3& p, const Vec3& a, const Vec3& b) {
+  const Vec3 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 < 1e-12) return p.dist(a);
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return p.dist(a + ab * t);
+}
+
+/// Distance from p to a polyline (waypoint sequence). An empty polyline has
+/// infinite distance; a single point degenerates to point distance.
+inline double distToPolyline(const Vec3& p, std::span<const Vec3> polyline) {
+  if (polyline.empty()) return std::numeric_limits<double>::infinity();
+  if (polyline.size() == 1) return p.dist(polyline[0]);
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i + 1 < polyline.size(); ++i)
+    best = std::min(best, distPointSegment(p, polyline[i], polyline[i + 1]));
+  return best;
+}
+
+}  // namespace roborun::geom

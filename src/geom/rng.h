@@ -1,0 +1,49 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (environment generator, RRT* sampling, sensor
+// noise) takes an explicit Rng so that whole missions replay bit-identically
+// from a seed — essential for the paper's paired baseline/RoboRun
+// comparisons and for reproducible tests.
+#pragma once
+
+#include <cstdint>
+
+#include "geom/vec3.h"
+
+namespace roborun::geom {
+
+/// splitmix64-seeded xoshiro256** generator. Small, fast, and completely
+/// under our control (libstdc++'s distributions are not cross-platform
+/// deterministic, so we implement our own uniform/normal draws too).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniformInt(int lo, int hi);
+  /// Standard normal via Box-Muller (deterministic given the stream).
+  double normal();
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+  /// Uniform point inside an axis-aligned box.
+  Vec3 uniformInBox(const Vec3& lo, const Vec3& hi);
+  /// Bernoulli draw.
+  bool chance(double p);
+
+  /// Derive an independent child stream (e.g. one per environment).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace roborun::geom

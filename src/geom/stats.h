@@ -1,0 +1,39 @@
+// Small statistics helpers shared by profilers, metrics and benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace roborun::geom {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+/// p in [0,1]; linear interpolation between order statistics.
+double percentile(std::span<const double> xs, double p);
+double median(std::span<const double> xs);
+double minOf(std::span<const double> xs);
+double maxOf(std::span<const double> xs);
+
+/// Incremental mean/min/max/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace roborun::geom

@@ -1,0 +1,77 @@
+// Minimal 3D vector used throughout the RoboRun reproduction.
+//
+// A deliberately small value type: every subsystem (world model, sensor
+// raycasting, octree keys, planner states, controller errors) exchanges
+// positions and velocities as Vec3.
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+#include <ostream>
+
+namespace roborun::geom {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const { return x == o.x && y == o.y && z == o.z; }
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+
+  /// Unit vector in the same direction; the zero vector normalizes to zero.
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? *this / n : Vec3{};
+  }
+
+  /// Euclidean distance to another point.
+  double dist(const Vec3& o) const { return (*this - o).norm(); }
+  /// Horizontal (xy-plane) distance; the drone's maps are mostly top-down.
+  double distXY(const Vec3& o) const { return std::hypot(x - o.x, y - o.y); }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// Linear interpolation between a and b; t=0 gives a, t=1 gives b.
+inline Vec3 lerp(const Vec3& a, const Vec3& b, double t) { return a + (b - a) * t; }
+
+inline std::ostream& operator<<(std::ostream& os, const Vec3& v) {
+  return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+}  // namespace roborun::geom

@@ -1,0 +1,39 @@
+#include "miniros/bus.h"
+
+namespace roborun::miniros {
+
+std::size_t Bus::spinOnce() {
+  std::size_t delivered = 0;
+  double total_latency = 0.0;
+  // Snapshot queue depths first: messages published by callbacks during
+  // this spin — on any topic — wait for the next spin round.
+  std::vector<std::size_t> snapshot;
+  snapshot.reserve(order_.size());
+  for (auto* t : order_) snapshot.push_back(t->pending());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    auto* t = order_[i];
+    if (snapshot[i] == 0) continue;
+    const auto [n, bytes] = t->drain(snapshot[i]);
+    delivered += n;
+    // Charge one serialization overhead per message plus bandwidth cost.
+    const double latency =
+        static_cast<double>(n) * comm_.base_latency +
+        static_cast<double>(bytes) / comm_.bytes_per_second;
+    ledger_.record(t->name(), bytes, latency, n);
+    total_latency += latency;
+  }
+  clock_.advance(total_latency);
+  return delivered;
+}
+
+std::size_t Bus::spinAll(std::size_t max_rounds) {
+  std::size_t total = 0;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    const std::size_t n = spinOnce();
+    if (n == 0) break;
+    total += n;
+  }
+  return total;
+}
+
+}  // namespace roborun::miniros

@@ -1,0 +1,148 @@
+// Typed topic bus — the heart of mini-ROS.
+//
+// Topics are named, typed channels. publish() enqueues a message together
+// with its payload size; Executor::spinOnce() drains queues in publication
+// order, invoking subscriber callbacks and charging communication latency
+// to the CommLedger. Delivery is deterministic (single-threaded, FIFO per
+// topic, topics drained in creation order), which keeps whole-mission runs
+// replayable.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "miniros/clock.h"
+#include "miniros/comm.h"
+
+namespace roborun::miniros {
+
+/// Customization point: payload size of a message for comm-cost purposes.
+/// Message types with dynamic payloads overload this in their own namespace
+/// (found by ADL); everything else is charged its static size.
+template <typename T>
+std::size_t byteSizeOf(const T&) {
+  return sizeof(T);
+}
+
+namespace detail {
+
+class TopicBase {
+ public:
+  explicit TopicBase(std::string name) : name_(std::move(name)) {}
+  virtual ~TopicBase() = default;
+  TopicBase(const TopicBase&) = delete;
+  TopicBase& operator=(const TopicBase&) = delete;
+
+  const std::string& name() const { return name_; }
+  virtual std::size_t pending() const = 0;
+  /// Deliver up to `limit` queued messages; returns (messages, bytes).
+  virtual std::pair<std::size_t, std::size_t> drain(std::size_t limit) = 0;
+
+ private:
+  std::string name_;
+};
+
+template <typename T>
+class Topic final : public TopicBase {
+ public:
+  using TopicBase::TopicBase;
+
+  void publish(T msg) {
+    const std::size_t bytes = byteSizeOf(msg);
+    queue_.push_back({std::move(msg), bytes});
+  }
+
+  void subscribe(std::function<void(const T&)> cb) { subscribers_.push_back(std::move(cb)); }
+
+  std::size_t pending() const override { return queue_.size(); }
+
+  std::pair<std::size_t, std::size_t> drain(std::size_t limit) override {
+    std::size_t n = 0;
+    std::size_t bytes = 0;
+    limit = std::min(limit, queue_.size());
+    for (std::size_t i = 0; i < limit; ++i) {
+      Msg m = std::move(queue_.front());
+      queue_.pop_front();
+      ++n;
+      bytes += m.bytes;
+      for (const auto& cb : subscribers_) cb(m.payload);
+    }
+    return {n, bytes};
+  }
+
+ private:
+  struct Msg {
+    T payload;
+    std::size_t bytes;
+  };
+  std::deque<Msg> queue_;
+  std::vector<std::function<void(const T&)>> subscribers_;
+};
+
+}  // namespace detail
+
+/// The bus owns all topics, the clock, and the comm ledger.
+class Bus {
+ public:
+  Bus() = default;
+  explicit Bus(CommModel comm) : comm_(comm) {}
+
+  template <typename T>
+  detail::Topic<T>& topic(const std::string& name) {
+    auto it = topics_.find(name);
+    if (it == topics_.end()) {
+      auto t = std::make_unique<detail::Topic<T>>(name);
+      auto* raw = t.get();
+      order_.push_back(raw);
+      topics_.emplace(name, std::move(t));
+      types_.emplace(name, std::type_index(typeid(T)));
+      return *raw;
+    }
+    if (types_.at(name) != std::type_index(typeid(T)))
+      throw std::runtime_error("miniros::Bus: topic '" + name + "' re-declared with new type");
+    return static_cast<detail::Topic<T>&>(*it->second);
+  }
+
+  template <typename T>
+  void publish(const std::string& name, T msg) {
+    topic<T>(name).publish(std::move(msg));
+  }
+
+  template <typename T>
+  void subscribe(const std::string& name, std::function<void(const T&)> cb) {
+    topic<T>(name).subscribe(std::move(cb));
+  }
+
+  /// Deliver all currently queued messages on all topics (one spin round),
+  /// charging comm cost to the ledger and advancing the clock by the total
+  /// comm latency. Returns the number of messages delivered.
+  std::size_t spinOnce();
+
+  /// Spin until no topic has pending messages (bounded by `max_rounds`).
+  std::size_t spinAll(std::size_t max_rounds = 64);
+
+  SimClock& clock() { return clock_; }
+  const SimClock& clock() const { return clock_; }
+  CommLedger& ledger() { return ledger_; }
+  const CommLedger& ledger() const { return ledger_; }
+  const CommModel& commModel() const { return comm_; }
+
+  std::size_t topicCount() const { return topics_.size(); }
+
+ private:
+  CommModel comm_;
+  SimClock clock_;
+  CommLedger ledger_;
+  std::map<std::string, std::unique_ptr<detail::TopicBase>> topics_;
+  std::vector<detail::TopicBase*> order_;  // creation order for deterministic drains
+  std::map<std::string, std::type_index> types_;
+};
+
+}  // namespace roborun::miniros

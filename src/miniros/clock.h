@@ -1,0 +1,24 @@
+// Simulated time source.
+//
+// The paper's evaluation is a HIL simulation where wall-clock compute time
+// drives the mission clock. Our substitute is fully simulated: kernel
+// latencies come from the deterministic latency model (src/sim) and are
+// *advanced* onto this clock, which makes whole missions replayable and
+// machine-independent.
+#pragma once
+
+namespace roborun::miniros {
+
+class SimClock {
+ public:
+  double now() const { return now_; }
+  void advance(double dt) {
+    if (dt > 0.0) now_ += dt;
+  }
+  void reset() { now_ = 0.0; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace roborun::miniros

@@ -1,0 +1,57 @@
+// Inter-node communication cost model and ledger.
+//
+// Fig. 11a of the paper breaks end-to-end decision latency into computation
+// (shades of red) and communication (shades of blue) stages; the comm share
+// depends on message payload (point clouds, serialized maps, trajectories).
+// ROS charges serialization + transport per message; we reproduce that with
+// a base-latency + bytes/bandwidth model and account it per topic.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+namespace roborun::miniros {
+
+struct CommModel {
+  double base_latency = 0.003;      ///< s; per-message serialization overhead
+  double bytes_per_second = 40e6;   ///< effective intra-host ROS transport rate
+
+  double cost(std::size_t bytes) const {
+    return base_latency + static_cast<double>(bytes) / bytes_per_second;
+  }
+};
+
+/// Accumulates per-topic traffic so the runtime can attribute comm latency
+/// to pipeline links (pc->octomap, octomap->planner, ...).
+class CommLedger {
+ public:
+  /// Account one delivery batch: `messages` messages totalling `bytes`.
+  void record(const std::string& topic, std::size_t bytes, double latency,
+              std::size_t messages = 1) {
+    auto& e = entries_[topic];
+    e.messages += messages;
+    e.bytes += bytes;
+    e.latency += latency;
+  }
+
+  struct Entry {
+    std::size_t messages = 0;
+    std::size_t bytes = 0;
+    double latency = 0.0;
+  };
+
+  const std::map<std::string, Entry>& entries() const { return entries_; }
+  void clear() { entries_.clear(); }
+
+  double totalLatency() const {
+    double t = 0.0;
+    for (const auto& [_, e] : entries_) t += e.latency;
+    return t;
+  }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace roborun::miniros

@@ -1,0 +1,10 @@
+#include "miniros/executor.h"
+
+namespace roborun::miniros {
+
+std::size_t Executor::cycle() {
+  for (auto* n : nodes_) n->step(bus_->clock().now());
+  return bus_->spinAll();
+}
+
+}  // namespace roborun::miniros

@@ -1,0 +1,31 @@
+// Single-threaded deterministic executor: steps every registered node, then
+// drains the bus until quiescent. One cycle corresponds to one "spin" of a
+// ROS event loop.
+#pragma once
+
+#include <vector>
+
+#include "miniros/bus.h"
+#include "miniros/node.h"
+
+namespace roborun::miniros {
+
+class Executor {
+ public:
+  explicit Executor(Bus& bus) : bus_(&bus) {}
+
+  void add(Node& node) { nodes_.push_back(&node); }
+
+  /// One cycle: step each node in registration order, then deliver all
+  /// resulting messages (cascading until quiescent). Returns messages
+  /// delivered this cycle.
+  std::size_t cycle();
+
+  std::size_t nodeCount() const { return nodes_.size(); }
+
+ private:
+  Bus* bus_;
+  std::vector<Node*> nodes_;
+};
+
+}  // namespace roborun::miniros

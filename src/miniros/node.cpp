@@ -1,0 +1,8 @@
+#include "miniros/node.h"
+
+namespace roborun::miniros {
+
+Node::Node(Bus& bus, ParamServer& params, std::string name)
+    : bus_(&bus), params_(&params), name_(std::move(name)) {}
+
+}  // namespace roborun::miniros

@@ -1,0 +1,67 @@
+// Node base class and handles, mirroring ROS's node/publisher/subscriber
+// API surface at the scale this reproduction needs.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "miniros/bus.h"
+#include "miniros/param_server.h"
+
+namespace roborun::miniros {
+
+template <typename T>
+class Publisher {
+ public:
+  Publisher() = default;
+  Publisher(Bus* bus, std::string topic) : bus_(bus), topic_(std::move(topic)) {}
+
+  void publish(T msg) const {
+    if (bus_ != nullptr) bus_->publish<T>(topic_, std::move(msg));
+  }
+  const std::string& topic() const { return topic_; }
+  bool valid() const { return bus_ != nullptr; }
+
+ private:
+  Bus* bus_ = nullptr;
+  std::string topic_;
+};
+
+/// A named participant on the bus. Subclasses subscribe in their
+/// constructor and publish from callbacks or from step().
+class Node {
+ public:
+  Node(Bus& bus, ParamServer& params, std::string name);
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Called once per executor cycle, before message delivery.
+  virtual void step(double /*now*/) {}
+
+ protected:
+  template <typename T>
+  Publisher<T> advertise(const std::string& topic) {
+    bus_->topic<T>(topic);  // ensure creation order is subscription order
+    return Publisher<T>(bus_, topic);
+  }
+
+  template <typename T>
+  void subscribe(const std::string& topic, std::function<void(const T&)> cb) {
+    bus_->subscribe<T>(topic, std::move(cb));
+  }
+
+  Bus& bus() { return *bus_; }
+  ParamServer& params() { return *params_; }
+  double now() const { return bus_->clock().now(); }
+
+ private:
+  Bus* bus_;
+  ParamServer* params_;
+  std::string name_;
+};
+
+}  // namespace roborun::miniros

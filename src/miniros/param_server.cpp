@@ -1,0 +1,33 @@
+#include "miniros/param_server.h"
+
+namespace roborun::miniros {
+
+namespace {
+template <typename T>
+std::optional<T> get(const std::map<std::string, ParamServer::Value>& params,
+                     const std::string& key) {
+  const auto it = params.find(key);
+  if (it == params.end()) return std::nullopt;
+  if (const T* v = std::get_if<T>(&it->second)) return *v;
+  // int -> double promotion for convenience, matching rosparam behaviour.
+  if constexpr (std::is_same_v<T, double>) {
+    if (const int* v = std::get_if<int>(&it->second)) return static_cast<double>(*v);
+  }
+  return std::nullopt;
+}
+}  // namespace
+
+std::optional<double> ParamServer::getDouble(const std::string& key) const {
+  return get<double>(params_, key);
+}
+std::optional<int> ParamServer::getInt(const std::string& key) const {
+  return get<int>(params_, key);
+}
+std::optional<bool> ParamServer::getBool(const std::string& key) const {
+  return get<bool>(params_, key);
+}
+std::optional<std::string> ParamServer::getString(const std::string& key) const {
+  return get<std::string>(params_, key);
+}
+
+}  // namespace roborun::miniros

@@ -1,0 +1,48 @@
+// Parameter server: the knob distribution mechanism.
+//
+// RoboRun's governor publishes its per-stage precision/volume policy as
+// parameters; operators embedded in each pipeline stage read them at the
+// start of every decision. This mirrors how the paper's implementation
+// distributes knob settings through ROS's parameter machinery.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace roborun::miniros {
+
+class ParamServer {
+ public:
+  using Value = std::variant<double, int, bool, std::string>;
+
+  void setDouble(const std::string& key, double v) { params_[key] = v; }
+  void setInt(const std::string& key, int v) { params_[key] = v; }
+  void setBool(const std::string& key, bool v) { params_[key] = v; }
+  void setString(const std::string& key, std::string v) { params_[key] = std::move(v); }
+
+  std::optional<double> getDouble(const std::string& key) const;
+  std::optional<int> getInt(const std::string& key) const;
+  std::optional<bool> getBool(const std::string& key) const;
+  std::optional<std::string> getString(const std::string& key) const;
+
+  double getDoubleOr(const std::string& key, double fallback) const {
+    return getDouble(key).value_or(fallback);
+  }
+  int getIntOr(const std::string& key, int fallback) const {
+    return getInt(key).value_or(fallback);
+  }
+  bool getBoolOr(const std::string& key, bool fallback) const {
+    return getBool(key).value_or(fallback);
+  }
+
+  bool has(const std::string& key) const { return params_.count(key) != 0; }
+  std::size_t size() const { return params_.size(); }
+  const std::map<std::string, Value>& all() const { return params_; }
+
+ private:
+  std::map<std::string, Value> params_;
+};
+
+}  // namespace roborun::miniros

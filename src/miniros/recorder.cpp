@@ -1,0 +1,45 @@
+#include "miniros/recorder.h"
+
+#include <fstream>
+
+namespace roborun::miniros {
+
+std::map<std::string, BagTopicStats> BagRecorder::stats() const {
+  std::map<std::string, BagTopicStats> out;
+  for (const auto& [topic, _] : channels_) out.emplace(topic, BagTopicStats{});
+  std::map<std::string, std::vector<double>> arrival_times;
+  for (const auto& event : events_) {
+    auto& s = out[event.topic];
+    if (s.messages == 0) s.first_t = event.t;
+    s.last_t = event.t;
+    ++s.messages;
+    s.bytes += event.bytes;
+    arrival_times[event.topic].push_back(event.t);
+  }
+  for (auto& [topic, s] : out) {
+    const auto& times = arrival_times[topic];
+    if (times.size() >= 2)
+      s.mean_interarrival =
+          (times.back() - times.front()) / static_cast<double>(times.size() - 1);
+  }
+  return out;
+}
+
+bool BagRecorder::saveIndex(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "sequence,t,topic,bytes\n";
+  out.precision(12);
+  for (const auto& event : events_)
+    out << event.sequence << ',' << event.t << ',' << event.topic << ',' << event.bytes
+        << "\n";
+  return static_cast<bool>(out);
+}
+
+void BagRecorder::clear() {
+  events_.clear();
+  for (auto& [_, channel] : channels_) channel.reset();
+  channels_.clear();
+}
+
+}  // namespace roborun::miniros

@@ -1,0 +1,110 @@
+// Topic bag recorder — mini-ROS's equivalent of `rosbag record`.
+//
+// A BagRecorder subscribes to chosen typed topics on a Bus and stores every
+// delivered message with its delivery timestamp, payload snapshot, and comm
+// byte size. The bag can then be inspected (per-topic counts, byte totals,
+// inter-arrival statistics), saved as a CSV metadata index, or replayed
+// into another Bus in the original delivery order — which is how the
+// node-graph tests exercise a pipeline against prerecorded traffic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+#include "miniros/bus.h"
+
+namespace roborun::miniros {
+
+/// One recorded delivery (metadata only; payloads live in typed channels).
+struct BagEvent {
+  double t = 0.0;           ///< bus clock at delivery
+  std::string topic;
+  std::size_t bytes = 0;
+  std::size_t sequence = 0; ///< global delivery order across all topics
+};
+
+/// Per-topic traffic statistics computed over a bag.
+struct BagTopicStats {
+  std::size_t messages = 0;
+  std::size_t bytes = 0;
+  double first_t = 0.0;
+  double last_t = 0.0;
+  double mean_interarrival = 0.0;  ///< s; 0 when fewer than 2 messages
+};
+
+class BagRecorder {
+ public:
+  /// Start recording `topic` (of message type T) on `bus`. The recorder
+  /// must outlive the bus's spinning. Recording the same topic twice is a
+  /// no-op.
+  template <typename T>
+  void record(Bus& bus, const std::string& topic) {
+    if (channels_.count(topic) != 0) return;
+    auto channel = std::make_unique<Channel<T>>();
+    auto* raw = channel.get();
+    channels_.emplace(topic, std::move(channel));
+    bus.subscribe<T>(topic, [this, raw, topic, &bus](const T& msg) {
+      BagEvent event;
+      event.t = bus.clock().now();
+      event.topic = topic;
+      event.bytes = byteSizeOf(msg);
+      event.sequence = events_.size();
+      events_.push_back(event);
+      raw->samples.push_back({event.t, msg});
+    });
+  }
+
+  /// All deliveries in order.
+  const std::vector<BagEvent>& events() const { return events_; }
+  std::size_t messageCount() const { return events_.size(); }
+
+  /// Recorded payloads of one typed topic ({timestamp, message} pairs).
+  /// Throws std::runtime_error if the topic was not recorded as T.
+  template <typename T>
+  const std::vector<std::pair<double, T>>& channel(const std::string& topic) const {
+    const auto it = channels_.find(topic);
+    if (it == channels_.end())
+      throw std::runtime_error("BagRecorder: topic '" + topic + "' not recorded");
+    auto* typed = dynamic_cast<Channel<T>*>(it->second.get());
+    if (typed == nullptr)
+      throw std::runtime_error("BagRecorder: topic '" + topic + "' holds another type");
+    return typed->samples;
+  }
+
+  /// Traffic statistics per recorded topic (topics with zero messages are
+  /// included, zeroed).
+  std::map<std::string, BagTopicStats> stats() const;
+
+  /// Republish every recorded message of topic T into `bus`, preserving
+  /// the original global order among replayed topics. Returns messages
+  /// republished. (Replay enqueues only; the caller spins the target bus.)
+  template <typename T>
+  std::size_t replay(Bus& bus, const std::string& topic) const {
+    const auto& samples = channel<T>(topic);
+    for (const auto& [t, msg] : samples) bus.publish(topic, msg);
+    return samples.size();
+  }
+
+  /// Write the metadata index (one row per delivery) as CSV.
+  bool saveIndex(const std::string& path) const;
+
+  void clear();
+
+ private:
+  struct ChannelBase {
+    virtual ~ChannelBase() = default;
+  };
+  template <typename T>
+  struct Channel final : ChannelBase {
+    std::vector<std::pair<double, T>> samples;
+  };
+
+  std::vector<BagEvent> events_;
+  std::map<std::string, std::unique_ptr<ChannelBase>> channels_;
+};
+
+}  // namespace roborun::miniros

@@ -1,0 +1,45 @@
+#include "perception/map_bridge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace roborun::perception {
+
+BridgeResult buildPlannerMap(const OccupancyOctree& tree, const geom::Vec3& position,
+                             const BridgeParams& params) {
+  BridgeResult result;
+  const double precision = tree.snapPrecision(params.precision);
+  const int level = tree.levelForPrecision(precision);
+  result.msg.map = PlannerMap(precision, params.inflation);
+
+  auto voxels = tree.collectOccupied(level);
+
+  // The volume budget bounds the known region communicated: a sphere around
+  // the MAV whose volume equals the budget. Everything beyond its radius is
+  // pruned (the "select higher level trees in sorted order" operator).
+  const double radius =
+      std::cbrt(3.0 * params.volume_budget / (4.0 * std::numbers::pi));
+  std::sort(voxels.begin(), voxels.end(), [&](const VoxelBox& a, const VoxelBox& b) {
+    return a.center.dist(position) < b.center.dist(position);
+  });
+
+  const double mapped = tree.stats().mappedVolume();
+  result.report.region_volume = std::min(mapped, params.volume_budget);
+  result.msg.region_volume = result.report.region_volume;
+
+  for (const auto& v : voxels) {
+    if (v.center.dist(position) > radius) {
+      ++result.report.voxels_dropped;
+      continue;
+    }
+    result.msg.map.addVoxel(v);
+    ++result.report.voxels_sent;
+  }
+  // Work: every coarsened node is visited once during pruning/serialization;
+  // dropped nodes still cost their visit.
+  result.report.nodes = voxels.size();
+  return result;
+}
+
+}  // namespace roborun::perception

@@ -1,0 +1,43 @@
+// Perception-to-planning bridge — the paper's second precision and volume
+// operator pair.
+//
+// Precision: the occupancy tree is pruned/sub-sampled to the bridge
+// precision p1 by collecting occupied subtrees coarsened to that level.
+// Volume: collected voxels are sorted by proximity to the MAV and only the
+// nearest are communicated, limiting the planner's knowledge of the world
+// to the volume budget v1 (modeled as the sensing-sphere radius holding
+// that volume). Node counts drive both bridge compute latency and the comm
+// payload of the serialized map message.
+#pragma once
+
+#include <span>
+
+#include "geom/vec3.h"
+#include "perception/octree.h"
+#include "perception/planner_map.h"
+
+namespace roborun::perception {
+
+struct BridgeParams {
+  double precision = 0.3;         ///< m; p1 (power-of-two multiple of voxmin)
+  double volume_budget = 150000;  ///< m^3; v1, space communicated to planner
+  double inflation = 0.7;         ///< m; robot-radius margin of the built map
+};
+
+struct BridgeReport {
+  std::size_t nodes = 0;           ///< map nodes visited/serialized (work units)
+  std::size_t voxels_sent = 0;     ///< occupied voxels communicated
+  std::size_t voxels_dropped = 0;  ///< beyond the volume budget
+  double region_volume = 0.0;      ///< m^3 of known space communicated
+};
+
+struct BridgeResult {
+  PlannerMapMsg msg;
+  BridgeReport report;
+};
+
+/// Build the planner's map view around `position`.
+BridgeResult buildPlannerMap(const OccupancyOctree& tree, const geom::Vec3& position,
+                             const BridgeParams& params);
+
+}  // namespace roborun::perception

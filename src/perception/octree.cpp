@@ -1,0 +1,257 @@
+#include "perception/octree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace roborun::perception {
+
+namespace {
+
+int childIndexFor(const Vec3& center, const Vec3& p) {
+  return (p.x >= center.x ? 1 : 0) | (p.y >= center.y ? 2 : 0) | (p.z >= center.z ? 4 : 0);
+}
+
+Vec3 childCenterFor(const Vec3& center, double half, int ci) {
+  const double q = half * 0.5;
+  return {center.x + ((ci & 1) ? q : -q), center.y + ((ci & 2) ? q : -q),
+          center.z + ((ci & 4) ? q : -q)};
+}
+
+double distToBox(const Vec3& p, const Vec3& center, double half) {
+  const double dx = std::max(std::abs(p.x - center.x) - half, 0.0);
+  const double dy = std::max(std::abs(p.y - center.y) - half, 0.0);
+  const double dz = std::max(std::abs(p.z - center.z) - half, 0.0);
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+}  // namespace
+
+OccupancyOctree::OccupancyOctree(const Aabb& extent, double voxel_min) : voxel_min_(voxel_min) {
+  if (voxel_min <= 0.0) throw std::invalid_argument("OccupancyOctree: voxel_min must be > 0");
+  const Vec3 size = extent.size();
+  const double max_dim = std::max({size.x, size.y, size.z, voxel_min});
+  max_depth_ = 0;
+  root_size_ = voxel_min_;
+  while (root_size_ < max_dim) {
+    root_size_ *= 2.0;
+    ++max_depth_;
+  }
+  const Vec3 c = extent.center();
+  const Vec3 h{root_size_ * 0.5, root_size_ * 0.5, root_size_ * 0.5};
+  root_box_ = {c - h, c + h};
+}
+
+int OccupancyOctree::levelForPrecision(double precision) const {
+  if (precision <= voxel_min_) return 0;
+  int level = 0;
+  double cell = voxel_min_;
+  while (cell < precision - 1e-9 && level < max_depth_) {
+    cell *= 2.0;
+    ++level;
+  }
+  return level;
+}
+
+double OccupancyOctree::cellSizeAtLevel(int level) const {
+  return voxel_min_ * std::pow(2.0, std::clamp(level, 0, max_depth_));
+}
+
+double OccupancyOctree::snapPrecision(double precision) const {
+  if (precision <= voxel_min_) return voxel_min_;
+  double cell = voxel_min_;
+  while (cell * 2.0 <= precision + 1e-9 && cell * 2.0 <= root_size_) cell *= 2.0;
+  return cell;
+}
+
+void OccupancyOctree::split(Node& node) const {
+  node.children = std::make_unique<std::array<Node, 8>>();
+  for (auto& child : *node.children) child.state = node.state;
+}
+
+bool OccupancyOctree::allChildrenUniformLeaves(const Node& node, Occupancy& state) {
+  const auto& kids = *node.children;
+  if (!kids[0].isLeaf()) return false;
+  state = kids[0].state;
+  for (int i = 1; i < 8; ++i)
+    if (!kids[i].isLeaf() || kids[i].state != state) return false;
+  return true;
+}
+
+bool OccupancyOctree::subtreeHasOccupied(const Node& node) {
+  if (node.isLeaf()) return node.state == Occupancy::Occupied;
+  for (const auto& child : *node.children)
+    if (subtreeHasOccupied(child)) return true;
+  return false;
+}
+
+bool OccupancyOctree::update(Node& node, const Vec3& center, double half, int depth_left,
+                             const Vec3& p, Occupancy state) {
+  if (depth_left == 0) {
+    if (state == Occupancy::Free) {
+      // Sticky occupancy: never let a free-space sweep erase an obstacle.
+      if (subtreeHasOccupied(node)) return true;
+      node.children.reset();
+      node.state = Occupancy::Free;
+      return false;
+    }
+    node.children.reset();
+    node.state = state;
+    return state == Occupancy::Occupied;
+  }
+  if (node.isLeaf()) {
+    if (node.state == state) return state == Occupancy::Occupied;  // no-op
+    split(node);
+  }
+  const int ci = childIndexFor(center, p);
+  const bool child_occ = update((*node.children)[ci], childCenterFor(center, half, ci),
+                                half * 0.5, depth_left - 1, p, state);
+  Occupancy uniform;
+  if (allChildrenUniformLeaves(node, uniform)) {
+    node.children.reset();
+    node.state = uniform;
+    return uniform == Occupancy::Occupied;
+  }
+  return child_occ || subtreeHasOccupied(node);
+}
+
+void OccupancyOctree::updateCell(const Vec3& p, int level, Occupancy state) {
+  if (!root_box_.contains(p) || state == Occupancy::Unknown) return;
+  const int depth = std::max(0, max_depth_ - std::clamp(level, 0, max_depth_));
+  stats_dirty_ = true;
+  update(root_, root_box_.center(), root_size_ * 0.5, depth, p, state);
+}
+
+Occupancy OccupancyOctree::query(const Vec3& p) const {
+  if (!root_box_.contains(p)) return Occupancy::Unknown;
+  const Node* node = &root_;
+  Vec3 center = root_box_.center();
+  double half = root_size_ * 0.5;
+  while (!node->isLeaf()) {
+    const int ci = childIndexFor(center, p);
+    center = childCenterFor(center, half, ci);
+    half *= 0.5;
+    node = &(*node->children)[ci];
+  }
+  return node->state;
+}
+
+Occupancy OccupancyOctree::queryAtLevel(const Vec3& p, int level) const {
+  if (!root_box_.contains(p)) return Occupancy::Unknown;
+  const int depth_stop = std::max(0, max_depth_ - std::clamp(level, 0, max_depth_));
+  const Node* node = &root_;
+  Vec3 center = root_box_.center();
+  double half = root_size_ * 0.5;
+  int depth = 0;
+  while (!node->isLeaf() && depth < depth_stop) {
+    const int ci = childIndexFor(center, p);
+    center = childCenterFor(center, half, ci);
+    half *= 0.5;
+    node = &(*node->children)[ci];
+    ++depth;
+  }
+  if (node->isLeaf()) return node->state;
+  // Finer structure below the requested level: the coarse view is occupied
+  // if anything beneath is (voxel inflation), else free.
+  return subtreeHasOccupied(*node) ? Occupancy::Occupied : Occupancy::Free;
+}
+
+const OccupancyOctree::Stats& OccupancyOctree::stats() const {
+  if (stats_dirty_) {
+    stats_cache_ = Stats{};
+    accumulateStats(root_, root_size_, stats_cache_);
+    stats_dirty_ = false;
+  }
+  return stats_cache_;
+}
+
+void OccupancyOctree::accumulateStats(const Node& node, double size, Stats& s) const {
+  if (node.isLeaf()) {
+    const double vol = size * size * size;
+    if (node.state == Occupancy::Occupied) {
+      ++s.occupied_leaves;
+      s.occupied_volume += vol;
+    } else if (node.state == Occupancy::Free) {
+      ++s.free_leaves;
+      s.free_volume += vol;
+    }
+    return;
+  }
+  ++s.inner_nodes;
+  for (const auto& child : *node.children) accumulateStats(child, size * 0.5, s);
+}
+
+std::vector<VoxelBox> OccupancyOctree::collectOccupied(int level) const {
+  std::vector<VoxelBox> raw;
+  const double target = cellSizeAtLevel(level);
+  collect(root_, root_box_.center(), root_size_, target, raw);
+
+  // Deduplicate voxels snapped onto the same target cell.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(raw.size());
+  std::vector<VoxelBox> out;
+  out.reserve(raw.size());
+  const double inv = 1.0 / target;
+  for (const auto& v : raw) {
+    if (v.size > target + 1e-9) {
+      out.push_back(v);  // coarser-than-target leaves pass through as one box
+      continue;
+    }
+    const auto kx = static_cast<std::int64_t>(std::floor((v.center.x - root_box_.lo.x) * inv));
+    const auto ky = static_cast<std::int64_t>(std::floor((v.center.y - root_box_.lo.y) * inv));
+    const auto kz = static_cast<std::int64_t>(std::floor((v.center.z - root_box_.lo.z) * inv));
+    const std::uint64_t key = (static_cast<std::uint64_t>(kx & 0xFFFFF) << 40) |
+                              (static_cast<std::uint64_t>(ky & 0xFFFFF) << 20) |
+                              static_cast<std::uint64_t>(kz & 0xFFFFF);
+    if (!seen.insert(key).second) continue;
+    const Vec3 snapped{root_box_.lo.x + (kx + 0.5) * target,
+                       root_box_.lo.y + (ky + 0.5) * target,
+                       root_box_.lo.z + (kz + 0.5) * target};
+    out.push_back({snapped, target});
+  }
+  return out;
+}
+
+void OccupancyOctree::collect(const Node& node, const Vec3& center, double size,
+                              double target_size, std::vector<VoxelBox>& out) const {
+  if (node.isLeaf()) {
+    if (node.state == Occupancy::Occupied) out.push_back({center, size});
+    return;
+  }
+  if (size <= target_size + 1e-9) {
+    // At the target cell size with finer structure beneath: the pruned view
+    // marks the whole cell occupied if anything in the subtree is.
+    if (subtreeHasOccupied(node)) out.push_back({center, size});
+    return;
+  }
+  const double half = size * 0.5;
+  for (int ci = 0; ci < 8; ++ci)
+    collect((*node.children)[ci], childCenterFor(center, half, ci), half, target_size, out);
+}
+
+double OccupancyOctree::nearestOccupiedDistance(const Vec3& p, double fallback) const {
+  double best = fallback;
+  struct Frame {
+    const Node* node;
+    Vec3 center;
+    double half;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({&root_, root_box_.center(), root_size_ * 0.5});
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    stack.pop_back();
+    if (distToBox(p, f.center, f.half) >= best) continue;
+    if (f.node->isLeaf()) {
+      if (f.node->state == Occupancy::Occupied) best = distToBox(p, f.center, f.half);
+      continue;
+    }
+    for (int ci = 0; ci < 8; ++ci)
+      stack.push_back(
+          {&(*f.node->children)[ci], childCenterFor(f.center, f.half, ci), f.half * 0.5});
+  }
+  return best;
+}
+
+}  // namespace roborun::perception

@@ -1,0 +1,121 @@
+// Occupancy octree — the reproduction's OctoMap.
+//
+// A pointer octree over a power-of-two cube. Leaves carry a tri-state
+// occupancy (Unknown until observed; Occupied is sticky over Free, the
+// conservative choice for a collision map). Updates may target any tree
+// level: the *precision* knobs choose the level, so coarse policies write
+// coarse leaves and fine policies write fine ones — exactly the mechanism
+// behind the paper's precision operators (raytracer step size, map pruning).
+// Uniform sibling leaves merge eagerly, which is OctoMap's pruning.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+
+namespace roborun::perception {
+
+using geom::Aabb;
+using geom::Vec3;
+
+enum class Occupancy : std::uint8_t { Unknown = 0, Free = 1, Occupied = 2 };
+
+/// An axis-aligned cubic voxel (center + edge length).
+struct VoxelBox {
+  Vec3 center;
+  double size = 0.0;
+
+  Aabb box() const {
+    const Vec3 h{size * 0.5, size * 0.5, size * 0.5};
+    return {center - h, center + h};
+  }
+  double volume() const { return size * size * size; }
+};
+
+class OccupancyOctree {
+ public:
+  /// Tree over a cube large enough to hold `extent`, with finest voxel size
+  /// `voxel_min` (the paper's voxmin; all knob precisions are voxel_min*2^n).
+  OccupancyOctree(const Aabb& extent, double voxel_min);
+
+  double voxelMin() const { return voxel_min_; }
+  int maxDepth() const { return max_depth_; }
+  double rootSize() const { return root_size_; }
+  const Aabb& rootBox() const { return root_box_; }
+
+  /// Tree level whose cell size is the power-of-two precision >= `precision`
+  /// (level 0 = finest). Precisions below voxel_min clamp to level 0.
+  int levelForPrecision(double precision) const;
+  /// Cell edge length at a level.
+  double cellSizeAtLevel(int level) const;
+  /// Snap an arbitrary precision onto the power-of-two grid (paper Eq. 3's
+  /// p in {voxmin * 2^n} constraint), rounding down for safety.
+  double snapPrecision(double precision) const;
+
+  /// Set the cell containing p at `level` to `state`. Occupied is sticky:
+  /// a Free update cannot overwrite an Occupied cell (or any cell whose
+  /// subtree contains occupancy). Points outside the root cube are ignored.
+  void updateCell(const Vec3& p, int level, Occupancy state);
+
+  /// Occupancy of the finest known cell containing p (Unknown outside).
+  Occupancy query(const Vec3& p) const;
+
+  /// Like query(), but stop descending at `level` — a coarse view of the
+  /// map: if any part of the level-cell subtree is occupied, it reads
+  /// Occupied (the inflation that makes coarse precision conservative).
+  Occupancy queryAtLevel(const Vec3& p, int level) const;
+
+  struct Stats {
+    std::size_t occupied_leaves = 0;
+    std::size_t free_leaves = 0;
+    std::size_t inner_nodes = 0;
+    double occupied_volume = 0.0;  ///< m^3
+    double free_volume = 0.0;      ///< m^3
+    double mappedVolume() const { return occupied_volume + free_volume; }
+    std::size_t leafCount() const { return occupied_leaves + free_leaves; }
+  };
+  /// Full-tree traversal (cached until the next update).
+  const Stats& stats() const;
+
+  /// All occupied space coarsened to `level`: every emitted voxel has edge
+  /// cellSizeAtLevel(>= level); finer occupied leaves are snapped up to the
+  /// level grid and deduplicated. This is the bridge's "select higher level
+  /// trees" pruning primitive.
+  std::vector<VoxelBox> collectOccupied(int level) const;
+
+  /// Nearest occupied voxel center to `p` found by scanning occupied leaves
+  /// (profiler support; map sizes here make linear scans acceptable).
+  /// Returns distance, or `fallback` if the map has no occupied cell.
+  double nearestOccupiedDistance(const Vec3& p, double fallback) const;
+
+ private:
+  struct Node {
+    std::unique_ptr<std::array<Node, 8>> children;
+    Occupancy state = Occupancy::Unknown;
+    bool isLeaf() const { return children == nullptr; }
+  };
+
+  void split(Node& node) const;
+  static bool allChildrenUniformLeaves(const Node& node, Occupancy& state);
+  static bool subtreeHasOccupied(const Node& node);
+  /// Returns true if the subtree rooted at `node` contains any Occupied.
+  bool update(Node& node, const Vec3& center, double half, int depth_left, const Vec3& p,
+              Occupancy state);
+  void accumulateStats(const Node& node, double size, Stats& s) const;
+  void collect(const Node& node, const Vec3& center, double size, double target_size,
+               std::vector<VoxelBox>& out) const;
+
+  Aabb root_box_;
+  double voxel_min_;
+  double root_size_;
+  int max_depth_;
+  Node root_;
+  mutable Stats stats_cache_;
+  mutable bool stats_dirty_ = true;
+};
+
+}  // namespace roborun::perception

@@ -1,0 +1,79 @@
+#include "perception/planner_map.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace roborun::perception {
+
+PlannerMap::PlannerMap(double precision, double inflation)
+    : precision_(precision), inv_precision_(1.0 / precision), inflation_(inflation) {
+  if (precision <= 0.0) throw std::invalid_argument("PlannerMap: precision must be > 0");
+  if (inflation < 0.0) throw std::invalid_argument("PlannerMap: negative inflation");
+}
+
+std::uint64_t PlannerMap::key(const Vec3& p) const {
+  // Signed 21-bit per-axis cell coordinates (ample for km-scale worlds).
+  const auto cx = static_cast<std::int64_t>(std::floor(p.x * inv_precision_)) & 0x1FFFFF;
+  const auto cy = static_cast<std::int64_t>(std::floor(p.y * inv_precision_)) & 0x1FFFFF;
+  const auto cz = static_cast<std::int64_t>(std::floor(p.z * inv_precision_)) & 0x1FFFFF;
+  return (static_cast<std::uint64_t>(cx) << 42) | (static_cast<std::uint64_t>(cy) << 21) |
+         static_cast<std::uint64_t>(cz);
+}
+
+void PlannerMap::addVoxel(const VoxelBox& v) {
+  bounds_.merge(v.box().lo);
+  bounds_.merge(v.box().hi);
+  if (v.size > precision_ * 1.5) {
+    coarse_boxes_.push_back(v);
+    return;
+  }
+  cells_.insert(key(v.center));
+}
+
+bool PlannerMap::occupiedRaw(const Vec3& p) const {
+  if (cells_.count(key(p)) != 0) return true;
+  for (const auto& b : coarse_boxes_)
+    if (b.box().contains(p)) return true;
+  return false;
+}
+
+bool PlannerMap::occupiedPoint(const Vec3& p) const {
+  if (occupiedRaw(p)) return true;
+  if (inflation_ <= 0.0) return false;
+  // 6-probe sphere cover: adequate when inflation ~ voxel size (our regime;
+  // coarse voxels already over-approximate obstacles).
+  const double r = inflation_;
+  const Vec3 probes[6] = {{r, 0, 0}, {-r, 0, 0}, {0, r, 0}, {0, -r, 0}, {0, 0, r}, {0, 0, -r}};
+  for (const auto& o : probes)
+    if (occupiedRaw(p + o)) return true;
+  return false;
+}
+
+PlannerMap::SegmentCheck PlannerMap::checkSegment(const Vec3& a, const Vec3& b,
+                                                  double step) const {
+  SegmentCheck result;
+  const double march = step > 0.0 ? step : precision_;
+  const Vec3 d = b - a;
+  const double len = d.norm();
+  if (len < 1e-9) {
+    result.steps = 1;
+    result.hit = occupiedPoint(a);
+    result.hit_t = 0.0;
+    return result;
+  }
+  const Vec3 dir = d / len;
+  // March at the knob step; always include both endpoints.
+  for (double t = 0.0;; t += march) {
+    const double tc = std::min(t, len);
+    ++result.steps;
+    if (occupiedPoint(a + dir * tc)) {
+      result.hit = true;
+      result.hit_t = tc / len;
+      return result;
+    }
+    if (tc >= len) break;
+  }
+  return result;
+}
+
+}  // namespace roborun::perception

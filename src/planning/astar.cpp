@@ -1,0 +1,120 @@
+#include "planning/astar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+
+namespace roborun::planning {
+
+namespace {
+
+using geom::Vec3;
+
+struct CellKey {
+  int x, y, z;
+  bool operator==(const CellKey&) const = default;
+};
+
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& k) const {
+    return (static_cast<std::size_t>(static_cast<std::uint32_t>(k.x)) * 73856093u) ^
+           (static_cast<std::size_t>(static_cast<std::uint32_t>(k.y)) * 19349663u) ^
+           (static_cast<std::size_t>(static_cast<std::uint32_t>(k.z)) * 83492791u);
+  }
+};
+
+struct NodeInfo {
+  double g = 0.0;
+  CellKey parent{0, 0, 0};
+  bool has_parent = false;
+};
+
+}  // namespace
+
+AStarResult planPathAStar(const perception::PlannerMap& map, const Vec3& start,
+                          const Vec3& goal, const AStarParams& params) {
+  AStarResult result;
+  auto& report = result.report;
+  const double cell = params.cell;
+
+  auto keyOf = [&](const Vec3& p) {
+    return CellKey{static_cast<int>(std::floor(p.x / cell)),
+                   static_cast<int>(std::floor(p.y / cell)),
+                   static_cast<int>(std::floor(p.z / cell))};
+  };
+  auto centerOf = [&](const CellKey& k) {
+    return Vec3{(k.x + 0.5) * cell, (k.y + 0.5) * cell, (k.z + 0.5) * cell};
+  };
+  auto heuristic = [&](const CellKey& k) { return centerOf(k).dist(goal); };
+
+  const CellKey start_key = keyOf(start);
+  const CellKey goal_key = keyOf(goal);
+
+  std::unordered_map<CellKey, NodeInfo, CellKeyHash> nodes;
+  using QueueEntry = std::pair<double, CellKey>;  // (f, cell)
+  auto cmp = [](const QueueEntry& a, const QueueEntry& b) { return a.first > b.first; };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)> open(cmp);
+
+  nodes[start_key] = NodeInfo{0.0, start_key, false};
+  open.push({heuristic(start_key), start_key});
+
+  std::optional<CellKey> reached;
+  while (!open.empty() && report.expansions < params.max_expansions) {
+    const auto [f, current] = open.top();
+    open.pop();
+    const auto it = nodes.find(current);
+    if (it == nodes.end()) continue;
+    // Stale queue entry (already relaxed to a lower g)?
+    if (f > it->second.g + heuristic(current) + 1e-9) continue;
+    ++report.expansions;
+
+    if (centerOf(current).dist(goal) <= std::max(params.goal_tolerance, cell)) {
+      reached = current;
+      break;
+    }
+
+    for (int dz = -1; dz <= 1; ++dz) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          const CellKey next{current.x + dx, current.y + dy, current.z + dz};
+          const Vec3 c = centerOf(next);
+          ++report.generated;
+          if (!params.bounds.contains(c)) continue;
+          if (map.occupiedPoint(c)) continue;
+          const double step = cell * std::sqrt(static_cast<double>(dx * dx + dy * dy + dz * dz));
+          const double g = it->second.g + step;
+          const auto found = nodes.find(next);
+          if (found == nodes.end() || g + 1e-12 < found->second.g) {
+            nodes[next] = NodeInfo{g, current, true};
+            open.push({g + heuristic(next), next});
+          }
+        }
+      }
+    }
+  }
+
+  if (!reached) return result;
+
+  // Reconstruct: start -> ... -> reached cell -> goal.
+  std::vector<Vec3> rev;
+  CellKey k = *reached;
+  for (;;) {
+    rev.push_back(centerOf(k));
+    const auto& info = nodes.at(k);
+    if (!info.has_parent) break;
+    k = info.parent;
+  }
+  std::reverse(rev.begin(), rev.end());
+  rev.front() = start;
+  rev.push_back(goal);
+  result.path = std::move(rev);
+  report.found = true;
+  for (std::size_t i = 1; i < result.path.size(); ++i)
+    report.path_cost += result.path[i].dist(result.path[i - 1]);
+  return result;
+}
+
+}  // namespace roborun::planning

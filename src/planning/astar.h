@@ -1,0 +1,44 @@
+// Lattice A* planner — the deterministic alternative to RRT*.
+//
+// The paper picks OMPL's RRT* "due to its asymptotic optimality"; this
+// planner exists to make that design choice examinable (see
+// bench_ablation_planner): grid A* is complete and optimal *on its lattice*
+// and fully deterministic, but its work scales with the volume of the
+// searched lattice rather than with the sampled tree, and its paths hug the
+// lattice. Useful as a drop-in comparator and as a fallback for callers
+// that need determinism without a seed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+#include "perception/planner_map.h"
+
+namespace roborun::planning {
+
+struct AStarParams {
+  geom::Aabb bounds;             ///< search region
+  double cell = 1.5;             ///< m; lattice pitch
+  double goal_tolerance = 3.0;   ///< m
+  std::size_t max_expansions = 200000;
+};
+
+struct AStarReport {
+  std::size_t expansions = 0;    ///< nodes popped from the open list
+  std::size_t generated = 0;     ///< neighbor evaluations
+  bool found = false;
+  double path_cost = 0.0;        ///< m
+};
+
+struct AStarResult {
+  std::vector<geom::Vec3> path;
+  AStarReport report;
+};
+
+/// Plan on the lattice through the (inflated) planner map.
+AStarResult planPathAStar(const perception::PlannerMap& map, const geom::Vec3& start,
+                          const geom::Vec3& goal, const AStarParams& params);
+
+}  // namespace roborun::planning

@@ -1,0 +1,333 @@
+#include "planning/rrt_star.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace roborun::planning {
+
+namespace {
+
+/// Uniform-grid spatial index over tree nodes for nearest/neighborhood
+/// queries (linear scans would dominate at a few thousand iterations).
+class NodeIndex {
+ public:
+  explicit NodeIndex(double cell) : cell_(cell), inv_cell_(1.0 / cell) {}
+
+  void add(const Vec3& p, std::size_t id) {
+    grid_[key(p)].push_back(id);
+    points_.push_back(p);
+  }
+
+  std::size_t nearest(const Vec3& q) const {
+    // Expanding ring search over grid shells.
+    const auto [cx, cy, cz] = cellOf(q);
+    std::size_t best = SIZE_MAX;
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (int ring = 0;; ++ring) {
+      bool any_cell = false;
+      for (int dz = -ring; dz <= ring; ++dz) {
+        for (int dy = -ring; dy <= ring; ++dy) {
+          for (int dx = -ring; dx <= ring; ++dx) {
+            if (std::max({std::abs(dx), std::abs(dy), std::abs(dz)}) != ring) continue;
+            const auto it = grid_.find(pack(cx + dx, cy + dy, cz + dz));
+            if (it == grid_.end()) continue;
+            any_cell = true;
+            for (const std::size_t id : it->second) {
+              const double d2 = points_[id].dist(q) * points_[id].dist(q);
+              if (d2 < best_d2) {
+                best_d2 = d2;
+                best = id;
+              }
+            }
+          }
+        }
+      }
+      // After the first hit, scanning one more ring covers the corner
+      // cases where a euclidean-nearer node sits in the next shell.
+      if (best != SIZE_MAX && ring >= 1) break;
+      (void)any_cell;
+      if (ring > 512) break;  // degenerate safety stop
+    }
+    return best;
+  }
+
+  void neighbors(const Vec3& q, double radius, std::vector<std::size_t>& out) const {
+    out.clear();
+    const int r = static_cast<int>(std::ceil(radius * inv_cell_));
+    const auto [cx, cy, cz] = cellOf(q);
+    const double r2 = radius * radius;
+    for (int dz = -r; dz <= r; ++dz) {
+      for (int dy = -r; dy <= r; ++dy) {
+        for (int dx = -r; dx <= r; ++dx) {
+          const auto it = grid_.find(pack(cx + dx, cy + dy, cz + dz));
+          if (it == grid_.end()) continue;
+          for (const std::size_t id : it->second) {
+            const Vec3 d = points_[id] - q;
+            if (d.norm2() <= r2) out.push_back(id);
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  std::tuple<int, int, int> cellOf(const Vec3& p) const {
+    return {static_cast<int>(std::floor(p.x * inv_cell_)),
+            static_cast<int>(std::floor(p.y * inv_cell_)),
+            static_cast<int>(std::floor(p.z * inv_cell_))};
+  }
+  static std::uint64_t pack(int x, int y, int z) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x) & 0x1FFFFF) << 42) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(y) & 0x1FFFFF) << 21) |
+           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(z) & 0x1FFFFF));
+  }
+  std::uint64_t key(const Vec3& p) const {
+    const auto [x, y, z] = cellOf(p);
+    return pack(x, y, z);
+  }
+
+  double cell_;
+  double inv_cell_;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> grid_;
+  std::vector<Vec3> points_;
+};
+
+struct TreeNode {
+  Vec3 position;
+  std::size_t parent = SIZE_MAX;
+  double cost = 0.0;  ///< path length from the root
+};
+
+/// Tracks the volume covered by the search: each step-sized cell first
+/// touched by a sample claims step^3 of explored space.
+class ExploredVolume {
+ public:
+  explicit ExploredVolume(double cell) : cell_(cell), inv_cell_(1.0 / cell) {}
+
+  void visit(const Vec3& p) {
+    const auto cx = static_cast<std::int64_t>(std::floor(p.x * inv_cell_)) & 0x1FFFFF;
+    const auto cy = static_cast<std::int64_t>(std::floor(p.y * inv_cell_)) & 0x1FFFFF;
+    const auto cz = static_cast<std::int64_t>(std::floor(p.z * inv_cell_)) & 0x1FFFFF;
+    cells_.insert((static_cast<std::uint64_t>(cx) << 42) |
+                  (static_cast<std::uint64_t>(cy) << 21) | static_cast<std::uint64_t>(cz));
+  }
+
+  double volume() const { return static_cast<double>(cells_.size()) * cell_ * cell_ * cell_; }
+
+ private:
+  double cell_;
+  double inv_cell_;
+  std::unordered_set<std::uint64_t> cells_;
+};
+
+/// Uniform sampler over the prolate hyperspheroid with foci `start`/`goal`
+/// and transverse diameter `c_best` (the informed subset of Informed RRT*).
+/// Degenerate spheroids (c_best ~ c_min) collapse to the focal segment.
+class InformedSampler {
+ public:
+  InformedSampler(const Vec3& start, const Vec3& goal)
+      : center_((start + goal) * 0.5), c_min_(start.dist(goal)) {
+    // Orthonormal basis whose first axis is the focal line.
+    a1_ = (goal - start).normalized();
+    if (a1_.norm2() < 0.5) a1_ = {1.0, 0.0, 0.0};  // coincident foci
+    const Vec3 helper = std::fabs(a1_.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+    a2_ = a1_.cross(helper).normalized();
+    a3_ = a1_.cross(a2_);
+  }
+
+  Vec3 sample(double c_best, geom::Rng& rng) const {
+    const double transverse = std::max(c_best, c_min_) * 0.5;
+    const double conjugate =
+        0.5 * std::sqrt(std::max(0.0, c_best * c_best - c_min_ * c_min_));
+    // Uniform point in the unit ball (direction x radius^(1/3)).
+    Vec3 dir{rng.normal(), rng.normal(), rng.normal()};
+    dir = dir.normalized();
+    const double radius = std::cbrt(rng.uniform());
+    const Vec3 ball = dir * radius;
+    // Stretch along the basis and recenter.
+    return center_ + a1_ * (ball.x * transverse) + a2_ * (ball.y * conjugate) +
+           a3_ * (ball.z * conjugate);
+  }
+
+ private:
+  Vec3 center_;
+  double c_min_;
+  Vec3 a1_, a2_, a3_;
+};
+
+std::vector<Vec3> extractPath(const std::vector<TreeNode>& nodes, std::size_t leaf) {
+  std::vector<Vec3> path;
+  for (std::size_t id = leaf; id != SIZE_MAX; id = nodes[id].parent)
+    path.push_back(nodes[id].position);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+RrtResult planPath(const perception::PlannerMap& map, const Vec3& start, const Vec3& goal,
+                   const RrtParams& params, geom::Rng& rng) {
+  RrtResult result;
+  auto& report = result.report;
+
+  auto segmentFree = [&](const Vec3& a, const Vec3& b) {
+    const auto check = map.checkSegment(a, b, params.check_precision);
+    report.check_steps += check.steps;
+    return !check.hit;
+  };
+
+  // Fast path: in open space the straight connection usually succeeds, which
+  // is why the paper sees near-zero planning latency in zone B.
+  ++report.iterations;
+  if (segmentFree(start, goal)) {
+    result.path = {start, goal};
+    report.found = true;
+    report.path_cost = start.dist(goal);
+    report.explored_volume = std::min(params.volume_budget, params.step * params.step *
+                                                                params.step);
+    return result;
+  }
+
+  std::vector<TreeNode> nodes;
+  nodes.push_back({start, SIZE_MAX, 0.0});
+  NodeIndex index(std::max(params.rewire_radius, 1.0));
+  index.add(start, 0);
+  ExploredVolume explored(std::max(params.step, 1.0));
+  explored.visit(start);
+
+  std::size_t goal_node = SIZE_MAX;
+  double goal_cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> nearby;
+  std::size_t iters_since_found = 0;
+  const InformedSampler informed(start, goal);
+
+  while (report.iterations < params.max_iterations) {
+    ++report.iterations;
+    if (goal_node != SIZE_MAX && ++iters_since_found > params.refine_iterations) break;
+
+    // Volume operator: stop the search when the explored space exceeds v2.
+    report.explored_volume = explored.volume();
+    if (report.explored_volume > params.volume_budget) {
+      report.volume_exhausted = true;
+      break;
+    }
+
+    Vec3 target;
+    const double draw = rng.uniform();
+    if (params.informed && goal_node != SIZE_MAX) {
+      // Refinement under a known solution: only the informed subset can
+      // still improve the path.
+      target = params.bounds.clamp(informed.sample(goal_cost, rng));
+      ++report.informed_samples;
+    } else if (draw < params.goal_bias) {
+      target = goal;
+    } else if (draw < params.goal_bias + params.line_bias) {
+      // Corridor-informed sample: a point along the start-goal line with
+      // Gaussian lateral spread.
+      const Vec3 base = geom::lerp(start, goal, rng.uniform());
+      target = params.bounds.clamp(base + Vec3{rng.normal(0.0, params.line_sigma),
+                                               rng.normal(0.0, params.line_sigma),
+                                               rng.normal(0.0, params.line_sigma * 0.25)});
+    } else {
+      target = rng.uniformInBox(params.bounds.lo, params.bounds.hi);
+    }
+    const std::size_t nearest = index.nearest(target);
+    if (nearest == SIZE_MAX) break;
+
+    // Steer: extend at most `step` toward the sample; in clutter, where a
+    // full-step edge almost always collides, retry at half and quarter step
+    // so the tree can still grow through narrow passages.
+    const Vec3 from = nodes[nearest].position;
+    const double dist = from.dist(target);
+    Vec3 to;
+    bool extended = false;
+    for (const double frac : {1.0, 0.5, 0.25}) {
+      const double ext = std::min(dist, params.step * frac);
+      if (ext < 1e-6) break;
+      to = from + (target - from) * (ext / dist);
+      if (!map.occupiedPoint(to) && segmentFree(from, to)) {
+        extended = true;
+        break;
+      }
+    }
+    if (!extended) continue;
+
+    // Choose-parent over the neighborhood (RRT* optimality step).
+    index.neighbors(to, params.rewire_radius, nearby);
+    std::size_t parent = nearest;
+    double cost = nodes[nearest].cost + from.dist(to);
+    for (const std::size_t nb : nearby) {
+      const double c = nodes[nb].cost + nodes[nb].position.dist(to);
+      if (c < cost && segmentFree(nodes[nb].position, to)) {
+        parent = nb;
+        cost = c;
+      }
+    }
+
+    const std::size_t id = nodes.size();
+    nodes.push_back({to, parent, cost});
+    index.add(to, id);
+    explored.visit(to);
+
+    // Rewire neighbors through the new node where that shortens them.
+    for (const std::size_t nb : nearby) {
+      const double c = cost + to.dist(nodes[nb].position);
+      if (c + 1e-9 < nodes[nb].cost && segmentFree(to, nodes[nb].position)) {
+        nodes[nb].parent = id;
+        nodes[nb].cost = c;
+      }
+    }
+
+    // Goal connection.
+    if (to.dist(goal) <= params.goal_tolerance) {
+      if (cost < goal_cost) {
+        goal_cost = cost;
+        goal_node = id;
+      }
+    } else if (to.dist(goal) <= params.step && segmentFree(to, goal)) {
+      const double c = cost + to.dist(goal);
+      if (c < goal_cost) {
+        const std::size_t gid = nodes.size();
+        nodes.push_back({goal, id, c});
+        index.add(goal, gid);
+        goal_cost = c;
+        goal_node = gid;
+      }
+    }
+  }
+
+  report.explored_volume = explored.volume();
+  if (goal_node != SIZE_MAX) {
+    result.path = extractPath(nodes, goal_node);
+    report.found = true;
+    report.path_cost = nodes[goal_node].cost;
+    return result;
+  }
+  // Goal unreached: return the best partial path if it makes real progress
+  // (recovery behavior — the vehicle inches toward the goal through maze-like
+  // congestion and replans as the map fills in).
+  if (params.partial_progress > 0.0) {
+    const double start_dist = start.dist(goal);
+    std::size_t best = SIZE_MAX;
+    double best_dist = start_dist - params.partial_progress;
+    for (std::size_t id = 1; id < nodes.size(); ++id) {
+      const double d = nodes[id].position.dist(goal);
+      if (d < best_dist) {
+        best_dist = d;
+        best = id;
+      }
+    }
+    if (best != SIZE_MAX) {
+      result.path = extractPath(nodes, best);
+      report.found = true;
+      report.partial = true;
+      report.path_cost = nodes[best].cost;
+    }
+  }
+  return result;
+}
+
+}  // namespace roborun::planning

@@ -1,0 +1,176 @@
+#include "planning/smoother.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace roborun::planning {
+
+namespace {
+
+using geom::Vec3;
+
+/// Quintic minimum-jerk segment for one axis: boundary position/velocity
+/// with zero boundary acceleration.
+struct Quintic {
+  std::array<double, 6> c{};
+
+  static Quintic solve(double p0, double v0, double p1, double v1, double T) {
+    Quintic q;
+    const double T2 = T * T;
+    const double T3 = T2 * T;
+    const double T4 = T3 * T;
+    const double T5 = T4 * T;
+    q.c[0] = p0;
+    q.c[1] = v0;
+    q.c[2] = 0.0;
+    // Solve for c3..c5 from end conditions (p1, v1, a1=0).
+    const double dp = p1 - p0 - v0 * T;
+    const double dv = v1 - v0;
+    q.c[3] = (10.0 * dp - 4.0 * dv * T) / T3;
+    q.c[4] = (-15.0 * dp + 7.0 * dv * T) / T4;
+    q.c[5] = (6.0 * dp - 3.0 * dv * T) / T5;
+    return q;
+  }
+
+  double pos(double t) const {
+    return c[0] + t * (c[1] + t * (c[2] + t * (c[3] + t * (c[4] + t * c[5]))));
+  }
+  double vel(double t) const {
+    return c[1] + t * (2 * c[2] + t * (3 * c[3] + t * (4 * c[4] + t * 5 * c[5])));
+  }
+};
+
+struct Segment {
+  Quintic x, y, z;
+  double duration = 0.0;
+};
+
+/// Corner speed factor: straight-through corners keep v_max, sharp corners
+/// slow toward zero.
+double cornerFactor(const Vec3& prev, const Vec3& at, const Vec3& next) {
+  const Vec3 a = (at - prev).normalized();
+  const Vec3 b = (next - at).normalized();
+  return std::max(0.0, 0.5 * (1.0 + a.dot(b)));
+}
+
+std::vector<Segment> buildSegments(const std::vector<Vec3>& wps, const SmootherParams& p,
+                                   double time_dilation = 1.0) {
+  const std::size_t n = wps.size();
+  // Waypoint velocity vectors (zero at both ends).
+  std::vector<Vec3> vels(n);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const Vec3 dir = (wps[i + 1] - wps[i - 1]).normalized();
+    vels[i] = dir * (p.v_max * cornerFactor(wps[i - 1], wps[i], wps[i + 1]) / time_dilation);
+  }
+  std::vector<Segment> segs;
+  segs.reserve(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double dist = wps[i].dist(wps[i + 1]);
+    // Trapezoidal allocation: cruise time plus ramp allowance.
+    const double T =
+        std::max(dist / p.v_max + p.v_max / p.a_max, 0.2) * time_dilation;
+    Segment s;
+    s.duration = T;
+    s.x = Quintic::solve(wps[i].x, vels[i].x, wps[i + 1].x, vels[i + 1].x, T);
+    s.y = Quintic::solve(wps[i].y, vels[i].y, wps[i + 1].y, vels[i + 1].y, T);
+    s.z = Quintic::solve(wps[i].z, vels[i].z, wps[i + 1].z, vels[i + 1].z, T);
+    segs.push_back(s);
+  }
+  return segs;
+}
+
+Trajectory sampleSegments(const std::vector<Segment>& segs, double dt) {
+  std::vector<TrajectoryPoint> pts;
+  double t_base = 0.0;
+  for (const auto& s : segs) {
+    for (double t = 0.0; t < s.duration; t += dt) {
+      TrajectoryPoint tp;
+      tp.position = {s.x.pos(t), s.y.pos(t), s.z.pos(t)};
+      tp.velocity = Vec3{s.x.vel(t), s.y.vel(t), s.z.vel(t)}.norm();
+      tp.time = t_base + t;
+      pts.push_back(tp);
+    }
+    t_base += s.duration;
+  }
+  if (!segs.empty()) {
+    const auto& s = segs.back();
+    TrajectoryPoint tp;
+    tp.position = {s.x.pos(s.duration), s.y.pos(s.duration), s.z.pos(s.duration)};
+    tp.velocity = 0.0;
+    tp.time = t_base;
+    pts.push_back(tp);
+  }
+  return Trajectory(std::move(pts));
+}
+
+/// Straight piecewise fallback trajectory at cruise speed.
+Trajectory piecewiseFallback(const std::vector<Vec3>& wps, double v) {
+  std::vector<TrajectoryPoint> pts;
+  double t = 0.0;
+  for (std::size_t i = 0; i < wps.size(); ++i) {
+    if (i > 0) t += wps[i].dist(wps[i - 1]) / std::max(v, 0.1);
+    pts.push_back({wps[i], v, t});
+  }
+  return Trajectory(std::move(pts));
+}
+
+}  // namespace
+
+SmoothResult smoothPath(const std::vector<Vec3>& path, const perception::PlannerMap& map,
+                        const SmootherParams& params) {
+  SmoothResult result;
+  if (path.size() < 2) return result;
+
+  std::vector<Vec3> wps = path;
+  for (std::size_t round = 0; round <= params.max_rounds; ++round) {
+    result.report.rounds = round;
+    auto segs = buildSegments(wps, params);
+    result.report.segments += segs.size();
+    Trajectory traj = sampleSegments(segs, params.sample_dt);
+
+    // Dynamic-limit enforcement (Richter's time scaling): if the quintic
+    // profile peaks above v_max, dilate every segment and resample.
+    double peak = 0.0;
+    for (const auto& p : traj.points()) peak = std::max(peak, p.velocity);
+    if (peak > params.v_max * 1.02) {
+      const double dilate = peak / params.v_max;
+      for (auto& s : segs) s.duration *= dilate;
+      // Re-solve with the same boundary velocities scaled down to match.
+      segs = buildSegments(wps, params, dilate);
+      traj = sampleSegments(segs, params.sample_dt);
+    }
+
+    // Richter-style recheck: does the smoothed curve still miss obstacles?
+    bool clear = true;
+    const auto& pts = traj.points();
+    for (std::size_t i = 1; i < pts.size() && clear; ++i) {
+      const auto check =
+          map.checkSegment(pts[i - 1].position, pts[i].position, params.check_precision);
+      result.report.check_steps += check.steps;
+      if (check.hit) clear = false;
+    }
+    if (clear) {
+      result.trajectory = std::move(traj);
+      result.report.collision_free = true;
+      return result;
+    }
+    // Re-insert midpoints of the (known collision-free) piecewise path so
+    // the polynomial hugs it more tightly next round.
+    std::vector<Vec3> denser;
+    denser.reserve(wps.size() * 2);
+    for (std::size_t i = 0; i + 1 < wps.size(); ++i) {
+      denser.push_back(wps[i]);
+      denser.push_back(geom::lerp(wps[i], wps[i + 1], 0.5));
+    }
+    denser.push_back(wps.back());
+    wps = std::move(denser);
+  }
+
+  // Rounds exhausted: fall back to the safe piecewise path at reduced speed.
+  result.trajectory = piecewiseFallback(path, params.v_max * 0.6);
+  result.report.collision_free = false;
+  return result;
+}
+
+}  // namespace roborun::planning

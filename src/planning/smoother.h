@@ -1,0 +1,46 @@
+// Path smoother after Richter et al. ("Polynomial trajectory planning for
+// aggressive quadrotor flight", cited as the paper's smoothing kernel).
+//
+// The piecewise RRT* path is turned into a time-parameterized polynomial
+// trajectory that respects the MAV's dynamic constraints (max velocity /
+// acceleration): per-segment quintic (minimum-jerk) polynomials with
+// waypoint velocities blended through corners, trapezoidal time allocation,
+// and Richter-style collision rechecking — segments that cut corners into
+// obstacles trigger waypoint re-insertion and a re-smooth, falling back to
+// the safe piecewise path when rounds are exhausted.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "perception/planner_map.h"
+#include "planning/trajectory.h"
+
+namespace roborun::planning {
+
+struct SmootherParams {
+  double v_max = 3.0;           ///< m/s; velocity limit encoded in the profile
+  double a_max = 4.0;           ///< m/s^2
+  double sample_dt = 0.4;       ///< s; trajectory discretization
+  double check_precision = 0.3; ///< m; collision recheck march step
+  std::size_t max_rounds = 3;   ///< waypoint re-insertion rounds
+};
+
+struct SmootherReport {
+  std::size_t segments = 0;     ///< polynomial segments solved (work units)
+  std::size_t rounds = 0;       ///< re-insertion rounds used
+  std::size_t check_steps = 0;  ///< collision recheck march steps
+  bool collision_free = true;   ///< false if the fallback path was returned
+};
+
+struct SmoothResult {
+  Trajectory trajectory;
+  SmootherReport report;
+};
+
+/// Smooth a piecewise path through the planner map. An empty or single-point
+/// path yields an empty trajectory.
+SmoothResult smoothPath(const std::vector<geom::Vec3>& path,
+                        const perception::PlannerMap& map, const SmootherParams& params);
+
+}  // namespace roborun::planning

@@ -1,0 +1,79 @@
+#include "planning/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roborun::planning {
+
+double Trajectory::length() const {
+  double len = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i)
+    len += points_[i].position.dist(points_[i - 1].position);
+  return len;
+}
+
+double Trajectory::flightTime(std::size_t i, std::size_t j) const {
+  if (i >= points_.size() || j >= points_.size()) return 0.0;
+  return std::abs(points_[i].time - points_[j].time);
+}
+
+Vec3 Trajectory::sampleAtTime(double t) const {
+  if (points_.empty()) return {};
+  if (t <= points_.front().time) return points_.front().position;
+  if (t >= points_.back().time) return points_.back().position;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (t <= points_[i].time) {
+      const double span = points_[i].time - points_[i - 1].time;
+      const double frac = span > 1e-12 ? (t - points_[i - 1].time) / span : 1.0;
+      return geom::lerp(points_[i - 1].position, points_[i].position, frac);
+    }
+  }
+  return points_.back().position;
+}
+
+Vec3 Trajectory::sampleAtArcLength(double s) const {
+  if (points_.empty()) return {};
+  if (s <= 0.0) return points_.front().position;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double seg = points_[i].position.dist(points_[i - 1].position);
+    if (acc + seg >= s) {
+      const double frac = seg > 1e-12 ? (s - acc) / seg : 1.0;
+      return geom::lerp(points_[i - 1].position, points_[i].position, frac);
+    }
+    acc += seg;
+  }
+  return points_.back().position;
+}
+
+double Trajectory::closestArcLength(const Vec3& p) const {
+  if (points_.size() < 2) return 0.0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  double best_s = 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const Vec3& a = points_[i - 1].position;
+    const Vec3& b = points_[i].position;
+    const Vec3 ab = b - a;
+    const double len2 = ab.norm2();
+    const double seg = std::sqrt(len2);
+    double t = len2 > 1e-12 ? (p - a).dot(ab) / len2 : 0.0;
+    t = std::clamp(t, 0.0, 1.0);
+    const double d = p.dist(a + ab * t);
+    if (d < best_dist) {
+      best_dist = d;
+      best_s = acc + t * seg;
+    }
+    acc += seg;
+  }
+  return best_s;
+}
+
+std::vector<Vec3> Trajectory::positions() const {
+  std::vector<Vec3> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.position);
+  return out;
+}
+
+}  // namespace roborun::planning

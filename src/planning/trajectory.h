@@ -1,0 +1,58 @@
+// Time-parameterized trajectory — the contract between planning, control,
+// and RoboRun's time budgeter (Algorithm 1 iterates over its waypoints and
+// uses flightTime(i, i-1) between them).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec3.h"
+
+namespace roborun::planning {
+
+using geom::Vec3;
+
+struct TrajectoryPoint {
+  Vec3 position;
+  double velocity = 0.0;  ///< planned speed at this point (m/s)
+  double time = 0.0;      ///< planned arrival time from trajectory start (s)
+};
+
+class Trajectory {
+ public:
+  Trajectory() = default;
+  explicit Trajectory(std::vector<TrajectoryPoint> points) : points_(std::move(points)) {}
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  const TrajectoryPoint& operator[](std::size_t i) const { return points_[i]; }
+  const std::vector<TrajectoryPoint>& points() const { return points_; }
+
+  double duration() const { return points_.empty() ? 0.0 : points_.back().time; }
+  double length() const;
+
+  /// Planned flight time between waypoints i and j (|t_i - t_j|);
+  /// Algorithm 1's flightTime(i, i-1).
+  double flightTime(std::size_t i, std::size_t j) const;
+
+  /// Position at planned time t (clamped to the ends, linear between points).
+  Vec3 sampleAtTime(double t) const;
+
+  /// Point at arc length s from the start (clamped).
+  Vec3 sampleAtArcLength(double s) const;
+
+  /// Arc length of the closest point on the trajectory to p (for the
+  /// follower's progress tracking).
+  double closestArcLength(const Vec3& p) const;
+
+  /// Waypoint positions only (for the volume operators' distance sorting).
+  std::vector<Vec3> positions() const;
+
+ private:
+  std::vector<TrajectoryPoint> points_;
+};
+
+/// Comm payload of a published trajectory.
+inline std::size_t byteSizeOf(const Trajectory& t) { return 32 + t.size() * 32; }
+
+}  // namespace roborun::planning

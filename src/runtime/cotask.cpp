@@ -1,0 +1,44 @@
+#include "runtime/cotask.h"
+
+#include <algorithm>
+
+namespace roborun::runtime {
+
+CoTaskReport scheduleCoTask(const MissionResult& mission, const CoTaskSpec& spec) {
+  CoTaskReport report;
+  report.name = spec.name;
+  double carry = 0.0;  // partially completed unit carried across windows
+  for (std::size_t i = 0; i < mission.records.size(); ++i) {
+    const auto& rec = mission.records[i];
+    // The decision window is the time until the next decision started (the
+    // last window runs to the end of the mission).
+    const double window =
+        (i + 1 < mission.records.size())
+            ? mission.records[i + 1].t - rec.t
+            : std::max(mission.mission_time - rec.t, rec.latencies.total());
+    const double busy = rec.latencies.compute();
+    // Safety requires a fresh decision once per deadline. When the runner
+    // re-decides faster than that (it has nothing else to do), only the
+    // window/deadline fraction of the compute was *required*; the rest of
+    // the window is schedulable slack for the co-task.
+    const double deadline = std::max(rec.deadline, 1e-3);
+    const double required = busy * std::min(1.0, window / deadline);
+    const double slack = std::max(0.0, window - required);
+    if (slack < spec.min_slack) continue;
+    report.total_slack += slack;
+    carry += slack;
+    // Tolerate accumulated floating-point error so that slack that sums to an
+    // exact multiple of the unit cost yields the full unit count.
+    constexpr double kCarryEps = 1e-9;
+    while (carry >= spec.unit_cost - kCarryEps) {
+      carry -= spec.unit_cost;
+      ++report.units_completed;
+    }
+  }
+  if (mission.mission_time > 0.0)
+    report.utilization_gain =
+        static_cast<double>(report.units_completed) * spec.unit_cost / mission.mission_time;
+  return report;
+}
+
+}  // namespace roborun::runtime

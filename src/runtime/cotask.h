@@ -1,0 +1,42 @@
+// Cognitive co-task scheduler.
+//
+// The paper's closing argument: navigation is a primitive task, and lowering
+// its pressure on the CPU "frees up computational resources for higher-level
+// cognitive tasks such as semantic labeling and gesture/action detection".
+// This module makes that claim measurable: a best-effort co-task consumes
+// whatever slack each decision leaves between its compute latency and its
+// deadline, and reports how much cognitive work each design's missions
+// actually afford.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/metrics.h"
+
+namespace roborun::runtime {
+
+struct CoTaskSpec {
+  std::string name = "semantic_labeling";
+  double unit_cost = 0.15;  ///< s of CPU per work unit (e.g. one labeled frame)
+  double min_slack = 0.05;  ///< s; slack below this is scheduling overhead
+};
+
+struct CoTaskReport {
+  std::string name;
+  double total_slack = 0.0;      ///< s of CPU left over by navigation
+  std::size_t units_completed = 0;  ///< co-task work units that fit
+  double utilization_gain = 0.0; ///< completed work per mission second
+
+  double unitsPerMinute(double mission_time) const {
+    return mission_time > 0 ? 60.0 * static_cast<double>(units_completed) / mission_time
+                            : 0.0;
+  }
+};
+
+/// Replay a mission's decision records and schedule the co-task into the
+/// slack of each decision window (deadline minus navigation compute,
+/// clamped at the actual decision period).
+CoTaskReport scheduleCoTask(const MissionResult& mission, const CoTaskSpec& spec = {});
+
+}  // namespace roborun::runtime

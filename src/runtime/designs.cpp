@@ -1,0 +1,23 @@
+#include "runtime/designs.h"
+
+namespace roborun::runtime {
+
+MissionConfig defaultMissionConfig() {
+  MissionConfig config;
+  // All members default to the paper-calibrated values declared in their
+  // respective headers; this function exists so call sites read explicitly
+  // and future deviations happen in one place.
+  return config;
+}
+
+MissionConfig testMissionConfig() {
+  MissionConfig config;
+  config.sensor.rays_horizontal = 8;
+  config.sensor.rays_vertical = 6;
+  config.pipeline.rrt_max_iterations = 1200;
+  config.profiler.waypoint_horizon = 6;
+  config.max_mission_time = 2000.0;
+  return config;
+}
+
+}  // namespace roborun::runtime

@@ -1,0 +1,20 @@
+// Canonical configurations of the two evaluated designs.
+//
+// defaultMissionConfig() is the single source of truth for the paper's
+// evaluation setup (Table II knobs, Eq. 2 stopping constants, the HIL
+// latency calibration, the MAVBench energy model); benches and examples all
+// start from it so results stay comparable.
+#pragma once
+
+#include "runtime/mission.h"
+
+namespace roborun::runtime {
+
+/// The evaluation configuration used across all benches.
+MissionConfig defaultMissionConfig();
+
+/// A reduced-fidelity configuration for unit/integration tests (smaller
+/// sensor, shorter horizons) — faster, same code paths.
+MissionConfig testMissionConfig();
+
+}  // namespace roborun::runtime

@@ -1,0 +1,80 @@
+// Per-decision records and mission-level metrics — everything the paper's
+// result figures (7 through 11) are computed from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/policy.h"
+#include "env/env_spec.h"
+#include "geom/vec3.h"
+
+namespace roborun::runtime {
+
+using geom::Vec3;
+
+/// End-to-end latency of one decision, broken into the computation (red) and
+/// communication (blue) stages of the paper's Fig. 11a.
+struct StageLatencies {
+  // computation
+  double runtime = 0.0;      ///< governor (RoboRun) / static lookup (baseline)
+  double point_cloud = 0.0;
+  double octomap = 0.0;
+  double bridge = 0.0;       ///< map pruning for the planner
+  double planning = 0.0;     ///< RRT*
+  double smoothing = 0.0;    ///< path smoother
+  // communication
+  double comm_point_cloud = 0.0;
+  double comm_map = 0.0;
+  double comm_trajectory = 0.0;
+
+  double compute() const {
+    return runtime + point_cloud + octomap + bridge + planning + smoothing;
+  }
+  double comm() const { return comm_point_cloud + comm_map + comm_trajectory; }
+  double total() const { return compute() + comm(); }
+};
+
+struct DecisionRecord {
+  double t = 0.0;             ///< mission clock at decision start (s)
+  Vec3 position;
+  env::Zone zone = env::Zone::B;
+  double velocity = 0.0;      ///< speed when the decision was made (m/s)
+  double commanded_velocity = 0.0;  ///< safe velocity chosen from this decision
+  double visibility = 0.0;    ///< m, along the travel direction
+  double known_free_horizon = 0.0;  ///< m; d_unknown along the trajectory
+  double deadline = 0.0;      ///< s; assigned time budget
+  StageLatencies latencies;
+  core::PipelinePolicy policy;
+  bool replanned = false;
+  bool plan_failed = false;   ///< replan was needed but no path was found
+  bool budget_met = false;    ///< solver predicted the policy fits
+  double cpu_utilization = 0.0;  ///< compute busy share of the deadline window
+};
+
+struct MissionResult {
+  bool reached_goal = false;
+  bool collided = false;
+  bool timed_out = false;
+  bool battery_depleted = false;  ///< aborted mid-flight on an empty pack
+  double mission_time = 0.0;     ///< s
+  double flight_energy = 0.0;    ///< J
+  double compute_energy = 0.0;   ///< J
+  double battery_soc = 1.0;      ///< state of charge at mission end [0,1]
+  double distance_traveled = 0.0;///< m
+  std::vector<DecisionRecord> records;
+
+  std::size_t decisions() const { return records.size(); }
+  /// Mean of the per-decision commanded velocities (the paper's "flight
+  /// velocity" metric).
+  double averageVelocity() const;
+  /// Median end-to-end decision latency.
+  double medianLatency() const;
+  double averageCpuUtilization() const;
+  /// Mean velocity restricted to one zone.
+  double averageVelocityInZone(env::Zone zone) const;
+  /// Time spent in each zone (by decision intervals).
+  double timeInZone(env::Zone zone) const;
+};
+
+}  // namespace roborun::runtime

@@ -1,0 +1,266 @@
+#include "runtime/mission.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/latency_calibration.h"
+
+namespace roborun::runtime {
+
+namespace {
+
+using geom::Vec3;
+
+/// Collision probe: the drone's airframe against the ground-truth world and
+/// the dynamic obstacle field (evaluated at its current time).
+bool inCollision(const env::World& world, const env::DynamicObstacleField& dynamic,
+                 const Vec3& p, double radius) {
+  if (world.occupied(p) || dynamic.occupied(p)) return true;
+  const Vec3 offsets[4] = {{radius, 0, 0}, {-radius, 0, 0}, {0, radius, 0}, {0, -radius, 0}};
+  for (const auto& o : offsets)
+    if (world.occupied(p + o) || dynamic.occupied(p + o)) return true;
+  return false;
+}
+
+}  // namespace
+
+MissionResult runMission(const env::Environment& environment, DesignType design,
+                         const MissionConfig& config) {
+  const env::World& world = *environment.world;
+  const Vec3 start = environment.spec.start();
+  const Vec3 goal = environment.spec.goal();
+
+  sim::DepthCameraArray sensor(config.sensor);
+  env::DynamicObstacleField dynamic = config.dynamic_obstacles;
+  dynamic.setTime(0.0);
+  sim::Drone drone(config.drone);
+  drone.reset(start);
+  sim::EnergyModel energy(config.energy);
+  sim::StoppingModel stopping = config.budgeter.stopping;
+
+  NavigationPipeline pipeline(world.extent(), goal, config.pipeline,
+                              config.seed * 2654435761ULL + 1);
+
+  // Governors. RoboRun calibrates its Eq. 4 latency model once at startup.
+  const sim::LatencyModel latency_model(config.pipeline.latency);
+  const auto calibration = core::calibratePredictor(latency_model, config.knobs);
+  core::RoboRunGovernor roborun(config.knobs, config.budgeter, calibration.predictor,
+                                config.runtime_fixed_overhead);
+  roborun.selectStrategy(config.solver_strategy);
+  const core::StaticGovernor oblivious(config.knobs, stopping, config.static_design);
+
+  MissionResult result;
+  double t = 0.0;
+  double commanded_speed = 0.0;
+  Vec3 prev_pos = start;
+
+  // Breadcrumbs for dead-end recovery: the flown path is known-traversable,
+  // so after repeated plan failures the runner backtracks along it before
+  // trying again (cul-de-sacs in congested zones are unplannable forward).
+  std::vector<Vec3> breadcrumbs{start};
+  int consecutive_plan_failures = 0;
+
+  while (t < config.max_mission_time) {
+    const Vec3 pos = drone.state().position;
+    const Vec3 vel = drone.state().velocity;
+
+    // --- sense ---
+    // Ambient visibility is a property of the space being flown through
+    // (per-zone weather), capped by the configured global conditions.
+    sensor.setWeatherVisibility(std::min(config.sensor.weather_visibility,
+                                         environment.spec.weatherVisibilityAt(pos.x)));
+    const sim::SensorFrame frame =
+        sensor.capture(world, pos, dynamic.empty() ? nullptr : &dynamic);
+
+    // --- profile (Table I) ---
+    const Vec3 travel_dir = vel.norm() > 0.2 ? vel : (goal - pos);
+    const core::SpaceProfile profile = core::profileSpace(
+        frame, pipeline.map(), pipeline.trajectory(), pos, vel, travel_dir, config.profiler);
+
+    // --- govern ---
+    core::GovernorDecision decision;
+    double runtime_latency = 0.0;
+    if (design == DesignType::RoboRun) {
+      decision = roborun.decide(profile);
+      runtime_latency = config.pipeline.latency.runtime_governor;
+    } else {
+      decision = oblivious.decide();
+      runtime_latency = config.pipeline.latency.runtime_static;
+    }
+
+    // --- execute the pipeline under the policy ---
+    const DecisionOutcome outcome =
+        pipeline.decide(frame, pos, decision.policy, runtime_latency);
+    const double latency = outcome.latencies.total();
+
+    // --- dead-end recovery bookkeeping ---
+    if (outcome.plan_failed) {
+      ++consecutive_plan_failures;
+      if (consecutive_plan_failures >= 3 && breadcrumbs.size() > 1) {
+        // Aim the next replans at a breadcrumb back along the flown path;
+        // escalate further back the longer we stay stuck.
+        const std::size_t hop = 10 + 5 * static_cast<std::size_t>(
+                                          std::min(consecutive_plan_failures / 3, 8));
+        const std::size_t idx = breadcrumbs.size() > hop ? breadcrumbs.size() - hop : 0;
+        pipeline.setGoalOverride(breadcrumbs[idx]);
+      }
+    } else if (outcome.replanned) {
+      consecutive_plan_failures = 0;
+    }
+    // Recovery point (nearly) reached: resume pursuing the mission goal.
+    if (pipeline.goalOverride() &&
+        pos.dist(*pipeline.goalOverride()) < config.pipeline.goal_radius * 1.5)
+      pipeline.setGoalOverride(std::nullopt);
+
+    // --- decide the safe velocity ---
+    // The usable horizon is what the MAV both sees (cone visibility) and
+    // knows (trajectory validated against the map out to the first unknown
+    // cell): Eq. 1 inverted over that horizon gives the speed at which the
+    // achieved decision latency is still safe.
+    double speed = 0.0;
+    if (design == DesignType::RoboRun) {
+      // The braking horizon is bounded by both what the map has validated
+      // along the trajectory (d_unknown) and what the sensors can currently
+      // see (cone visibility) — either alone over-claims.
+      const double horizon =
+          pipeline.trajectory().empty()
+              ? profile.visibility
+              : std::min(profile.visibility, profile.d_unknown);
+      speed = std::min(config.v_max_dynamic, stopping.safeCommandVelocity(latency, horizon));
+    } else {
+      speed = oblivious.staticVelocity();
+    }
+    // A failed replan means the current trajectory is invalid (that is what
+    // triggered replanning) — do not fly it; hover and retry next decision.
+    if (outcome.plan_failed || !pipeline.follower().hasTrajectory()) speed = 0.0;
+    // Wedged against an obstacle: retreat straight away from it instead of
+    // tracking the trajectory (recovery behavior; also how a stuck planner
+    // regains room to find a path). The threshold must stay BELOW the
+    // planner map's inflation radius, or valid trajectories trigger
+    // permanent follow/retreat oscillation.
+    const bool retreat = profile.d_obstacle < config.drone.collision_radius + 0.1;
+    commanded_speed = retreat ? config.creep_velocity * 0.8 : speed;
+
+    // --- record ---
+    DecisionRecord rec;
+    rec.t = t;
+    rec.position = pos;
+    rec.zone = environment.spec.zoneOf(pos.x);
+    rec.velocity = vel.norm();
+    rec.commanded_velocity = commanded_speed;
+    rec.visibility = profile.visibility;
+    rec.known_free_horizon = profile.d_unknown;
+    rec.deadline = decision.budget;
+    rec.latencies = outcome.latencies;
+    rec.policy = decision.policy;
+    rec.replanned = outcome.replanned;
+    rec.plan_failed = outcome.plan_failed;
+    rec.budget_met = decision.budget_met;
+    rec.cpu_utilization =
+        std::min(1.0, outcome.latencies.compute() / std::max(decision.budget, 1e-3));
+    result.records.push_back(rec);
+
+    energy.integrate(0.0, 0.0, outcome.latencies.compute());
+
+    // --- fly the decision interval ---
+    const double period = std::max(latency, config.min_decision_period);
+    double flown = 0.0;
+    bool terminal = false;
+    const Vec3 away = -frame.closestHitDirection();
+    while (flown < period && !terminal) {
+      const double dt = std::min(config.sim_dt, period - flown);
+      Vec3 cmd;
+      if (retreat && away.norm() > 0.5) {
+        cmd = Vec3{away.x, away.y, 0.0}.normalized() * commanded_speed;
+      } else {
+        cmd = pipeline.follower().velocityCommand(drone.state().position, commanded_speed, dt);
+      }
+      // Reflexive proximity guard against movers — the fast sonar/TOF bumper
+      // loop real MAVs run below the navigation pipeline. Only dynamic
+      // obstacles need it: the planner's inflated map already keeps static
+      // obstacles out of reach, but a mover can cross the trajectory (or
+      // drive at a hovering drone) between decisions. Probe time-to-contact
+      // along the commanded motion and the closing range to the nearest
+      // mover; brake, then sidestep, when either margin collapses.
+      if (!dynamic.empty() && config.proximity_guard) {
+        const Vec3 here = drone.state().position;
+        const double speed_now = std::max(cmd.norm(), drone.state().speed());
+        bool brake = false;
+        if (speed_now > 0.05) {
+          const Vec3 heading = cmd.norm() > 0.05 ? cmd.normalized()
+                                                 : drone.state().velocity.normalized();
+          // Probe a small fan (heading and +/- ~20 degrees) so a mover
+          // cutting in from the side is seen before it crosses the nose.
+          const Vec3 side = Vec3{-heading.y, heading.x, 0.0} * 0.36;
+          const double margin = stopping.stoppingDistance(speed_now) +
+                                2.0 * config.drone.collision_radius;
+          for (const Vec3& probe :
+               {heading, (heading + side).normalized(), (heading - side).normalized()}) {
+            const auto tohit = dynamic.raycast(here, probe, 25.0);
+            if (tohit && *tohit < margin) {
+              brake = true;
+              break;
+            }
+          }
+        }
+        const double bubble = 2.5 * config.drone.collision_radius + 0.5;
+        const double closest = dynamic.nearestObstacleXY(here, bubble + 1.0);
+        if (brake) cmd = {0.0, 0.0, 0.0};
+        if (closest < bubble) {
+          // A mover inside the bubble: sidestep directly away from it.
+          Vec3 escape{0.0, 0.0, 0.0};
+          for (std::size_t i = 0; i < dynamic.size(); ++i) {
+            const Vec3 c = dynamic.positionOf(i);
+            const Vec3 away_xy{here.x - c.x, here.y - c.y, 0.0};
+            if (away_xy.norm() < bubble + dynamic.obstacles()[i].radius)
+              escape = escape + away_xy.normalized();
+          }
+          if (escape.norm() > 0.1) {
+            const Vec3 dir = escape.normalized();
+            // Never sidestep into a static obstacle: if the escape lane is
+            // blocked, braking (handled above via TTC) is the safe fallback.
+            if (world.visibility(here, dir, 3.0) >= 3.0 - 1e-9)
+              cmd = dir * std::max(config.creep_velocity, 1.0);
+            else
+              cmd = {0.0, 0.0, 0.0};
+          }
+        }
+      }
+      drone.commandVelocity(cmd);
+      drone.update(dt);
+      flown += dt;
+      dynamic.advance(dt);
+      const Vec3 p = drone.state().position;
+      energy.integrate(drone.state().speed(), dt);
+      result.distance_traveled += p.dist(prev_pos);
+      prev_pos = p;
+      if (p.dist(breadcrumbs.back()) > 2.0) breadcrumbs.push_back(p);
+      if (inCollision(world, dynamic, p, config.drone.collision_radius)) {
+        result.collided = true;
+        terminal = true;
+      } else if (p.dist(goal) <= config.pipeline.goal_radius) {
+        result.reached_goal = true;
+        terminal = true;
+      } else if (config.enforce_battery &&
+                 energy.totalEnergy() > config.battery.usable()) {
+        result.battery_depleted = true;
+        terminal = true;
+      }
+    }
+    t += flown;
+    if (terminal) break;
+  }
+
+  result.mission_time = t;
+  result.timed_out = !result.reached_goal && !result.collided && !result.battery_depleted;
+  if (config.enforce_battery && config.battery.capacity > 0.0) {
+    sim::Battery pack(config.battery);
+    pack.drain(energy.totalEnergy());
+    result.battery_soc = pack.stateOfCharge();
+  }
+  result.flight_energy = energy.flightEnergy();
+  result.compute_energy = energy.computeEnergy();
+  return result;
+}
+
+}  // namespace roborun::runtime

@@ -1,0 +1,73 @@
+// Mission runner: the closed loop between the physical world (simulated
+// drone + sensors) and the cyber system (navigation pipeline + governor).
+//
+// Each iteration: capture a sensor sweep, profile space, ask the governor
+// for a policy (RoboRun) or use the static one (baseline), execute the
+// pipeline, convert the achieved decision latency + profiled visibility
+// into the safe velocity (Eq. 1 inverted), then fly the interval at that
+// speed. This is exactly the compute<->velocity coupling the paper builds
+// its results on.
+#pragma once
+
+#include <cstdint>
+
+#include "core/governor.h"
+#include "core/strategies.h"
+#include "env/env_gen.h"
+#include "runtime/metrics.h"
+#include "runtime/pipeline.h"
+#include "sim/battery.h"
+#include "sim/drone.h"
+#include "sim/energy_model.h"
+#include "sim/sensor.h"
+
+namespace roborun::runtime {
+
+enum class DesignType { SpatialOblivious, RoboRun };
+
+inline const char* designName(DesignType d) {
+  return d == DesignType::RoboRun ? "roborun" : "spatial_oblivious";
+}
+
+struct MissionConfig {
+  PipelineConfig pipeline;
+  sim::SensorConfig sensor;
+  sim::DroneConfig drone;
+  sim::EnergyConfig energy;
+  core::KnobConfig knobs;
+  core::BudgeterConfig budgeter;
+  core::StaticDesign static_design;
+  core::ProfilerConfig profiler;
+
+  double sim_dt = 0.05;              ///< s; physics step
+  double min_decision_period = 0.25; ///< s; sensor frame period floor
+  double max_mission_time = 9000.0;  ///< s; timeout
+  double v_max_dynamic = 3.2;        ///< m/s; RoboRun's experimental velocity cap
+  double creep_velocity = 0.3;       ///< m/s; when planning failed
+  double runtime_fixed_overhead = 0.27;  ///< s; pc + runtime + fixed comm
+  std::uint64_t seed = 7;
+
+  /// When set, the mission aborts once the pack's usable energy is spent
+  /// (the paper's "longer flight times expend the battery" failure mode).
+  bool enforce_battery = false;
+  sim::BatteryConfig battery;
+
+  /// Moving obstacles layered over the static world (empty = none). The
+  /// field's clock is driven by the mission clock, so runs stay replayable.
+  env::DynamicObstacleField dynamic_obstacles;
+  /// Which Eq. 3 solver strategy the RoboRun governor uses (ablation
+  /// surface; Exhaustive is the paper's joint solver).
+  core::StrategyType solver_strategy = core::StrategyType::Exhaustive;
+
+  /// Reflexive proximity bumper against movers (brake on short
+  /// time-to-contact, sidestep out of a mover's bubble). Models the fast
+  /// sub-pipeline obstacle reflex of real MAVs; only consulted when
+  /// dynamic_obstacles is non-empty.
+  bool proximity_guard = true;
+};
+
+/// Run one full mission of `design` through `environment`.
+MissionResult runMission(const env::Environment& environment, DesignType design,
+                         const MissionConfig& config = {});
+
+}  // namespace roborun::runtime

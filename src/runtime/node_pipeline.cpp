@@ -1,0 +1,207 @@
+#include "runtime/node_pipeline.h"
+
+#include <algorithm>
+
+#include "core/latency_calibration.h"
+#include "core/profilers.h"
+
+namespace roborun::runtime {
+
+using core::Stage;
+using geom::Vec3;
+
+std::size_t frameByteSize(const sim::SensorFrame& frame) {
+  return sim::byteSizeOf(frame);
+}
+
+/// Comm payload of a policy message (six knobs + deadline).
+std::size_t byteSizeOf(const PolicyMsg&) { return 64; }
+
+// --- SensorNode -------------------------------------------------------------
+
+SensorNode::SensorNode(miniros::Bus& bus, miniros::ParamServer& params,
+                       const env::World& world, PoseProvider pose, sim::SensorConfig config)
+    : Node(bus, params, "sensor"),
+      world_(&world),
+      pose_(std::move(pose)),
+      sensor_(config) {
+  pub_ = advertise<sim::SensorFrame>("/sensor/frame");
+}
+
+void SensorNode::step(double) {
+  pub_.publish(sensor_.capture(*world_, pose_().position));
+}
+
+// --- GovernorNode -----------------------------------------------------------
+
+GovernorNode::GovernorNode(miniros::Bus& bus, miniros::ParamServer& params,
+                           const perception::OccupancyOctree& map, PoseProvider pose,
+                           core::RoboRunGovernor governor)
+    : Node(bus, params, "governor"),
+      map_(&map),
+      pose_(std::move(pose)),
+      governor_(std::move(governor)) {
+  pub_ = advertise<PolicyMsg>("/policy");
+  subscribe<sim::SensorFrame>("/sensor/frame",
+                              [this](const sim::SensorFrame& f) { onFrame(f); });
+  subscribe<planning::Trajectory>(
+      "/trajectory", [this](const planning::Trajectory& t) { last_trajectory_ = t; });
+}
+
+void GovernorNode::onFrame(const sim::SensorFrame& frame) {
+  const Pose pose = pose_();
+  const Vec3 travel =
+      pose.velocity.norm() > 0.2 ? pose.velocity : Vec3{1, 0, 0};
+  const auto profile = core::profileSpace(frame, *map_, last_trajectory_, pose.position,
+                                          pose.velocity, travel);
+  const auto decision = governor_.decide(profile);
+  pub_.publish(PolicyMsg{decision.policy});
+  // Mirror the knobs onto the parameter server for external introspection
+  // (rosparam-style).
+  params().setDouble("/roborun/perception/precision",
+                     decision.policy.stage(Stage::Perception).precision);
+  params().setDouble("/roborun/perception/volume",
+                     decision.policy.stage(Stage::Perception).volume);
+  params().setDouble("/roborun/bridge/precision",
+                     decision.policy.stage(Stage::PerceptionToPlanning).precision);
+  params().setDouble("/roborun/bridge/volume",
+                     decision.policy.stage(Stage::PerceptionToPlanning).volume);
+  params().setDouble("/roborun/planner/volume",
+                     decision.policy.stage(Stage::Planning).volume);
+  params().setDouble("/roborun/deadline", decision.budget);
+}
+
+// --- PointCloudNode ---------------------------------------------------------
+
+PointCloudNode::PointCloudNode(miniros::Bus& bus, miniros::ParamServer& params)
+    : Node(bus, params, "point_cloud") {
+  pub_ = advertise<perception::PointCloud>("/sensor/points");
+  subscribe<PolicyMsg>("/policy", [this](const PolicyMsg& m) {
+    precision_ = m.policy.stage(Stage::Perception).precision;
+  });
+  subscribe<sim::SensorFrame>("/sensor/frame",
+                              [this](const sim::SensorFrame& f) { onFrame(f); });
+}
+
+void PointCloudNode::onFrame(const sim::SensorFrame& frame) {
+  const auto raw = perception::fromSensorFrame(frame);
+  pub_.publish(perception::downsample(raw, precision_).cloud);
+}
+
+// --- OctomapNode ------------------------------------------------------------
+
+OctomapNode::OctomapNode(miniros::Bus& bus, miniros::ParamServer& params,
+                         const geom::Aabb& extent, PoseProvider pose)
+    : Node(bus, params, "octomap"),
+      pose_(std::move(pose)),
+      octree_(std::make_unique<perception::OccupancyOctree>(extent, 0.3)) {
+  // Baseline defaults until the governor publishes (Table II static column).
+  policy_ = core::StaticGovernor(core::KnobConfig{}, sim::StoppingModel{}).policy();
+  pub_ = advertise<perception::PlannerMapMsg>("/map/planner");
+  subscribe<PolicyMsg>("/policy", [this](const PolicyMsg& m) { policy_ = m.policy; });
+  subscribe<perception::PointCloud>(
+      "/sensor/points", [this](const perception::PointCloud& c) { onCloud(c); });
+}
+
+void OctomapNode::onCloud(const perception::PointCloud& cloud) {
+  perception::OctomapInsertParams ins;
+  ins.precision = policy_.stage(Stage::Perception).precision;
+  ins.volume_budget = std::max(policy_.stage(Stage::Perception).volume, 1.0);
+  perception::insertPointCloud(*octree_, cloud, ins, {});
+
+  perception::BridgeParams bp;
+  bp.precision = policy_.stage(Stage::PerceptionToPlanning).precision;
+  bp.volume_budget = std::max(policy_.stage(Stage::PerceptionToPlanning).volume, 1.0);
+  pub_.publish(perception::buildPlannerMap(*octree_, pose_().position, bp).msg);
+}
+
+// --- PlannerNode ------------------------------------------------------------
+
+PlannerNode::PlannerNode(miniros::Bus& bus, miniros::ParamServer& params, PoseProvider pose,
+                         const Vec3& goal, std::uint64_t seed)
+    : Node(bus, params, "planner"), pose_(std::move(pose)), goal_(goal), rng_(seed) {
+  policy_ = core::StaticGovernor(core::KnobConfig{}, sim::StoppingModel{}).policy();
+  pub_ = advertise<planning::Trajectory>("/trajectory");
+  subscribe<PolicyMsg>("/policy", [this](const PolicyMsg& m) { policy_ = m.policy; });
+  subscribe<perception::PlannerMapMsg>(
+      "/map/planner", [this](const perception::PlannerMapMsg& m) { onMap(m); });
+}
+
+void PlannerNode::onMap(const perception::PlannerMapMsg& msg) {
+  const Vec3 position = pose_().position;
+  // Replan only when needed: no trajectory yet, or the current one no
+  // longer checks out against the fresh map.
+  bool replan = current_.empty();
+  if (!replan) {
+    const auto& pts = current_.points();
+    for (std::size_t i = 1; i < pts.size() && !replan; ++i)
+      replan = msg.map
+                   .checkSegment(pts[i - 1].position, pts[i].position,
+                                 policy_.stage(Stage::Planning).precision)
+                   .hit;
+  }
+  if (!replan) return;
+
+  planning::RrtParams rp;
+  const double span = std::max(10.0, position.dist(goal_));
+  rp.bounds = geom::Aabb{{std::min(position.x, goal_.x) - 10.0,
+                          std::min(position.y, goal_.y) - 30.0, 1.0},
+                         {std::max(position.x, goal_.x) + 10.0,
+                          std::max(position.y, goal_.y) + 30.0, 8.0}};
+  rp.volume_budget = std::max(policy_.stage(Stage::Planning).volume, span);
+  rp.check_precision = policy_.stage(Stage::Planning).precision;
+  auto rrt = planning::planPath(msg.map, position, goal_, rp, rng_);
+  if (!rrt.report.found) return;
+
+  planning::SmootherParams sp;
+  sp.check_precision = rp.check_precision;
+  auto smooth = planning::smoothPath(rrt.path, msg.map, sp);
+  current_ = smooth.trajectory;
+  pub_.publish(current_);
+}
+
+// --- ControlNode ------------------------------------------------------------
+
+ControlNode::ControlNode(miniros::Bus& bus, miniros::ParamServer& params, PoseProvider pose,
+                         double cruise_speed)
+    : Node(bus, params, "control"), pose_(std::move(pose)), cruise_speed_(cruise_speed) {
+  pub_ = advertise<Vec3>("/cmd_vel");
+  subscribe<planning::Trajectory>(
+      "/trajectory", [this](const planning::Trajectory& t) { follower_.setTrajectory(t); });
+}
+
+// The control stage runs at the executor rate regardless of upstream
+// decisions (a real flight stack's control loop outpaces perception).
+void ControlNode::step(double) {
+  if (!follower_.hasTrajectory()) return;
+  last_cmd_ = follower_.velocityCommand(pose_().position, cruise_speed_, 0.05);
+  pub_.publish(last_cmd_);
+}
+
+// --- NodeGraph --------------------------------------------------------------
+
+NodeGraph::NodeGraph(const env::World& world, const Vec3& goal, PoseProvider pose,
+                     std::uint64_t seed)
+    : executor_(bus_) {
+  const sim::LatencyModel latency_model;
+  auto calibration = core::calibratePredictor(latency_model, core::KnobConfig{});
+  core::RoboRunGovernor governor(core::KnobConfig{}, core::BudgeterConfig{},
+                                 std::move(calibration.predictor));
+
+  sensor_ = std::make_unique<SensorNode>(bus_, params_, world, pose);
+  point_cloud_ = std::make_unique<PointCloudNode>(bus_, params_);
+  octomap_ = std::make_unique<OctomapNode>(bus_, params_, world.extent(), pose);
+  governor_ = std::make_unique<GovernorNode>(bus_, params_, octomap_->map(), pose,
+                                             std::move(governor));
+  planner_ = std::make_unique<PlannerNode>(bus_, params_, pose, goal, seed);
+  control_ = std::make_unique<ControlNode>(bus_, params_, pose);
+
+  executor_.add(*sensor_);
+  executor_.add(*governor_);
+  executor_.add(*point_cloud_);
+  executor_.add(*octomap_);
+  executor_.add(*planner_);
+  executor_.add(*control_);
+}
+
+}  // namespace roborun::runtime

@@ -1,0 +1,166 @@
+// ROS-style node graph packaging of the navigation stack (paper Fig. 6).
+//
+// The mission runner (mission.h) drives the pipeline procedurally because
+// the evaluation needs a tightly sequenced decide-then-fly loop; this header
+// provides the same stages as free-standing mini-ROS nodes wired purely
+// through topics and the parameter server — the shape the paper's actual
+// ROS implementation has, and the integration surface for anyone embedding
+// RoboRun into an existing node graph:
+//
+//   SensorNode      -> /sensor/frame
+//   GovernorNode    -> /policy            (reads /sensor/frame; RoboRun's
+//                                          profilers + budgeter + solver)
+//   PointCloudNode  -> /sensor/points     (applies /policy precision)
+//   OctomapNode     -> /map/planner       (applies /policy volumes, bridges)
+//   PlannerNode     -> /trajectory        (RRT* + smoothing)
+//   ControlNode     -> /cmd_vel           (PID follower)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "control/follower.h"
+#include "core/governor.h"
+#include "env/world.h"
+#include "miniros/executor.h"
+#include "miniros/node.h"
+#include "perception/map_bridge.h"
+#include "perception/octomap_kernel.h"
+#include "perception/octree.h"
+#include "perception/point_cloud.h"
+#include "planning/rrt_star.h"
+#include "planning/smoother.h"
+#include "sim/sensor.h"
+
+namespace roborun::runtime {
+
+/// Comm payload for raw sensor frames.
+std::size_t frameByteSize(const sim::SensorFrame& frame);
+
+/// Published by GovernorNode; consumed by the operator-bearing stages.
+struct PolicyMsg {
+  core::PipelinePolicy policy;
+};
+
+struct Pose {
+  geom::Vec3 position;
+  geom::Vec3 velocity;
+};
+
+/// Supplies the vehicle pose to the sensor/control nodes (in a live system
+/// this is the state estimator; in tests, a lambda).
+using PoseProvider = std::function<Pose()>;
+
+class SensorNode : public miniros::Node {
+ public:
+  SensorNode(miniros::Bus& bus, miniros::ParamServer& params, const env::World& world,
+             PoseProvider pose, sim::SensorConfig config = {});
+  void step(double now) override;
+
+ private:
+  const env::World* world_;
+  PoseProvider pose_;
+  sim::DepthCameraArray sensor_;
+  miniros::Publisher<sim::SensorFrame> pub_;
+};
+
+class GovernorNode : public miniros::Node {
+ public:
+  GovernorNode(miniros::Bus& bus, miniros::ParamServer& params,
+               const perception::OccupancyOctree& map, PoseProvider pose,
+               core::RoboRunGovernor governor);
+
+ private:
+  void onFrame(const sim::SensorFrame& frame);
+
+  const perception::OccupancyOctree* map_;
+  PoseProvider pose_;
+  core::RoboRunGovernor governor_;
+  miniros::Publisher<PolicyMsg> pub_;
+  planning::Trajectory last_trajectory_;  // updated via /trajectory
+};
+
+class PointCloudNode : public miniros::Node {
+ public:
+  PointCloudNode(miniros::Bus& bus, miniros::ParamServer& params);
+
+ private:
+  void onFrame(const sim::SensorFrame& frame);
+  double precision_ = 0.3;
+  miniros::Publisher<perception::PointCloud> pub_;
+};
+
+class OctomapNode : public miniros::Node {
+ public:
+  OctomapNode(miniros::Bus& bus, miniros::ParamServer& params, const geom::Aabb& extent,
+              PoseProvider pose);
+
+  const perception::OccupancyOctree& map() const { return *octree_; }
+
+ private:
+  void onCloud(const perception::PointCloud& cloud);
+  PoseProvider pose_;
+  std::unique_ptr<perception::OccupancyOctree> octree_;
+  core::PipelinePolicy policy_;
+  miniros::Publisher<perception::PlannerMapMsg> pub_;
+};
+
+class PlannerNode : public miniros::Node {
+ public:
+  PlannerNode(miniros::Bus& bus, miniros::ParamServer& params, PoseProvider pose,
+              const geom::Vec3& goal, std::uint64_t seed);
+
+ private:
+  void onMap(const perception::PlannerMapMsg& msg);
+  PoseProvider pose_;
+  geom::Vec3 goal_;
+  geom::Rng rng_;
+  core::PipelinePolicy policy_;
+  planning::Trajectory current_;
+  miniros::Publisher<planning::Trajectory> pub_;
+};
+
+class ControlNode : public miniros::Node {
+ public:
+  ControlNode(miniros::Bus& bus, miniros::ParamServer& params, PoseProvider pose,
+              double cruise_speed = 1.5);
+  void step(double now) override;
+
+  const geom::Vec3& lastCommand() const { return last_cmd_; }
+
+ private:
+  PoseProvider pose_;
+  double cruise_speed_;
+  control::TrajectoryFollower follower_;
+  geom::Vec3 last_cmd_;
+  miniros::Publisher<geom::Vec3> pub_;
+};
+
+/// The fully wired graph, ready to cycle.
+class NodeGraph {
+ public:
+  NodeGraph(const env::World& world, const geom::Vec3& goal, PoseProvider pose,
+            std::uint64_t seed = 1);
+
+  /// One executor cycle (every node steps, all messages delivered).
+  void cycle() { executor_.cycle(); }
+
+  miniros::Bus& bus() { return bus_; }
+  miniros::ParamServer& params() { return params_; }
+  const perception::OccupancyOctree& map() const { return octomap_->map(); }
+  const geom::Vec3& lastCommand() const { return control_->lastCommand(); }
+
+ private:
+  miniros::Bus bus_;
+  miniros::ParamServer params_;
+  miniros::Executor executor_;
+  std::unique_ptr<SensorNode> sensor_;
+  std::unique_ptr<GovernorNode> governor_;
+  std::unique_ptr<PointCloudNode> point_cloud_;
+  std::unique_ptr<OctomapNode> octomap_;
+  std::unique_ptr<PlannerNode> planner_;
+  std::unique_ptr<ControlNode> control_;
+};
+
+}  // namespace roborun::runtime

@@ -1,0 +1,187 @@
+#include "runtime/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace roborun::runtime {
+
+using core::Stage;
+using geom::Vec3;
+
+NavigationPipeline::NavigationPipeline(const geom::Aabb& world_extent, const Vec3& goal,
+                                       const PipelineConfig& config, std::uint64_t seed)
+    : config_(config),
+      goal_(goal),
+      octree_(std::make_unique<perception::OccupancyOctree>(world_extent, 0.3)),
+      rng_(seed),
+      latency_model_(config.latency),
+      bus_(config.comm),
+      pc_pub_(&bus_, "/sensor/points"),
+      map_pub_(&bus_, "/map/planner"),
+      traj_pub_(&bus_, "/trajectory") {}
+
+bool NavigationPipeline::needsReplan(const perception::PlannerMap& map, const Vec3& position,
+                                     double check_precision, std::size_t& steps_out) const {
+  steps_out = 0;
+  const auto& traj = follower_.trajectory();
+  if (traj.empty()) return true;
+  // Nearly consumed and not at the goal yet -> extend with a fresh plan.
+  if (follower_.remaining() < config_.goal_radius &&
+      traj.points().back().position.dist(goal_) > config_.goal_radius)
+    return true;
+
+  // Validate the remaining path against the newly communicated map.
+  const auto& pts = traj.points();
+  const double start_s = traj.closestArcLength(position);
+  double acc = 0.0;
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    const double seg = pts[i].position.dist(pts[i - 1].position);
+    acc += seg;
+    if (acc + seg < start_s) continue;  // already flown
+    const auto check = map.checkSegment(pts[i - 1].position, pts[i].position, check_precision);
+    steps_out += check.steps;
+    if (check.hit) return true;
+  }
+  return false;
+}
+
+Vec3 NavigationPipeline::selectLocalGoal(const perception::PlannerMap& map,
+                                         const Vec3& position, double horizon) const {
+  const Vec3 target = goal_override_.value_or(goal_);
+  const Vec3 to_goal = target - position;
+  const double dist = to_goal.norm();
+  if (dist <= horizon) return target;
+  const Vec3 dir = to_goal / dist;
+  Vec3 lg = position + dir * horizon;
+  if (!map.occupiedPoint(lg)) return lg;
+  // Nudge around local blockage: try vertical and lateral offsets, then
+  // shorter horizons.
+  const Vec3 side = Vec3{-dir.y, dir.x, 0.0}.normalized();
+  for (const double dz : {0.0, 1.5, 3.0}) {
+    for (const double dy : {0.0, 6.0, -6.0, 12.0, -12.0}) {
+      if (dz == 0.0 && dy == 0.0) continue;
+      Vec3 candidate = lg + side * dy + Vec3{0, 0, dz};
+      candidate.z = std::clamp(candidate.z, config_.altitude_min, config_.altitude_max);
+      if (!map.occupiedPoint(candidate)) return candidate;
+    }
+  }
+  for (double frac = 0.75; frac > 0.2; frac -= 0.25) {
+    const Vec3 candidate = position + dir * (horizon * frac);
+    if (!map.occupiedPoint(candidate)) return candidate;
+  }
+  return lg;
+}
+
+DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const Vec3& position,
+                                           const core::PipelinePolicy& policy,
+                                           double runtime_latency) {
+  DecisionOutcome out;
+  out.latencies.runtime = runtime_latency;
+
+  const auto& p_perc = policy.stage(Stage::Perception);
+  const auto& p_bridge = policy.stage(Stage::PerceptionToPlanning);
+  const auto& p_plan = policy.stage(Stage::Planning);
+
+  // --- Perception: point cloud kernel + precision operator ---
+  const auto raw_cloud = perception::fromSensorFrame(frame);
+  const auto ds = perception::downsample(raw_cloud, p_perc.precision);
+  out.latencies.point_cloud = latency_model_.pointCloud(frame.rayCount());
+  out.latencies.comm_point_cloud = config_.comm.cost(perception::byteSizeOf(ds.cloud));
+  pc_pub_.publish(ds.cloud);
+
+  // --- Perception: OctoMap kernel (precision + volume operators) ---
+  perception::OctomapInsertParams ins;
+  ins.precision = p_perc.precision;
+  ins.volume_budget = std::max(p_perc.volume, 1.0);
+  const auto traj_positions = follower_.trajectory().positions();
+  out.octomap_report = perception::insertPointCloud(*octree_, ds.cloud, ins, traj_positions);
+  out.latencies.octomap = latency_model_.octomap(out.octomap_report.ray_steps);
+
+  // --- Perception-to-planning bridge (precision + volume operators) ---
+  perception::BridgeParams bp;
+  bp.precision = p_bridge.precision;
+  bp.volume_budget = std::max(p_bridge.volume, 1.0);
+  // Recovery replans (goal override) shave the inflation down to just above
+  // the airframe radius: the drone must always be able to re-plan the path
+  // it physically flew, or backtracking out of dead ends is impossible.
+  if (goal_override_) bp.inflation = 0.45;
+  auto bridge = perception::buildPlannerMap(*octree_, position, bp);
+  out.bridge_report = bridge.report;
+  out.latencies.bridge = latency_model_.bridge(bridge.report.nodes);
+  out.latencies.comm_map = config_.comm.cost(perception::byteSizeOf(bridge.msg));
+  map_pub_.publish(bridge.msg);
+  const perception::PlannerMap& planner_map = bridge.msg.map;
+
+  // --- Planning: replan check, RRT*, smoothing ---
+  std::size_t monitor_steps = 0;
+  const bool replan =
+      needsReplan(planner_map, position, p_plan.precision, monitor_steps);
+  std::size_t planning_steps = monitor_steps;
+
+  if (replan) {
+    out.replanned = true;
+    // Plan only as far as the planner's volume knob lets it explore: a small
+    // budget (tight deadline) means short hops; an open-space budget means
+    // the full horizon. Without this coupling, a volume-starved RRT* would
+    // chase an unreachable goal and fail forever.
+    // NOTE: this literal is intentionally frozen (not std::numbers::pi).
+    // Missions are chaotic in their inputs: changing the constant by 1e-14
+    // reroutes whole trajectories, and the validated regression baselines
+    // (fixture seeds, EXPERIMENTS.md numbers) were recorded against this
+    // value.
+    const double v2_radius =
+        std::cbrt(3.0 * std::max(p_plan.volume, 1.0) / (4.0 * 3.14159265358979));
+    const double horizon =
+        std::clamp(0.9 * v2_radius, 8.0, config_.replan_horizon);
+    const Vec3 local_goal = selectLocalGoal(planner_map, position, horizon);
+
+    planning::RrtParams rp;
+    const geom::Aabb root = octree_->rootBox();
+    const double x_lo = std::min(position.x, local_goal.x) - 15.0;
+    const double x_hi = std::max(position.x, local_goal.x) + 15.0;
+    rp.bounds = geom::Aabb{
+        {x_lo, std::min(position.y, local_goal.y) - config_.lateral_margin,
+         std::max(config_.altitude_min, root.lo.z)},
+        {x_hi, std::max(position.y, local_goal.y) + config_.lateral_margin,
+         std::min(root.hi.z, std::max(config_.altitude_max, position.z + 0.5))}};
+    rp.step = config_.rrt_step;
+    rp.max_iterations = config_.rrt_max_iterations;
+    rp.volume_budget = std::max(p_plan.volume, rp.step * rp.step * rp.step);
+    rp.check_precision = p_plan.precision;
+
+    auto rrt = planning::planPath(planner_map, position, local_goal, rp, rng_);
+    out.rrt_report = rrt.report;
+    planning_steps += rrt.report.check_steps;
+
+    if (rrt.report.found) {
+      planning::SmootherParams sp;
+      sp.v_max = config_.v_max;
+      sp.a_max = config_.a_max;
+      sp.check_precision = p_plan.precision;
+      auto smooth = planning::smoothPath(rrt.path, planner_map, sp);
+      out.smoother_report = smooth.report;
+      out.latencies.smoothing = latency_model_.smoother(smooth.report.segments);
+      planning_steps += smooth.report.check_steps;
+      follower_.setTrajectory(smooth.trajectory);
+      out.latencies.comm_trajectory =
+          config_.comm.cost(planning::byteSizeOf(smooth.trajectory));
+      traj_pub_.publish(smooth.trajectory);
+    } else {
+      out.plan_failed = true;
+      // The old trajectory is invalid (that is why we replanned) and no new
+      // one exists: clear it so the budgeter/profilers don't reason over a
+      // path the vehicle refuses to fly.
+      follower_.setTrajectory(planning::Trajectory{});
+    }
+  }
+  out.latencies.planning = latency_model_.planner(out.rrt_report.iterations, planning_steps);
+
+  // Deliver the published messages through the middleware (the comm cost is
+  // already charged above via the same model; this keeps the bus ledger and
+  // any external subscribers consistent).
+  bus_.spinAll();
+  return out;
+}
+
+}  // namespace roborun::runtime

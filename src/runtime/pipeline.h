@@ -1,0 +1,105 @@
+// The navigation pipeline: perception -> perception-to-planning -> planning
+// -> control, executing one decision per sensor sweep under a knob policy.
+//
+// Stage outputs are published on mini-ROS topics ("/sensor/points",
+// "/map/planner", "/trajectory") so communication is charged through the
+// middleware's cost model exactly where ROS would charge it; the per-stage
+// compute latencies come from each kernel's work report through the
+// deterministic latency model.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "control/follower.h"
+#include "core/policy.h"
+#include "geom/rng.h"
+#include "miniros/bus.h"
+#include "miniros/node.h"
+#include "perception/map_bridge.h"
+#include "perception/octomap_kernel.h"
+#include "perception/octree.h"
+#include "perception/planner_map.h"
+#include "perception/point_cloud.h"
+#include "planning/rrt_star.h"
+#include "planning/smoother.h"
+#include "runtime/metrics.h"
+#include "sim/latency_model.h"
+#include "sim/sensor.h"
+
+namespace roborun::runtime {
+
+struct PipelineConfig {
+  double v_max = 3.2;              ///< m/s; design velocity cap (smoother profile)
+  double a_max = 4.0;              ///< m/s^2
+  double replan_horizon = 60.0;    ///< m; local-goal distance cap
+  double goal_radius = 5.0;        ///< m; arrival tolerance
+  double lateral_margin = 40.0;    ///< m; RRT* sampling box half-width
+  double altitude_min = 1.0;       ///< m; planning altitude band (missions fly
+  double altitude_max = 8.0;       ///< near the nominal cruise height; no
+                                   ///< roof-hopping over warehouse racks)
+  std::size_t rrt_max_iterations = 3000;
+  double rrt_step = 4.0;           ///< m
+  sim::LatencyConfig latency;
+  miniros::CommModel comm{0.003, 2.0e6};
+};
+
+struct DecisionOutcome {
+  StageLatencies latencies;
+  bool replanned = false;
+  bool plan_failed = false;
+  perception::OctomapInsertReport octomap_report;
+  perception::BridgeReport bridge_report;
+  planning::RrtReport rrt_report;
+  planning::SmootherReport smoother_report;
+};
+
+/// Owns the world model (octree), the planner state, and the follower.
+class NavigationPipeline {
+ public:
+  NavigationPipeline(const geom::Aabb& world_extent, const geom::Vec3& goal,
+                     const PipelineConfig& config, std::uint64_t seed);
+
+  /// Execute one decision with the given policy. `runtime_latency` is the
+  /// governor's own cost (charged to the runtime stage).
+  DecisionOutcome decide(const sim::SensorFrame& frame, const geom::Vec3& position,
+                         const core::PipelinePolicy& policy, double runtime_latency);
+
+  const perception::OccupancyOctree& map() const { return *octree_; }
+  const control::TrajectoryFollower& follower() const { return follower_; }
+  control::TrajectoryFollower& follower() { return follower_; }
+  const geom::Vec3& goal() const { return goal_; }
+  miniros::Bus& bus() { return bus_; }
+  const PipelineConfig& config() const { return config_; }
+
+  /// The current planned trajectory (empty before the first plan).
+  const planning::Trajectory& trajectory() const { return follower_.trajectory(); }
+
+  /// Recovery override: when set, replans target this point instead of the
+  /// mission goal (the mission runner uses it to backtrack along its own
+  /// flown breadcrumbs out of dead ends). Cleared by the runner once a plan
+  /// succeeds.
+  void setGoalOverride(const std::optional<geom::Vec3>& goal) { goal_override_ = goal; }
+  const std::optional<geom::Vec3>& goalOverride() const { return goal_override_; }
+
+ private:
+  bool needsReplan(const perception::PlannerMap& map, const geom::Vec3& position,
+                   double check_precision, std::size_t& steps_out) const;
+  geom::Vec3 selectLocalGoal(const perception::PlannerMap& map, const geom::Vec3& position,
+                             double horizon) const;
+
+  PipelineConfig config_;
+  geom::Vec3 goal_;
+  std::optional<geom::Vec3> goal_override_;
+  std::unique_ptr<perception::OccupancyOctree> octree_;
+  control::TrajectoryFollower follower_;
+  geom::Rng rng_;
+  sim::LatencyModel latency_model_;
+  miniros::Bus bus_;
+  miniros::Publisher<perception::PointCloud> pc_pub_;
+  miniros::Publisher<perception::PlannerMapMsg> map_pub_;
+  miniros::Publisher<planning::Trajectory> traj_pub_;
+};
+
+}  // namespace roborun::runtime

@@ -1,0 +1,43 @@
+#include "runtime/report.h"
+
+#include <iomanip>
+
+namespace roborun::runtime {
+
+void printMetric(std::ostream& os, const std::string& name, double value,
+                 const std::string& unit) {
+  os << "  " << std::left << std::setw(36) << name << std::right << std::setw(12)
+     << std::fixed << std::setprecision(3) << value;
+  if (!unit.empty()) os << " " << unit;
+  os << "\n";
+}
+
+void printComparison(std::ostream& os, const std::string& name, double paper, double measured,
+                     const std::string& unit) {
+  os << "  " << std::left << std::setw(36) << name << " paper " << std::right << std::setw(10)
+     << std::fixed << std::setprecision(2) << paper << (unit.empty() ? "" : " ") << unit
+     << "  | measured " << std::setw(10) << measured << (unit.empty() ? "" : " ") << unit;
+  if (paper != 0.0) os << "  (x" << std::setprecision(2) << measured / paper << ")";
+  os << "\n";
+}
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  for (std::size_t i = 0; i < columns.size(); ++i)
+    out_ << (i ? "," : "") << columns[i];
+  out_ << "\n";
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  out_ << std::setprecision(10);
+  for (std::size_t i = 0; i < values.size(); ++i)
+    out_ << (i ? "," : "") << values[i];
+  out_ << "\n";
+}
+
+void printBanner(std::ostream& os, const std::string& title) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace roborun::runtime

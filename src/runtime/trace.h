@@ -1,0 +1,67 @@
+// Mission trace persistence and offline analysis.
+//
+// A mission's per-decision records are the raw material for every result in
+// the paper (Figs. 7-11). This module round-trips them through a CSV trace
+// file so analyses can run offline — a mission is flown once, then
+// inspected, re-summarized, and re-plotted any number of times without
+// re-simulation (the tooling equivalent of a ROS bag of the runtime topic).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/metrics.h"
+
+namespace roborun::runtime {
+
+/// Write the mission (header metadata + one row per decision record).
+/// Returns false on I/O failure.
+bool saveTrace(const MissionResult& mission, const std::string& path);
+void writeTrace(const MissionResult& mission, std::ostream& out);
+
+/// Parse a trace produced by saveTrace. Throws std::runtime_error on
+/// malformed input (wrong magic, missing columns, non-numeric fields).
+MissionResult loadTrace(const std::string& path);
+MissionResult readTrace(std::istream& in);
+
+/// Per-zone aggregate of a mission trace — the offline form of the paper's
+/// Sec. V-C zone analysis.
+struct ZoneSummary {
+  env::Zone zone = env::Zone::B;
+  std::size_t decisions = 0;
+  double time_in_zone = 0.0;        ///< s
+  double mean_velocity = 0.0;       ///< m/s, commanded
+  double mean_latency = 0.0;        ///< s, end-to-end
+  double latency_spread = 0.0;      ///< s, max - min (Fig. 11a's variation)
+  double mean_precision = 0.0;      ///< m, perception-stage knob
+  double mean_cpu_utilization = 0.0;
+};
+
+/// Summaries for zones A, B, C in order (zones with no decisions report
+/// zeroed statistics).
+std::array<ZoneSummary, 3> summarizeZones(const MissionResult& mission);
+
+/// Stage-share breakdown over a trace slice — the offline Fig. 11b.
+struct BreakdownSummary {
+  double runtime = 0.0;
+  double point_cloud = 0.0;
+  double octomap = 0.0;
+  double bridge = 0.0;
+  double planning = 0.0;
+  double smoothing = 0.0;
+  double comm = 0.0;
+
+  double total() const {
+    return runtime + point_cloud + octomap + bridge + planning + smoothing + comm;
+  }
+};
+
+/// Mean per-stage share of end-to-end latency across all decisions (sums to
+/// ~1 when the mission has any records).
+BreakdownSummary normalizedBreakdown(const MissionResult& mission);
+
+/// Human-readable multi-line report of a loaded trace (mission verdict,
+/// headline metrics, zone table, stage breakdown).
+std::string describeTrace(const MissionResult& mission);
+
+}  // namespace roborun::runtime

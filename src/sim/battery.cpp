@@ -1,0 +1,50 @@
+#include "sim/battery.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roborun::sim {
+
+void Battery::drain(double joules) {
+  if (joules > 0.0) consumed_ = std::min(consumed_ + joules, config_.capacity);
+}
+
+double Battery::remainingUsable() const { return std::max(0.0, config_.usable() - consumed_); }
+
+double Battery::stateOfCharge() const {
+  if (config_.capacity <= 0.0) return 0.0;
+  return std::clamp(1.0 - consumed_ / config_.capacity, 0.0, 1.0);
+}
+
+bool missionFeasible(double mission_energy, const BatteryConfig& battery) {
+  return mission_energy <= battery.usable();
+}
+
+double maxFeasibleDistance(double velocity, const EnergyModel& energy,
+                           const BatteryConfig& battery) {
+  if (velocity <= 0.0) return 0.0;
+  const double power = energy.flightPower(velocity);
+  if (power <= 0.0) return 0.0;
+  return velocity * battery.usable() / power;
+}
+
+double minFeasibleVelocity(double distance, const EnergyModel& energy,
+                           const BatteryConfig& battery, double v_limit) {
+  if (distance <= 0.0) return 0.0;
+  // maxFeasibleDistance is monotone increasing in v for the affine power
+  // model (d(v) = v U / (h + k v) saturates at U/k from below), so bisection
+  // over [0, v_limit] finds the threshold when one exists.
+  if (maxFeasibleDistance(v_limit, energy, battery) < distance) return -1.0;
+  double lo = 0.0;
+  double hi = v_limit;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (maxFeasibleDistance(mid, energy, battery) >= distance)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+}  // namespace roborun::sim

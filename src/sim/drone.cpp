@@ -1,0 +1,43 @@
+#include "sim/drone.h"
+
+#include <algorithm>
+
+namespace roborun::sim {
+
+void Drone::update(double dt) {
+  if (dt <= 0.0) return;
+  // Transport-delay the latest setpoint by reaction_time: age the queued
+  // snapshots and promote the newest one older than the lag.
+  delay_queue_.push_back({0.0, latest_cmd_});
+  for (auto& e : delay_queue_) e.age += dt;
+  std::size_t promote = delay_queue_.size();
+  for (std::size_t i = delay_queue_.size(); i-- > 0;) {
+    if (delay_queue_[i].age >= config_.reaction_time) {
+      promote = i;
+      break;
+    }
+  }
+  if (promote < delay_queue_.size()) {
+    active_cmd_ = delay_queue_[promote].cmd;
+    delay_queue_.erase(delay_queue_.begin(),
+                       delay_queue_.begin() + static_cast<std::ptrdiff_t>(promote) + 1);
+  }
+
+  const Vec3 dv = active_cmd_ - state_.velocity;
+  const double dv_norm = dv.norm();
+  const double max_dv = config_.max_accel * dt;
+  if (dv_norm <= max_dv || dv_norm < 1e-12) {
+    state_.velocity = active_cmd_;
+  } else {
+    state_.velocity += dv * (max_dv / dv_norm);
+  }
+  state_.position += state_.velocity * dt;
+}
+
+double Drone::simulatedStoppingDistance() const {
+  const double v = state_.speed();
+  // Roll during the reaction lag, then constant-decel braking.
+  return v * config_.reaction_time + v * v / (2.0 * config_.max_accel);
+}
+
+}  // namespace roborun::sim

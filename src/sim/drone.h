@@ -1,0 +1,71 @@
+// Kinematic quadrotor model.
+//
+// Substitute for AirSim's vehicle dynamics: a velocity-controlled point-mass
+// with acceleration limits, matching the granularity at which the paper's
+// runtime interacts with the vehicle (velocity setpoints from the control
+// stage). The braking constants are exactly those behind Eq. 2 so that the
+// stopping-distance fit closes the loop (see StoppingModel).
+#pragma once
+
+#include <vector>
+
+#include "geom/vec3.h"
+#include "sim/stopping_model.h"
+
+namespace roborun::sim {
+
+using geom::Vec3;
+
+struct DroneConfig {
+  double max_accel = 9.09;        ///< m/s^2; also the braking decel behind Eq. 2
+  double reaction_time = 0.36;    ///< s; command-to-actuation lag (Eq. 2 linear term)
+  double collision_radius = 0.4;  ///< m; physical airframe radius
+};
+
+struct DroneState {
+  Vec3 position;
+  Vec3 velocity;
+  double speed() const { return velocity.norm(); }
+};
+
+class Drone {
+ public:
+  explicit Drone(const DroneConfig& config = {}) : config_(config) {}
+
+  const DroneState& state() const { return state_; }
+  const DroneConfig& config() const { return config_; }
+
+  void reset(const Vec3& position) {
+    state_.position = position;
+    state_.velocity = {};
+    latest_cmd_ = {};
+    active_cmd_ = {};
+    delay_queue_.clear();
+  }
+
+  /// Velocity setpoint from the controller; takes effect after
+  /// reaction_time (a transport delay — re-commanding does not extend it).
+  void commandVelocity(const Vec3& v) { latest_cmd_ = v; }
+
+  /// Integrate dt seconds: ramp velocity toward the (reaction-delayed)
+  /// commanded setpoint under the acceleration limit.
+  void update(double dt);
+
+  /// Distance covered if the drone braked to a stop right now (along its
+  /// current velocity), including the reaction-time roll.
+  double simulatedStoppingDistance() const;
+
+ private:
+  struct DelayedCmd {
+    double age = 0.0;
+    Vec3 cmd;
+  };
+
+  DroneConfig config_;
+  DroneState state_;
+  Vec3 latest_cmd_;
+  Vec3 active_cmd_;
+  std::vector<DelayedCmd> delay_queue_;
+};
+
+}  // namespace roborun::sim

@@ -1,0 +1,3 @@
+#include "sim/energy_model.h"
+
+// Inline-only class; see latency_model.cpp for rationale.

@@ -1,0 +1,56 @@
+// MAV energy model.
+//
+// The paper (via MAVBench) observes that flight energy is dominated by the
+// propellers — large even when hovering — and that compute contributes
+// <0.05% of mission energy; compute helps only *indirectly*, by raising
+// velocity and shortening the mission. We therefore model electrical power
+// as hover power plus a velocity-linear term, calibrated to the paper's two
+// operating points: the baseline (2093 s, 1000 kJ at ~0.4 m/s -> ~478 W)
+// and RoboRun (465 s, 257 kJ at ~2.5 m/s -> ~553 W), giving
+//     P(v) ~ 464 + 36 v   [W].
+// Compute energy is integrated separately so benches can report its
+// (negligible) share explicitly.
+#pragma once
+
+namespace roborun::sim {
+
+struct EnergyConfig {
+  double hover_power = 464.0;       ///< W at zero velocity
+  double power_per_velocity = 36.0; ///< W per m/s
+  double compute_power = 18.0;      ///< W while the navigation pipeline computes
+};
+
+class EnergyModel {
+ public:
+  EnergyModel() = default;
+  explicit EnergyModel(const EnergyConfig& config) : config_(config) {}
+
+  const EnergyConfig& config() const { return config_; }
+
+  double flightPower(double velocity) const {
+    return config_.hover_power + config_.power_per_velocity * velocity;
+  }
+
+  /// Accumulate dt seconds of flight at `velocity` (and `busy` seconds of
+  /// compute within that interval).
+  void integrate(double velocity, double dt, double compute_busy = 0.0) {
+    flight_energy_ += flightPower(velocity) * dt;
+    compute_energy_ += config_.compute_power * compute_busy;
+  }
+
+  double flightEnergy() const { return flight_energy_; }    ///< J
+  double computeEnergy() const { return compute_energy_; }  ///< J
+  double totalEnergy() const { return flight_energy_ + compute_energy_; }
+
+  void reset() {
+    flight_energy_ = 0.0;
+    compute_energy_ = 0.0;
+  }
+
+ private:
+  EnergyConfig config_;
+  double flight_energy_ = 0.0;
+  double compute_energy_ = 0.0;
+};
+
+}  // namespace roborun::sim

@@ -1,0 +1,4 @@
+#include "sim/latency_model.h"
+
+// Header-only arithmetic; this translation unit pins the vtable-free class's
+// inline definitions into the library so downstream link lines stay simple.

@@ -1,0 +1,108 @@
+#include "sim/sensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roborun::sim {
+
+double SensorFrame::visibilityAlong(const Vec3& dir, double cone_half_angle,
+                                    double percentile) const {
+  const Vec3 d = dir.normalized();
+  const double cos_limit = std::cos(cone_half_angle);
+  std::vector<double> ranges;
+  ranges.reserve(64);
+  for (const auto& r : rays) {
+    if (r.direction.dot(d) < cos_limit) continue;
+    // A free ray proves visibility out to its full range; an obstacle hit
+    // proves it only up to the obstacle. A ground return is not an
+    // obstacle: the space above the floor is clear.
+    ranges.push_back(r.hit && !r.ground ? r.range : max_range);
+  }
+  if (ranges.empty()) return 0.0;
+  std::sort(ranges.begin(), ranges.end());
+  const double idx = std::clamp(percentile, 0.0, 1.0) *
+                     static_cast<double>(ranges.size() - 1);
+  return ranges[static_cast<std::size_t>(idx)];
+}
+
+double SensorFrame::closestHit() const {
+  double best = max_range;
+  for (const auto& r : rays)
+    if (r.hit && !r.ground) best = std::min(best, r.range);
+  return best;
+}
+
+Vec3 SensorFrame::closestHitDirection() const {
+  double best = max_range + 1.0;
+  Vec3 dir{};
+  for (const auto& r : rays) {
+    if (r.hit && !r.ground && r.range < best) {
+      best = r.range;
+      dir = r.direction;
+    }
+  }
+  return dir;
+}
+
+namespace {
+
+/// Basis vectors (forward, right, up) for each of the 6 camera faces.
+struct Face {
+  Vec3 fwd, right, up;
+};
+
+constexpr Face kFaces[6] = {
+    {{1, 0, 0}, {0, 1, 0}, {0, 0, 1}},    // front (+x)
+    {{-1, 0, 0}, {0, -1, 0}, {0, 0, 1}},  // back
+    {{0, 1, 0}, {-1, 0, 0}, {0, 0, 1}},   // left
+    {{0, -1, 0}, {1, 0, 0}, {0, 0, 1}},   // right
+    {{0, 0, 1}, {0, 1, 0}, {-1, 0, 0}},   // up
+    {{0, 0, -1}, {0, 1, 0}, {1, 0, 0}},   // down
+};
+
+}  // namespace
+
+SensorFrame DepthCameraArray::capture(const World& world, const Vec3& origin,
+                                      const env::DynamicObstacleField* dynamic) const {
+  SensorFrame frame;
+  frame.origin = origin;
+  frame.max_range = std::min(config_.range, config_.weather_visibility);
+  frame.rays.reserve(raysPerFrame());
+  frame.points.reserve(raysPerFrame() / 4);
+
+  const int nh = config_.rays_horizontal;
+  const int nv = config_.rays_vertical;
+  const double half_fov = M_PI / 4.0;  // 90 degree FOV per face
+
+  for (const auto& face : kFaces) {
+    for (int iv = 0; iv < nv; ++iv) {
+      // Angle samples centered within the FOV.
+      const double av = -half_fov + (iv + 0.5) * (2.0 * half_fov / nv);
+      for (int ih = 0; ih < nh; ++ih) {
+        const double ah = -half_fov + (ih + 0.5) * (2.0 * half_fov / nh);
+        const Vec3 dir =
+            (face.fwd + face.right * std::tan(ah) + face.up * std::tan(av)).normalized();
+        auto hit = world.raycast(origin, dir, frame.max_range);
+        if (dynamic != nullptr && !dynamic->empty()) {
+          const auto dyn = dynamic->raycast(origin, dir, frame.max_range);
+          if (dyn && (!hit || *dyn < *hit)) hit = dyn;
+        }
+        SensorRay ray{dir, hit.value_or(frame.max_range), hit.has_value(), false};
+        // Ground returns are depth hits but not obstacles: they must not
+        // feed the map, the threat distances, or the gap statistics, or
+        // level flight over flat ground reads as permanent congestion.
+        if (ray.hit) {
+          const Vec3 p = origin + dir * ray.range;
+          if (p.z > config_.ground_z)
+            frame.points.push_back(p);
+          else
+            ray.ground = true;
+        }
+        frame.rays.push_back(ray);
+      }
+    }
+  }
+  return frame;
+}
+
+}  // namespace roborun::sim

@@ -1,0 +1,29 @@
+#include "sim/stopping_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roborun::sim {
+
+double StoppingModel::timeBudget(double v, double visibility, double cap) const {
+  if (v <= 1e-6) return cap;
+  const double margin = visibility - stoppingDistance(v);
+  if (margin <= 0.0) return 0.0;
+  return std::min(margin / v, cap);
+}
+
+double StoppingModel::maxSafeVelocity(double latency, double visibility) const {
+  // Solve budget(v) >= latency:
+  //   (d - (q v^2 + l v + c)) / v >= L
+  //   q v^2 + (l + L) v + (c - d) <= 0
+  // Take the positive root of the quadratic equality.
+  const double q = quad;
+  const double l = linear + std::max(latency, 0.0);
+  const double c = constant - visibility;
+  if (c >= 0.0) return 0.0;  // can't even stop within visibility from rest
+  const double disc = l * l - 4.0 * q * c;
+  if (disc <= 0.0) return 0.0;
+  return (-l + std::sqrt(disc)) / (2.0 * q);
+}
+
+}  // namespace roborun::sim

@@ -1,0 +1,94 @@
+#include "viz/map_render.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roborun::viz {
+
+namespace {
+
+struct Mapper {
+  const env::World& world;
+  int ppm;
+
+  int x(double wx) const {
+    return static_cast<int>((wx - world.extent().lo.x) * ppm);
+  }
+  int y(double wy) const {
+    return static_cast<int>((wy - world.extent().lo.y) * ppm);
+  }
+};
+
+}  // namespace
+
+Image renderEnvironment(const env::Environment& environment, const RenderOptions& options) {
+  const auto& world = *environment.world;
+  const auto size = world.extent().size();
+  const int w = std::max(1, static_cast<int>(size.x * options.pixels_per_meter));
+  const int h = std::max(1, static_cast<int>(size.y * options.pixels_per_meter));
+  Image image(w, h);
+  const Mapper map{world, options.pixels_per_meter};
+
+  // Congestion heat, sampled per pixel block.
+  const double step = 1.0 / options.pixels_per_meter;
+  for (int py = 0; py < h; ++py) {
+    const double wy = world.extent().lo.y + (py + 0.5) * step;
+    for (int px = 0; px < w; ++px) {
+      const double wx = world.extent().lo.x + (px + 0.5) * step;
+      const double c =
+          world.congestion({wx, wy, 0}, options.congestion_radius) / options.congestion_scale;
+      image.set(px, py, heatColor(c));
+    }
+  }
+
+  // Obstacle pillars in dark gray.
+  for (int iy = 0; iy < world.cellsY(); ++iy) {
+    for (int ix = 0; ix < world.cellsX(); ++ix) {
+      if (world.columnHeight(ix, iy) <= 0.0) continue;
+      const int px = map.x(world.cellCenterX(ix) - world.cellSize() * 0.5);
+      const int py = map.y(world.cellCenterY(iy) - world.cellSize() * 0.5);
+      const int extent = std::max(1, static_cast<int>(world.cellSize() * options.pixels_per_meter));
+      image.fillRect(px, py, px + extent - 1, py + extent - 1, options.obstacle_color);
+    }
+  }
+
+  if (options.draw_zone_boundaries) {
+    for (const double bx :
+         {environment.spec.zoneABoundary(), environment.spec.zoneCBoundary()}) {
+      const int px = map.x(bx);
+      for (int py = 0; py < h; py += 3) image.set(px, py, {90, 90, 90});
+    }
+  }
+  return image;
+}
+
+void overlayTrajectory(Image& image, const env::Environment& environment,
+                       const runtime::MissionResult& mission, std::size_t color_index,
+                       const RenderOptions& options) {
+  if (mission.records.empty()) return;
+  const Mapper map{*environment.world, options.pixels_per_meter};
+  const Rgb color =
+      options.trajectory_colors[color_index % options.trajectory_colors.size()];
+  const int r = std::max(1, options.trajectory_thickness);
+  for (std::size_t i = 1; i < mission.records.size(); ++i) {
+    const auto& a = mission.records[i - 1].position;
+    const auto& b = mission.records[i].position;
+    image.drawLine(map.x(a.x), map.y(a.y), map.x(b.x), map.y(b.y), color);
+  }
+  // Start and end markers.
+  const auto& first = mission.records.front().position;
+  const auto& last = mission.records.back().position;
+  image.fillCircle(map.x(first.x), map.y(first.y), r + 2, color);
+  image.fillCircle(map.x(last.x), map.y(last.y), r + 2, color);
+}
+
+bool renderMissionMap(const env::Environment& environment,
+                      const std::vector<const runtime::MissionResult*>& missions,
+                      const std::string& path, const RenderOptions& options) {
+  Image image = renderEnvironment(environment, options);
+  for (std::size_t i = 0; i < missions.size(); ++i)
+    if (missions[i] != nullptr) overlayTrajectory(image, environment, *missions[i], i, options);
+  return image.writePpm(path);
+}
+
+}  // namespace roborun::viz

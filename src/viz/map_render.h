@@ -1,0 +1,38 @@
+// Mission-map rendering (Fig. 9): congestion heatmap of the world with
+// obstacle pillars and flown trajectories overlaid, written as PPM.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "env/env_gen.h"
+#include "runtime/metrics.h"
+#include "viz/ppm.h"
+
+namespace roborun::viz {
+
+struct RenderOptions {
+  int pixels_per_meter = 2;
+  double congestion_radius = 12.0;  ///< m; heatmap smoothing radius
+  double congestion_scale = 0.12;   ///< congestion value mapped to full heat
+  Rgb obstacle_color{40, 40, 40};
+  std::vector<Rgb> trajectory_colors{{0, 90, 200}, {0, 160, 60}, {150, 0, 150}};
+  int trajectory_thickness = 2;
+  bool draw_zone_boundaries = true;
+};
+
+/// Render the environment's congestion field + obstacles.
+Image renderEnvironment(const env::Environment& environment, const RenderOptions& options = {});
+
+/// Overlay one mission's flown positions (decision records) onto an image
+/// produced by renderEnvironment. `color_index` selects the palette entry.
+void overlayTrajectory(Image& image, const env::Environment& environment,
+                       const runtime::MissionResult& mission, std::size_t color_index = 0,
+                       const RenderOptions& options = {});
+
+/// Convenience: environment + any number of missions -> PPM file.
+bool renderMissionMap(const env::Environment& environment,
+                      const std::vector<const runtime::MissionResult*>& missions,
+                      const std::string& path, const RenderOptions& options = {});
+
+}  // namespace roborun::viz

@@ -1,0 +1,84 @@
+#include "viz/ppm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace roborun::viz {
+
+Image::Image(int width, int height, Rgb fill) : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) throw std::invalid_argument("Image: non-positive size");
+  pixels_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height), fill);
+}
+
+void Image::set(int x, int y, Rgb color) {
+  if (!inBounds(x, y)) return;
+  pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+          static_cast<std::size_t>(x)] = color;
+}
+
+Rgb Image::get(int x, int y) const {
+  if (!inBounds(x, y)) return {};
+  return pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+                 static_cast<std::size_t>(x)];
+}
+
+void Image::fillRect(int x0, int y0, int x1, int y1, Rgb color) {
+  if (x0 > x1) std::swap(x0, x1);
+  if (y0 > y1) std::swap(y0, y1);
+  for (int y = std::max(0, y0); y <= std::min(height_ - 1, y1); ++y)
+    for (int x = std::max(0, x0); x <= std::min(width_ - 1, x1); ++x) set(x, y, color);
+}
+
+void Image::drawLine(int x0, int y0, int x1, int y1, Rgb color) {
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  for (;;) {
+    set(x0, y0, color);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void Image::fillCircle(int cx, int cy, int radius, Rgb color) {
+  for (int y = -radius; y <= radius; ++y)
+    for (int x = -radius; x <= radius; ++x)
+      if (x * x + y * y <= radius * radius) set(cx + x, cy + y, color);
+}
+
+bool Image::writePpm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  for (const auto& p : pixels_) {
+    out.put(static_cast<char>(p.r));
+    out.put(static_cast<char>(p.g));
+    out.put(static_cast<char>(p.b));
+  }
+  return static_cast<bool>(out);
+}
+
+Rgb heatColor(double v) {
+  v = std::clamp(v, 0.0, 1.0);
+  // white (0) -> yellow (0.5) -> red (1).
+  if (v < 0.5) {
+    const double t = v / 0.5;
+    return {255, 255, static_cast<std::uint8_t>(255.0 * (1.0 - t))};
+  }
+  const double t = (v - 0.5) / 0.5;
+  return {255, static_cast<std::uint8_t>(255.0 * (1.0 - t)), 0};
+}
+
+}  // namespace roborun::viz

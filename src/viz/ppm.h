@@ -1,0 +1,50 @@
+// Minimal RGB image buffer with binary PPM (P6) output — dependency-free
+// rendering for mission maps and heatmaps (Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace roborun::viz {
+
+struct Rgb {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+};
+
+class Image {
+ public:
+  Image(int width, int height, Rgb fill = {255, 255, 255});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  /// Set/read a pixel; out-of-bounds writes are ignored (convenient for
+  /// plotting trajectories that graze the border).
+  void set(int x, int y, Rgb color);
+  Rgb get(int x, int y) const;
+
+  /// Filled axis-aligned rectangle (clipped).
+  void fillRect(int x0, int y0, int x1, int y1, Rgb color);
+  /// 1-pixel line (Bresenham).
+  void drawLine(int x0, int y0, int x1, int y1, Rgb color);
+  /// Filled disk (clipped).
+  void fillCircle(int cx, int cy, int radius, Rgb color);
+
+  /// Write binary PPM; returns false on I/O failure.
+  bool writePpm(const std::string& path) const;
+
+ private:
+  bool inBounds(int x, int y) const { return x >= 0 && x < width_ && y >= 0 && y < height_; }
+  int width_;
+  int height_;
+  std::vector<Rgb> pixels_;
+};
+
+/// Map a value in [0,1] onto a white -> yellow -> red heat scale (the
+/// congestion palette of Fig. 9).
+Rgb heatColor(double v);
+
+}  // namespace roborun::viz

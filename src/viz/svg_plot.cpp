@@ -1,0 +1,340 @@
+#include "viz/svg_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace roborun::viz {
+
+namespace {
+
+/// Pick a "nice" tick step (1/2/5 x 10^k) covering `span` with ~`target`
+/// intervals.
+double niceStep(double span, int target) {
+  if (span <= 0 || target <= 0) return 1.0;
+  const double raw = span / target;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw)));
+  const double norm = raw / mag;
+  double step = 10.0;
+  if (norm <= 1.0) step = 1.0;
+  else if (norm <= 2.0) step = 2.0;
+  else if (norm <= 5.0) step = 5.0;
+  return step * mag;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  if (v != 0.0 && (std::fabs(v) >= 1e5 || std::fabs(v) < 1e-3)) {
+    os.precision(2);
+    os << std::scientific << v;
+  } else {
+    os.precision(6);
+    os << v;
+  }
+  return os.str();
+}
+
+struct Range {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void include(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo <= hi; }
+  void pad() {
+    if (!valid()) {
+      lo = 0.0;
+      hi = 1.0;
+    } else if (hi == lo) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<std::string>& plotPalette() {
+  static const std::vector<std::string> palette = {
+      "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+      "#8c564b", "#17becf", "#e377c2", "#7f7f7f", "#bcbd22",
+  };
+  return palette;
+}
+
+std::string xmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+SvgPlot::SvgPlot(std::string title, std::string x_label, std::string y_label,
+                 PlotOptions options)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      options_(options) {}
+
+void SvgPlot::addSeries(Series series) {
+  // Drop non-finite samples (and non-positive y on log charts) up front so
+  // the range pass and path emission never see them.
+  Series clean;
+  clean.label = std::move(series.label);
+  clean.color = std::move(series.color);
+  clean.dashed = series.dashed;
+  clean.markers = series.markers;
+  const std::size_t n = std::min(series.x.size(), series.y.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = series.x[i];
+    const double y = series.y[i];
+    if (!std::isfinite(x) || !std::isfinite(y)) continue;
+    if (options_.log_y && y <= 0.0) continue;
+    clean.x.push_back(x);
+    clean.y.push_back(y);
+  }
+  series_.push_back(std::move(clean));
+}
+
+void SvgPlot::addSeries(const std::string& label, const std::vector<double>& y) {
+  Series s;
+  s.label = label;
+  s.y = y;
+  s.x.resize(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) s.x[i] = static_cast<double>(i);
+  addSeries(std::move(s));
+}
+
+void SvgPlot::addHorizontalMarker(double y, const std::string& label) {
+  markers_.push_back({y, label});
+}
+
+std::string SvgPlot::render() const {
+  Range xr, yr;
+  for (const auto& s : series_) {
+    for (double v : s.x) xr.include(v);
+    for (double v : s.y) yr.include(v);
+  }
+  for (const auto& m : markers_)
+    if (!options_.log_y || m.y > 0.0) yr.include(m.y);
+  xr.pad();
+  if (options_.y_force_range) {
+    yr.lo = options_.y_min_hint;
+    yr.hi = options_.y_max_hint;
+  }
+  yr.pad();
+
+  const double plot_w = options_.width - options_.margin_left - options_.margin_right;
+  const double plot_h = options_.height - options_.margin_top - options_.margin_bottom;
+  const double ylo = options_.log_y ? std::log10(yr.lo) : yr.lo;
+  const double yhi = options_.log_y ? std::log10(yr.hi) : yr.hi;
+  const auto px = [&](double x) {
+    return options_.margin_left + (x - xr.lo) / (xr.hi - xr.lo) * plot_w;
+  };
+  const auto py = [&](double y) {
+    const double v = options_.log_y ? std::log10(y) : y;
+    return options_.margin_top + (yhi - v) / (yhi - ylo) * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << options_.width << "' height='"
+      << options_.height << "' font-family='sans-serif' font-size='12'>\n";
+  svg << "<rect width='100%' height='100%' fill='white'/>\n";
+  svg << "<text x='" << options_.width / 2 << "' y='20' text-anchor='middle' font-size='15'>"
+      << xmlEscape(title_) << "</text>\n";
+
+  // Axes frame.
+  svg << "<rect x='" << options_.margin_left << "' y='" << options_.margin_top << "' width='"
+      << plot_w << "' height='" << plot_h << "' fill='none' stroke='#333'/>\n";
+
+  // X ticks.
+  const double xstep = niceStep(xr.hi - xr.lo, 6);
+  for (double t = std::ceil(xr.lo / xstep) * xstep; t <= xr.hi + 1e-9; t += xstep) {
+    const double x = px(t);
+    if (options_.grid)
+      svg << "<line x1='" << x << "' y1='" << options_.margin_top << "' x2='" << x << "' y2='"
+          << options_.margin_top + plot_h << "' stroke='#ddd'/>\n";
+    svg << "<text x='" << x << "' y='" << options_.margin_top + plot_h + 16
+        << "' text-anchor='middle'>" << fmt(t) << "</text>\n";
+  }
+  // Y ticks (decades on log charts).
+  if (options_.log_y) {
+    for (double d = std::floor(ylo); d <= std::ceil(yhi); d += 1.0) {
+      const double v = std::pow(10.0, d);
+      if (v < yr.lo * 0.999 || v > yr.hi * 1.001) continue;
+      const double y = py(v);
+      if (options_.grid)
+        svg << "<line x1='" << options_.margin_left << "' y1='" << y << "' x2='"
+            << options_.margin_left + plot_w << "' y2='" << y << "' stroke='#ddd'/>\n";
+      svg << "<text x='" << options_.margin_left - 6 << "' y='" << y + 4
+          << "' text-anchor='end'>" << fmt(v) << "</text>\n";
+    }
+  } else {
+    const double ystep = niceStep(yr.hi - yr.lo, 5);
+    for (double t = std::ceil(yr.lo / ystep) * ystep; t <= yr.hi + 1e-9; t += ystep) {
+      const double y = py(t);
+      if (options_.grid)
+        svg << "<line x1='" << options_.margin_left << "' y1='" << y << "' x2='"
+            << options_.margin_left + plot_w << "' y2='" << y << "' stroke='#ddd'/>\n";
+      svg << "<text x='" << options_.margin_left - 6 << "' y='" << y + 4
+          << "' text-anchor='end'>" << fmt(t) << "</text>\n";
+    }
+  }
+
+  // Axis labels.
+  svg << "<text x='" << options_.margin_left + plot_w / 2 << "' y='" << options_.height - 12
+      << "' text-anchor='middle'>" << xmlEscape(x_label_) << "</text>\n";
+  svg << "<text x='16' y='" << options_.margin_top + plot_h / 2
+      << "' text-anchor='middle' transform='rotate(-90 16 "
+      << options_.margin_top + plot_h / 2 << ")'>" << xmlEscape(y_label_) << "</text>\n";
+
+  // Reference markers.
+  for (const auto& m : markers_) {
+    if (options_.log_y && m.y <= 0.0) continue;
+    const double y = py(std::clamp(m.y, yr.lo, yr.hi));
+    svg << "<line x1='" << options_.margin_left << "' y1='" << y << "' x2='"
+        << options_.margin_left + plot_w << "' y2='" << y
+        << "' stroke='#888' stroke-dasharray='2,4'/>\n";
+    svg << "<text x='" << options_.margin_left + plot_w - 4 << "' y='" << y - 4
+        << "' text-anchor='end' fill='#666'>" << xmlEscape(m.label) << "</text>\n";
+  }
+
+  // Series.
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    const auto& s = series_[si];
+    const std::string color =
+        s.color.empty() ? plotPalette()[si % plotPalette().size()] : s.color;
+    if (s.x.size() >= 2) {
+      svg << "<polyline fill='none' stroke='" << color << "' stroke-width='1.8'";
+      if (s.dashed) svg << " stroke-dasharray='6,4'";
+      svg << " points='";
+      for (std::size_t i = 0; i < s.x.size(); ++i)
+        svg << px(s.x[i]) << "," << py(s.y[i]) << " ";
+      svg << "'/>\n";
+    }
+    if (s.markers || s.x.size() < 2) {
+      for (std::size_t i = 0; i < s.x.size(); ++i)
+        svg << "<circle cx='" << px(s.x[i]) << "' cy='" << py(s.y[i]) << "' r='2.4' fill='"
+            << color << "'/>\n";
+    }
+    // Legend entry.
+    const double ly = options_.margin_top + 8 + 16.0 * static_cast<double>(si);
+    const double lx = options_.margin_left + 10;
+    svg << "<line x1='" << lx << "' y1='" << ly << "' x2='" << lx + 22 << "' y2='" << ly
+        << "' stroke='" << color << "' stroke-width='2'";
+    if (s.dashed) svg << " stroke-dasharray='6,4'";
+    svg << "/>\n";
+    svg << "<text x='" << lx + 28 << "' y='" << ly + 4 << "'>" << xmlEscape(s.label)
+        << "</text>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+bool SvgPlot::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+SvgBarChart::SvgBarChart(std::string title, std::string y_label,
+                         std::vector<std::string> categories, PlotOptions options)
+    : title_(std::move(title)),
+      y_label_(std::move(y_label)),
+      categories_(std::move(categories)),
+      options_(options) {}
+
+void SvgBarChart::addGroup(BarGroup group) {
+  group.values.resize(categories_.size(), 0.0);
+  groups_.push_back(std::move(group));
+}
+
+std::string SvgBarChart::render() const {
+  Range yr;
+  yr.include(0.0);
+  for (const auto& g : groups_)
+    for (double v : g.values)
+      if (std::isfinite(v)) yr.include(v);
+  yr.pad();
+
+  const double plot_w = options_.width - options_.margin_left - options_.margin_right;
+  const double plot_h = options_.height - options_.margin_top - options_.margin_bottom;
+  const auto py = [&](double y) {
+    return options_.margin_top + (yr.hi - y) / (yr.hi - yr.lo) * plot_h;
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns='http://www.w3.org/2000/svg' width='" << options_.width << "' height='"
+      << options_.height << "' font-family='sans-serif' font-size='12'>\n";
+  svg << "<rect width='100%' height='100%' fill='white'/>\n";
+  svg << "<text x='" << options_.width / 2 << "' y='20' text-anchor='middle' font-size='15'>"
+      << xmlEscape(title_) << "</text>\n";
+  svg << "<rect x='" << options_.margin_left << "' y='" << options_.margin_top << "' width='"
+      << plot_w << "' height='" << plot_h << "' fill='none' stroke='#333'/>\n";
+
+  const double ystep = niceStep(yr.hi - yr.lo, 5);
+  for (double t = std::ceil(yr.lo / ystep) * ystep; t <= yr.hi + 1e-9; t += ystep) {
+    const double y = py(t);
+    if (options_.grid)
+      svg << "<line x1='" << options_.margin_left << "' y1='" << y << "' x2='"
+          << options_.margin_left + plot_w << "' y2='" << y << "' stroke='#ddd'/>\n";
+    svg << "<text x='" << options_.margin_left - 6 << "' y='" << y + 4
+        << "' text-anchor='end'>" << fmt(t) << "</text>\n";
+  }
+  svg << "<text x='16' y='" << options_.margin_top + plot_h / 2
+      << "' text-anchor='middle' transform='rotate(-90 16 "
+      << options_.margin_top + plot_h / 2 << ")'>" << xmlEscape(y_label_) << "</text>\n";
+
+  const std::size_t ngroups = groups_.size();
+  const std::size_t ncats = categories_.size();
+  if (ngroups > 0 && ncats > 0) {
+    const double group_w = plot_w / static_cast<double>(ngroups);
+    const double bar_w = group_w * 0.8 / static_cast<double>(ncats);
+    for (std::size_t gi = 0; gi < ngroups; ++gi) {
+      const auto& g = groups_[gi];
+      const double gx = options_.margin_left + group_w * static_cast<double>(gi);
+      for (std::size_t ci = 0; ci < ncats; ++ci) {
+        const double v = std::isfinite(g.values[ci]) ? g.values[ci] : 0.0;
+        const double x = gx + group_w * 0.1 + bar_w * static_cast<double>(ci);
+        const double ytop = py(std::max(v, 0.0));
+        const double ybase = py(std::max(yr.lo, 0.0));
+        svg << "<rect x='" << x << "' y='" << ytop << "' width='" << bar_w * 0.92
+            << "' height='" << std::max(0.0, ybase - ytop) << "' fill='"
+            << plotPalette()[ci % plotPalette().size()] << "'/>\n";
+      }
+      svg << "<text x='" << gx + group_w / 2 << "' y='" << options_.margin_top + plot_h + 16
+          << "' text-anchor='middle'>" << xmlEscape(g.label) << "</text>\n";
+    }
+    for (std::size_t ci = 0; ci < ncats; ++ci) {
+      const double ly = options_.margin_top + 8 + 16.0 * static_cast<double>(ci);
+      const double lx = options_.margin_left + plot_w - 150;
+      svg << "<rect x='" << lx << "' y='" << ly - 8 << "' width='12' height='12' fill='"
+          << plotPalette()[ci % plotPalette().size()] << "'/>\n";
+      svg << "<text x='" << lx + 18 << "' y='" << ly + 2 << "'>" << xmlEscape(categories_[ci])
+          << "</text>\n";
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+bool SvgBarChart::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << render();
+  return static_cast<bool>(out);
+}
+
+}  // namespace roborun::viz

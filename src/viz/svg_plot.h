@@ -1,0 +1,104 @@
+// Dependency-free SVG chart writer.
+//
+// The benches regenerate the paper's figures as CSV series; this module
+// additionally renders them as standalone SVG files (line charts for the
+// time-series/sweep figures, grouped bars for the Fig. 7 / Fig. 11b style
+// comparisons) so results can be eyeballed without any plotting toolchain.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace roborun::viz {
+
+/// One named line/scatter series of a chart.
+struct Series {
+  std::string label;
+  std::vector<double> x;
+  std::vector<double> y;
+  std::string color;     ///< CSS color; empty selects from the default palette
+  bool dashed = false;
+  bool markers = false;  ///< draw a dot at every sample
+};
+
+struct PlotOptions {
+  int width = 760;
+  int height = 420;
+  int margin_left = 70;
+  int margin_right = 24;
+  int margin_top = 40;
+  int margin_bottom = 52;
+  bool log_y = false;     ///< base-10 log scale (values must be > 0)
+  bool grid = true;
+  double y_min_hint = 0;  ///< used only when y_force_range is set
+  double y_max_hint = 0;
+  bool y_force_range = false;
+};
+
+/// A 2-D chart assembled series by series, then serialized to SVG.
+class SvgPlot {
+ public:
+  SvgPlot(std::string title, std::string x_label, std::string y_label,
+          PlotOptions options = {});
+
+  /// Add a line series; samples with non-finite coordinates are dropped.
+  void addSeries(Series series);
+  /// Shorthand for addSeries with sequential x = 0..n-1.
+  void addSeries(const std::string& label, const std::vector<double>& y);
+
+  /// Horizontal reference line (e.g. a paper-reported constant).
+  void addHorizontalMarker(double y, const std::string& label);
+
+  std::size_t seriesCount() const { return series_.size(); }
+
+  /// Render the chart. Returns a complete standalone SVG document.
+  std::string render() const;
+  /// Render and write to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  PlotOptions options_;
+  std::vector<Series> series_;
+  struct Marker {
+    double y;
+    std::string label;
+  };
+  std::vector<Marker> markers_;
+};
+
+/// One group of bars (e.g. one metric) in a grouped bar chart.
+struct BarGroup {
+  std::string label;           ///< group name shown under the x axis
+  std::vector<double> values;  ///< one bar per category, in category order
+};
+
+/// Grouped bar chart: categories (e.g. designs) x groups (e.g. metrics).
+class SvgBarChart {
+ public:
+  SvgBarChart(std::string title, std::string y_label, std::vector<std::string> categories,
+              PlotOptions options = {});
+
+  /// Append a group; missing values render as zero-height bars.
+  void addGroup(BarGroup group);
+
+  std::string render() const;
+  bool write(const std::string& path) const;
+
+ private:
+  std::string title_;
+  std::string y_label_;
+  std::vector<std::string> categories_;
+  PlotOptions options_;
+  std::vector<BarGroup> groups_;
+};
+
+/// Default qualitative palette shared by both chart types.
+const std::vector<std::string>& plotPalette();
+
+/// Escape &, <, > for safe embedding in SVG text nodes.
+std::string xmlEscape(const std::string& text);
+
+}  // namespace roborun::viz

@@ -1,0 +1,140 @@
+// Unit tests for the control stage: PID and trajectory follower.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "control/follower.h"
+#include "control/pid.h"
+#include "sim/drone.h"
+
+namespace roborun::control {
+namespace {
+
+using geom::Vec3;
+using planning::Trajectory;
+using planning::TrajectoryPoint;
+
+TEST(PidTest, ProportionalOnly) {
+  Pid pid(PidGains{2.0, 0.0, 0.0, 10.0});
+  EXPECT_DOUBLE_EQ(pid.update(3.0, 0.1), 6.0);
+  EXPECT_DOUBLE_EQ(pid.update(-1.0, 0.1), -2.0);
+}
+
+TEST(PidTest, IntegralAccumulatesAndClamps) {
+  Pid pid(PidGains{0.0, 1.0, 0.0, 0.5});
+  double out = 0.0;
+  for (int i = 0; i < 100; ++i) out = pid.update(1.0, 0.1);
+  EXPECT_NEAR(out, 0.5, 1e-9);  // anti-windup clamp
+}
+
+TEST(PidTest, DerivativeRespondsToChange) {
+  Pid pid(PidGains{0.0, 0.0, 1.0, 10.0});
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 0.1), 0.0);  // no previous error
+  EXPECT_NEAR(pid.update(2.0, 0.1), 10.0, 1e-9);
+}
+
+TEST(PidTest, ResetClearsState) {
+  Pid pid(PidGains{0.0, 1.0, 1.0, 10.0});
+  pid.update(1.0, 0.1);
+  pid.update(2.0, 0.1);
+  pid.reset();
+  EXPECT_DOUBLE_EQ(pid.update(1.0, 0.1), 0.1);  // only fresh integral
+}
+
+TEST(PidTest, ZeroDtFallsBackToProportional) {
+  Pid pid(PidGains{3.0, 1.0, 1.0, 10.0});
+  EXPECT_DOUBLE_EQ(pid.update(2.0, 0.0), 6.0);
+}
+
+TEST(Pid3Test, PerAxisIndependence) {
+  Pid3 pid(PidGains{1.0, 0.0, 0.0, 10.0});
+  const Vec3 out = pid.update({1.0, -2.0, 0.5}, 0.1);
+  EXPECT_DOUBLE_EQ(out.x, 1.0);
+  EXPECT_DOUBLE_EQ(out.y, -2.0);
+  EXPECT_DOUBLE_EQ(out.z, 0.5);
+}
+
+Trajectory straightTrajectory(double length = 20.0, double v = 2.0) {
+  std::vector<TrajectoryPoint> pts;
+  const int n = 20;
+  for (int i = 0; i <= n; ++i) {
+    const double s = length * i / n;
+    pts.push_back({{s, 0, 3}, v, s / v});
+  }
+  return Trajectory(std::move(pts));
+}
+
+TEST(FollowerTest, CommandsAlongPath) {
+  TrajectoryFollower follower;
+  follower.setTrajectory(straightTrajectory());
+  const Vec3 cmd = follower.velocityCommand({0, 0, 3}, 2.0, 0.05);
+  EXPECT_NEAR(cmd.norm(), 2.0, 0.2);
+  EXPECT_GT(cmd.x, 1.8);  // along +x
+}
+
+TEST(FollowerTest, NoTrajectoryOrZeroSpeedIsZeroCommand) {
+  TrajectoryFollower follower;
+  EXPECT_EQ(follower.velocityCommand({0, 0, 0}, 2.0, 0.05), Vec3{});
+  follower.setTrajectory(straightTrajectory());
+  EXPECT_EQ(follower.velocityCommand({0, 0, 3}, 0.0, 0.05), Vec3{});
+  EXPECT_TRUE(follower.hasTrajectory());
+}
+
+TEST(FollowerTest, PullsBackTowardPath) {
+  TrajectoryFollower follower;
+  follower.setTrajectory(straightTrajectory());
+  // Drone displaced laterally: command should have a -y component.
+  const Vec3 cmd = follower.velocityCommand({5, 2.0, 3}, 2.0, 0.05);
+  EXPECT_LT(cmd.y, -0.1);
+}
+
+TEST(FollowerTest, SlowsNearTheEnd) {
+  TrajectoryFollower follower;
+  follower.setTrajectory(straightTrajectory(20.0));
+  const Vec3 cmd_mid = follower.velocityCommand({10, 0, 3}, 2.0, 0.05);
+  follower.setTrajectory(straightTrajectory(20.0));
+  const Vec3 cmd_end = follower.velocityCommand({19.5, 0, 3}, 2.0, 0.05);
+  EXPECT_LT(cmd_end.norm(), cmd_mid.norm() * 0.5);
+}
+
+TEST(FollowerTest, ProgressMonotone) {
+  TrajectoryFollower follower;
+  follower.setTrajectory(straightTrajectory());
+  follower.velocityCommand({5, 0, 3}, 2.0, 0.05);
+  const double p1 = follower.progress();
+  follower.velocityCommand({10, 0, 3}, 2.0, 0.05);
+  const double p2 = follower.progress();
+  follower.velocityCommand({8, 0, 3}, 2.0, 0.05);  // apparent backtrack
+  const double p3 = follower.progress();
+  EXPECT_GT(p2, p1);
+  EXPECT_GE(p3, p2);  // progress never reverses
+  EXPECT_NEAR(follower.remaining(), 20.0 - p3, 1e-9);
+}
+
+TEST(FollowerTest, SpeedCapRespected) {
+  TrajectoryFollower follower;
+  follower.setTrajectory(straightTrajectory());
+  // Large lateral error: the PID correction must not exceed the cap.
+  const Vec3 cmd = follower.velocityCommand({5, 6.0, 3}, 1.5, 0.05);
+  EXPECT_LE(cmd.norm(), 1.5 + 1e-9);
+}
+
+TEST(FollowerTest, ClosedLoopConvergesToPath) {
+  // Fly the drone model under the follower; it must track the straight
+  // path within a modest tube and reach the end region.
+  TrajectoryFollower follower;
+  follower.setTrajectory(straightTrajectory(20.0, 2.0));
+  sim::Drone drone;
+  drone.reset({0, 1.5, 3});  // start offset from the path
+  for (int i = 0; i < 400; ++i) {
+    const Vec3 cmd = follower.velocityCommand(drone.state().position, 2.0, 0.05);
+    drone.commandVelocity(cmd);
+    drone.update(0.05);
+  }
+  const Vec3 end = drone.state().position;
+  EXPECT_GT(end.x, 18.0);
+  EXPECT_LT(std::abs(end.y), 0.8);
+}
+
+}  // namespace
+}  // namespace roborun::control

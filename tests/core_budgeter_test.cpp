@@ -1,0 +1,134 @@
+// Unit tests for the time budgeter: Eq. 1 local budgets and Algorithm 1.
+#include <gtest/gtest.h>
+
+#include "core/time_budgeter.h"
+
+#include "geom/rng.h"
+
+namespace roborun::core {
+namespace {
+
+TimeBudgeter makeBudgeter(double cap = 10.0, double floor = 0.05) {
+  BudgeterConfig config;
+  config.budget_cap = cap;
+  config.budget_floor = floor;
+  return TimeBudgeter(config);
+}
+
+WaypointState wp(double v, double vis, double ft = 1.0) {
+  return {geom::Vec3{}, v, vis, ft};
+}
+
+TEST(BudgeterTest, LocalBudgetMatchesEq1) {
+  const auto b = makeBudgeter();
+  const sim::StoppingModel m;
+  // Moderate speed, mid visibility (below the cap): plain Eq. 1.
+  const double v = 1.5;
+  const double d = 12.0;
+  EXPECT_NEAR(b.localBudget(v, d), (d - m.stoppingDistance(v)) / v, 1e-9);
+}
+
+TEST(BudgeterTest, LocalBudgetCapAndFloor) {
+  const auto b = makeBudgeter(10.0, 0.05);
+  EXPECT_DOUBLE_EQ(b.localBudget(0.05, 30.0), 10.0);  // slow + far: cap
+  EXPECT_DOUBLE_EQ(b.localBudget(3.0, 0.3), 0.05);    // blind: floor
+}
+
+TEST(BudgeterTest, PlannedOverspeedIsCappedToAttainable) {
+  const auto b = makeBudgeter();
+  // A waypoint "planned" at 5 m/s with only 3 m visibility: the naive Eq. 1
+  // would go negative; the budgeter caps the velocity to what is flyable.
+  EXPECT_GT(b.localBudget(5.0, 3.0), 0.05);
+}
+
+TEST(BudgeterTest, SingleWaypointEqualsLocalBudget) {
+  const auto b = makeBudgeter();
+  const std::vector<WaypointState> wps{wp(1.0, 15.0)};
+  EXPECT_NEAR(b.globalBudget(wps), b.localBudget(1.0, 15.0), 1e-9);
+}
+
+TEST(BudgeterTest, EmptyHorizonGivesFloor) {
+  const auto b = makeBudgeter();
+  EXPECT_DOUBLE_EQ(b.globalBudget({}), 0.05);
+}
+
+TEST(BudgeterTest, TightWaypointAheadShortensBudget) {
+  const auto b = makeBudgeter();
+  // Generous now, tight in two waypoints.
+  const std::vector<WaypointState> generous{wp(1.0, 25.0), wp(1.0, 25.0, 2.0),
+                                            wp(1.0, 25.0, 2.0)};
+  const std::vector<WaypointState> tight{wp(1.0, 25.0), wp(1.0, 25.0, 2.0),
+                                         wp(2.5, 1.2, 2.0)};
+  EXPECT_LT(b.globalBudget(tight), b.globalBudget(generous));
+}
+
+TEST(BudgeterTest, Algorithm1AccumulatesFlightTime) {
+  const auto b = makeBudgeter(100.0);
+  // All waypoints generous: the budget is the accumulated flight time plus
+  // the remaining local budget, capped.
+  const std::vector<WaypointState> wps{wp(0.5, 40.0), wp(0.5, 40.0, 3.0),
+                                       wp(0.5, 40.0, 3.0)};
+  const double bg = b.globalBudget(wps);
+  EXPECT_GT(bg, 6.0);  // at least the summed flight times
+}
+
+TEST(BudgeterTest, BreaksAtZeroRemaining) {
+  const auto b = makeBudgeter(100.0);
+  // First hop consumes more flight time than the initial budget allows.
+  const double b0 = b.localBudget(2.0, 6.0);
+  const std::vector<WaypointState> wps{wp(2.0, 6.0), wp(2.0, 6.0, b0 + 5.0),
+                                       wp(0.1, 100.0, 1.0)};
+  // The generous third waypoint must not be reachable: budget <= flight time
+  // of the first hop (algorithm breaks before accumulating it).
+  EXPECT_LE(b.globalBudget(wps), b0 + 1e-9);
+}
+
+TEST(BudgeterTest, MonotoneInVisibility) {
+  const auto b = makeBudgeter();
+  double prev = 0.0;
+  for (double vis = 2.0; vis <= 30.0; vis += 2.0) {
+    const std::vector<WaypointState> wps{wp(1.5, vis), wp(1.5, vis, 1.0)};
+    const double bg = b.globalBudget(wps);
+    EXPECT_GE(bg, prev - 1e-9);
+    prev = bg;
+  }
+}
+
+TEST(BudgeterTest, CapAppliesGlobally) {
+  const auto b = makeBudgeter(5.0);
+  // Generous waypoints with short hops: the remaining budget survives the
+  // horizon, so bg accumulates to (and is clamped at) the cap.
+  const std::vector<WaypointState> wps{wp(0.1, 100.0), wp(0.1, 100.0, 1.5),
+                                       wp(0.1, 100.0, 1.5), wp(0.1, 100.0, 1.5)};
+  EXPECT_DOUBLE_EQ(b.globalBudget(wps), 5.0);
+}
+
+// Property sweep: the global budget never exceeds any waypoint's local
+// budget plus the flight time needed to reach it (Algorithm 1's safety
+// invariant).
+class BudgeterSafety : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BudgeterSafety, GlobalRespectsEveryLocalCap) {
+  const auto b = makeBudgeter(50.0);
+  geom::Rng rng(GetParam());
+  std::vector<WaypointState> wps;
+  for (int i = 0; i < 10; ++i)
+    wps.push_back(wp(rng.uniform(0.2, 3.0), rng.uniform(1.0, 30.0),
+                     i == 0 ? 0.0 : rng.uniform(0.2, 3.0)));
+  const double bg = b.globalBudget(wps);
+  double flight = 0.0;
+  for (std::size_t i = 1; i < wps.size(); ++i) {
+    flight += wps[i].flight_time_from_prev;
+    const double local = b.localBudget(wps[i].velocity, wps[i].visibility);
+    // Beyond this waypoint's reach time, the budget cannot rely on more
+    // than its local allowance.
+    EXPECT_LE(bg, flight + local + 1e-6)
+        << "violated at waypoint " << i << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BudgeterSafety,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace roborun::core

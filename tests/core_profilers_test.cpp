@@ -1,0 +1,188 @@
+// Unit tests for the Table I profilers.
+#include <gtest/gtest.h>
+
+#include "core/profilers.h"
+#include "env/world.h"
+#include "perception/octomap_kernel.h"
+#include "perception/point_cloud.h"
+#include "sim/sensor.h"
+
+namespace roborun::core {
+namespace {
+
+using env::World;
+using geom::Aabb;
+using geom::Vec3;
+using perception::OccupancyOctree;
+using planning::Trajectory;
+using planning::TrajectoryPoint;
+
+World emptyWorld() { return World(Aabb{{-40, -40, 0}, {40, 40, 20}}, 1.0); }
+
+World corridorWorld(double half_gap) {
+  // Two walls along x at y = +/- half_gap: a corridor of width 2*half_gap.
+  World w = emptyWorld();
+  for (int ix = 0; ix < w.cellsX(); ++ix) {
+    w.setColumn(ix, w.toIy(half_gap + 0.5), 20.0);
+    w.setColumn(ix, w.toIy(-half_gap - 0.5), 20.0);
+  }
+  return w;
+}
+
+sim::SensorFrame capture(const World& w, const Vec3& pos) {
+  sim::DepthCameraArray sensor;
+  return sensor.capture(w, pos);
+}
+
+Trajectory straightTraj(double length, double v = 2.0) {
+  std::vector<TrajectoryPoint> pts;
+  for (int i = 0; i <= 10; ++i) {
+    const double s = length * i / 10.0;
+    pts.push_back({{s, 0, 3}, v, s / std::max(v, 0.1)});
+  }
+  return Trajectory(std::move(pts));
+}
+
+TEST(GapProfilerTest, OpenSkyReportsNoGapConstraint) {
+  const auto w = emptyWorld();
+  const auto frame = capture(w, {0, 0, 3});
+  const auto gaps = profileGaps(frame);
+  EXPECT_DOUBLE_EQ(gaps.average, ProfilerConfig{}.gap_cap);
+  EXPECT_DOUBLE_EQ(gaps.minimum, ProfilerConfig{}.gap_cap);
+  EXPECT_EQ(gaps.count, 0u);
+}
+
+TEST(GapProfilerTest, CorridorGapsScaleWithWidth) {
+  const auto narrow_frame = capture(corridorWorld(2.0), {0, 0, 3});
+  const auto wide_frame = capture(corridorWorld(6.0), {0, 0, 3});
+  const auto narrow = profileGaps(narrow_frame);
+  const auto wide = profileGaps(wide_frame);
+  ASSERT_GT(narrow.count, 0u);
+  ASSERT_GT(wide.count, 0u);
+  // The wider corridor's free cones span larger chords.
+  EXPECT_GT(wide.average, narrow.average);
+  EXPECT_LE(narrow.minimum, narrow.average);
+}
+
+TEST(GapProfilerTest, FullyWalledReportsNoGaps) {
+  // A box of walls right around the sensor: every horizontal ray hits.
+  World w = emptyWorld();
+  for (int ix = 0; ix < w.cellsX(); ++ix)
+    for (int iy = 0; iy < w.cellsY(); ++iy) {
+      const double x = w.cellCenterX(ix);
+      const double y = w.cellCenterY(iy);
+      if (std::abs(x) > 2.5 || std::abs(y) > 2.5) w.setColumn(ix, iy, 20.0);
+    }
+  const auto frame = capture(w, {0, 0, 3});
+  const auto gaps = profileGaps(frame);
+  // Every horizontal ray hits the surrounding wall: there are no free runs
+  // at all, so no gaps are reported (precision demand then comes from the
+  // closest-obstacle distance, not from gaps).
+  EXPECT_EQ(gaps.count, 0u);
+}
+
+TEST(ProfileSpaceTest, TableIVariablesPopulated) {
+  const auto w = corridorWorld(3.0);
+  const auto frame = capture(w, {0, 0, 3});
+  OccupancyOctree map(Aabb{{-40, -40, 0}, {40, 40, 20}}, 0.3);
+  const auto traj = straightTraj(20.0);
+  const auto prof = profileSpace(frame, map, traj, {0, 0, 3}, {2, 0, 0}, {1, 0, 0});
+  EXPECT_GT(prof.gap_avg, 0.0);
+  EXPECT_GT(prof.d_obstacle, 0.0);
+  EXPECT_LT(prof.d_obstacle, 5.0);  // walls 3.5 m away
+  EXPECT_GT(prof.sensor_volume, 0.0);
+  EXPECT_NEAR(prof.velocity, 2.0, 1e-9);
+  EXPECT_GT(prof.visibility, 5.0);  // corridor open ahead
+  EXPECT_FALSE(prof.waypoints.empty());
+}
+
+TEST(ProfileSpaceTest, SensorVolumeIsSensingSphere) {
+  const auto w = emptyWorld();
+  const auto frame = capture(w, {0, 0, 3});
+  OccupancyOctree map(Aabb{{-40, -40, 0}, {40, 40, 20}}, 0.3);
+  const auto prof = profileSpace(frame, map, {}, {0, 0, 3}, {}, {1, 0, 0});
+  const double expected = 4.0 / 3.0 * M_PI * std::pow(frame.max_range, 3);
+  EXPECT_NEAR(prof.sensor_volume, expected, expected * 1e-6);
+}
+
+TEST(ProfileSpaceTest, MapVolumeTracksOctree) {
+  const auto w = emptyWorld();
+  const auto frame = capture(w, {0, 0, 3});
+  OccupancyOctree map(Aabb{{-40, -40, 0}, {40, 40, 20}}, 0.3);
+  const auto before = profileSpace(frame, map, {}, {0, 0, 3}, {}, {1, 0, 0});
+  EXPECT_DOUBLE_EQ(before.map_volume, 0.0);
+  const auto pc = perception::fromSensorFrame(frame);
+  perception::OctomapInsertParams params;
+  params.volume_budget = 1e9;
+  perception::insertPointCloud(map, pc, params, {});
+  const auto after = profileSpace(frame, map, {}, {0, 0, 3}, {}, {1, 0, 0});
+  EXPECT_GT(after.map_volume, 1000.0);
+}
+
+TEST(ProfileSpaceTest, NoTrajectoryGivesCurrentStateWaypoint) {
+  const auto w = emptyWorld();
+  const auto frame = capture(w, {0, 0, 3});
+  OccupancyOctree map(Aabb{{-40, -40, 0}, {40, 40, 20}}, 0.3);
+  const auto prof = profileSpace(frame, map, {}, {1, 2, 3}, {0.5, 0, 0}, {1, 0, 0});
+  ASSERT_EQ(prof.waypoints.size(), 1u);
+  EXPECT_EQ(prof.waypoints[0].position, Vec3(1, 2, 3));
+  EXPECT_NEAR(prof.waypoints[0].velocity, 0.5, 1e-9);
+}
+
+TEST(ProfileSpaceTest, FirstWaypointIsCurrentState) {
+  const auto w = emptyWorld();
+  const auto frame = capture(w, {0, 0, 3});
+  OccupancyOctree map(Aabb{{-40, -40, 0}, {40, 40, 20}}, 0.3);
+  const auto traj = straightTraj(20.0);
+  const auto prof = profileSpace(frame, map, traj, {0.5, 0, 3}, {1.5, 0, 0}, {1, 0, 0});
+  ASSERT_GE(prof.waypoints.size(), 2u);
+  // Algorithm 1's W0: the current state, zero flight time.
+  EXPECT_EQ(prof.waypoints[0].position, Vec3(0.5, 0, 3));
+  EXPECT_DOUBLE_EQ(prof.waypoints[0].flight_time_from_prev, 0.0);
+  EXPECT_NEAR(prof.waypoints[0].velocity, 1.5, 1e-9);
+}
+
+TEST(ProfileSpaceTest, DUnknownEndsAtUnmappedSpace) {
+  const auto w = emptyWorld();
+  const auto frame = capture(w, {0, 0, 3});
+  OccupancyOctree map(Aabb{{-40, -40, 0}, {40, 40, 20}}, 0.3);
+  // Mark free only the first 8 m along the trajectory.
+  for (double x = 0; x <= 8.0; x += 0.5) map.updateCell({x, 0, 3}, 2, perception::Occupancy::Free);
+  const auto traj = straightTraj(30.0);
+  const auto prof = profileSpace(frame, map, traj, {0, 0, 3}, {1, 0, 0}, {1, 0, 0});
+  EXPECT_GT(prof.d_unknown, 5.0);
+  EXPECT_LT(prof.d_unknown, 12.0);
+}
+
+TEST(ProfileSpaceTest, DUnknownStopsAtOccupied) {
+  const auto w = emptyWorld();
+  const auto frame = capture(w, {0, 0, 3});
+  OccupancyOctree map(Aabb{{-40, -40, 0}, {40, 40, 20}}, 0.3);
+  for (double x = 0; x <= 30.0; x += 0.5) map.updateCell({x, 0, 3}, 2, perception::Occupancy::Free);
+  map.updateCell({6.0, 0, 3}, 0, perception::Occupancy::Occupied);
+  const auto traj = straightTraj(30.0);
+  const auto prof = profileSpace(frame, map, traj, {0, 0, 3}, {1, 0, 0}, {1, 0, 0});
+  EXPECT_LT(prof.d_unknown, 8.0);
+}
+
+TEST(ProfileSpaceTest, WaypointVisibilityReflectsFreeRun) {
+  const auto w = emptyWorld();
+  const auto frame = capture(w, {0, 0, 3});
+  OccupancyOctree map(Aabb{{-40, -40, 0}, {40, 40, 20}}, 0.3);
+  // Free for 10 m, then an occupied cell at 12 m.
+  for (double x = 0; x <= 10.0; x += 0.4) map.updateCell({x, 0, 3}, 1, perception::Occupancy::Free);
+  map.updateCell({12.0, 0, 3}, 0, perception::Occupancy::Occupied);
+  const auto traj = straightTraj(30.0);
+  const auto prof = profileSpace(frame, map, traj, {0, 0, 3}, {1, 0, 0}, {1, 0, 0});
+  // Early waypoints see several meters of validated path; visibility
+  // shrinks toward the frontier.
+  ASSERT_GE(prof.waypoints.size(), 3u);
+  EXPECT_GT(prof.waypoints[1].visibility, 1.0);
+  bool shrinks = false;
+  for (std::size_t i = 2; i < prof.waypoints.size(); ++i)
+    if (prof.waypoints[i].visibility < prof.waypoints[1].visibility) shrinks = true;
+  EXPECT_TRUE(shrinks);
+}
+
+}  // namespace
+}  // namespace roborun::core

@@ -1,0 +1,238 @@
+// Tests for the alternative governor solver strategies (core/strategies.h):
+// envelope compliance, budget behavior, and the hysteresis decorator's
+// rate-limiting semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/latency_calibration.h"
+#include "core/strategies.h"
+#include "geom/rng.h"
+
+namespace roborun::core {
+namespace {
+
+LatencyPredictor calibrated() {
+  const sim::LatencyModel model;
+  return calibratePredictor(model, KnobConfig{}).predictor;
+}
+
+SpaceProfile openSpaceProfile() {
+  SpaceProfile p;
+  p.gap_avg = 100.0;
+  p.gap_min = 100.0;
+  p.d_obstacle = 30.0;
+  p.d_unknown = 30.0;
+  p.sensor_volume = 113000.0;
+  p.map_volume = 90000.0;
+  p.velocity = 2.5;
+  p.visibility = 30.0;
+  return p;
+}
+
+SpaceProfile congestedProfile() {
+  SpaceProfile p;
+  p.gap_avg = 3.0;
+  p.gap_min = 1.0;
+  p.d_obstacle = 2.0;
+  p.d_unknown = 4.0;
+  p.sensor_volume = 113000.0;
+  p.map_volume = 60000.0;
+  p.velocity = 0.8;
+  p.visibility = 4.0;
+  return p;
+}
+
+SpaceProfile randomProfile(geom::Rng& rng) {
+  SpaceProfile p;
+  p.gap_min = rng.uniform(0.5, 20.0);
+  p.gap_avg = p.gap_min + rng.uniform(0.0, 60.0);
+  p.d_obstacle = rng.uniform(0.5, 30.0);
+  p.d_unknown = rng.uniform(1.0, 40.0);
+  p.sensor_volume = rng.uniform(20000.0, 120000.0);
+  p.map_volume = rng.uniform(10000.0, 120000.0);
+  p.velocity = rng.uniform(0.1, 3.0);
+  p.visibility = rng.uniform(2.0, 30.0);
+  return p;
+}
+
+SolverInputs inputsFor(const SpaceProfile& profile, double budget) {
+  SolverInputs inputs;
+  inputs.budget = budget;
+  inputs.fixed_overhead = 0.27;
+  inputs.profile = profile;
+  return inputs;
+}
+
+/// Every strategy's policy must respect the envelope's safety constraints.
+void expectEnvelopeCompliance(const KnobConfig& knobs, const SolverInputs& inputs,
+                              const SolverResult& result) {
+  const KnobEnvelope env = computeEnvelope(knobs, inputs.profile);
+  const auto& policy = result.policy;
+  const double p0 = policy.stage(Stage::Perception).precision;
+  const double p1 = policy.stage(Stage::PerceptionToPlanning).precision;
+  const double p2 = policy.stage(Stage::Planning).precision;
+  EXPECT_GE(p0, env.p0_lo - 1e-9);
+  EXPECT_LE(p0, env.p0_hi + 1e-9);
+  EXPECT_LE(p0, p1 + 1e-9);        // p0 <= p1 (Eq. 3 ordering)
+  EXPECT_DOUBLE_EQ(p1, p2);        // framework constraint p1 == p2
+  EXPECT_LE(policy.stage(Stage::Perception).volume, env.v0_cap + 1e-6);
+  EXPECT_LE(policy.stage(Stage::PerceptionToPlanning).volume, env.v1_cap + 1e-6);
+  EXPECT_LE(policy.stage(Stage::Planning).volume, env.v2_cap + 1e-6);
+  // Precision snapped to the power-of-two ladder.
+  const double rung = std::log2(p0 / knobs.voxel_min);
+  EXPECT_NEAR(rung, std::round(rung), 1e-9);
+}
+
+class StrategyFixture : public ::testing::Test {
+ protected:
+  KnobConfig knobs_;
+  LatencyPredictor predictor_ = calibrated();
+};
+
+TEST_F(StrategyFixture, GreedyMeetsGenerousBudget) {
+  GreedyStrategy greedy(knobs_, predictor_);
+  const auto inputs = inputsFor(openSpaceProfile(), 8.0);
+  const auto result = greedy.solve(inputs);
+  EXPECT_TRUE(result.budget_met);
+  expectEnvelopeCompliance(knobs_, inputs, result);
+}
+
+TEST_F(StrategyFixture, GreedyCoarsensUnderTightBudget) {
+  GreedyStrategy greedy(knobs_, predictor_);
+  const auto generous = greedy.solve(inputsFor(congestedProfile(), 8.0));
+  const auto tight = greedy.solve(inputsFor(congestedProfile(), 0.6));
+  // Tighter budgets cannot produce a finer/larger policy.
+  EXPECT_GE(tight.policy.stage(Stage::Perception).precision,
+            generous.policy.stage(Stage::Perception).precision - 1e-9);
+  EXPECT_LE(tight.policy.stage(Stage::Perception).volume,
+            generous.policy.stage(Stage::Perception).volume + 1e-6);
+}
+
+TEST_F(StrategyFixture, GreedyNearExhaustiveOnBudgetFit) {
+  // Across random profiles, greedy's achieved latency fit should be within
+  // a modest factor of the exhaustive solver's when both meet the budget.
+  ExhaustiveStrategy exhaustive(knobs_, predictor_);
+  GreedyStrategy greedy(knobs_, predictor_);
+  geom::Rng rng(17);
+  int both_met = 0;
+  int greedy_violations_when_exhaustive_met = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto inputs = inputsFor(randomProfile(rng), rng.uniform(0.4, 4.0));
+    const auto e = exhaustive.solve(inputs);
+    const auto g = greedy.solve(inputs);
+    expectEnvelopeCompliance(knobs_, inputs, g);
+    if (e.budget_met && !g.budget_met) ++greedy_violations_when_exhaustive_met;
+    if (e.budget_met && g.budget_met) ++both_met;
+  }
+  EXPECT_GT(both_met, 100);
+  // Greedy may occasionally miss a feasible point the exhaustive search
+  // finds, but not often.
+  EXPECT_LE(greedy_violations_when_exhaustive_met, 10);
+}
+
+TEST_F(StrategyFixture, UniformSplitHonorsEnvelope) {
+  UniformSplitStrategy uniform(knobs_, predictor_);
+  geom::Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const auto inputs = inputsFor(randomProfile(rng), rng.uniform(0.4, 4.0));
+    expectEnvelopeCompliance(knobs_, inputs, uniform.solve(inputs));
+  }
+}
+
+TEST_F(StrategyFixture, UniformSplitWastesBudgetVsExhaustive) {
+  // The strawman either violates more often or leaves more budget unused:
+  // aggregate fit error must be worse than the joint solver's.
+  ExhaustiveStrategy exhaustive(knobs_, predictor_);
+  UniformSplitStrategy uniform(knobs_, predictor_);
+  geom::Rng rng(31);
+  double err_exhaustive = 0.0;
+  double err_uniform = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    const auto inputs = inputsFor(randomProfile(rng), rng.uniform(0.4, 4.0));
+    err_exhaustive += exhaustive.solve(inputs).objective;
+    err_uniform += uniform.solve(inputs).objective;
+  }
+  EXPECT_LT(err_exhaustive, err_uniform);
+}
+
+TEST_F(StrategyFixture, HysteresisGrantsFinerImmediately) {
+  auto inner = std::make_unique<ExhaustiveStrategy>(knobs_, predictor_);
+  HysteresisStrategy hysteresis(std::move(inner), knobs_, predictor_, 3);
+  // Open space first: coarse policy.
+  const auto open = hysteresis.solve(inputsFor(openSpaceProfile(), 5.0));
+  // Suddenly congested: the safety direction must pass through at once.
+  const auto tight = hysteresis.solve(inputsFor(congestedProfile(), 5.0));
+  EXPECT_LT(tight.policy.stage(Stage::Perception).precision,
+            open.policy.stage(Stage::Perception).precision);
+}
+
+TEST_F(StrategyFixture, HysteresisDelaysCoarsening) {
+  auto inner = std::make_unique<ExhaustiveStrategy>(knobs_, predictor_);
+  HysteresisStrategy hysteresis(std::move(inner), knobs_, predictor_, 3);
+  ExhaustiveStrategy reference(knobs_, predictor_);
+
+  // Establish a fine operating point in congestion.
+  const auto fine = hysteresis.solve(inputsFor(congestedProfile(), 5.0));
+  const double fine_p0 = fine.policy.stage(Stage::Perception).precision;
+
+  // The raw solver would jump straight to coarse in open space.
+  const auto raw = reference.solve(inputsFor(openSpaceProfile(), 5.0));
+  ASSERT_GT(raw.policy.stage(Stage::Perception).precision, fine_p0);
+
+  // Decisions 1-2 after the transition: held at the fine rung.
+  const auto h1 = hysteresis.solve(inputsFor(openSpaceProfile(), 5.0));
+  EXPECT_DOUBLE_EQ(h1.policy.stage(Stage::Perception).precision, fine_p0);
+  const auto h2 = hysteresis.solve(inputsFor(openSpaceProfile(), 5.0));
+  EXPECT_DOUBLE_EQ(h2.policy.stage(Stage::Perception).precision, fine_p0);
+  // Decision 3 (patience reached): one rung coarser, not a jump.
+  const auto h3 = hysteresis.solve(inputsFor(openSpaceProfile(), 5.0));
+  EXPECT_DOUBLE_EQ(h3.policy.stage(Stage::Perception).precision, fine_p0 * 2.0);
+}
+
+TEST_F(StrategyFixture, HysteresisResetForgetsHistory) {
+  auto inner = std::make_unique<ExhaustiveStrategy>(knobs_, predictor_);
+  HysteresisStrategy hysteresis(std::move(inner), knobs_, predictor_, 3);
+  ExhaustiveStrategy reference(knobs_, predictor_);
+
+  (void)hysteresis.solve(inputsFor(congestedProfile(), 5.0));
+  hysteresis.reset();
+  // First decision after reset mirrors the raw solver exactly.
+  const auto h = hysteresis.solve(inputsFor(openSpaceProfile(), 5.0));
+  const auto r = reference.solve(inputsFor(openSpaceProfile(), 5.0));
+  EXPECT_DOUBLE_EQ(h.policy.stage(Stage::Perception).precision,
+                   r.policy.stage(Stage::Perception).precision);
+}
+
+TEST_F(StrategyFixture, HysteresisPoliciesStayEnvelopeCompliant) {
+  auto inner = std::make_unique<ExhaustiveStrategy>(knobs_, predictor_);
+  HysteresisStrategy hysteresis(std::move(inner), knobs_, predictor_, 2);
+  geom::Rng rng(41);
+  for (int i = 0; i < 150; ++i) {
+    const auto inputs = inputsFor(randomProfile(rng), rng.uniform(0.4, 4.0));
+    const auto result = hysteresis.solve(inputs);
+    // Hysteresis may hold a *finer* precision than demanded (safety-safe)
+    // but must never exceed the coarse bound or break ordering/ladder.
+    const KnobEnvelope env = computeEnvelope(knobs_, inputs.profile);
+    const double p0 = result.policy.stage(Stage::Perception).precision;
+    EXPECT_LE(p0, env.p0_hi + 1e-9);
+    EXPECT_LE(p0, result.policy.stage(Stage::PerceptionToPlanning).precision + 1e-9);
+    const double rung = std::log2(p0 / knobs_.voxel_min);
+    EXPECT_NEAR(rung, std::round(rung), 1e-9);
+  }
+}
+
+TEST_F(StrategyFixture, StrategyNamesAreDistinct) {
+  ExhaustiveStrategy a(knobs_, predictor_);
+  GreedyStrategy b(knobs_, predictor_);
+  UniformSplitStrategy c(knobs_, predictor_);
+  HysteresisStrategy d(std::make_unique<GreedyStrategy>(knobs_, predictor_), knobs_,
+                       predictor_);
+  EXPECT_NE(a.name(), b.name());
+  EXPECT_NE(b.name(), c.name());
+  EXPECT_NE(d.name().find(b.name()), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roborun::core

@@ -1,0 +1,203 @@
+// Dynamic obstacle field tests: patrol kinematics, occupancy, raycasting,
+// the crossTraffic generator, and mission-runner integration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "env/dynamic.h"
+#include "env/env_gen.h"
+#include "runtime/designs.h"
+#include "runtime/mission.h"
+#include "sim/sensor.h"
+
+namespace roborun::env {
+namespace {
+
+using geom::Vec3;
+
+MovingObstacle patroller() {
+  MovingObstacle o;
+  o.base = {0.0, 0.0, 0.0};
+  o.direction = {0.0, 1.0, 0.0};
+  o.speed = 2.0;
+  o.patrol_span = 10.0;
+  o.radius = 1.0;
+  o.height = 8.0;
+  return o;
+}
+
+TEST(DynamicObstacleTest, PingPongPatrolReversesAtEnds) {
+  DynamicObstacleField field({patroller()});
+  field.setTime(0.0);
+  EXPECT_NEAR(field.positionOf(0).y, 0.0, 1e-9);
+  field.setTime(2.5);  // 5 m out
+  EXPECT_NEAR(field.positionOf(0).y, 5.0, 1e-9);
+  field.setTime(5.0);  // at the far end
+  EXPECT_NEAR(field.positionOf(0).y, 10.0, 1e-9);
+  field.setTime(7.5);  // coming back
+  EXPECT_NEAR(field.positionOf(0).y, 5.0, 1e-9);
+  field.setTime(10.0);  // home again, cycle complete
+  EXPECT_NEAR(field.positionOf(0).y, 0.0, 1e-9);
+  field.setTime(12.5);  // next cycle
+  EXPECT_NEAR(field.positionOf(0).y, 5.0, 1e-9);
+}
+
+TEST(DynamicObstacleTest, PhaseOffsetsThePatrol) {
+  auto o = patroller();
+  o.phase = 2.5;  // starts 5 m along
+  DynamicObstacleField field({o});
+  field.setTime(0.0);
+  EXPECT_NEAR(field.positionOf(0).y, 5.0, 1e-9);
+}
+
+TEST(DynamicObstacleTest, StationaryWhenSpanZero) {
+  auto o = patroller();
+  o.patrol_span = 0.0;
+  DynamicObstacleField field({o});
+  field.setTime(123.0);
+  EXPECT_NEAR(field.positionOf(0).y, 0.0, 1e-9);
+}
+
+TEST(DynamicObstacleTest, AdvanceAccumulates) {
+  DynamicObstacleField field({patroller()});
+  field.advance(1.0);
+  field.advance(1.5);
+  EXPECT_DOUBLE_EQ(field.time(), 2.5);
+  EXPECT_NEAR(field.positionOf(0).y, 5.0, 1e-9);
+}
+
+TEST(DynamicObstacleTest, OccupiedTracksTheMover) {
+  DynamicObstacleField field({patroller()});
+  field.setTime(0.0);
+  EXPECT_TRUE(field.occupied({0.0, 0.0, 3.0}));
+  EXPECT_TRUE(field.occupied({0.9, 0.0, 3.0}));   // inside the radius
+  EXPECT_FALSE(field.occupied({1.1, 0.0, 3.0}));  // outside the radius
+  EXPECT_FALSE(field.occupied({0.0, 0.0, 9.0}));  // above the cylinder
+  field.setTime(2.5);                              // mover now at y=5
+  EXPECT_FALSE(field.occupied({0.0, 0.0, 3.0}));
+  EXPECT_TRUE(field.occupied({0.0, 5.0, 3.0}));
+}
+
+TEST(DynamicObstacleTest, RaycastHitsTheSide) {
+  DynamicObstacleField field({patroller()});
+  field.setTime(0.0);
+  // Ray along +x from (-10, 0, 3): surface at x = -1 -> distance 9.
+  const auto hit = field.raycast({-10, 0, 3}, {1, 0, 0}, 50.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(*hit, 9.0, 1e-9);
+}
+
+TEST(DynamicObstacleTest, RaycastMissesAboveAndBeyondRange) {
+  DynamicObstacleField field({patroller()});
+  field.setTime(0.0);
+  EXPECT_FALSE(field.raycast({-10, 0, 9.5}, {1, 0, 0}, 50.0).has_value());  // over the top
+  EXPECT_FALSE(field.raycast({-10, 0, 3}, {1, 0, 0}, 5.0).has_value());     // too short
+  EXPECT_FALSE(field.raycast({-10, 5, 3}, {1, 0, 0}, 50.0).has_value());    // offset miss
+}
+
+TEST(DynamicObstacleTest, RaycastFromInsideIsImmediate) {
+  DynamicObstacleField field({patroller()});
+  field.setTime(0.0);
+  const auto hit = field.raycast({0.2, 0.1, 3.0}, {1, 0, 0}, 50.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 0.0);
+}
+
+TEST(DynamicObstacleTest, RaycastTopCap) {
+  DynamicObstacleField field({patroller()});
+  field.setTime(0.0);
+  // Straight down onto the cap from above the center.
+  const auto hit = field.raycast({0, 0, 12}, {0, 0, -1}, 50.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(*hit, 4.0, 1e-9);
+}
+
+TEST(DynamicObstacleTest, NearestObstacleXY) {
+  DynamicObstacleField field({patroller()});
+  field.setTime(0.0);
+  EXPECT_NEAR(field.nearestObstacleXY({5, 0, 3}, 100.0), 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(field.nearestObstacleXY({0.5, 0, 3}, 100.0), 0.0);  // inside
+  DynamicObstacleField empty;
+  EXPECT_DOUBLE_EQ(empty.nearestObstacleXY({0, 0, 0}, 42.0), 42.0);
+}
+
+TEST(CrossTrafficTest, GeneratorIsDeterministicAndInZoneB) {
+  EnvSpec spec;
+  spec.goal_distance = 900.0;
+  const auto a = crossTraffic(spec, 8, 1.5, 7);
+  const auto b = crossTraffic(spec, 8, 1.5, 7);
+  ASSERT_EQ(a.size(), 8u);
+  ASSERT_EQ(b.size(), 8u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.obstacles()[i].base.x, b.obstacles()[i].base.x);
+    EXPECT_DOUBLE_EQ(a.obstacles()[i].phase, b.obstacles()[i].phase);
+    // All movers strictly inside zone B.
+    EXPECT_GT(a.obstacles()[i].base.x, spec.zoneABoundary());
+    EXPECT_LT(a.obstacles()[i].base.x, spec.zoneCBoundary());
+  }
+}
+
+TEST(CrossTrafficTest, TooShortZoneBYieldsNoTraffic) {
+  EnvSpec spec;
+  spec.goal_distance = 320.0;  // zones nearly touch
+  spec.obstacle_spread = 80.0;
+  const auto field = crossTraffic(spec, 8, 1.5, 7);
+  EXPECT_EQ(field.size(), 0u);
+}
+
+TEST(DynamicSensorTest, MoverAppearsInTheFrame) {
+  // A small empty world with one mover in front of the drone.
+  const geom::Aabb extent{{-20, -20, 0}, {20, 20, 20}};
+  World world(extent, 1.0);
+  DynamicObstacleField field({patroller()});
+  field.setTime(0.0);
+
+  sim::SensorConfig config;
+  config.range = 30.0;
+  sim::DepthCameraArray sensor(config);
+  const Vec3 origin{-8, 0, 3};
+  const auto clear_frame = sensor.capture(world, origin);
+  const auto busy_frame = sensor.capture(world, origin, &field);
+  // With the mover the frame must contain obstacle points near (−1, 0).
+  EXPECT_GT(busy_frame.points.size(), clear_frame.points.size());
+  bool near_mover = false;
+  for (const auto& p : busy_frame.points)
+    if (std::hypot(p.x, p.y) < 1.3 && p.z < 8.5) near_mover = true;
+  EXPECT_TRUE(near_mover);
+  // Forward visibility shrinks accordingly.
+  EXPECT_LT(busy_frame.visibilityAlong({1, 0, 0}), clear_frame.visibilityAlong({1, 0, 0}));
+}
+
+TEST(DynamicMissionTest, MissionCompletesAmongMovers) {
+  EnvSpec spec;
+  spec.obstacle_density = 0.3;
+  spec.obstacle_spread = 40.0;
+  spec.goal_distance = 300.0;
+  spec.seed = 9;
+  const auto environment = generateEnvironment(spec);
+  auto config = runtime::testMissionConfig();
+  config.dynamic_obstacles = crossTraffic(spec, 4, 1.0, 3);
+  ASSERT_GT(config.dynamic_obstacles.size(), 0u);
+  const auto result =
+      runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  EXPECT_TRUE(result.reached_goal) << "collided=" << result.collided;
+}
+
+TEST(DynamicMissionTest, ReplayIsDeterministicWithMovers) {
+  EnvSpec spec;
+  spec.obstacle_density = 0.3;
+  spec.obstacle_spread = 40.0;
+  spec.goal_distance = 300.0;
+  spec.seed = 9;
+  const auto environment = generateEnvironment(spec);
+  auto config = runtime::testMissionConfig();
+  config.dynamic_obstacles = crossTraffic(spec, 4, 1.0, 3);
+  const auto a = runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  const auto b = runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  EXPECT_DOUBLE_EQ(a.mission_time, b.mission_time);
+  EXPECT_DOUBLE_EQ(a.flight_energy, b.flight_energy);
+}
+
+}  // namespace
+}  // namespace roborun::env

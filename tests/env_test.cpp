@@ -1,0 +1,271 @@
+// Unit tests for the ground-truth world and environment generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "env/env_gen.h"
+#include "env/suite.h"
+#include "env/world.h"
+
+namespace roborun::env {
+namespace {
+
+World makeEmptyWorld() {
+  return World(Aabb{{-10, -10, 0}, {10, 10, 10}}, 1.0);
+}
+
+TEST(WorldTest, GridDimensionsFromExtent) {
+  World w(Aabb{{0, 0, 0}, {10, 6, 5}}, 1.0);
+  EXPECT_EQ(w.cellsX(), 10);
+  EXPECT_EQ(w.cellsY(), 6);
+}
+
+TEST(WorldTest, DegenerateInputsThrow) {
+  EXPECT_THROW(World(Aabb{{0, 0, 0}, {10, 10, 10}}, 0.0), std::invalid_argument);
+  EXPECT_THROW(World(Aabb{{0, 0, 0}, {0, 10, 10}}, 1.0), std::invalid_argument);
+}
+
+TEST(WorldTest, ColumnOccupancy) {
+  World w = makeEmptyWorld();
+  w.setColumn(w.toIx(2.5), w.toIy(3.5), 5.0);
+  EXPECT_TRUE(w.occupied({2.5, 3.5, 2.0}));
+  EXPECT_TRUE(w.occupied({2.5, 3.5, 5.0}));
+  EXPECT_FALSE(w.occupied({2.5, 3.5, 5.1}));
+  EXPECT_FALSE(w.occupied({4.5, 3.5, 2.0}));
+  // Underground counts as occupied; outside the extent is free.
+  EXPECT_TRUE(w.occupied({0, 0, -0.1}));
+  EXPECT_FALSE(w.occupied({100, 100, 5}));
+}
+
+TEST(WorldTest, ColumnHeightClampedToCeiling) {
+  World w = makeEmptyWorld();
+  w.setColumn(5, 5, 99.0);
+  EXPECT_DOUBLE_EQ(w.columnHeight(5, 5), 10.0);
+  w.setColumn(-1, 0, 5.0);  // out of grid: ignored
+  EXPECT_DOUBLE_EQ(w.columnHeight(-1, 0), 0.0);
+}
+
+TEST(WorldTest, RaycastHitsColumn) {
+  World w = makeEmptyWorld();
+  w.setColumn(w.toIx(5.5), w.toIy(0.5), 10.0);  // column over x in [5,6), y in [0,1)
+  const auto hit = w.raycast({0.5, 0.5, 2.0}, {1, 0, 0}, 20.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(*hit, 4.5, 1e-9);
+}
+
+TEST(WorldTest, RaycastMissesWhenClear) {
+  World w = makeEmptyWorld();
+  EXPECT_FALSE(w.raycast({0.5, 0.5, 2.0}, {1, 0, 0}, 8.0).has_value());
+}
+
+TEST(WorldTest, RaycastOverShortColumn) {
+  World w = makeEmptyWorld();
+  w.setColumn(w.toIx(5.5), w.toIy(0.5), 1.0);  // short column
+  // Ray at z=2 passes over it.
+  EXPECT_FALSE(w.raycast({0.5, 0.5, 2.0}, {1, 0, 0}, 8.0).has_value());
+}
+
+TEST(WorldTest, RaycastDescendsOntoColumnTop) {
+  World w = makeEmptyWorld();
+  w.setColumn(w.toIx(5.5), w.toIy(0.5), 3.0);
+  // Descending diagonal ray that crosses z=3 inside the column cell.
+  const geom::Vec3 origin{0.5, 0.5, 8.0};
+  const geom::Vec3 dir = geom::Vec3{1.0, 0.0, -1.0}.normalized();
+  const auto hit = w.raycast(origin, dir, 20.0);
+  ASSERT_TRUE(hit.has_value());
+  const geom::Vec3 p = origin + dir * (*hit);
+  EXPECT_NEAR(p.z, 3.0, 0.05);
+  EXPECT_GE(p.x, 5.0 - 1e-6);
+}
+
+TEST(WorldTest, RaycastHitsGround) {
+  World w = makeEmptyWorld();
+  const geom::Vec3 dir = geom::Vec3{0.2, 0.0, -1.0}.normalized();
+  const auto hit = w.raycast({0.5, 0.5, 5.0}, dir, 20.0);
+  ASSERT_TRUE(hit.has_value());
+  const geom::Vec3 p = geom::Vec3{0.5, 0.5, 5.0} + dir * (*hit);
+  EXPECT_NEAR(p.z, 0.0, 1e-9);
+}
+
+TEST(WorldTest, VisibilityIsHitDistanceOrMaxRange) {
+  World w = makeEmptyWorld();
+  w.setColumn(w.toIx(5.5), w.toIy(0.5), 10.0);
+  EXPECT_NEAR(w.visibility({0.5, 0.5, 2}, {1, 0, 0}, 30.0), 4.5, 1e-9);
+  EXPECT_DOUBLE_EQ(w.visibility({0.5, 0.5, 2}, {-1, 0, 0}, 30.0), 30.0);
+}
+
+TEST(WorldTest, SegmentFree) {
+  World w = makeEmptyWorld();
+  w.setColumn(w.toIx(5.5), w.toIy(0.5), 10.0);
+  EXPECT_FALSE(w.segmentFree({0.5, 0.5, 2}, {9.5, 0.5, 2}));
+  EXPECT_TRUE(w.segmentFree({0.5, 0.5, 2}, {4.0, 0.5, 2}));
+  EXPECT_TRUE(w.segmentFree({0.5, 5.5, 2}, {9.5, 5.5, 2}));
+}
+
+TEST(WorldTest, NearestObstacleRingSearch) {
+  World w = makeEmptyWorld();
+  w.setColumn(w.toIx(3.5), w.toIy(0.5), 10.0);
+  const double d = w.nearestObstacleXY({0.5, 0.5, 2}, 15.0);
+  EXPECT_NEAR(d, 3.0, 1e-9);  // cell centers 3 m apart
+  EXPECT_DOUBLE_EQ(w.nearestObstacleXY({-8.5, -8.5, 2}, 3.0), 3.0);  // none in range
+}
+
+TEST(WorldTest, CongestionFraction) {
+  World w = makeEmptyWorld();
+  // Occupy a 3x3 block around (0.5, 0.5).
+  for (int dx = -1; dx <= 1; ++dx)
+    for (int dy = -1; dy <= 1; ++dy)
+      w.setColumn(w.toIx(0.5) + dx, w.toIy(0.5) + dy, 5.0);
+  EXPECT_NEAR(w.congestion({0.5, 0.5, 0}, 1.0), 1.0, 1e-9);
+  EXPECT_LT(w.congestion({0.5, 0.5, 0}, 5.0), 0.3);
+}
+
+TEST(EnvGenTest, DeterministicForSeed) {
+  EnvSpec spec;
+  spec.goal_distance = 500;
+  spec.seed = 9;
+  const auto a = generateEnvironment(spec);
+  const auto b = generateEnvironment(spec);
+  EXPECT_EQ(a.world->occupiedColumnCount(), b.world->occupiedColumnCount());
+  spec.seed = 10;
+  const auto c = generateEnvironment(spec);
+  EXPECT_NE(a.world->occupiedColumnCount(), c.world->occupiedColumnCount());
+}
+
+TEST(EnvGenTest, StartAndGoalPocketsClear) {
+  EnvSpec spec;
+  spec.goal_distance = 500;
+  spec.seed = 5;
+  const auto env = generateEnvironment(spec);
+  EXPECT_FALSE(env.world->occupied(spec.start()));
+  EXPECT_FALSE(env.world->occupied(spec.goal()));
+  EXPECT_GT(env.world->nearestObstacleXY(spec.start(), 20.0), spec.clear_pocket - 1.5);
+}
+
+TEST(EnvGenTest, ClustersAreCongestedZoneBIsOpen) {
+  EnvSpec spec;
+  spec.goal_distance = 900;
+  spec.seed = 5;
+  const auto env = generateEnvironment(spec);
+  const double cong_a = env.world->congestion({spec.clusterAx(), 10, 0}, 25.0);
+  const double cong_b = env.world->congestion({spec.goal_distance / 2, 0, 0}, 25.0);
+  const double cong_c = env.world->congestion({spec.clusterCx(), 10, 0}, 25.0);
+  // Pillars sit on a 4 m lattice, so absolute cell ratios are small; the
+  // claim is the contrast between clusters and the open leg.
+  EXPECT_GT(cong_a, 5.0 * std::max(cong_b, 0.001));
+  EXPECT_GT(cong_c, 5.0 * std::max(cong_b, 0.001));
+  EXPECT_GT(cong_a, 0.01);
+}
+
+TEST(EnvGenTest, DensityKnobScalesObstacleCount) {
+  EnvSpec lo;
+  lo.obstacle_density = 0.3;
+  lo.goal_distance = 600;
+  lo.seed = 4;
+  EnvSpec hi = lo;
+  hi.obstacle_density = 0.6;
+  EXPECT_GT(generateEnvironment(hi).world->occupiedColumnCount(),
+            generateEnvironment(lo).world->occupiedColumnCount());
+}
+
+TEST(EnvGenTest, AislePathIsClear) {
+  EnvSpec spec;
+  spec.goal_distance = 600;
+  spec.seed = 21;
+  const auto env = generateEnvironment(spec);
+  for (const auto& wp : aislePath(spec)) {
+    if (!env.world->extent().contains(wp)) continue;
+    EXPECT_FALSE(env.world->occupied(wp)) << "aisle blocked at " << wp;
+  }
+}
+
+TEST(EnvGenTest, InvalidSpecsThrow) {
+  EnvSpec spec;
+  spec.obstacle_density = 1.5;
+  EXPECT_THROW(generateEnvironment(spec), std::invalid_argument);
+  spec = EnvSpec{};
+  spec.obstacle_spread = -1;
+  EXPECT_THROW(generateEnvironment(spec), std::invalid_argument);
+  spec = EnvSpec{};
+  spec.goal_distance = 50;  // clusters would overlap
+  spec.obstacle_spread = 80;
+  EXPECT_THROW(generateEnvironment(spec), std::invalid_argument);
+}
+
+TEST(EnvSpecTest, ZoneBoundaries) {
+  EnvSpec spec;
+  spec.goal_distance = 900;
+  spec.obstacle_spread = 80;
+  EXPECT_EQ(spec.zoneOf(0.0), Zone::A);
+  EXPECT_EQ(spec.zoneOf(spec.clusterAx()), Zone::A);
+  EXPECT_EQ(spec.zoneOf(450.0), Zone::B);
+  EXPECT_EQ(spec.zoneOf(spec.clusterCx()), Zone::C);
+  EXPECT_EQ(spec.zoneOf(900.0), Zone::C);
+  EXPECT_STREQ(zoneName(Zone::A), "A");
+  EXPECT_STREQ(zoneName(Zone::B), "B");
+  EXPECT_STREQ(zoneName(Zone::C), "C");
+}
+
+TEST(EnvSpecTest, PerZoneWeatherVisibility) {
+  EnvSpec spec;
+  spec.goal_distance = 900;
+  spec.obstacle_spread = 80;
+  spec.visibility_zone_a = 12.0;
+  spec.visibility_zone_c = 15.0;
+  EXPECT_DOUBLE_EQ(spec.weatherVisibilityAt(0.0), 12.0);          // zone A
+  EXPECT_DOUBLE_EQ(spec.weatherVisibilityAt(450.0), 1e9);         // zone B clear
+  EXPECT_DOUBLE_EQ(spec.weatherVisibilityAt(900.0), 15.0);        // zone C
+  const auto env = generateEnvironment(spec);
+  EXPECT_DOUBLE_EQ(env.weatherVisibilityAt({450.0, 0, 3}), 1e9);
+  EXPECT_DOUBLE_EQ(env.weatherVisibilityAt({10.0, 0, 3}), 12.0);
+}
+
+TEST(SuiteTest, TwentySevenUniqueSpecs) {
+  const auto specs = evaluationSuite(42);
+  EXPECT_EQ(specs.size(), 27u);
+  for (std::size_t i = 0; i < specs.size(); ++i)
+    for (std::size_t j = i + 1; j < specs.size(); ++j)
+      EXPECT_FALSE(specs[i].obstacle_density == specs[j].obstacle_density &&
+                   specs[i].obstacle_spread == specs[j].obstacle_spread &&
+                   specs[i].goal_distance == specs[j].goal_distance)
+          << "duplicate knob combination at " << i << "," << j;
+}
+
+TEST(SuiteTest, CoversFig8aKnobs) {
+  const auto specs = evaluationSuite(42);
+  for (const double d : {0.3, 0.45, 0.6}) {
+    std::size_t count = 0;
+    for (const auto& s : specs) count += (s.obstacle_density == d) ? 1 : 0;
+    EXPECT_EQ(count, 9u);
+  }
+  for (const double g : {600.0, 900.0, 1200.0}) {
+    std::size_t count = 0;
+    for (const auto& s : specs) count += (s.goal_distance == g) ? 1 : 0;
+    EXPECT_EQ(count, 9u);
+  }
+}
+
+TEST(SuiteTest, RepresentativeIsMidDifficulty) {
+  const auto spec = representativeSpec();
+  EXPECT_DOUBLE_EQ(spec.obstacle_density, 0.45);
+  EXPECT_DOUBLE_EQ(spec.obstacle_spread, 80.0);
+  EXPECT_DOUBLE_EQ(spec.goal_distance, 900.0);
+}
+
+// Parameterized sweep: every suite environment generates, has clear
+// start/goal pockets.
+class SuiteEnvironments : public ::testing::TestWithParam<int> {};
+
+TEST_P(SuiteEnvironments, GeneratesNavigableWorld) {
+  const auto specs = evaluationSuite(42);
+  const auto& spec = specs[static_cast<std::size_t>(GetParam())];
+  const auto env = generateEnvironment(spec);
+  EXPECT_GT(env.world->occupiedColumnCount(), 100);
+  EXPECT_FALSE(env.world->occupied(spec.start()));
+  EXPECT_FALSE(env.world->occupied(spec.goal()));
+}
+
+INSTANTIATE_TEST_SUITE_P(All27, SuiteEnvironments, ::testing::Range(0, 27));
+
+}  // namespace
+}  // namespace roborun::env

@@ -1,0 +1,176 @@
+// Failure injection: the runtime must degrade gracefully — never crash,
+// never report false success — when subsystems are starved or hostile.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/latency_calibration.h"
+#include "core/profilers.h"
+#include "core/solver.h"
+#include "env/env_gen.h"
+#include "runtime/designs.h"
+#include "runtime/mission.h"
+#include "sim/sensor.h"
+
+namespace roborun {
+namespace {
+
+env::Environment smallEnvironment(std::uint64_t seed = 5) {
+  env::EnvSpec spec;
+  spec.obstacle_density = 0.35;
+  spec.obstacle_spread = 40.0;
+  spec.goal_distance = 220.0;
+  spec.seed = seed;
+  return env::generateEnvironment(spec);
+}
+
+TEST(FailureInjectionTest, NearBlindSensorStillTerminates) {
+  // 2x2 rays per face: almost no information. The mission may fail, but it
+  // must terminate within the timeout and never report success wrongly.
+  const auto environment = smallEnvironment();
+  auto config = runtime::testMissionConfig();
+  config.sensor.rays_horizontal = 2;
+  config.sensor.rays_vertical = 2;
+  config.max_mission_time = 300.0;
+  const auto result =
+      runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  EXPECT_LE(result.mission_time, config.max_mission_time + 60.0);
+  if (result.reached_goal) {
+    EXPECT_FALSE(result.collided);
+  }
+}
+
+TEST(FailureInjectionTest, ZeroVisibilityFogParksTheDrone) {
+  // Weather visibility below the sensor's own floor: no ray returns
+  // anything trustworthy; commanded velocity must stay ~0 (Eq. 1 with d~0)
+  // and the mission times out rather than flying blind.
+  const auto environment = smallEnvironment();
+  auto config = runtime::testMissionConfig();
+  config.sensor.weather_visibility = 0.3;
+  config.max_mission_time = 120.0;
+  const auto result =
+      runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  EXPECT_FALSE(result.reached_goal);
+  EXPECT_FALSE(result.collided);
+  for (const auto& rec : result.records)
+    EXPECT_LE(rec.commanded_velocity, 0.5) << "flew at t=" << rec.t;
+}
+
+TEST(FailureInjectionTest, StarvedPlannerVolumeTimesOutCleanly) {
+  // Planner volume budget near zero: searches abort immediately, plans
+  // fail, and the drone hovers. Clean timeout, no crash, no collision.
+  const auto environment = smallEnvironment();
+  auto config = runtime::testMissionConfig();
+  config.knobs.dynamic_planner_volume.hi = 1.0;
+  config.knobs.dynamic_bridge_volume.hi = 1.0;
+  config.knobs.dynamic_octomap_volume.hi = 1.0;
+  config.max_mission_time = 90.0;
+  const auto result =
+      runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  EXPECT_FALSE(result.reached_goal);
+  EXPECT_TRUE(result.timed_out);
+  EXPECT_FALSE(result.collided);
+}
+
+TEST(FailureInjectionTest, ZeroDeadlineBudgetFloorHolds) {
+  // A hostile profile (zero visibility, high velocity) must still produce
+  // a positive budget (the budgeter's floor) and a ladder-legal policy.
+  const core::KnobConfig knobs;
+  const auto calib = core::calibratePredictor(sim::LatencyModel{}, knobs);
+  const core::GovernorSolver solver(knobs, calib.predictor);
+  core::SolverInputs inputs;
+  inputs.budget = 0.0;
+  inputs.fixed_overhead = 0.27;
+  inputs.profile.gap_min = 0.0;
+  inputs.profile.gap_avg = 0.0;
+  inputs.profile.d_obstacle = 0.0;
+  inputs.profile.visibility = 0.0;
+  inputs.profile.sensor_volume = 0.0;
+  inputs.profile.map_volume = 0.0;
+  const auto result = solver.solve(inputs);
+  const double p0 = result.policy.stage(core::Stage::Perception).precision;
+  EXPECT_GE(p0, knobs.dynamic_precision.lo - 1e-9);
+  EXPECT_LE(p0, knobs.dynamic_precision.hi + 1e-9);
+  EXPECT_FALSE(std::isnan(result.policy.predicted_latency));
+  // Zero budget is unmeetable (fixed overhead alone exceeds it).
+  EXPECT_FALSE(result.budget_met);
+}
+
+TEST(FailureInjectionTest, ProfilerHandlesEmptyFrame) {
+  // A frame with no rays at all (sensor dropout) must yield a profile the
+  // governor can still consume.
+  sim::SensorFrame frame;
+  frame.origin = {0, 0, 3};
+  frame.max_range = 30.0;
+  perception::OccupancyOctree map({{-50, -50, 0}, {50, 50, 20}}, 0.3);
+  planning::Trajectory empty_traj;
+  const auto profile = core::profileSpace(frame, map, empty_traj, {0, 0, 3}, {0, 0, 0},
+                                          {1, 0, 0}, core::ProfilerConfig{});
+  EXPECT_GE(profile.visibility, 0.0);
+  EXPECT_FALSE(std::isnan(profile.gap_avg));
+  EXPECT_FALSE(std::isnan(profile.d_obstacle));
+  const core::TimeBudgeter budgeter;
+  const double budget = budgeter.globalBudget(profile.waypoints);
+  EXPECT_GT(budget, 0.0);  // the floor
+}
+
+TEST(FailureInjectionTest, ImpossibleGoalTimesOut) {
+  // Goal buried at the center of a solid block: the mission must give up at
+  // the timeout, flag timed_out, and never claim success.
+  env::EnvSpec spec;
+  spec.obstacle_density = 0.35;
+  spec.obstacle_spread = 40.0;
+  spec.goal_distance = 220.0;
+  spec.seed = 5;
+  auto environment = env::generateEnvironment(spec);
+  // Wall the goal in manually (the world is shared, so mutate a copy).
+  auto world = std::make_shared<env::World>(*environment.world);
+  const auto goal = spec.goal();
+  const int gx = world->toIx(goal.x);
+  const int gy = world->toIy(goal.y);
+  for (int dx = -8; dx <= 8; ++dx)
+    for (int dy = -8; dy <= 8; ++dy)
+      if (std::abs(dx) > 1 || std::abs(dy) > 1)
+        world->setColumn(gx + dx, gy + dy, spec.ceiling);
+  environment.world = world;
+  auto config = runtime::testMissionConfig();
+  config.max_mission_time = 150.0;
+  const auto result =
+      runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  EXPECT_FALSE(result.reached_goal);
+}
+
+TEST(FailureInjectionTest, ReactionDelayedDroneStillSafe) {
+  // Triple the drone's actuation reaction delay: velocities drop (the
+  // stopping model's linear term covers reaction), mission still completes
+  // or fails safely.
+  const auto environment = smallEnvironment();
+  auto config = runtime::testMissionConfig();
+  config.drone.reaction_time = 0.3;
+  const auto result =
+      runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  EXPECT_LE(result.mission_time, config.max_mission_time + 60.0);
+}
+
+TEST(FailureInjectionTest, SolverWithInvertedVolumeCapsStillLegal) {
+  // map_volume far below sensor_volume (a nearly empty map early in the
+  // mission): caps invert the usual ordering; policy must stay within them.
+  const core::KnobConfig knobs;
+  const auto calib = core::calibratePredictor(sim::LatencyModel{}, knobs);
+  const core::GovernorSolver solver(knobs, calib.predictor);
+  core::SolverInputs inputs;
+  inputs.budget = 2.0;
+  inputs.fixed_overhead = 0.27;
+  inputs.profile.gap_min = 5.0;
+  inputs.profile.gap_avg = 10.0;
+  inputs.profile.d_obstacle = 8.0;
+  inputs.profile.visibility = 10.0;
+  inputs.profile.sensor_volume = 113000.0;
+  inputs.profile.map_volume = 50.0;  // almost nothing mapped yet
+  const auto result = solver.solve(inputs);
+  EXPECT_LE(result.policy.stage(core::Stage::PerceptionToPlanning).volume, 50.0 + 1e-6);
+  EXPECT_LE(result.policy.stage(core::Stage::Perception).volume, 50.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace roborun

@@ -1,0 +1,158 @@
+// BagRecorder tests: recording, stats, replay, and error handling.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "miniros/bus.h"
+#include "miniros/recorder.h"
+
+namespace roborun::miniros {
+namespace {
+
+struct Ping {
+  int id = 0;
+};
+
+struct Blob {
+  std::vector<double> data;
+};
+
+std::size_t byteSizeOf(const Blob& b) { return 16 + b.data.size() * sizeof(double); }
+
+TEST(BagRecorderTest, RecordsDeliveredMessagesWithTimestamps) {
+  Bus bus;
+  BagRecorder bag;
+  bag.record<Ping>(bus, "/ping");
+  bus.publish("/ping", Ping{1});
+  bus.publish("/ping", Ping{2});
+  EXPECT_EQ(bag.messageCount(), 0u);  // nothing recorded before the spin
+  bus.spinAll();
+  ASSERT_EQ(bag.messageCount(), 2u);
+  const auto& samples = bag.channel<Ping>("/ping");
+  EXPECT_EQ(samples[0].second.id, 1);
+  EXPECT_EQ(samples[1].second.id, 2);
+  // Delivery timestamps are monotone non-decreasing.
+  EXPECT_LE(samples[0].first, samples[1].first);
+}
+
+TEST(BagRecorderTest, GlobalSequenceOrdersAcrossTopics) {
+  Bus bus;
+  BagRecorder bag;
+  bag.record<Ping>(bus, "/a");
+  bag.record<Ping>(bus, "/b");
+  bus.publish("/a", Ping{1});
+  bus.publish("/b", Ping{2});
+  bus.publish("/a", Ping{3});
+  bus.spinAll();
+  ASSERT_EQ(bag.events().size(), 3u);
+  for (std::size_t i = 0; i < bag.events().size(); ++i)
+    EXPECT_EQ(bag.events()[i].sequence, i);
+}
+
+TEST(BagRecorderTest, DynamicPayloadBytesUseAdlOverload) {
+  Bus bus;
+  BagRecorder bag;
+  bag.record<Blob>(bus, "/blob");
+  Blob blob;
+  blob.data.resize(100);
+  bus.publish("/blob", blob);
+  bus.spinAll();
+  ASSERT_EQ(bag.events().size(), 1u);
+  EXPECT_EQ(bag.events()[0].bytes, 16 + 100 * sizeof(double));
+}
+
+TEST(BagRecorderTest, DoubleRecordIsIdempotent) {
+  Bus bus;
+  BagRecorder bag;
+  bag.record<Ping>(bus, "/ping");
+  bag.record<Ping>(bus, "/ping");  // second call must not double-subscribe
+  bus.publish("/ping", Ping{1});
+  bus.spinAll();
+  EXPECT_EQ(bag.messageCount(), 1u);
+}
+
+TEST(BagRecorderTest, ChannelTypeMismatchThrows) {
+  Bus bus;
+  BagRecorder bag;
+  bag.record<Ping>(bus, "/ping");
+  EXPECT_THROW(bag.channel<Blob>("/ping"), std::runtime_error);
+  EXPECT_THROW(bag.channel<Ping>("/nope"), std::runtime_error);
+}
+
+TEST(BagRecorderTest, StatsAggregatePerTopic) {
+  Bus bus;
+  BagRecorder bag;
+  bag.record<Ping>(bus, "/busy");
+  bag.record<Ping>(bus, "/quiet");
+  for (int i = 0; i < 5; ++i) {
+    bus.publish("/busy", Ping{i});
+    bus.spinAll();  // separate spins so timestamps advance
+  }
+  const auto stats = bag.stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats.at("/busy").messages, 5u);
+  EXPECT_EQ(stats.at("/quiet").messages, 0u);
+  EXPECT_GT(stats.at("/busy").bytes, 0u);
+  EXPECT_GT(stats.at("/busy").mean_interarrival, 0.0);
+  EXPECT_GE(stats.at("/busy").last_t, stats.at("/busy").first_t);
+}
+
+TEST(BagRecorderTest, ReplayRepublishesIntoAnotherBus) {
+  Bus source;
+  BagRecorder bag;
+  bag.record<Ping>(source, "/ping");
+  for (int i = 0; i < 4; ++i) source.publish("/ping", Ping{i});
+  source.spinAll();
+
+  Bus target;
+  std::vector<int> received;
+  target.subscribe<Ping>("/ping", [&](const Ping& p) { received.push_back(p.id); });
+  EXPECT_EQ(bag.replay<Ping>(target, "/ping"), 4u);
+  target.spinAll();
+  ASSERT_EQ(received.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BagRecorderTest, SaveIndexWritesOneRowPerDelivery) {
+  Bus bus;
+  BagRecorder bag;
+  bag.record<Ping>(bus, "/ping");
+  for (int i = 0; i < 3; ++i) bus.publish("/ping", Ping{i});
+  bus.spinAll();
+  const std::string path = "bag_index_test.csv";
+  ASSERT_TRUE(bag.saveIndex(path));
+  std::ifstream in(path);
+  std::string line;
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 1 + 3);  // header + 3 deliveries
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(BagRecorderTest, ClearEmptiesEverything) {
+  Bus bus;
+  BagRecorder bag;
+  bag.record<Ping>(bus, "/ping");
+  bus.publish("/ping", Ping{1});
+  bus.spinAll();
+  ASSERT_EQ(bag.messageCount(), 1u);
+  bag.clear();
+  EXPECT_EQ(bag.messageCount(), 0u);
+  EXPECT_THROW(bag.channel<Ping>("/ping"), std::runtime_error);
+}
+
+TEST(BagRecorderTest, RecorderSeesOnlySubscribedTopics) {
+  Bus bus;
+  BagRecorder bag;
+  bag.record<Ping>(bus, "/watched");
+  bus.publish("/watched", Ping{1});
+  bus.publish("/ignored", Ping{2});
+  bus.spinAll();
+  EXPECT_EQ(bag.messageCount(), 1u);
+  EXPECT_EQ(bag.events()[0].topic, "/watched");
+}
+
+}  // namespace
+}  // namespace roborun::miniros

@@ -1,0 +1,176 @@
+// Unit tests for the mini-ROS middleware substrate.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "miniros/bus.h"
+#include "miniros/executor.h"
+#include "miniros/node.h"
+#include "miniros/param_server.h"
+
+namespace roborun::miniros {
+namespace {
+
+struct BigMsg {
+  std::vector<double> payload;
+};
+std::size_t byteSizeOf(const BigMsg& m) { return m.payload.size() * 8; }
+
+TEST(BusTest, PublishSubscribeDelivers) {
+  Bus bus;
+  std::vector<int> received;
+  bus.subscribe<int>("/ints", [&](const int& v) { received.push_back(v); });
+  bus.publish<int>("/ints", 1);
+  bus.publish<int>("/ints", 2);
+  EXPECT_TRUE(received.empty());  // queued until spin
+  bus.spinOnce();
+  EXPECT_EQ(received, (std::vector<int>{1, 2}));
+}
+
+TEST(BusTest, MultipleSubscribersAllReceive) {
+  Bus bus;
+  int a = 0;
+  int b = 0;
+  bus.subscribe<int>("/t", [&](const int& v) { a += v; });
+  bus.subscribe<int>("/t", [&](const int& v) { b += v * 2; });
+  bus.publish<int>("/t", 5);
+  bus.spinOnce();
+  EXPECT_EQ(a, 5);
+  EXPECT_EQ(b, 10);
+}
+
+TEST(BusTest, FifoOrderWithinTopic) {
+  Bus bus;
+  std::vector<int> order;
+  bus.subscribe<int>("/t", [&](const int& v) { order.push_back(v); });
+  for (int i = 0; i < 10; ++i) bus.publish<int>("/t", i);
+  bus.spinOnce();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(BusTest, TypeConflictThrows) {
+  Bus bus;
+  bus.publish<int>("/t", 1);
+  EXPECT_THROW(bus.publish<double>("/t", 1.0), std::runtime_error);
+}
+
+TEST(BusTest, CallbackPublishesDeferToNextSpin) {
+  Bus bus;
+  std::vector<std::string> log;
+  bus.subscribe<int>("/a", [&](const int&) {
+    log.push_back("a");
+    bus.publish<int>("/b", 1);
+  });
+  bus.subscribe<int>("/b", [&](const int&) { log.push_back("b"); });
+  bus.publish<int>("/a", 1);
+  EXPECT_EQ(bus.spinOnce(), 1u);  // only /a delivered this round
+  EXPECT_EQ(log, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(bus.spinOnce(), 1u);
+  EXPECT_EQ(log, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(BusTest, SpinAllDrainsCascades) {
+  Bus bus;
+  int depth = 0;
+  bus.subscribe<int>("/chain", [&](const int& v) {
+    depth = v;
+    if (v < 5) bus.publish<int>("/chain", v + 1);
+  });
+  bus.publish<int>("/chain", 1);
+  bus.spinAll();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(BusTest, CommLedgerChargesBytes) {
+  Bus bus(CommModel{0.001, 1e6});
+  bus.subscribe<BigMsg>("/big", [](const BigMsg&) {});
+  bus.publish<BigMsg>("/big", BigMsg{std::vector<double>(1000)});  // 8000 B
+  bus.spinOnce();
+  const auto& entries = bus.ledger().entries();
+  ASSERT_EQ(entries.count("/big"), 1u);
+  EXPECT_EQ(entries.at("/big").bytes, 8000u);
+  EXPECT_NEAR(entries.at("/big").latency, 0.001 + 8000.0 / 1e6, 1e-12);
+  EXPECT_NEAR(bus.clock().now(), 0.009, 1e-12);  // comm advanced the clock
+}
+
+TEST(BusTest, DefaultByteSizeIsSizeof) {
+  CommModel comm;
+  EXPECT_EQ(miniros::byteSizeOf(42), sizeof(int));  // qualify past the BigMsg overload
+  EXPECT_GT(comm.cost(1000), comm.cost(10));
+}
+
+TEST(ClockTest, AdvanceIgnoresNegative) {
+  SimClock clock;
+  clock.advance(1.5);
+  clock.advance(-2.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.reset();
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(ParamServerTest, SetGetRoundTrip) {
+  ParamServer params;
+  params.setDouble("p", 0.3);
+  params.setInt("n", 7);
+  params.setBool("b", true);
+  params.setString("s", "hello");
+  EXPECT_DOUBLE_EQ(params.getDouble("p").value(), 0.3);
+  EXPECT_EQ(params.getInt("n").value(), 7);
+  EXPECT_TRUE(params.getBool("b").value());
+  EXPECT_EQ(params.getString("s").value(), "hello");
+}
+
+TEST(ParamServerTest, MissingAndWrongTypes) {
+  ParamServer params;
+  params.setInt("n", 7);
+  EXPECT_FALSE(params.getDouble("missing").has_value());
+  EXPECT_FALSE(params.getBool("n").has_value());
+  // int promotes to double, as in rosparam.
+  EXPECT_DOUBLE_EQ(params.getDouble("n").value(), 7.0);
+  EXPECT_DOUBLE_EQ(params.getDoubleOr("missing", 1.5), 1.5);
+}
+
+class CounterNode : public Node {
+ public:
+  CounterNode(Bus& bus, ParamServer& params) : Node(bus, params, "counter") {
+    pub_ = advertise<int>("/count");
+    subscribe<int>("/count", [this](const int& v) { last_seen = v; });
+  }
+  void step(double) override { pub_.publish(++count); }
+  int count = 0;
+  int last_seen = 0;
+
+ private:
+  Publisher<int> pub_;
+};
+
+TEST(ExecutorTest, CyclesStepNodesAndDeliver) {
+  Bus bus;
+  ParamServer params;
+  CounterNode node(bus, params);
+  Executor exec(bus);
+  exec.add(node);
+  exec.cycle();
+  exec.cycle();
+  EXPECT_EQ(node.count, 2);
+  EXPECT_EQ(node.last_seen, 2);
+}
+
+TEST(ExecutorTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    Bus bus;
+    ParamServer params;
+    CounterNode a(bus, params);
+    CounterNode b(bus, params);
+    Executor exec(bus);
+    exec.add(a);
+    exec.add(b);
+    for (int i = 0; i < 5; ++i) exec.cycle();
+    return std::pair{a.last_seen, bus.clock().now()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace roborun::miniros

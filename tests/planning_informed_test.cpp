@@ -1,0 +1,149 @@
+// Informed RRT* tests (ellipsoidal sample focusing, paper ref [6]).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/rng.h"
+#include "perception/planner_map.h"
+#include "planning/rrt_star.h"
+
+namespace roborun::planning {
+namespace {
+
+using geom::Aabb;
+using geom::Vec3;
+using perception::PlannerMap;
+
+RrtParams baseParams() {
+  RrtParams params;
+  params.bounds = Aabb{{-5, -25, 0}, {45, 25, 10}};
+  params.max_iterations = 2500;
+  params.refine_iterations = 500;
+  params.volume_budget = 1e9;
+  params.goal_tolerance = 2.0;
+  return params;
+}
+
+PlannerMap wallWorld(double gap_y) {
+  PlannerMap map(0.3, 0.4);
+  for (double y = -20; y <= 20; y += 0.3) {
+    if (std::abs(y - gap_y) < 2.0) continue;
+    for (double z = 0; z <= 10; z += 0.3) map.addVoxel({{20.0, y, z}, 0.3});
+  }
+  return map;
+}
+
+TEST(InformedRrtTest, FindsPathThroughGap) {
+  const auto map = wallWorld(6.0);
+  auto params = baseParams();
+  params.informed = true;
+  geom::Rng rng(3);
+  const auto result = planPath(map, {0, 0, 2}, {40, 0, 2}, params, rng);
+  ASSERT_TRUE(result.report.found);
+  EXPECT_FALSE(result.report.partial);
+  for (std::size_t i = 1; i < result.path.size(); ++i)
+    EXPECT_FALSE(map.checkSegment(result.path[i - 1], result.path[i], 0.15).hit);
+}
+
+TEST(InformedRrtTest, InformedSamplesOnlyAfterSolution) {
+  const auto map = wallWorld(6.0);
+  auto params = baseParams();
+  params.informed = true;
+  geom::Rng rng(3);
+  const auto result = planPath(map, {0, 0, 2}, {40, 0, 2}, params, rng);
+  ASSERT_TRUE(result.report.found);
+  // Refinement ran: some draws came from the informed subset, and none
+  // exceeded the refinement window.
+  EXPECT_GT(result.report.informed_samples, 0u);
+  EXPECT_LE(result.report.informed_samples, params.refine_iterations + 1);
+}
+
+TEST(InformedRrtTest, PlainPlannerDrawsNoInformedSamples) {
+  const auto map = wallWorld(6.0);
+  geom::Rng rng(3);
+  const auto result = planPath(map, {0, 0, 2}, {40, 0, 2}, baseParams(), rng);
+  EXPECT_EQ(result.report.informed_samples, 0u);
+}
+
+TEST(InformedRrtTest, StraightShotSkipsSampling) {
+  // Empty map: the start-goal segment connects immediately; the informed
+  // machinery must not disturb the fast path.
+  PlannerMap map(0.3);
+  auto params = baseParams();
+  params.informed = true;
+  geom::Rng rng(1);
+  const auto result = planPath(map, {0, 0, 2}, {40, 0, 2}, params, rng);
+  ASSERT_TRUE(result.report.found);
+  EXPECT_EQ(result.path.size(), 2u);
+  EXPECT_EQ(result.report.informed_samples, 0u);
+}
+
+/// Seed-parameterized comparison: informed refinement must not be worse
+/// (beyond noise) than plain refinement, and on average should be better.
+class InformedComparisonTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InformedComparisonTest, InformedCostNeverMuchWorse) {
+  const auto map = wallWorld(8.0);
+  const Vec3 start{0, 0, 2};
+  const Vec3 goal{40, 0, 2};
+
+  auto plain = baseParams();
+  auto informed = baseParams();
+  informed.informed = true;
+
+  geom::Rng rng_plain(GetParam());
+  geom::Rng rng_informed(GetParam());
+  const auto result_plain = planPath(map, start, goal, plain, rng_plain);
+  const auto result_informed = planPath(map, start, goal, informed, rng_informed);
+  ASSERT_TRUE(result_plain.report.found);
+  ASSERT_TRUE(result_informed.report.found);
+  // Identical seeds and iteration budgets: the informed run may differ by
+  // stochastic noise but not systematically lose.
+  EXPECT_LT(result_informed.report.path_cost, result_plain.report.path_cost * 1.25);
+  // Both must beat the degenerate detour around the whole wall.
+  const double worst = start.dist({20, 22, 2}) + goal.dist({20, 22, 2});
+  EXPECT_LT(result_informed.report.path_cost, worst);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InformedComparisonTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(InformedRrtTest, AverageCostImprovesAcrossSeeds) {
+  const auto map = wallWorld(8.0);
+  const Vec3 start{0, 0, 2};
+  const Vec3 goal{40, 0, 2};
+  double plain_total = 0.0;
+  double informed_total = 0.0;
+  int completed = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    auto plain = baseParams();
+    auto informed_params = baseParams();
+    informed_params.informed = true;
+    geom::Rng rng_a(seed), rng_b(seed);
+    const auto a = planPath(map, start, goal, plain, rng_a);
+    const auto b = planPath(map, start, goal, informed_params, rng_b);
+    if (!a.report.found || !b.report.found || a.report.partial || b.report.partial) continue;
+    plain_total += a.report.path_cost;
+    informed_total += b.report.path_cost;
+    ++completed;
+  }
+  ASSERT_GE(completed, 8);
+  // The informed runs should average no worse than ~2% above plain; they
+  // typically average several percent below.
+  EXPECT_LT(informed_total, plain_total * 1.02)
+      << "informed mean " << informed_total / completed << " vs plain "
+      << plain_total / completed;
+}
+
+TEST(InformedRrtTest, DegenerateColocatedStartGoal) {
+  PlannerMap map(0.3);
+  auto params = baseParams();
+  params.informed = true;
+  params.goal_tolerance = 0.5;
+  geom::Rng rng(7);
+  const auto result = planPath(map, {5, 5, 2}, {5, 5, 2}, params, rng);
+  EXPECT_TRUE(result.report.found);
+}
+
+}  // namespace
+}  // namespace roborun::planning

@@ -1,0 +1,442 @@
+// Cross-module property sweeps (parameterized gtest).
+//
+// Each suite states one invariant the system must hold over a swept
+// parameter domain — resolutions, budgets, velocities, seeds — rather than
+// at hand-picked points. These are the repository's "laws": if a refactor
+// breaks one, something fundamental about the reproduction has drifted.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/latency_calibration.h"
+#include "core/solver.h"
+#include "core/time_budgeter.h"
+#include "env/dynamic.h"
+#include "env/env_gen.h"
+#include "geom/rng.h"
+#include "perception/octree.h"
+#include "perception/planner_map.h"
+#include "planning/rrt_star.h"
+#include "planning/smoother.h"
+#include "runtime/trace.h"
+#include "sim/sensor.h"
+#include "sim/stopping_model.h"
+
+namespace roborun {
+namespace {
+
+using geom::Aabb;
+using geom::Vec3;
+
+// ---------------------------------------------------------------------------
+// Octree: occupancy decisions are stable across the whole precision ladder.
+// ---------------------------------------------------------------------------
+
+class OctreeResolutionProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(OctreeResolutionProperty, UpdateQueryRoundTripAtEveryRung) {
+  const double precision = GetParam();
+  perception::OccupancyOctree tree({{-48, -48, -48}, {48, 48, 48}}, 0.3);
+  const int level = tree.levelForPrecision(precision);
+  geom::Rng rng(11);
+  std::vector<Vec3> occupied;
+  for (int i = 0; i < 50; ++i) {
+    const Vec3 p = rng.uniformInBox({-40, -40, -40}, {40, 40, 40});
+    tree.updateCell(p, level, perception::Occupancy::Occupied);
+    occupied.push_back(p);
+  }
+  for (const auto& p : occupied)
+    EXPECT_EQ(tree.query(p), perception::Occupancy::Occupied)
+        << "lost a voxel at precision " << precision;
+}
+
+TEST_P(OctreeResolutionProperty, CoarserPrecisionNeverStoresMoreLeaves) {
+  const double precision = GetParam();
+  if (precision >= 9.6) GTEST_SKIP() << "no coarser rung to compare";
+  auto fill = [](double prec) {
+    perception::OccupancyOctree tree({{-48, -48, -48}, {48, 48, 48}}, 0.3);
+    const int level = tree.levelForPrecision(prec);
+    geom::Rng rng(13);
+    for (int i = 0; i < 200; ++i)
+      tree.updateCell(rng.uniformInBox({-40, -40, -40}, {40, 40, 40}), level,
+                      perception::Occupancy::Occupied);
+    return tree.stats().leafCount();
+  };
+  EXPECT_GE(fill(precision), fill(precision * 2.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(PrecisionLadder, OctreeResolutionProperty,
+                         ::testing::Values(0.3, 0.6, 1.2, 2.4, 4.8, 9.6));
+
+// ---------------------------------------------------------------------------
+// Solver: knob choices respond monotonically to the budget.
+// ---------------------------------------------------------------------------
+
+class SolverBudgetProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  core::SpaceProfile randomProfile(geom::Rng& rng) const {
+    core::SpaceProfile p;
+    p.gap_min = rng.uniform(0.5, 20.0);
+    p.gap_avg = p.gap_min + rng.uniform(0.0, 60.0);
+    p.d_obstacle = rng.uniform(0.5, 30.0);
+    p.d_unknown = rng.uniform(1.0, 40.0);
+    p.sensor_volume = rng.uniform(20000.0, 120000.0);
+    p.map_volume = rng.uniform(10000.0, 120000.0);
+    p.velocity = rng.uniform(0.1, 3.0);
+    p.visibility = rng.uniform(2.0, 30.0);
+    return p;
+  }
+};
+
+TEST_P(SolverBudgetProperty, TighterBudgetNeverBuysFinerKnobs) {
+  const core::KnobConfig knobs;
+  const auto calib = core::calibratePredictor(sim::LatencyModel{}, knobs);
+  const core::GovernorSolver solver(knobs, calib.predictor);
+  geom::Rng rng(GetParam());
+  const auto profile = randomProfile(rng);
+  double last_precision = 1e18;
+  double last_volume = 1e18;
+  // Budgets descending: precision must be non-decreasing (coarsening),
+  // volume non-increasing.
+  for (const double budget : {6.0, 3.0, 1.5, 0.8, 0.45, 0.3}) {
+    core::SolverInputs inputs;
+    inputs.budget = budget;
+    inputs.fixed_overhead = 0.27;
+    inputs.profile = profile;
+    const auto result = solver.solve(inputs);
+    const double p0 = result.policy.stage(core::Stage::Perception).precision;
+    const double v0 = result.policy.stage(core::Stage::Perception).volume;
+    EXPECT_LE(p0, last_precision * (1.0 + 1e-9) + 1e18 * (last_precision == 1e18))
+        << "budget " << budget;
+    if (last_precision < 1e17) EXPECT_GE(p0, last_precision - 1e-9);
+    if (last_volume < 1e17) EXPECT_LE(v0, last_volume + 1e-6);
+    last_precision = p0;
+    last_volume = v0;
+  }
+}
+
+TEST_P(SolverBudgetProperty, PredictedLatencyFitsGenerousBudgets) {
+  const core::KnobConfig knobs;
+  const auto calib = core::calibratePredictor(sim::LatencyModel{}, knobs);
+  const core::GovernorSolver solver(knobs, calib.predictor);
+  geom::Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 20; ++i) {
+    core::SolverInputs inputs;
+    inputs.budget = 10.0;  // far above any feasible pipeline latency
+    inputs.fixed_overhead = 0.27;
+    inputs.profile = randomProfile(rng);
+    const auto result = solver.solve(inputs);
+    EXPECT_TRUE(result.budget_met);
+    EXPECT_LE(result.policy.predicted_latency, inputs.budget + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverBudgetProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+// ---------------------------------------------------------------------------
+// Budgeter: Eq. 1 / Algorithm 1 monotonicity laws.
+// ---------------------------------------------------------------------------
+
+class BudgeterVelocityProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(BudgeterVelocityProperty, BudgetShrinksAsVelocityGrows) {
+  const core::TimeBudgeter budgeter;
+  const double visibility = GetParam();
+  double last = 1e18;
+  for (double v = 0.4; v <= 4.0; v += 0.4) {
+    const double budget = budgeter.localBudget(v, visibility);
+    EXPECT_LE(budget, last + 1e-9) << "v=" << v << " d=" << visibility;
+    last = budget;
+  }
+}
+
+TEST_P(BudgeterVelocityProperty, GlobalBudgetNeverExceedsFirstLocal) {
+  // Algorithm 1 only subtracts and min()s: bg <= bl(W0) always.
+  const core::TimeBudgeter budgeter;
+  const double visibility = GetParam();
+  geom::Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<core::WaypointState> waypoints;
+    double t = 0.0;
+    for (int w = 0; w < 8; ++w) {
+      core::WaypointState ws;
+      ws.velocity = rng.uniform(0.3, 3.0);
+      ws.visibility = rng.uniform(0.5, 1.0) * visibility;
+      ws.flight_time_from_prev = w == 0 ? 0.0 : rng.uniform(0.1, 2.0);
+      t += ws.flight_time_from_prev;
+      waypoints.push_back(ws);
+    }
+    waypoints[0].visibility = visibility;
+    const double global = budgeter.globalBudget(waypoints);
+    const double first_local =
+        budgeter.localBudget(waypoints[0].velocity, waypoints[0].visibility);
+    EXPECT_LE(global, first_local + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Visibilities, BudgeterVelocityProperty,
+                         ::testing::Values(5.0, 10.0, 20.0, 30.0));
+
+// ---------------------------------------------------------------------------
+// Stopping model: physical sanity across the velocity domain.
+// ---------------------------------------------------------------------------
+
+class StoppingModelProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(StoppingModelProperty, RoundTripThroughMaxSafeVelocity) {
+  const sim::StoppingModel model;
+  const double visibility = GetParam();
+  for (double latency = 0.1; latency <= 4.0; latency += 0.3) {
+    const double v = model.maxSafeVelocity(latency, visibility);
+    ASSERT_GE(v, 0.0);
+    if (v <= 1e-9) continue;
+    // Flying v for the latency then braking must fit inside the visibility.
+    EXPECT_LE(v * latency + model.stoppingDistance(v), visibility + 1e-6)
+        << "latency " << latency;
+  }
+}
+
+TEST_P(StoppingModelProperty, SafeVelocityMonotoneInLatency) {
+  const sim::StoppingModel model;
+  const double visibility = GetParam();
+  double last = 1e18;
+  for (double latency = 0.1; latency <= 5.0; latency += 0.25) {
+    const double v = model.maxSafeVelocity(latency, visibility);
+    EXPECT_LE(v, last + 1e-9);
+    last = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, StoppingModelProperty,
+                         ::testing::Values(2.0, 6.0, 12.0, 25.0));
+
+// ---------------------------------------------------------------------------
+// Smoother: dynamic limits hold on random waypoint sets.
+// ---------------------------------------------------------------------------
+
+class SmootherProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmootherProperty, VelocityLimitHoldsOnRandomPaths) {
+  geom::Rng rng(GetParam());
+  std::vector<Vec3> waypoints{{0, 0, 3}};
+  for (int i = 1; i <= 6; ++i)
+    waypoints.push_back(waypoints.back() +
+                        Vec3{rng.uniform(2.0, 8.0), rng.uniform(-4.0, 4.0),
+                             rng.uniform(-0.5, 0.5)});
+  perception::PlannerMap empty_map(0.3);
+  planning::SmootherParams params;
+  params.v_max = 2.5;
+  const auto result = planning::smoothPath(waypoints, empty_map, params);
+  ASSERT_FALSE(result.trajectory.empty());
+  // The smoother's contract is v_max within 2%: profiles peaking above
+  // 1.02 * v_max trigger Richter time-dilation, below that they pass.
+  for (const auto& point : result.trajectory.points())
+    EXPECT_LE(point.velocity, params.v_max * 1.02 + 1e-6);
+  // Endpoints preserved.
+  EXPECT_NEAR(result.trajectory.points().front().position.dist(waypoints.front()), 0.0,
+              1e-6);
+  EXPECT_NEAR(result.trajectory.points().back().position.dist(waypoints.back()), 0.0, 0.5);
+}
+
+TEST_P(SmootherProperty, SampledAccelerationBounded) {
+  geom::Rng rng(GetParam() + 99);
+  std::vector<Vec3> waypoints{{0, 0, 3}};
+  for (int i = 1; i <= 5; ++i)
+    waypoints.push_back(waypoints.back() +
+                        Vec3{rng.uniform(3.0, 9.0), rng.uniform(-3.0, 3.0), 0.0});
+  perception::PlannerMap empty_map(0.3);
+  planning::SmootherParams params;
+  params.v_max = 3.0;
+  params.a_max = 4.0;
+  const auto result = planning::smoothPath(waypoints, empty_map, params);
+  ASSERT_FALSE(result.trajectory.empty());
+  // Numerical acceleration between consecutive samples stays within a
+  // tolerant multiple of a_max (sampling coarseness adds slack).
+  const auto& pts = result.trajectory.points();
+  for (std::size_t i = 2; i < pts.size(); ++i) {
+    const double dt1 = pts[i].time - pts[i - 1].time;
+    const double dt0 = pts[i - 1].time - pts[i - 2].time;
+    if (dt1 < 1e-6 || dt0 < 1e-6) continue;
+    const double a = std::fabs(pts[i].velocity - pts[i - 1].velocity) / dt1;
+    EXPECT_LE(a, params.a_max * 2.0 + 1e-6) << "sample " << i << " dt " << dt0;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmootherProperty, ::testing::Values(1, 4, 9, 16, 25));
+
+// ---------------------------------------------------------------------------
+// RRT*: returned paths are valid on randomized pillar fields.
+// ---------------------------------------------------------------------------
+
+class RrtValidityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RrtValidityProperty, PathsAreCollisionFreeOnPillarFields) {
+  geom::Rng world_rng(GetParam() * 7919 + 1);
+  perception::PlannerMap map(0.3, 0.4);
+  for (int i = 0; i < 25; ++i) {
+    const double px = world_rng.uniform(6.0, 44.0);
+    const double py = world_rng.uniform(-18.0, 18.0);
+    for (double z = 0; z <= 8; z += 0.3)
+      for (double dx = -0.3; dx <= 0.3; dx += 0.3)
+        for (double dy = -0.3; dy <= 0.3; dy += 0.3)
+          map.addVoxel({{px + dx, py + dy, z}, 0.3});
+  }
+  planning::RrtParams params;
+  params.bounds = Aabb{{-5, -25, 0}, {55, 25, 10}};
+  params.max_iterations = 4000;
+  params.volume_budget = 1e9;
+  geom::Rng rng(GetParam());
+  const auto result = planning::planPath(map, {0, 0, 3}, {50, 0, 3}, params, rng);
+  ASSERT_TRUE(result.report.found);
+  for (std::size_t i = 1; i < result.path.size(); ++i)
+    EXPECT_FALSE(map.checkSegment(result.path[i - 1], result.path[i], 0.15).hit)
+        << "edge " << i;
+  EXPECT_NEAR(result.path.front().dist({0, 0, 3}), 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RrtValidityProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// Environment generator: knob laws hold across the difficulty grid.
+// ---------------------------------------------------------------------------
+
+class EnvDensityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnvDensityProperty, ObstacleCountGrowsWithDensity) {
+  std::int64_t last = -1;
+  for (const double density : {0.3, 0.45, 0.6}) {
+    env::EnvSpec spec;
+    spec.obstacle_density = density;
+    spec.obstacle_spread = 40.0;
+    spec.goal_distance = 400.0;
+    spec.seed = GetParam();
+    const auto environment = env::generateEnvironment(spec);
+    const auto count = environment.world->occupiedColumnCount();
+    EXPECT_GT(count, last) << "density " << density;
+    last = count;
+  }
+}
+
+TEST_P(EnvDensityProperty, StartAndGoalRemainInFreePockets) {
+  for (const double density : {0.3, 0.6}) {
+    env::EnvSpec spec;
+    spec.obstacle_density = density;
+    spec.obstacle_spread = 40.0;
+    spec.goal_distance = 400.0;
+    spec.seed = GetParam();
+    const auto environment = env::generateEnvironment(spec);
+    EXPECT_FALSE(environment.world->occupied(spec.start()));
+    EXPECT_FALSE(environment.world->occupied(spec.goal()));
+    EXPECT_GT(environment.world->nearestObstacleXY(spec.start(), 50.0), 3.0);
+    EXPECT_GT(environment.world->nearestObstacleXY(spec.goal(), 50.0), 3.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnvDensityProperty, ::testing::Values(1, 7, 42, 99));
+
+// ---------------------------------------------------------------------------
+// Dynamic field: raycast and occupancy agree along every ray.
+// ---------------------------------------------------------------------------
+
+class DynamicConsistencyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicConsistencyProperty, RaycastAgreesWithOccupancy) {
+  geom::Rng rng(GetParam());
+  std::vector<env::MovingObstacle> obstacles;
+  for (int i = 0; i < 5; ++i) {
+    env::MovingObstacle o;
+    o.base = {rng.uniform(-20.0, 20.0), rng.uniform(-20.0, 20.0), 0.0};
+    o.direction = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), 0.0};
+    o.speed = rng.uniform(0.2, 2.0);
+    o.patrol_span = rng.uniform(0.0, 15.0);
+    o.radius = rng.uniform(0.5, 2.0);
+    o.height = rng.uniform(3.0, 10.0);
+    o.phase = rng.uniform(0.0, 20.0);
+    obstacles.push_back(o);
+  }
+  env::DynamicObstacleField field(obstacles);
+  field.setTime(rng.uniform(0.0, 60.0));
+  for (int trial = 0; trial < 40; ++trial) {
+    const Vec3 origin{rng.uniform(-30.0, 30.0), rng.uniform(-30.0, 30.0),
+                      rng.uniform(0.5, 6.0)};
+    if (field.occupied(origin)) continue;
+    Vec3 dir{rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0), rng.uniform(-0.2, 0.2)};
+    if (dir.norm() < 1e-6) continue;
+    dir = dir.normalized();
+    const auto hit = field.raycast(origin, dir, 60.0);
+    if (hit) {
+      // Marching up to just before the hit must stay free; just past the
+      // hit surface must read occupied.
+      for (double s = 0.0; s < *hit - 0.05; s += 0.25)
+        ASSERT_FALSE(field.occupied(origin + dir * s))
+            << "free-space violation at s=" << s << " hit=" << *hit;
+      EXPECT_TRUE(field.occupied(origin + dir * (*hit + 0.02)))
+          << "surface mismatch at hit=" << *hit;
+    } else {
+      for (double s = 0.0; s < 60.0; s += 0.5)
+        ASSERT_FALSE(field.occupied(origin + dir * s)) << "missed obstacle at s=" << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicConsistencyProperty,
+                         ::testing::Values(3, 17, 29, 31, 55));
+
+// ---------------------------------------------------------------------------
+// Trace: random mission results round-trip bit-faithfully.
+// ---------------------------------------------------------------------------
+
+class TraceFuzzProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceFuzzProperty, RandomMissionsRoundTrip) {
+  geom::Rng rng(GetParam());
+  runtime::MissionResult mission;
+  mission.reached_goal = rng.chance(0.5);
+  mission.collided = !mission.reached_goal && rng.chance(0.5);
+  mission.mission_time = rng.uniform(1.0, 5000.0);
+  mission.flight_energy = rng.uniform(1e3, 2e6);
+  mission.distance_traveled = rng.uniform(10.0, 2000.0);
+  const int n = rng.uniformInt(1, 60);
+  double t = 0.0;
+  for (int i = 0; i < n; ++i) {
+    runtime::DecisionRecord rec;
+    t += rng.uniform(0.05, 4.0);
+    rec.t = t;
+    rec.position = rng.uniformInBox({-100, -100, 0}, {1000, 100, 30});
+    rec.zone = static_cast<env::Zone>(rng.uniformInt(0, 2));
+    rec.velocity = rng.uniform(0.0, 4.0);
+    rec.commanded_velocity = rng.uniform(0.0, 4.0);
+    rec.visibility = rng.uniform(0.0, 40.0);
+    rec.deadline = rng.uniform(0.05, 10.0);
+    rec.latencies.octomap = rng.uniform(0.0, 3.0);
+    rec.latencies.planning = rng.uniform(0.0, 3.0);
+    rec.latencies.comm_map = rng.uniform(0.0, 0.2);
+    for (auto& stage : rec.policy.stages) {
+      stage.precision = 0.3 * std::pow(2.0, rng.uniformInt(0, 5));
+      stage.volume = rng.uniform(0.0, 1e6);
+    }
+    rec.replanned = rng.chance(0.3);
+    rec.plan_failed = rng.chance(0.05);
+    rec.cpu_utilization = rng.uniform(0.0, 1.0);
+    mission.records.push_back(rec);
+  }
+  std::stringstream buffer;
+  runtime::writeTrace(mission, buffer);
+  const auto loaded = runtime::readTrace(buffer);
+  ASSERT_EQ(loaded.records.size(), mission.records.size());
+  EXPECT_DOUBLE_EQ(loaded.mission_time, mission.mission_time);
+  for (std::size_t i = 0; i < mission.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.records[i].t, mission.records[i].t);
+    EXPECT_DOUBLE_EQ(loaded.records[i].latencies.total(),
+                     mission.records[i].latencies.total());
+    EXPECT_EQ(loaded.records[i].zone, mission.records[i].zone);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzzProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace roborun

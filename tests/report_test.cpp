@@ -1,0 +1,82 @@
+// Tests for the reporting helpers (CSV writer, metric printers).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "runtime/report.h"
+
+namespace roborun::runtime {
+namespace {
+
+TEST(CsvWriterTest, HeaderAndRowsRoundTrip) {
+  const std::string path = "/tmp/roborun_report_test.csv";
+  {
+    CsvWriter csv(path);
+    ASSERT_TRUE(csv.ok());
+    csv.header({"a", "b", "c"});
+    csv.row({1.0, 2.5, -3.0});
+    csv.row({4.0, 5.0, 6.0});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b,c");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2.5,-3");
+  std::getline(in, line);
+  EXPECT_EQ(line, "4,5,6");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, PreservesPrecision) {
+  const std::string path = "/tmp/roborun_report_prec.csv";
+  {
+    CsvWriter csv(path);
+    csv.row({0.123456789});
+  }
+  std::ifstream in(path);
+  double v = 0.0;
+  in >> v;
+  EXPECT_NEAR(v, 0.123456789, 1e-9);
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, BadPathReportsNotOk) {
+  CsvWriter csv("/nonexistent_dir_xyz/file.csv");
+  EXPECT_FALSE(csv.ok());
+}
+
+TEST(PrintersTest, MetricFormatsNameValueUnit) {
+  std::ostringstream os;
+  printMetric(os, "mission time", 123.456, "s");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("mission time"), std::string::npos);
+  EXPECT_NE(out.find("123.456"), std::string::npos);
+  EXPECT_NE(out.find(" s"), std::string::npos);
+}
+
+TEST(PrintersTest, ComparisonShowsRatio) {
+  std::ostringstream os;
+  printComparison(os, "velocity", 2.0, 4.0, "m/s");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("paper"), std::string::npos);
+  EXPECT_NE(out.find("measured"), std::string::npos);
+  EXPECT_NE(out.find("x2.00"), std::string::npos);
+}
+
+TEST(PrintersTest, ComparisonSkipsRatioForZeroPaper) {
+  std::ostringstream os;
+  printComparison(os, "x", 0.0, 4.0);
+  EXPECT_EQ(os.str().find("(x"), std::string::npos);
+}
+
+TEST(PrintersTest, BannerContainsTitle) {
+  std::ostringstream os;
+  printBanner(os, "Fig. 7");
+  EXPECT_NE(os.str().find("=== Fig. 7 ==="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace roborun::runtime

@@ -1,0 +1,136 @@
+// Tests for the mission runner's closed loop and its safety/recovery
+// behaviors, on small environments (full-suite behavior is covered by
+// integration_test).
+#include <gtest/gtest.h>
+
+#include "env/env_gen.h"
+#include "runtime/designs.h"
+#include "runtime/mission.h"
+
+namespace roborun::runtime {
+namespace {
+
+env::Environment tinyEnvironment(std::uint64_t seed, double density = 0.4) {
+  env::EnvSpec spec;
+  spec.obstacle_density = density;
+  spec.obstacle_spread = 40.0;
+  spec.goal_distance = 220.0;
+  spec.seed = seed;
+  return env::generateEnvironment(spec);
+}
+
+MissionConfig quickConfig() {
+  auto config = testMissionConfig();
+  config.max_mission_time = 1200.0;
+  return config;
+}
+
+TEST(MissionRunnerTest, RoboRunCompletesTinyMission) {
+  const auto env = tinyEnvironment(5);
+  const auto result = runMission(env, DesignType::RoboRun, quickConfig());
+  EXPECT_TRUE(result.reached_goal) << "t=" << result.mission_time
+                                   << " collided=" << result.collided;
+  EXPECT_FALSE(result.collided);
+  EXPECT_GT(result.decisions(), 10u);
+}
+
+TEST(MissionRunnerTest, BaselineCompletesTinyMission) {
+  const auto env = tinyEnvironment(5);
+  const auto result = runMission(env, DesignType::SpatialOblivious, quickConfig());
+  EXPECT_TRUE(result.reached_goal);
+  EXPECT_FALSE(result.collided);
+}
+
+TEST(MissionRunnerTest, RecordsAreTimeOrdered) {
+  const auto env = tinyEnvironment(5);
+  const auto result = runMission(env, DesignType::RoboRun, quickConfig());
+  for (std::size_t i = 1; i < result.records.size(); ++i)
+    EXPECT_GT(result.records[i].t, result.records[i - 1].t);
+}
+
+TEST(MissionRunnerTest, EnergyGrowsWithMissionTime) {
+  const auto env = tinyEnvironment(5);
+  const auto result = runMission(env, DesignType::RoboRun, quickConfig());
+  // Flight energy >= hover power x mission time (power floor).
+  const sim::EnergyConfig energy;
+  EXPECT_GE(result.flight_energy, energy.hover_power * result.mission_time * 0.99);
+}
+
+TEST(MissionRunnerTest, VelocityNeverExceedsCap) {
+  const auto env = tinyEnvironment(5);
+  auto config = quickConfig();
+  config.v_max_dynamic = 2.0;
+  const auto result = runMission(env, DesignType::RoboRun, config);
+  for (const auto& rec : result.records) EXPECT_LE(rec.commanded_velocity, 2.0 + 1e-9);
+}
+
+TEST(MissionRunnerTest, SafetyInvariantCommandedSpeedStoppable) {
+  // Whenever the runner commands a speed, the braking distance at that
+  // speed must fit inside the decision's horizon (visibility or validated
+  // free run) — the core Eq. 1 safety argument.
+  const auto env = tinyEnvironment(5);
+  const auto result = runMission(env, DesignType::RoboRun, quickConfig());
+  const sim::StoppingModel stopping;
+  for (const auto& rec : result.records) {
+    if (rec.commanded_velocity < 0.05) continue;
+    const double horizon = std::max(rec.visibility, rec.known_free_horizon);
+    EXPECT_LE(stopping.stoppingDistance(rec.commanded_velocity), horizon + 1e-6)
+        << "at t=" << rec.t;
+  }
+}
+
+TEST(MissionRunnerTest, WeatherVisibilitySlowsRoboRun) {
+  const auto env = tinyEnvironment(5, 0.3);
+  auto clear_config = quickConfig();
+  auto foggy_config = quickConfig();
+  foggy_config.sensor.weather_visibility = 10.0;
+  const auto clear = runMission(env, DesignType::RoboRun, clear_config);
+  const auto foggy = runMission(env, DesignType::RoboRun, foggy_config);
+  ASSERT_TRUE(clear.reached_goal);
+  if (foggy.reached_goal) {
+    EXPECT_GE(foggy.mission_time, clear.mission_time * 0.9);
+    EXPECT_LE(foggy.averageVelocity(), clear.averageVelocity() * 1.05);
+  }
+}
+
+TEST(MissionRunnerTest, StaticVelocityIsConstantForBaseline) {
+  const auto env = tinyEnvironment(5);
+  const auto result = runMission(env, DesignType::SpatialOblivious, quickConfig());
+  ASSERT_FALSE(result.records.empty());
+  // All nonzero commands equal the design velocity.
+  double design_v = 0.0;
+  for (const auto& rec : result.records) design_v = std::max(design_v, rec.commanded_velocity);
+  for (const auto& rec : result.records) {
+    if (rec.commanded_velocity > 0.01)
+      EXPECT_NEAR(rec.commanded_velocity, design_v, 1e-9);
+  }
+}
+
+TEST(MissionRunnerTest, RoboRunDeadlinesVaryBaselinesDoNot) {
+  const auto env = tinyEnvironment(5);
+  const auto rr = runMission(env, DesignType::RoboRun, quickConfig());
+  const auto bl = runMission(env, DesignType::SpatialOblivious, quickConfig());
+  double rr_min = 1e18, rr_max = 0, bl_min = 1e18, bl_max = 0;
+  for (const auto& rec : rr.records) {
+    rr_min = std::min(rr_min, rec.deadline);
+    rr_max = std::max(rr_max, rec.deadline);
+  }
+  for (const auto& rec : bl.records) {
+    bl_min = std::min(bl_min, rec.deadline);
+    bl_max = std::max(bl_max, rec.deadline);
+  }
+  EXPECT_GT(rr_max - rr_min, 1.0);
+  EXPECT_NEAR(bl_max - bl_min, 0.0, 1e-9);
+}
+
+TEST(MissionRunnerTest, TimeoutMarksTimedOut) {
+  const auto env = tinyEnvironment(5);
+  auto config = quickConfig();
+  config.max_mission_time = 5.0;  // far too short to finish
+  const auto result = runMission(env, DesignType::SpatialOblivious, config);
+  EXPECT_FALSE(result.reached_goal);
+  EXPECT_TRUE(result.timed_out);
+}
+
+}  // namespace
+}  // namespace roborun::runtime

@@ -1,0 +1,108 @@
+// Tests for the mini-ROS node-graph packaging of the pipeline (Fig. 6's
+// layered architecture as actual nodes and topics).
+#include <gtest/gtest.h>
+
+#include "env/env_gen.h"
+#include "runtime/node_pipeline.h"
+
+namespace roborun::runtime {
+namespace {
+
+struct GraphFixture {
+  env::Environment environment;
+  Pose pose{{0, 0, 3}, {1, 0, 0}};
+  NodeGraph graph;
+
+  GraphFixture()
+      : environment(makeEnv()),
+        graph(*environment.world, environment.spec.goal(), [this] { return pose; }, 5) {}
+
+  static env::Environment makeEnv() {
+    env::EnvSpec spec;
+    spec.goal_distance = 220.0;
+    spec.obstacle_spread = 40.0;
+    spec.seed = 8;
+    return env::generateEnvironment(spec);
+  }
+};
+
+TEST(NodeGraphTest, TopicsFlowThroughTheGraph) {
+  GraphFixture f;
+  std::size_t frames = 0, clouds = 0, maps = 0, policies = 0;
+  f.graph.bus().subscribe<sim::SensorFrame>("/sensor/frame",
+                                            [&](const sim::SensorFrame&) { ++frames; });
+  f.graph.bus().subscribe<perception::PointCloud>(
+      "/sensor/points", [&](const perception::PointCloud&) { ++clouds; });
+  f.graph.bus().subscribe<perception::PlannerMapMsg>(
+      "/map/planner", [&](const perception::PlannerMapMsg&) { ++maps; });
+  f.graph.bus().subscribe<PolicyMsg>("/policy", [&](const PolicyMsg&) { ++policies; });
+
+  for (int i = 0; i < 3; ++i) f.graph.cycle();
+  EXPECT_EQ(frames, 3u);
+  EXPECT_EQ(policies, 3u);
+  EXPECT_GE(clouds, 2u);  // one cycle of pipeline latency through the bus
+  EXPECT_GE(maps, 2u);
+}
+
+TEST(NodeGraphTest, MapAccumulates) {
+  GraphFixture f;
+  for (int i = 0; i < 3; ++i) f.graph.cycle();
+  EXPECT_GT(f.graph.map().stats().mappedVolume(), 100.0);
+}
+
+TEST(NodeGraphTest, PolicyParamsMirroredToParamServer) {
+  GraphFixture f;
+  for (int i = 0; i < 2; ++i) f.graph.cycle();
+  ASSERT_TRUE(f.graph.params().has("/roborun/perception/precision"));
+  const double p0 = f.graph.params().getDouble("/roborun/perception/precision").value();
+  EXPECT_GE(p0, 0.3);
+  EXPECT_LE(p0, 9.6);
+  EXPECT_TRUE(f.graph.params().has("/roborun/deadline"));
+  EXPECT_GT(f.graph.params().getDouble("/roborun/deadline").value(), 0.0);
+}
+
+TEST(NodeGraphTest, ControlEmitsCommandsOnceTrajectoryExists) {
+  GraphFixture f;
+  std::size_t cmds = 0;
+  f.graph.bus().subscribe<geom::Vec3>("/cmd_vel", [&](const geom::Vec3&) { ++cmds; });
+  for (int i = 0; i < 6; ++i) f.graph.cycle();
+  EXPECT_GT(cmds, 0u);
+  EXPECT_GT(f.graph.lastCommand().norm(), 0.1);
+  // The command points the vehicle down the mission axis.
+  EXPECT_GT(f.graph.lastCommand().x, 0.0);
+}
+
+TEST(NodeGraphTest, CommLedgerSeesEveryLink) {
+  GraphFixture f;
+  for (int i = 0; i < 4; ++i) f.graph.cycle();
+  const auto& entries = f.graph.bus().ledger().entries();
+  for (const char* topic :
+       {"/sensor/frame", "/sensor/points", "/map/planner", "/policy", "/trajectory"}) {
+    ASSERT_EQ(entries.count(topic), 1u) << topic;
+    EXPECT_GT(entries.at(topic).messages, 0u) << topic;
+  }
+  EXPECT_GT(f.graph.bus().ledger().totalLatency(), 0.0);
+}
+
+TEST(NodeGraphTest, OpenSkyPolicyIsCoarse) {
+  // An empty world: no gaps, no obstacles -> the governor must publish the
+  // coarsest precision.
+  env::EnvSpec spec;
+  spec.goal_distance = 220.0;
+  spec.obstacle_spread = 40.0;
+  spec.obstacle_density = 0.0;
+  spec.seed = 8;
+  auto environment = env::generateEnvironment(spec);
+  // Strip even the sparse zone-B floor obstacles.
+  for (int iy = 0; iy < environment.world->cellsY(); ++iy)
+    for (int ix = 0; ix < environment.world->cellsX(); ++ix)
+      environment.world->setColumn(ix, iy, 0.0);
+
+  Pose pose{{0, 0, 3}, {1, 0, 0}};
+  NodeGraph graph(*environment.world, environment.spec.goal(), [&] { return pose; }, 5);
+  for (int i = 0; i < 2; ++i) graph.cycle();
+  EXPECT_DOUBLE_EQ(graph.params().getDouble("/roborun/perception/precision").value(), 9.6);
+}
+
+}  // namespace
+}  // namespace roborun::runtime

@@ -1,0 +1,164 @@
+// Unit tests for the navigation pipeline and runtime metrics.
+#include <gtest/gtest.h>
+
+#include "core/governor.h"
+#include "env/env_gen.h"
+#include "runtime/metrics.h"
+#include "runtime/pipeline.h"
+#include "sim/sensor.h"
+
+namespace roborun::runtime {
+namespace {
+
+using core::PipelinePolicy;
+using core::Stage;
+using geom::Aabb;
+using geom::Vec3;
+
+PipelinePolicy staticPolicy() {
+  return core::StaticGovernor(core::KnobConfig{}, sim::StoppingModel{}).policy();
+}
+
+PipelinePolicy coarsePolicy() {
+  PipelinePolicy p;
+  p.stage(Stage::Perception) = {9.6, 30000.0};
+  p.stage(Stage::PerceptionToPlanning) = {9.6, 80000.0};
+  p.stage(Stage::Planning) = {9.6, 80000.0};
+  p.deadline = 9.0;
+  return p;
+}
+
+struct Fixture {
+  env::Environment environment;
+  sim::DepthCameraArray sensor;
+  NavigationPipeline pipeline;
+
+  explicit Fixture(double goal_distance = 420.0)
+      : environment(makeEnv(goal_distance)),
+        sensor(sim::SensorConfig{}),
+        pipeline(environment.world->extent(), environment.spec.goal(), PipelineConfig{}, 99) {}
+
+  static env::Environment makeEnv(double goal_distance) {
+    env::EnvSpec spec;
+    spec.goal_distance = goal_distance;
+    spec.seed = 12;
+    return env::generateEnvironment(spec);
+  }
+
+  DecisionOutcome decideAt(const Vec3& pos, const PipelinePolicy& policy) {
+    const auto frame = sensor.capture(*environment.world, pos);
+    return pipeline.decide(frame, pos, policy, 0.05);
+  }
+};
+
+TEST(PipelineTest, FirstDecisionPlansATrajectory) {
+  Fixture f;
+  const auto out = f.decideAt(f.environment.spec.start(), staticPolicy());
+  EXPECT_TRUE(out.replanned);
+  EXPECT_FALSE(out.plan_failed);
+  EXPECT_TRUE(f.pipeline.follower().hasTrajectory());
+  EXPECT_GT(f.pipeline.trajectory().length(), 5.0);
+}
+
+TEST(PipelineTest, LatenciesArePositiveAndStructured) {
+  Fixture f;
+  const auto out = f.decideAt(f.environment.spec.start(), staticPolicy());
+  const auto& lat = out.latencies;
+  EXPECT_NEAR(lat.point_cloud, 0.210, 0.05);  // fixed pc cost dominates
+  EXPECT_GT(lat.octomap, 0.0);
+  EXPECT_GT(lat.comm_point_cloud, 0.0);
+  EXPECT_GT(lat.total(), lat.compute());
+  EXPECT_NEAR(lat.total(), lat.compute() + lat.comm(), 1e-12);
+  EXPECT_DOUBLE_EQ(lat.runtime, 0.05);
+}
+
+TEST(PipelineTest, CoarsePolicyIsMuchCheaper) {
+  Fixture fine;
+  Fixture coarse;
+  const auto out_fine = fine.decideAt(fine.environment.spec.start(), staticPolicy());
+  const auto out_coarse = coarse.decideAt(coarse.environment.spec.start(), coarsePolicy());
+  // The paper's core mechanism: coarse knobs slash perception latency.
+  EXPECT_LT(out_coarse.latencies.octomap, out_fine.latencies.octomap * 0.25);
+}
+
+TEST(PipelineTest, MapAccumulatesAcrossDecisions) {
+  Fixture f;
+  f.decideAt(f.environment.spec.start(), staticPolicy());
+  const double vol1 = f.pipeline.map().stats().mappedVolume();
+  f.decideAt(f.environment.spec.start() + Vec3{5, 0, 0}, staticPolicy());
+  const double vol2 = f.pipeline.map().stats().mappedVolume();
+  EXPECT_GT(vol1, 0.0);
+  EXPECT_GE(vol2, vol1);
+}
+
+TEST(PipelineTest, NoReplanWhenTrajectoryStillValid) {
+  Fixture f;
+  const auto first = f.decideAt(f.environment.spec.start(), staticPolicy());
+  ASSERT_TRUE(first.replanned);
+  // Same position, same (still valid) trajectory: no replan.
+  const auto second = f.decideAt(f.environment.spec.start(), staticPolicy());
+  EXPECT_FALSE(second.replanned);
+}
+
+TEST(PipelineTest, MessagesFlowOnBus) {
+  Fixture f;
+  std::size_t clouds = 0;
+  std::size_t maps = 0;
+  f.pipeline.bus().subscribe<perception::PointCloud>(
+      "/sensor/points", [&](const perception::PointCloud&) { ++clouds; });
+  f.pipeline.bus().subscribe<perception::PlannerMapMsg>(
+      "/map/planner", [&](const perception::PlannerMapMsg&) { ++maps; });
+  f.decideAt(f.environment.spec.start(), staticPolicy());
+  EXPECT_EQ(clouds, 1u);
+  EXPECT_EQ(maps, 1u);
+  EXPECT_GT(f.pipeline.bus().ledger().totalLatency(), 0.0);
+}
+
+TEST(MetricsTest, StageLatencyAccounting) {
+  StageLatencies lat;
+  lat.runtime = 0.05;
+  lat.point_cloud = 0.21;
+  lat.octomap = 1.0;
+  lat.bridge = 0.5;
+  lat.planning = 0.8;
+  lat.smoothing = 0.1;
+  lat.comm_point_cloud = 0.02;
+  lat.comm_map = 0.3;
+  lat.comm_trajectory = 0.01;
+  EXPECT_NEAR(lat.compute(), 2.66, 1e-12);
+  EXPECT_NEAR(lat.comm(), 0.33, 1e-12);
+  EXPECT_NEAR(lat.total(), 2.99, 1e-12);
+}
+
+TEST(MetricsTest, MissionAggregates) {
+  MissionResult result;
+  result.mission_time = 30.0;
+  for (int i = 0; i < 3; ++i) {
+    DecisionRecord r;
+    r.t = 10.0 * i;
+    r.commanded_velocity = 1.0 + i;             // 1, 2, 3
+    r.latencies.octomap = 0.5 * (i + 1);        // 0.5, 1.0, 1.5
+    r.cpu_utilization = 0.2 * (i + 1);          // 0.2, 0.4, 0.6
+    r.zone = (i == 1) ? env::Zone::B : env::Zone::A;
+    result.records.push_back(r);
+  }
+  EXPECT_DOUBLE_EQ(result.averageVelocity(), 2.0);
+  EXPECT_DOUBLE_EQ(result.medianLatency(), 1.0);
+  EXPECT_NEAR(result.averageCpuUtilization(), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(result.averageVelocityInZone(env::Zone::B), 2.0);
+  EXPECT_DOUBLE_EQ(result.averageVelocityInZone(env::Zone::C), 0.0);
+  // Zone A: [0,10) and [20,30) -> 20 s; zone B: [10,20) -> 10 s.
+  EXPECT_NEAR(result.timeInZone(env::Zone::A), 20.0, 1e-9);
+  EXPECT_NEAR(result.timeInZone(env::Zone::B), 10.0, 1e-9);
+}
+
+TEST(MetricsTest, EmptyMissionSafeDefaults) {
+  const MissionResult result;
+  EXPECT_DOUBLE_EQ(result.averageVelocity(), 0.0);
+  EXPECT_DOUBLE_EQ(result.medianLatency(), 0.0);
+  EXPECT_DOUBLE_EQ(result.averageCpuUtilization(), 0.0);
+  EXPECT_EQ(result.decisions(), 0u);
+}
+
+}  // namespace
+}  // namespace roborun::runtime

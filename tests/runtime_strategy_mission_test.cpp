@@ -1,0 +1,81 @@
+// Closed-loop tests for the pluggable governor solver strategies: every
+// strategy must fly a real mission safely, and the cheap strategies must
+// not give up RoboRun's headline advantage over the static baseline.
+#include <gtest/gtest.h>
+
+#include "env/env_gen.h"
+#include "runtime/designs.h"
+#include "runtime/mission.h"
+
+namespace roborun::runtime {
+namespace {
+
+env::Environment smallEnvironment() {
+  env::EnvSpec spec;
+  spec.obstacle_density = 0.35;
+  spec.obstacle_spread = 40.0;
+  spec.goal_distance = 220.0;
+  spec.seed = 5;
+  return env::generateEnvironment(spec);
+}
+
+class StrategyMissionTest : public ::testing::TestWithParam<core::StrategyType> {};
+
+TEST_P(StrategyMissionTest, MissionCompletesSafely) {
+  const auto environment = smallEnvironment();
+  auto config = testMissionConfig();
+  config.solver_strategy = GetParam();
+  const auto result = runMission(environment, DesignType::RoboRun, config);
+  EXPECT_TRUE(result.reached_goal)
+      << "strategy " << core::strategyName(GetParam()) << " t=" << result.mission_time;
+  EXPECT_FALSE(result.collided);
+}
+
+TEST_P(StrategyMissionTest, KeepsAdvantageOverStaticBaseline) {
+  const auto environment = smallEnvironment();
+  auto config = testMissionConfig();
+  config.solver_strategy = GetParam();
+  const auto roborun = runMission(environment, DesignType::RoboRun, config);
+  const auto baseline = runMission(environment, DesignType::SpatialOblivious, config);
+  ASSERT_TRUE(roborun.reached_goal);
+  ASSERT_TRUE(baseline.reached_goal);
+  // Any reasonable strategy keeps a clear multi-x improvement.
+  EXPECT_GT(baseline.mission_time / roborun.mission_time, 2.0)
+      << "strategy " << core::strategyName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, StrategyMissionTest,
+    ::testing::Values(core::StrategyType::Exhaustive, core::StrategyType::Greedy,
+                      core::StrategyType::HysteresisExhaustive,
+                      core::StrategyType::HysteresisGreedy),
+    [](const ::testing::TestParamInfo<core::StrategyType>& info) {
+      return core::strategyName(info.param);
+    });
+
+TEST(StrategyMissionTest, HysteresisReducesPolicyChurnInFlight) {
+  const auto environment = smallEnvironment();
+  auto config = testMissionConfig();
+  auto churn = [&](core::StrategyType type) {
+    config.solver_strategy = type;
+    const auto result = runMission(environment, DesignType::RoboRun, config);
+    std::size_t switches = 0;
+    for (std::size_t i = 1; i < result.records.size(); ++i) {
+      const double a =
+          result.records[i - 1].policy.stage(core::Stage::Perception).precision;
+      const double b = result.records[i].policy.stage(core::Stage::Perception).precision;
+      if (a != b) ++switches;
+    }
+    return std::make_pair(switches, result.records.size());
+  };
+  const auto [raw_switches, raw_n] = churn(core::StrategyType::Exhaustive);
+  const auto [hys_switches, hys_n] = churn(core::StrategyType::HysteresisExhaustive);
+  ASSERT_GT(raw_n, 0u);
+  ASSERT_GT(hys_n, 0u);
+  const double raw_rate = static_cast<double>(raw_switches) / raw_n;
+  const double hys_rate = static_cast<double>(hys_switches) / hys_n;
+  EXPECT_LT(hys_rate, raw_rate + 1e-9);
+}
+
+}  // namespace
+}  // namespace roborun::runtime

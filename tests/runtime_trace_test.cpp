@@ -1,0 +1,227 @@
+// Trace round-trip and offline-analysis tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "env/env_gen.h"
+#include "runtime/designs.h"
+#include "runtime/mission.h"
+#include "runtime/trace.h"
+
+namespace roborun::runtime {
+namespace {
+
+MissionResult syntheticMission() {
+  MissionResult mission;
+  mission.reached_goal = true;
+  mission.mission_time = 30.0;
+  mission.flight_energy = 15000.0;
+  mission.compute_energy = 12.5;
+  mission.distance_traveled = 55.0;
+  mission.battery_soc = 0.8;
+  for (int i = 0; i < 12; ++i) {
+    DecisionRecord rec;
+    rec.t = 2.5 * i;
+    rec.position = {5.0 * i, 0.5 * i, 3.0};
+    rec.zone = i < 4 ? env::Zone::A : (i < 8 ? env::Zone::B : env::Zone::C);
+    rec.velocity = 1.0 + 0.1 * i;
+    rec.commanded_velocity = 1.2 + 0.1 * i;
+    rec.visibility = 20.0 - i;
+    rec.known_free_horizon = 15.0;
+    rec.deadline = 3.0;
+    rec.latencies.runtime = 0.05;
+    rec.latencies.point_cloud = 0.21;
+    rec.latencies.octomap = 0.4 + 0.01 * i;
+    rec.latencies.bridge = 0.1;
+    rec.latencies.planning = i % 3 == 0 ? 0.6 : 0.0;
+    rec.latencies.smoothing = 0.05;
+    rec.latencies.comm_point_cloud = 0.02;
+    rec.latencies.comm_map = 0.03;
+    rec.latencies.comm_trajectory = 0.01;
+    rec.policy.stage(core::Stage::Perception) = {0.3 * (1 + i % 4), 500.0 * i};
+    rec.policy.stage(core::Stage::PerceptionToPlanning) = {0.6, 800.0};
+    rec.policy.stage(core::Stage::Planning) = {0.6, 900.0};
+    rec.replanned = i % 3 == 0;
+    rec.plan_failed = i == 7;
+    rec.budget_met = true;
+    rec.cpu_utilization = 0.4;
+    mission.records.push_back(rec);
+  }
+  return mission;
+}
+
+TEST(TraceRoundTripTest, PreservesMissionMetadata) {
+  const auto mission = syntheticMission();
+  std::stringstream buffer;
+  writeTrace(mission, buffer);
+  const auto loaded = readTrace(buffer);
+  EXPECT_EQ(loaded.reached_goal, mission.reached_goal);
+  EXPECT_EQ(loaded.collided, mission.collided);
+  EXPECT_EQ(loaded.timed_out, mission.timed_out);
+  EXPECT_EQ(loaded.battery_depleted, mission.battery_depleted);
+  EXPECT_DOUBLE_EQ(loaded.mission_time, mission.mission_time);
+  EXPECT_DOUBLE_EQ(loaded.flight_energy, mission.flight_energy);
+  EXPECT_DOUBLE_EQ(loaded.compute_energy, mission.compute_energy);
+  EXPECT_DOUBLE_EQ(loaded.battery_soc, mission.battery_soc);
+  EXPECT_DOUBLE_EQ(loaded.distance_traveled, mission.distance_traveled);
+}
+
+TEST(TraceRoundTripTest, PreservesEveryRecordField) {
+  const auto mission = syntheticMission();
+  std::stringstream buffer;
+  writeTrace(mission, buffer);
+  const auto loaded = readTrace(buffer);
+  ASSERT_EQ(loaded.records.size(), mission.records.size());
+  for (std::size_t i = 0; i < mission.records.size(); ++i) {
+    const auto& a = mission.records[i];
+    const auto& b = loaded.records[i];
+    EXPECT_DOUBLE_EQ(b.t, a.t);
+    EXPECT_DOUBLE_EQ(b.position.x, a.position.x);
+    EXPECT_DOUBLE_EQ(b.position.y, a.position.y);
+    EXPECT_DOUBLE_EQ(b.position.z, a.position.z);
+    EXPECT_EQ(b.zone, a.zone);
+    EXPECT_DOUBLE_EQ(b.velocity, a.velocity);
+    EXPECT_DOUBLE_EQ(b.commanded_velocity, a.commanded_velocity);
+    EXPECT_DOUBLE_EQ(b.visibility, a.visibility);
+    EXPECT_DOUBLE_EQ(b.known_free_horizon, a.known_free_horizon);
+    EXPECT_DOUBLE_EQ(b.deadline, a.deadline);
+    EXPECT_DOUBLE_EQ(b.latencies.total(), a.latencies.total());
+    EXPECT_DOUBLE_EQ(b.latencies.comm(), a.latencies.comm());
+    for (std::size_t s = 0; s < core::kNumStages; ++s) {
+      EXPECT_DOUBLE_EQ(b.policy.stages[s].precision, a.policy.stages[s].precision);
+      EXPECT_DOUBLE_EQ(b.policy.stages[s].volume, a.policy.stages[s].volume);
+    }
+    EXPECT_EQ(b.replanned, a.replanned);
+    EXPECT_EQ(b.plan_failed, a.plan_failed);
+    EXPECT_EQ(b.budget_met, a.budget_met);
+    EXPECT_DOUBLE_EQ(b.cpu_utilization, a.cpu_utilization);
+  }
+}
+
+TEST(TraceRoundTripTest, DerivedMetricsSurviveTheRoundTrip) {
+  const auto mission = syntheticMission();
+  std::stringstream buffer;
+  writeTrace(mission, buffer);
+  const auto loaded = readTrace(buffer);
+  EXPECT_DOUBLE_EQ(loaded.averageVelocity(), mission.averageVelocity());
+  EXPECT_DOUBLE_EQ(loaded.medianLatency(), mission.medianLatency());
+  EXPECT_DOUBLE_EQ(loaded.averageCpuUtilization(), mission.averageCpuUtilization());
+}
+
+TEST(TraceRoundTripTest, FileRoundTrip) {
+  const auto mission = syntheticMission();
+  const std::string path = "trace_test_roundtrip.csv";
+  ASSERT_TRUE(saveTrace(mission, path));
+  const auto loaded = loadTrace(path);
+  EXPECT_EQ(loaded.records.size(), mission.records.size());
+  std::remove(path.c_str());
+}
+
+TEST(TraceErrorTest, MissingMagicThrows) {
+  std::stringstream buffer("not a trace\n1,2,3\n");
+  EXPECT_THROW(readTrace(buffer), std::runtime_error);
+}
+
+TEST(TraceErrorTest, MissingFileThrows) {
+  EXPECT_THROW(loadTrace("/nonexistent/path/trace.csv"), std::runtime_error);
+}
+
+TEST(TraceErrorTest, WrongColumnCountThrows) {
+  std::stringstream buffer;
+  buffer << "# roborun-trace v1\n# mission_time=1\n";
+  buffer << "t,x,y\n";  // truncated header
+  EXPECT_THROW(readTrace(buffer), std::runtime_error);
+}
+
+TEST(TraceErrorTest, NonNumericFieldThrows) {
+  const auto mission = syntheticMission();
+  std::stringstream buffer;
+  writeTrace(mission, buffer);
+  std::string text = buffer.str();
+  // Corrupt the first field of the first data row (line 4).
+  std::size_t line_start = 0;
+  for (int skip = 0; skip < 3; ++skip) line_start = text.find('\n', line_start) + 1;
+  ASSERT_LT(line_start, text.size());
+  text.replace(line_start, 1, "x");
+  std::stringstream corrupted(text);
+  EXPECT_THROW(readTrace(corrupted), std::runtime_error);
+}
+
+TEST(TraceErrorTest, BadZoneIndexThrows) {
+  const auto mission = syntheticMission();
+  std::stringstream buffer;
+  writeTrace(mission, buffer);
+  std::string text = buffer.str();
+  // Zone is column 5; rewrite the first data row's zone to 9.
+  std::size_t line_start = 0;
+  for (int skip = 0; skip < 3; ++skip) line_start = text.find('\n', line_start) + 1;
+  std::size_t field = line_start;
+  for (int skip = 0; skip < 4; ++skip) field = text.find(',', field) + 1;
+  text[field] = '9';
+  std::stringstream corrupted(text);
+  EXPECT_THROW(readTrace(corrupted), std::runtime_error);
+}
+
+TEST(TraceAnalysisTest, ZoneSummariesPartitionDecisions) {
+  const auto mission = syntheticMission();
+  const auto zones = summarizeZones(mission);
+  EXPECT_EQ(zones[0].decisions + zones[1].decisions + zones[2].decisions,
+            mission.records.size());
+  EXPECT_EQ(zones[0].zone, env::Zone::A);
+  EXPECT_EQ(zones[1].zone, env::Zone::B);
+  EXPECT_EQ(zones[2].zone, env::Zone::C);
+  // Zone times sum to the mission time.
+  EXPECT_NEAR(zones[0].time_in_zone + zones[1].time_in_zone + zones[2].time_in_zone,
+              mission.mission_time, 1e-9);
+}
+
+TEST(TraceAnalysisTest, EmptyMissionSummariesAreZero) {
+  const auto zones = summarizeZones(MissionResult{});
+  for (const auto& z : zones) {
+    EXPECT_EQ(z.decisions, 0u);
+    EXPECT_DOUBLE_EQ(z.mean_velocity, 0.0);
+    EXPECT_DOUBLE_EQ(z.latency_spread, 0.0);
+  }
+}
+
+TEST(TraceAnalysisTest, BreakdownSharesSumToOne) {
+  const auto mission = syntheticMission();
+  const auto b = normalizedBreakdown(mission);
+  EXPECT_NEAR(b.total(), 1.0, 1e-9);
+  EXPECT_GT(b.octomap, 0.0);
+  EXPECT_GT(b.comm, 0.0);
+}
+
+TEST(TraceAnalysisTest, BreakdownOfEmptyMissionIsZero) {
+  EXPECT_DOUBLE_EQ(normalizedBreakdown(MissionResult{}).total(), 0.0);
+}
+
+TEST(TraceAnalysisTest, DescribeMentionsVerdictAndZones) {
+  const auto mission = syntheticMission();
+  const auto text = describeTrace(mission);
+  EXPECT_NE(text.find("reached goal"), std::string::npos);
+  EXPECT_NE(text.find("zone"), std::string::npos);
+  EXPECT_NE(text.find("stage shares"), std::string::npos);
+}
+
+TEST(TraceIntegrationTest, RealMissionRoundTrips) {
+  env::EnvSpec spec;
+  spec.obstacle_density = 0.35;
+  spec.obstacle_spread = 40.0;
+  spec.goal_distance = 200.0;
+  spec.seed = 11;
+  const auto environment = env::generateEnvironment(spec);
+  const auto mission =
+      runMission(environment, DesignType::RoboRun, testMissionConfig());
+  ASSERT_GT(mission.records.size(), 0u);
+  std::stringstream buffer;
+  writeTrace(mission, buffer);
+  const auto loaded = readTrace(buffer);
+  EXPECT_EQ(loaded.records.size(), mission.records.size());
+  EXPECT_DOUBLE_EQ(loaded.medianLatency(), mission.medianLatency());
+  EXPECT_NEAR(loaded.averageVelocity(), mission.averageVelocity(), 1e-12);
+}
+
+}  // namespace
+}  // namespace roborun::runtime

@@ -1,0 +1,182 @@
+// Tests for the dependency-free SVG chart writer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "viz/svg_plot.h"
+
+namespace roborun::viz {
+namespace {
+
+int countOccurrences(const std::string& haystack, const std::string& needle) {
+  int count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size()))
+    ++count;
+  return count;
+}
+
+TEST(SvgPlotTest, RendersWellFormedDocument) {
+  SvgPlot plot("Latency vs precision", "precision (m)", "latency (s)");
+  plot.addSeries({"sweep", {0.3, 0.6, 1.2}, {2.0, 0.6, 0.2}, "", false, false});
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("Latency vs precision"), std::string::npos);
+  EXPECT_NE(svg.find("precision (m)"), std::string::npos);
+  EXPECT_NE(svg.find("latency (s)"), std::string::npos);
+  EXPECT_EQ(countOccurrences(svg, "<polyline"), 1);
+}
+
+TEST(SvgPlotTest, OnePolylinePerMultiPointSeries) {
+  SvgPlot plot("t", "x", "y");
+  plot.addSeries("a", {1, 2, 3});
+  plot.addSeries("b", {3, 2, 1});
+  plot.addSeries("c", {2, 2, 2});
+  const std::string svg = plot.render();
+  EXPECT_EQ(countOccurrences(svg, "<polyline"), 3);
+  EXPECT_NE(svg.find(">a</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">c</text>"), std::string::npos);
+}
+
+TEST(SvgPlotTest, SinglePointSeriesFallsBackToMarker) {
+  SvgPlot plot("t", "x", "y");
+  plot.addSeries({"dot", {1.0}, {2.0}, "", false, false});
+  const std::string svg = plot.render();
+  EXPECT_EQ(countOccurrences(svg, "<polyline"), 0);
+  EXPECT_GE(countOccurrences(svg, "<circle"), 1);
+}
+
+TEST(SvgPlotTest, NonFiniteSamplesAreDropped) {
+  SvgPlot plot("t", "x", "y");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  plot.addSeries({"s", {0, 1, 2, 3}, {1.0, nan, inf, 2.0}, "", false, true});
+  const std::string svg = plot.render();
+  // Only the two finite samples survive: series markers (r='2.4') = 2.
+  EXPECT_EQ(countOccurrences(svg, "r='2.4'"), 2);
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("inf"), std::string::npos);
+}
+
+TEST(SvgPlotTest, LogScaleRejectsNonPositive) {
+  PlotOptions options;
+  options.log_y = true;
+  SvgPlot plot("t", "x", "y", options);
+  plot.addSeries({"s", {0, 1, 2}, {-1.0, 0.0, 10.0}, "", false, true});
+  const std::string svg = plot.render();
+  EXPECT_EQ(countOccurrences(svg, "r='2.4'"), 1);  // only y=10 survives
+}
+
+TEST(SvgPlotTest, LogScaleDrawsDecadeTicks) {
+  PlotOptions options;
+  options.log_y = true;
+  SvgPlot plot("t", "x", "latency");
+  plot = SvgPlot("t", "x", "latency", options);
+  plot.addSeries({"s", {0, 1}, {0.01, 100.0}, "", false, false});
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find(">0.01</text>"), std::string::npos);
+  EXPECT_NE(svg.find(">100</text>"), std::string::npos);
+}
+
+TEST(SvgPlotTest, HorizontalMarkerRendersDashedLineAndLabel) {
+  SvgPlot plot("t", "x", "y");
+  plot.addSeries("s", {1, 2, 3});
+  plot.addHorizontalMarker(2.5, "paper: 2.5");
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("stroke-dasharray='2,4'"), std::string::npos);
+  EXPECT_NE(svg.find("paper: 2.5"), std::string::npos);
+}
+
+TEST(SvgPlotTest, EscapesXmlMetaCharacters) {
+  SvgPlot plot("a < b & c > d", "x<y", "y&z");
+  plot.addSeries("se<ries", {1, 2});
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("a &lt; b &amp; c &gt; d"), std::string::npos);
+  EXPECT_NE(svg.find("se&lt;ries"), std::string::npos);
+  // No raw '<' may survive inside text nodes (every '<' starts a tag).
+  EXPECT_EQ(svg.find("se<ries"), std::string::npos);
+}
+
+TEST(SvgPlotTest, EmptyChartStillRenders) {
+  SvgPlot plot("empty", "x", "y");
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgPlotTest, ConstantSeriesDoesNotDivideByZero) {
+  SvgPlot plot("flat", "x", "y");
+  plot.addSeries("s", {5, 5, 5});
+  const std::string svg = plot.render();
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("-nan"), std::string::npos);
+}
+
+TEST(SvgPlotTest, ForcedYRangeIsHonored) {
+  PlotOptions options;
+  options.y_force_range = true;
+  options.y_min_hint = 0.0;
+  options.y_max_hint = 10.0;
+  SvgPlot plot("t", "x", "y", options);
+  plot.addSeries("s", {1, 2});
+  const std::string svg = plot.render();
+  EXPECT_NE(svg.find(">10</text>"), std::string::npos);
+}
+
+TEST(SvgPlotTest, WriteCreatesFile) {
+  SvgPlot plot("file", "x", "y");
+  plot.addSeries("s", {1, 2, 3});
+  const std::string path = "svg_plot_test_out.svg";
+  ASSERT_TRUE(plot.write(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find("<svg"), std::string::npos);
+  in.close();
+  std::remove(path.c_str());
+}
+
+TEST(SvgBarChartTest, OneBarPerCategoryPerGroup) {
+  SvgBarChart chart("metrics", "value", {"baseline", "roborun"});
+  chart.addGroup({"time", {2093.0, 465.0}});
+  chart.addGroup({"energy", {1000.0, 257.0}});
+  const std::string svg = chart.render();
+  // 2 groups x 2 categories = 4 bars + 2 legend swatches.
+  EXPECT_EQ(countOccurrences(svg, "<rect"), 4 + 2 + 2);  // + background + frame
+  EXPECT_NE(svg.find("baseline"), std::string::npos);
+  EXPECT_NE(svg.find("energy"), std::string::npos);
+}
+
+TEST(SvgBarChartTest, ShortValueVectorsPadWithZeros) {
+  SvgBarChart chart("metrics", "value", {"a", "b", "c"});
+  chart.addGroup({"g", {1.0}});
+  const std::string svg = chart.render();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_EQ(countOccurrences(svg, "height='0'"), 2);  // two zero bars
+}
+
+TEST(SvgBarChartTest, NegativeAndNonFiniteValuesClampToZeroHeight) {
+  SvgBarChart chart("metrics", "value", {"a"});
+  chart.addGroup({"negative", {-5.0}});
+  chart.addGroup({"undefined", {std::numeric_limits<double>::quiet_NaN()}});
+  const std::string svg = chart.render();
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_EQ(svg.find("height='-"), std::string::npos);
+}
+
+TEST(PlotPaletteTest, PaletteIsNonEmptyAndHexColored) {
+  const auto& palette = plotPalette();
+  ASSERT_FALSE(palette.empty());
+  for (const auto& color : palette) {
+    EXPECT_EQ(color.size(), 7u);
+    EXPECT_EQ(color[0], '#');
+  }
+}
+
+}  // namespace
+}  // namespace roborun::viz

@@ -1,0 +1,153 @@
+// Tests for the visualization module (PPM images, map rendering).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "env/env_gen.h"
+#include "viz/map_render.h"
+#include "viz/ppm.h"
+
+namespace roborun::viz {
+namespace {
+
+TEST(ImageTest, ConstructionAndBounds) {
+  Image img(10, 5, {1, 2, 3});
+  EXPECT_EQ(img.width(), 10);
+  EXPECT_EQ(img.height(), 5);
+  EXPECT_EQ(img.get(0, 0).r, 1);
+  EXPECT_EQ(img.get(9, 4).b, 3);
+  // Out-of-bounds reads return black; writes are ignored.
+  EXPECT_EQ(img.get(10, 0).r, 0);
+  img.set(-1, -1, {9, 9, 9});
+  EXPECT_EQ(img.get(0, 0).r, 1);
+  EXPECT_THROW(Image(0, 5), std::invalid_argument);
+}
+
+TEST(ImageTest, SetGetRoundTrip) {
+  Image img(4, 4);
+  img.set(2, 3, {10, 20, 30});
+  const Rgb p = img.get(2, 3);
+  EXPECT_EQ(p.r, 10);
+  EXPECT_EQ(p.g, 20);
+  EXPECT_EQ(p.b, 30);
+}
+
+TEST(ImageTest, FillRectClips) {
+  Image img(4, 4, {0, 0, 0});
+  img.fillRect(2, 2, 10, 10, {255, 0, 0});
+  EXPECT_EQ(img.get(3, 3).r, 255);
+  EXPECT_EQ(img.get(1, 1).r, 0);
+}
+
+TEST(ImageTest, LineConnectsEndpoints) {
+  Image img(10, 10, {0, 0, 0});
+  img.drawLine(0, 0, 9, 9, {0, 255, 0});
+  EXPECT_EQ(img.get(0, 0).g, 255);
+  EXPECT_EQ(img.get(9, 9).g, 255);
+  EXPECT_EQ(img.get(5, 5).g, 255);  // diagonal passes the center
+}
+
+TEST(ImageTest, CircleFilled) {
+  Image img(11, 11, {0, 0, 0});
+  img.fillCircle(5, 5, 3, {0, 0, 255});
+  EXPECT_EQ(img.get(5, 5).b, 255);
+  EXPECT_EQ(img.get(5, 8).b, 255);
+  EXPECT_EQ(img.get(0, 0).b, 0);
+}
+
+TEST(ImageTest, WritePpmProducesValidHeader) {
+  Image img(3, 2, {7, 8, 9});
+  const std::string path = "/tmp/roborun_viz_test.ppm";
+  ASSERT_TRUE(img.writePpm(path));
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 3);
+  EXPECT_EQ(h, 2);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> data(3 * 2 * 3);
+  in.read(data.data(), static_cast<std::streamsize>(data.size()));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(data.size()));
+  EXPECT_EQ(static_cast<unsigned char>(data[0]), 7);
+  std::remove(path.c_str());
+}
+
+TEST(HeatColorTest, Endpoints) {
+  EXPECT_EQ(heatColor(0.0).r, 255);
+  EXPECT_EQ(heatColor(0.0).b, 255);  // white
+  EXPECT_EQ(heatColor(0.5).b, 0);    // yellow
+  EXPECT_EQ(heatColor(0.5).g, 255);
+  EXPECT_EQ(heatColor(1.0).g, 0);    // red
+  EXPECT_EQ(heatColor(2.0).r, 255);  // clamped
+}
+
+TEST(MapRenderTest, EnvironmentRendersObstaclesDark) {
+  env::EnvSpec spec;
+  spec.goal_distance = 300.0;
+  spec.obstacle_spread = 50.0;
+  spec.seed = 4;
+  const auto environment = env::generateEnvironment(spec);
+  RenderOptions options;
+  options.pixels_per_meter = 1;
+  const Image img = renderEnvironment(environment, options);
+  EXPECT_GT(img.width(), 300);
+  // Count dark pixels: there must be a nontrivial number of obstacles drawn.
+  int dark = 0;
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x)
+      if (img.get(x, y).r == options.obstacle_color.r &&
+          img.get(x, y).g == options.obstacle_color.g)
+        ++dark;
+  EXPECT_GT(dark, 100);
+}
+
+TEST(MapRenderTest, TrajectoryOverlayDrawsPath) {
+  env::EnvSpec spec;
+  spec.goal_distance = 300.0;
+  spec.obstacle_spread = 50.0;
+  spec.seed = 4;
+  const auto environment = env::generateEnvironment(spec);
+  runtime::MissionResult mission;
+  for (int i = 0; i <= 10; ++i) {
+    runtime::DecisionRecord rec;
+    rec.t = i;
+    rec.position = {30.0 * i, 0.0, 3.0};
+    mission.records.push_back(rec);
+  }
+  RenderOptions options;
+  options.pixels_per_meter = 1;
+  Image img = renderEnvironment(environment, options);
+  overlayTrajectory(img, environment, mission, 0, options);
+  // Some pixel along the straight path carries the trajectory color.
+  const Rgb c = options.trajectory_colors[0];
+  bool found = false;
+  for (int x = 0; x < img.width() && !found; ++x)
+    for (int y = 0; y < img.height() && !found; ++y)
+      if (img.get(x, y).r == c.r && img.get(x, y).g == c.g && img.get(x, y).b == c.b)
+        found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(MapRenderTest, RenderMissionMapWritesFile) {
+  env::EnvSpec spec;
+  spec.goal_distance = 300.0;
+  spec.obstacle_spread = 50.0;
+  spec.seed = 4;
+  const auto environment = env::generateEnvironment(spec);
+  runtime::MissionResult mission;
+  runtime::DecisionRecord rec;
+  rec.position = {0, 0, 3};
+  mission.records.push_back(rec);
+  const std::string path = "/tmp/roborun_map_test.ppm";
+  EXPECT_TRUE(renderMissionMap(environment, {&mission}, path));
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace roborun::viz

@@ -1,0 +1,227 @@
+// roborun_cli — run missions from the command line.
+//
+//   roborun_cli [options]
+//     --design roborun|oblivious|both     (default: both)
+//     --density <0..1>                    (default: 0.45)
+//     --spread <m>                        (default: 80)
+//     --goal <m>                          (default: 900)
+//     --seed <n>                          (default: 42)
+//     --weather <m>                       ambient visibility cap (default: clear)
+//     --vmax <m/s>                        RoboRun velocity cap (default: 3.2)
+//     --quick                             reduced sensor/planner fidelity
+//     --csv <path>                        per-decision records as CSV
+//     --trace <path>                      full mission trace (trace_inspect format)
+//     --battery <kJ>                      enforce a battery pack of this size
+//     --strategy <name>                   roborun solver strategy: exhaustive|greedy|
+//                                         uniform_split|hysteresis_exhaustive|hysteresis_greedy
+//     --map <path.ppm>                    render the mission map
+//
+// Exit code: 0 if every requested mission reached the goal, 1 otherwise.
+
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "env/env_gen.h"
+#include "runtime/designs.h"
+#include "runtime/report.h"
+#include "runtime/trace.h"
+#include "viz/map_render.h"
+
+namespace {
+
+using namespace roborun;
+
+struct CliOptions {
+  std::string design = "both";
+  env::EnvSpec spec;
+  double weather = 1e9;
+  double vmax = 3.2;
+  bool quick = false;
+  std::optional<std::string> csv_path;
+  std::optional<std::string> trace_path;
+  std::optional<std::string> map_path;
+  std::optional<double> battery_kj;
+  std::string strategy = "exhaustive";
+};
+
+bool parseStrategy(const std::string& name, core::StrategyType& out) {
+  for (const auto type :
+       {core::StrategyType::Exhaustive, core::StrategyType::Greedy,
+        core::StrategyType::UniformSplit, core::StrategyType::HysteresisExhaustive,
+        core::StrategyType::HysteresisGreedy}) {
+    if (name == core::strategyName(type)) {
+      out = type;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parseArgs(int argc, char** argv, CliOptions& opt) {
+  opt.spec.goal_distance = 900.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--design") {
+      const char* v = next();
+      if (!v) return false;
+      opt.design = v;
+    } else if (arg == "--density") {
+      const char* v = next();
+      if (!v) return false;
+      opt.spec.obstacle_density = std::stod(v);
+    } else if (arg == "--spread") {
+      const char* v = next();
+      if (!v) return false;
+      opt.spec.obstacle_spread = std::stod(v);
+    } else if (arg == "--goal") {
+      const char* v = next();
+      if (!v) return false;
+      opt.spec.goal_distance = std::stod(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      opt.spec.seed = std::stoull(v);
+    } else if (arg == "--weather") {
+      const char* v = next();
+      if (!v) return false;
+      opt.weather = std::stod(v);
+    } else if (arg == "--vmax") {
+      const char* v = next();
+      if (!v) return false;
+      opt.vmax = std::stod(v);
+    } else if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (!v) return false;
+      opt.csv_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      opt.trace_path = v;
+    } else if (arg == "--battery") {
+      const char* v = next();
+      if (!v) return false;
+      opt.battery_kj = std::stod(v);
+    } else if (arg == "--strategy") {
+      const char* v = next();
+      if (!v) return false;
+      opt.strategy = v;
+    } else if (arg == "--map") {
+      const char* v = next();
+      if (!v) return false;
+      opt.map_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void dumpCsv(const std::string& path, const runtime::MissionResult& result,
+             const std::string& design) {
+  runtime::CsvWriter csv(path);
+  csv.header({"t", "x", "y", "z", "velocity", "commanded", "visibility", "deadline",
+              "latency", "precision", "octomap_volume", "replanned", "zone"});
+  for (const auto& r : result.records)
+    csv.row({r.t, r.position.x, r.position.y, r.position.z, r.velocity,
+             r.commanded_velocity, r.visibility, r.deadline, r.latencies.total(),
+             r.policy.stage(core::Stage::Perception).precision,
+             r.policy.stage(core::Stage::Perception).volume, r.replanned ? 1.0 : 0.0,
+             static_cast<double>(r.zone)});
+  std::cout << design << ": records written to " << path << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  if (!parseArgs(argc, argv, opt)) {
+    std::cerr << "usage: roborun_cli [--design roborun|oblivious|both] [--density d]\n"
+                 "                   [--spread m] [--goal m] [--seed n] [--weather m]\n"
+                 "                   [--vmax mps] [--quick] [--csv path] [--trace path]\n"
+                 "                   [--battery kJ] [--map path.ppm]\n";
+    return 2;
+  }
+
+  const auto environment = env::generateEnvironment(opt.spec);
+  auto config = opt.quick ? runtime::testMissionConfig() : runtime::defaultMissionConfig();
+  config.sensor.weather_visibility = opt.weather;
+  config.v_max_dynamic = opt.vmax;
+  if (opt.battery_kj) {
+    config.enforce_battery = true;
+    config.battery.capacity = *opt.battery_kj * 1e3;
+  }
+  if (!parseStrategy(opt.strategy, config.solver_strategy)) {
+    std::cerr << "unknown strategy: " << opt.strategy << "\n";
+    return 2;
+  }
+
+  std::vector<runtime::DesignType> designs;
+  if (opt.design == "both" || opt.design == "oblivious")
+    designs.push_back(runtime::DesignType::SpatialOblivious);
+  if (opt.design == "both" || opt.design == "roborun")
+    designs.push_back(runtime::DesignType::RoboRun);
+  if (designs.empty()) {
+    std::cerr << "unknown design: " << opt.design << "\n";
+    return 2;
+  }
+
+  std::cout << "environment " << opt.spec.label() << ", "
+            << environment.world->occupiedColumnCount() << " obstacle columns\n";
+
+  bool all_ok = true;
+  std::vector<runtime::MissionResult> results;
+  for (const auto design : designs) {
+    const auto result = runtime::runMission(environment, design, config);
+    runtime::printBanner(std::cout, runtime::designName(design));
+    std::cout << "  outcome: "
+              << (result.reached_goal      ? "reached goal"
+                  : result.collided        ? "collision"
+                  : result.battery_depleted ? "battery depleted"
+                                            : "timed out")
+              << "\n";
+    runtime::printMetric(std::cout, "mission time", result.mission_time, "s");
+    runtime::printMetric(std::cout, "flight energy", result.flight_energy / 1000.0, "kJ");
+    runtime::printMetric(std::cout, "average velocity", result.averageVelocity(), "m/s");
+    runtime::printMetric(std::cout, "median decision latency", result.medianLatency(), "s");
+    runtime::printMetric(std::cout, "average CPU utilization",
+                         100.0 * result.averageCpuUtilization(), "%");
+    all_ok = all_ok && result.reached_goal;
+    if (opt.csv_path)
+      dumpCsv(*opt.csv_path + "." + runtime::designName(design) + ".csv", result,
+              runtime::designName(design));
+    if (opt.trace_path) {
+      const std::string path = *opt.trace_path + "." + runtime::designName(design) + ".csv";
+      if (runtime::saveTrace(result, path))
+        std::cout << "  trace written to " << path << " (inspect with trace_inspect)\n";
+      else
+        std::cerr << "  failed to write trace " << path << "\n";
+    }
+    results.push_back(std::move(result));
+  }
+
+  if (opt.map_path) {
+    std::vector<const runtime::MissionResult*> ptrs;
+    ptrs.reserve(results.size());
+    for (const auto& r : results) ptrs.push_back(&r);
+    if (viz::renderMissionMap(environment, ptrs, *opt.map_path))
+      std::cout << "mission map written to " << *opt.map_path << "\n";
+    else
+      std::cerr << "failed to write " << *opt.map_path << "\n";
+  }
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// trace_inspect — offline analysis of saved mission traces.
+//
+// Usage:
+//   trace_inspect <trace.csv> [more traces...]    summarize each trace
+//   trace_inspect --compare <a.csv> <b.csv>       side-by-side improvement factors
+//
+// Traces are produced by runtime::saveTrace (see roborun_cli's --trace flag
+// and the offline_replay example).
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "runtime/trace.h"
+
+namespace {
+
+using roborun::runtime::loadTrace;
+using roborun::runtime::MissionResult;
+
+int summarize(const std::vector<std::string>& paths) {
+  int failures = 0;
+  for (const auto& path : paths) {
+    std::cout << "=== " << path << " ===\n";
+    try {
+      const MissionResult mission = loadTrace(path);
+      std::cout << describeTrace(mission) << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int compare(const std::string& path_a, const std::string& path_b) {
+  try {
+    const MissionResult a = loadTrace(path_a);
+    const MissionResult b = loadTrace(path_b);
+    const auto safe_ratio = [](double x, double y) { return y > 0 ? x / y : 0.0; };
+    std::cout << "comparing A=" << path_a << " vs B=" << path_b << "\n";
+    std::cout << "  mission time:   " << a.mission_time << " s vs " << b.mission_time
+              << " s  (A/B " << safe_ratio(a.mission_time, b.mission_time) << ")\n";
+    std::cout << "  flight energy:  " << a.flight_energy / 1e3 << " kJ vs "
+              << b.flight_energy / 1e3 << " kJ  (A/B "
+              << safe_ratio(a.flight_energy, b.flight_energy) << ")\n";
+    std::cout << "  avg velocity:   " << a.averageVelocity() << " m/s vs "
+              << b.averageVelocity() << " m/s  (B/A "
+              << safe_ratio(b.averageVelocity(), a.averageVelocity()) << ")\n";
+    std::cout << "  median latency: " << a.medianLatency() << " s vs " << b.medianLatency()
+              << " s  (A/B " << safe_ratio(a.medianLatency(), b.medianLatency()) << ")\n";
+    std::cout << "  cpu util:       " << a.averageCpuUtilization() << " vs "
+              << b.averageCpuUtilization() << "\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) {
+    std::cerr << "usage: trace_inspect <trace.csv> [...]\n"
+              << "       trace_inspect --compare <a.csv> <b.csv>\n";
+    return 2;
+  }
+  if (args[0] == "--compare") {
+    if (args.size() != 3) {
+      std::cerr << "--compare needs exactly two trace paths\n";
+      return 2;
+    }
+    return compare(args[1], args[2]);
+  }
+  return summarize(args);
+}
