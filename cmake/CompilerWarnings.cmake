@@ -1,0 +1,17 @@
+# Defines roborun_warnings, the INTERFACE target every in-tree target links
+# against. -Werror is opt-in (ROBORUN_WERROR) so compilers with extra
+# diagnostics don't break downstream builds.
+
+add_library(roborun_warnings INTERFACE)
+
+if(MSVC)
+  target_compile_options(roborun_warnings INTERFACE /W4)
+  if(ROBORUN_WERROR)
+    target_compile_options(roborun_warnings INTERFACE /WX)
+  endif()
+else()
+  target_compile_options(roborun_warnings INTERFACE -Wall -Wextra)
+  if(ROBORUN_WERROR)
+    target_compile_options(roborun_warnings INTERFACE -Werror)
+  endif()
+endif()

@@ -1,0 +1,27 @@
+# Third-party dependency resolution.
+#
+# GoogleTest: system package first (the CI container pre-installs
+# libgtest-dev), pinned FetchContent as the network fallback.
+#
+# google-benchmark: system package or nothing — only the kernel microbench
+# wants it, and it is too heavy to fetch for one target.
+
+if(ROBORUN_BUILD_TESTS)
+  find_package(GTest QUIET)
+  if(NOT GTest_FOUND)
+    message(STATUS "System GTest not found — fetching googletest v1.14.0")
+    include(FetchContent)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+      URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7
+      DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+    # Keep gtest's install/gmock baggage out of our tree.
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+    FetchContent_MakeAvailable(googletest)
+  endif()
+endif()
+
+if(ROBORUN_BUILD_BENCHES)
+  find_package(benchmark QUIET)
+endif()

@@ -1,0 +1,19 @@
+# Opt-in sanitizer instrumentation for the whole tree:
+#   cmake -B build -S . -DROBORUN_SANITIZE=address;undefined
+#   cmake -B build -S . -DROBORUN_SANITIZE=thread
+#
+# Applied globally (not per-target) so roborun_core and every test/bench
+# link with matching instrumentation.
+
+set(ROBORUN_SANITIZE "" CACHE STRING
+  "Semicolon-separated sanitizers to enable (address, undefined, thread, leak)")
+
+if(ROBORUN_SANITIZE)
+  if(MSVC)
+    message(FATAL_ERROR "ROBORUN_SANITIZE is only supported with GCC/Clang")
+  endif()
+  string(REPLACE ";" "," _roborun_san "${ROBORUN_SANITIZE}")
+  message(STATUS "Sanitizers enabled: ${_roborun_san}")
+  add_compile_options(-fsanitize=${_roborun_san} -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=${_roborun_san})
+endif()

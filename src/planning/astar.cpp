@@ -50,7 +50,6 @@ AStarResult planPathAStar(const perception::PlannerMap& map, const Vec3& start,
   auto heuristic = [&](const CellKey& k) { return centerOf(k).dist(goal); };
 
   const CellKey start_key = keyOf(start);
-  const CellKey goal_key = keyOf(goal);
 
   std::unordered_map<CellKey, NodeInfo, CellKeyHash> nodes;
   using QueueEntry = std::pair<double, CellKey>;  // (f, cell)

@@ -20,4 +20,14 @@ MissionConfig testMissionConfig() {
   return config;
 }
 
+MissionConfig smokeMissionConfig() {
+  MissionConfig config = testMissionConfig();
+  config.knobs.static_octomap_volume = 8000.0;
+  config.knobs.static_bridge_volume = 20000.0;
+  config.knobs.static_planner_volume = 20000.0;
+  config.static_design.worst_case_latency = 1.5;
+  config.static_design.worst_case_visibility = 12.0;
+  return config;
+}
+
 }  // namespace roborun::runtime

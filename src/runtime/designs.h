@@ -17,4 +17,10 @@ MissionConfig defaultMissionConfig();
 /// sensor, shorter horizons) — faster, same code paths.
 MissionConfig testMissionConfig();
 
+/// testMissionConfig() plus a cheap spatial-oblivious design point: the
+/// baseline's Table II worst-case volumes are wall-clock expensive at every
+/// decision, so smoke tests (determinism, suite_runner's CTest grid) shrink
+/// them. Only for tests that don't measure fidelity.
+MissionConfig smokeMissionConfig();
+
 }  // namespace roborun::runtime

@@ -229,7 +229,9 @@ TEST(SolverTest, TighterBudgetNeverMoreVolume) {
     inputs.profile = congestedProfile();
     const auto result = solver.solve(inputs);
     const double v = result.policy.stage(Stage::Perception).volume;
-    if (prev_volume >= 0.0) EXPECT_GE(v + 1e-6, prev_volume);
+    if (prev_volume >= 0.0) {
+      EXPECT_GE(v + 1e-6, prev_volume);
+    }
     prev_volume = v;
   }
 }
@@ -293,6 +295,108 @@ TEST_P(SolverConstraintSweep, AllConstraintsHold) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SolverConstraintSweep,
                          ::testing::Values(10u, 20u, 30u, 40u, 50u));
+
+// --- computeEnvelope edge cases --------------------------------------------
+
+TEST(EnvelopeTest, ZeroVisibilityProfileStillDemandsSafetyFloor) {
+  // A blind decision (startup, total occlusion): no gaps observed, no
+  // obstacle sensed, zero visibility. The envelope must collapse precision
+  // to the finest rung and still demand a positive map volume so the MAV
+  // can re-decide safely.
+  const KnobConfig knobs;
+  SpaceProfile prof;  // all zeros
+  const KnobEnvelope env = computeEnvelope(knobs, prof);
+  EXPECT_DOUBLE_EQ(env.p0_lo, knobs.voxel_min);
+  EXPECT_DOUBLE_EQ(env.p0_hi, knobs.voxel_min);
+  // The 5 m minimum horizon sphere, not zero.
+  const double floor_sphere = 4.0 / 3.0 * std::acos(-1.0) * 125.0;
+  EXPECT_NEAR(env.v_demand, std::min(floor_sphere, env.v0_cap), 1e-6);
+  EXPECT_GT(env.v_demand, 0.0);
+  // Unmeasured sensor/map volumes must not zero the caps: Table II bounds.
+  EXPECT_DOUBLE_EQ(env.v1_cap, knobs.dynamic_bridge_volume.hi);
+  EXPECT_DOUBLE_EQ(env.v0_cap, knobs.dynamic_octomap_volume.hi);
+  // The scale interpolation stays within [floor, cap] at both ends.
+  const auto at_floor = env.volumesAtScale(0.0);
+  const auto at_cap = env.volumesAtScale(1.0);
+  EXPECT_DOUBLE_EQ(at_floor[0], env.v_demand);
+  EXPECT_DOUBLE_EQ(at_cap[0], std::max(env.v0_cap, env.v_demand));
+}
+
+TEST(EnvelopeTest, BudgetBelowFixedOverheadStillReturnsSafePolicy) {
+  // Eq. 3 with budget < fixed_overhead: the knob budget clamps to zero. The
+  // solver must still return a constraint-satisfying policy — volumes pinned
+  // at the safety floor — and report the budget as missed, never crash or
+  // return garbage.
+  const auto pred = calibrated();
+  const auto solver = makeSolver(pred);
+  SolverInputs inputs;
+  inputs.budget = 0.1;
+  inputs.fixed_overhead = 0.27;  // > budget
+  inputs.profile = congestedProfile();
+  const auto result = solver.solve(inputs);
+  EXPECT_FALSE(result.budget_met);
+  const KnobEnvelope env = computeEnvelope(solver.knobs(), inputs.profile);
+  // With zero knob budget the monotone search never leaves the floor.
+  EXPECT_NEAR(result.policy.stage(Stage::Perception).volume, env.v_demand, 1e-6);
+  EXPECT_NEAR(result.policy.stage(Stage::PerceptionToPlanning).volume, env.v_demand, 1e-6);
+  EXPECT_NEAR(result.policy.stage(Stage::Planning).volume, env.v_demand, 1e-6);
+  EXPECT_DOUBLE_EQ(result.policy.deadline, 0.1);
+  EXPECT_GE(result.policy.predicted_latency, inputs.fixed_overhead);
+  EXPECT_TRUE(solver.knobs().dynamic_precision.contains(
+      result.policy.stage(Stage::Perception).precision));
+}
+
+TEST(EnvelopeTest, PrecisionSnapsToFinestRung) {
+  // Gaps far below the finest voxel: the demand clamps *up* to voxmin (the
+  // ladder cannot resolve finer), pinning both ends at rung 0.
+  const KnobConfig knobs;
+  SpaceProfile prof = congestedProfile();
+  prof.gap_min = 0.01;
+  prof.gap_avg = 0.02;
+  prof.d_obstacle = 0.01;
+  const KnobEnvelope env = computeEnvelope(knobs, prof);
+  EXPECT_DOUBLE_EQ(env.p0_lo, knobs.voxel_min);
+  EXPECT_DOUBLE_EQ(env.p0_hi, knobs.voxel_min);
+}
+
+TEST(EnvelopeTest, PrecisionSnapsToCoarsestRung) {
+  // Open space with huge gaps and a distant obstacle: both ends clamp to
+  // the coarsest rung (voxmin * 2^(levels-1) = 9.6 m).
+  const KnobConfig knobs;
+  SpaceProfile prof = openSpaceProfile();
+  prof.gap_min = 1000.0;
+  prof.gap_avg = 1000.0;
+  prof.d_obstacle = 1000.0;
+  const KnobEnvelope env = computeEnvelope(knobs, prof);
+  const double coarsest =
+      knobs.voxel_min * std::pow(2.0, knobs.precision_levels - 1);
+  EXPECT_DOUBLE_EQ(env.p0_lo, coarsest);
+  EXPECT_DOUBLE_EQ(env.p0_hi, coarsest);
+  // Snapping must land exactly on ladder rungs.
+  const auto ladder = knobs.precisionLadder();
+  const auto on_ladder = [&](double p) {
+    for (int i = 0; i < knobs.precision_levels; ++i)
+      if (std::abs(ladder[static_cast<std::size_t>(i)] - p) < 1e-12) return true;
+    return false;
+  };
+  EXPECT_TRUE(on_ladder(env.p0_lo));
+  EXPECT_TRUE(on_ladder(env.p0_hi));
+}
+
+TEST(EnvelopeTest, CloseObstacleOverridesWideGapFloor) {
+  // Wide observed gaps would allow coarse voxels, but a very close obstacle
+  // drives the demand ceiling *below* the floor; safety must win and the
+  // interval collapse onto the (finer) ceiling.
+  const KnobConfig knobs;
+  SpaceProfile prof = openSpaceProfile();
+  prof.gap_min = 100.0;  // floor alone would snap to 9.6
+  prof.gap_avg = 100.0;
+  prof.d_obstacle = 0.4;  // ceiling: 0.2 -> clamps to 0.3
+  const KnobEnvelope env = computeEnvelope(knobs, prof);
+  EXPECT_DOUBLE_EQ(env.p0_hi, knobs.voxel_min);
+  EXPECT_LE(env.p0_lo, env.p0_hi);
+  EXPECT_DOUBLE_EQ(env.p0_lo, env.p0_hi);  // collapsed, not inverted
+}
 
 }  // namespace
 }  // namespace roborun::core

@@ -1,0 +1,169 @@
+// Determinism regression: the same EnvSpec.seed + MissionConfig.seed must
+// produce a bitwise-identical MissionResult on every run — repeated in the
+// same thread, and when many missions execute concurrently on different
+// thread counts. This is the replayability contract every bench, the
+// offline_replay example, and the suite_runner JSON harness depend on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "env/env_gen.h"
+#include "runtime/designs.h"
+#include "runtime/mission.h"
+
+namespace {
+
+using namespace roborun;
+
+/// Bit-level equality for doubles (also distinguishes -0.0 from 0.0 and
+/// treats identical NaN patterns as equal — "bitwise", not "approximately").
+bool bitEqual(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+::testing::AssertionResult recordsIdentical(const runtime::DecisionRecord& a,
+                                            const runtime::DecisionRecord& b,
+                                            std::size_t index) {
+  auto fail = [&](const char* field) {
+    return ::testing::AssertionFailure()
+           << "record " << index << " differs in " << field;
+  };
+  if (!bitEqual(a.t, b.t)) return fail("t");
+  if (!bitEqual(a.position.x, b.position.x) || !bitEqual(a.position.y, b.position.y) ||
+      !bitEqual(a.position.z, b.position.z))
+    return fail("position");
+  if (a.zone != b.zone) return fail("zone");
+  if (!bitEqual(a.velocity, b.velocity)) return fail("velocity");
+  if (!bitEqual(a.commanded_velocity, b.commanded_velocity))
+    return fail("commanded_velocity");
+  if (!bitEqual(a.visibility, b.visibility)) return fail("visibility");
+  if (!bitEqual(a.known_free_horizon, b.known_free_horizon))
+    return fail("known_free_horizon");
+  if (!bitEqual(a.deadline, b.deadline)) return fail("deadline");
+  const runtime::StageLatencies& la = a.latencies;
+  const runtime::StageLatencies& lb = b.latencies;
+  if (!bitEqual(la.runtime, lb.runtime) || !bitEqual(la.point_cloud, lb.point_cloud) ||
+      !bitEqual(la.octomap, lb.octomap) || !bitEqual(la.bridge, lb.bridge) ||
+      !bitEqual(la.planning, lb.planning) || !bitEqual(la.smoothing, lb.smoothing) ||
+      !bitEqual(la.comm_point_cloud, lb.comm_point_cloud) ||
+      !bitEqual(la.comm_map, lb.comm_map) ||
+      !bitEqual(la.comm_trajectory, lb.comm_trajectory))
+    return fail("latencies");
+  for (std::size_t s = 0; s < core::kNumStages; ++s) {
+    if (!bitEqual(a.policy.stages[s].precision, b.policy.stages[s].precision) ||
+        !bitEqual(a.policy.stages[s].volume, b.policy.stages[s].volume))
+      return fail("policy.stages");
+  }
+  if (!bitEqual(a.policy.deadline, b.policy.deadline)) return fail("policy.deadline");
+  if (!bitEqual(a.policy.predicted_latency, b.policy.predicted_latency))
+    return fail("policy.predicted_latency");
+  if (a.replanned != b.replanned) return fail("replanned");
+  if (a.plan_failed != b.plan_failed) return fail("plan_failed");
+  if (a.budget_met != b.budget_met) return fail("budget_met");
+  if (!bitEqual(a.cpu_utilization, b.cpu_utilization)) return fail("cpu_utilization");
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult resultsIdentical(const runtime::MissionResult& a,
+                                            const runtime::MissionResult& b) {
+  auto fail = [&](const char* field) {
+    return ::testing::AssertionFailure() << "MissionResult differs in " << field;
+  };
+  if (a.reached_goal != b.reached_goal) return fail("reached_goal");
+  if (a.collided != b.collided) return fail("collided");
+  if (a.timed_out != b.timed_out) return fail("timed_out");
+  if (a.battery_depleted != b.battery_depleted) return fail("battery_depleted");
+  if (!bitEqual(a.mission_time, b.mission_time)) return fail("mission_time");
+  if (!bitEqual(a.flight_energy, b.flight_energy)) return fail("flight_energy");
+  if (!bitEqual(a.compute_energy, b.compute_energy)) return fail("compute_energy");
+  if (!bitEqual(a.battery_soc, b.battery_soc)) return fail("battery_soc");
+  if (!bitEqual(a.distance_traveled, b.distance_traveled))
+    return fail("distance_traveled");
+  if (a.records.size() != b.records.size()) return fail("records.size");
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    auto rec = recordsIdentical(a.records[i], b.records[i], i);
+    if (!rec) return rec;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+env::EnvSpec shortSpec(std::uint64_t seed) {
+  env::EnvSpec spec;
+  spec.obstacle_density = 0.45;
+  spec.obstacle_spread = 22.0;
+  spec.goal_distance = 140.0;
+  spec.seed = seed;
+  return spec;
+}
+
+runtime::MissionResult runOnce(runtime::DesignType design, std::uint64_t env_seed,
+                               std::uint64_t mission_seed) {
+  const env::Environment environment = env::generateEnvironment(shortSpec(env_seed));
+  // Determinism is knob-independent; the smoke config keeps the baseline's
+  // (wall-clock-expensive) decisions cheap so this suite fits the tier1 gate.
+  runtime::MissionConfig config = runtime::smokeMissionConfig();
+  config.seed = mission_seed;
+  return runtime::runMission(environment, design, config);
+}
+
+TEST(DeterminismTest, RoboRunRepeatsBitwise) {
+  const runtime::MissionResult first = runOnce(runtime::DesignType::RoboRun, 11, 7);
+  const runtime::MissionResult second = runOnce(runtime::DesignType::RoboRun, 11, 7);
+  ASSERT_GT(first.decisions(), 0u);
+  EXPECT_TRUE(resultsIdentical(first, second));
+}
+
+TEST(DeterminismTest, BaselineRepeatsBitwise) {
+  const runtime::MissionResult first =
+      runOnce(runtime::DesignType::SpatialOblivious, 11, 7);
+  const runtime::MissionResult second =
+      runOnce(runtime::DesignType::SpatialOblivious, 11, 7);
+  ASSERT_GT(first.decisions(), 0u);
+  EXPECT_TRUE(resultsIdentical(first, second));
+}
+
+TEST(DeterminismTest, DifferentSeedsDiverge) {
+  const runtime::MissionResult a = runOnce(runtime::DesignType::RoboRun, 11, 7);
+  const runtime::MissionResult b = runOnce(runtime::DesignType::RoboRun, 12, 7);
+  // A different world must change *something* observable.
+  EXPECT_FALSE(resultsIdentical(a, b));
+}
+
+// The suite_runner contract: a mission's result must not depend on how many
+// sibling missions run concurrently. Run the same (env seed, mission seed)
+// grid serially, then on 2 and 4 threads, and demand bitwise-equal results.
+TEST(DeterminismTest, IndependentOfThreadCount) {
+  constexpr std::size_t kMissions = 4;
+  const auto runGrid = [](unsigned threads) {
+    std::vector<runtime::MissionResult> results(kMissions);
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= kMissions) return;
+        results[i] = runOnce(runtime::DesignType::RoboRun, 20 + i, 3 + i);
+      }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+    worker();
+    for (std::thread& t : pool) t.join();
+    return results;
+  };
+
+  const std::vector<runtime::MissionResult> serial = runGrid(1);
+  for (const unsigned threads : {2u, 4u}) {
+    const std::vector<runtime::MissionResult> parallel = runGrid(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_TRUE(resultsIdentical(serial[i], parallel[i]))
+          << "mission " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+}  // namespace

@@ -108,8 +108,12 @@ TEST_P(SolverBudgetProperty, TighterBudgetNeverBuysFinerKnobs) {
     const double v0 = result.policy.stage(core::Stage::Perception).volume;
     EXPECT_LE(p0, last_precision * (1.0 + 1e-9) + 1e18 * (last_precision == 1e18))
         << "budget " << budget;
-    if (last_precision < 1e17) EXPECT_GE(p0, last_precision - 1e-9);
-    if (last_volume < 1e17) EXPECT_LE(v0, last_volume + 1e-6);
+    if (last_precision < 1e17) {
+      EXPECT_GE(p0, last_precision - 1e-9);
+    }
+    if (last_volume < 1e17) {
+      EXPECT_LE(v0, last_volume + 1e-6);
+    }
     last_precision = p0;
     last_volume = v0;
   }

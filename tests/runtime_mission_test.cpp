@@ -101,8 +101,9 @@ TEST(MissionRunnerTest, StaticVelocityIsConstantForBaseline) {
   double design_v = 0.0;
   for (const auto& rec : result.records) design_v = std::max(design_v, rec.commanded_velocity);
   for (const auto& rec : result.records) {
-    if (rec.commanded_velocity > 0.01)
+    if (rec.commanded_velocity > 0.01) {
       EXPECT_NEAR(rec.commanded_velocity, design_v, 1e-9);
+    }
   }
 }
 

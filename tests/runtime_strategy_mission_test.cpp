@@ -49,8 +49,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(core::StrategyType::Exhaustive, core::StrategyType::Greedy,
                       core::StrategyType::HysteresisExhaustive,
                       core::StrategyType::HysteresisGreedy),
-    [](const ::testing::TestParamInfo<core::StrategyType>& info) {
-      return core::strategyName(info.param);
+    [](const ::testing::TestParamInfo<core::StrategyType>& param_info) {
+      // Not named `info`: INSTANTIATE_TEST_SUITE_P declares its own `info`,
+      // which this lambda would shadow (-Wshadow).
+      return core::strategyName(param_info.param);
     });
 
 TEST(StrategyMissionTest, HysteresisReducesPolicyChurnInFlight) {

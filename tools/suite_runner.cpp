@@ -1,0 +1,338 @@
+// suite_runner — batch mission executor.
+//
+// Runs an (environment spec x design x seed) grid of missions across a
+// thread pool and aggregates the MissionResult metrics to JSON. Serves two
+// roles:
+//
+//   * CTest end-to-end smoke: a tiny deterministic grid exercises the whole
+//     governor -> solver -> pipeline loop from a clean build
+//     (`ctest -R suite_runner_smoke`).
+//   * Measurement harness for the ROADMAP's scale/perf work: the same grid
+//     at full size produces the per-mission rows EXPERIMENTS-style analysis
+//     needs, independent of the figure-specific benches.
+//
+// Results are stored by job index, so the output is byte-identical for any
+// --threads value (see tests/determinism_test.cpp for the single-mission
+// guarantee this builds on).
+//
+// Usage:
+//   suite_runner [--grid smoke|small|paper] [--max-envs N] [--seeds N]
+//                [--design both|roborun|baseline] [--config smoke|test|default]
+//                [--threads N] [--out results.json] [--quiet]
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "env/env_gen.h"
+#include "env/suite.h"
+#include "runtime/designs.h"
+#include "runtime/mission.h"
+
+namespace {
+
+using namespace roborun;
+
+struct Options {
+  std::string grid = "small";
+  std::size_t max_envs = 0;  ///< 0 = the whole grid
+  std::size_t seeds = 2;
+  std::string design = "both";
+  std::string config = "test";
+  unsigned threads = std::thread::hardware_concurrency();
+  std::string out_path;
+  bool quiet = false;
+};
+
+struct Job {
+  env::EnvSpec spec;
+  runtime::DesignType design = runtime::DesignType::RoboRun;
+  std::uint64_t mission_seed = 0;
+};
+
+struct Row {
+  Job job;
+  runtime::MissionResult result;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: suite_runner [--grid smoke|small|paper] [--max-envs N] [--seeds N]\n"
+        "                    [--design both|roborun|baseline] [--config smoke|test|default]\n"
+        "                    [--threads N] [--out results.json] [--quiet]\n";
+}
+
+/// Strict decimal parse with failure reporting. Deliberately not std::stoul:
+/// that accepts "-3" by wrapping it to a huge unsigned value, which here
+/// would mean a ~10^19-mission grid.
+bool parseCount(const char* flag, const char* text, std::size_t& out) {
+  const std::string s(text);
+  constexpr std::size_t kMax = 1000000;  // sanity cap on any grid dimension
+  std::size_t v = 0;
+  bool ok = !s.empty() && s.size() <= 7;
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      ok = false;
+      break;
+    }
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (!ok || v > kMax) {
+    std::cerr << "suite_runner: " << flag << " needs an integer in [0, " << kMax
+              << "], got '" << text << "'\n";
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool parseArgs(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "suite_runner: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--grid") {
+      const char* v = next("--grid");
+      if (v == nullptr) return false;
+      opts.grid = v;
+    } else if (arg == "--max-envs") {
+      const char* v = next("--max-envs");
+      if (v == nullptr || !parseCount("--max-envs", v, opts.max_envs)) return false;
+    } else if (arg == "--seeds") {
+      const char* v = next("--seeds");
+      if (v == nullptr || !parseCount("--seeds", v, opts.seeds)) return false;
+    } else if (arg == "--design") {
+      const char* v = next("--design");
+      if (v == nullptr) return false;
+      opts.design = v;
+    } else if (arg == "--config") {
+      const char* v = next("--config");
+      if (v == nullptr) return false;
+      opts.config = v;
+    } else if (arg == "--threads") {
+      const char* v = next("--threads");
+      std::size_t threads = 0;
+      if (v == nullptr || !parseCount("--threads", v, threads)) return false;
+      opts.threads = static_cast<unsigned>(threads);
+    } else if (arg == "--out") {
+      const char* v = next("--out");
+      if (v == nullptr) return false;
+      opts.out_path = v;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "suite_runner: unknown flag " << arg << "\n";
+      usage(std::cerr);
+      return false;
+    }
+  }
+  if (opts.grid != "smoke" && opts.grid != "small" && opts.grid != "paper") {
+    std::cerr << "suite_runner: --grid must be smoke, small, or paper\n";
+    return false;
+  }
+  if (opts.design != "both" && opts.design != "roborun" && opts.design != "baseline") {
+    std::cerr << "suite_runner: --design must be both, roborun, or baseline\n";
+    return false;
+  }
+  if (opts.config != "smoke" && opts.config != "test" && opts.config != "default") {
+    std::cerr << "suite_runner: --config must be smoke, test, or default\n";
+    return false;
+  }
+  if (opts.threads == 0) opts.threads = 1;
+  if (opts.seeds == 0) opts.seeds = 1;
+  return true;
+}
+
+std::vector<env::EnvSpec> buildSpecs(const Options& opts) {
+  env::SuiteKnobs knobs;
+  if (opts.grid == "smoke") {
+    // One very short mid-density mission spec — enough to drive the whole
+    // loop end-to-end in seconds for the CTest smoke.
+    knobs.densities = {0.45};
+    knobs.spreads = {22.0};
+    knobs.goal_distances = {140.0};
+  } else if (opts.grid == "small") {
+    // A proportionally shrunken grid (same structure as Fig. 8a, short
+    // missions) so the smoke grid finishes in seconds.
+    knobs.spreads = {25.0, 40.0, 55.0};
+    knobs.goal_distances = {250.0, 375.0, 500.0};
+  }
+  std::vector<env::EnvSpec> specs = env::evaluationSuite(42, knobs);
+  if (opts.max_envs > 0 && specs.size() > opts.max_envs) {
+    std::cerr << "suite_runner: --max-envs keeps the first " << opts.max_envs << " of "
+              << specs.size() << " grid environments\n";
+    specs.resize(opts.max_envs);
+  }
+  return specs;
+}
+
+std::vector<runtime::DesignType> buildDesigns(const Options& opts) {
+  if (opts.design == "roborun") return {runtime::DesignType::RoboRun};
+  if (opts.design == "baseline") return {runtime::DesignType::SpatialOblivious};
+  return {runtime::DesignType::SpatialOblivious, runtime::DesignType::RoboRun};
+}
+
+/// Fixed-decimal double formatting; JSON has no NaN/Inf, so map those to 0.
+std::string jsonNumber(double v, int decimals = 6) {
+  if (!(v == v) || v > 1e300 || v < -1e300) return "0";
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(decimals);
+  ss << v;
+  return ss.str();
+}
+
+void writeJson(std::ostream& os, const Options& opts, const std::vector<Row>& rows) {
+  std::size_t reached = 0, collided = 0, timed_out = 0;
+  double total_time = 0.0, total_energy = 0.0, total_velocity = 0.0;
+  for (const Row& row : rows) {
+    reached += row.result.reached_goal ? 1 : 0;
+    collided += row.result.collided ? 1 : 0;
+    timed_out += row.result.timed_out ? 1 : 0;
+    total_time += row.result.mission_time;
+    total_energy += row.result.flight_energy + row.result.compute_energy;
+    total_velocity += row.result.averageVelocity();
+  }
+  const double n = rows.empty() ? 1.0 : static_cast<double>(rows.size());
+
+  os << "{\n";
+  os << "  \"grid\": \"" << opts.grid << "\",\n";
+  os << "  \"config\": \"" << opts.config << "\",\n";
+  os << "  \"missions\": " << rows.size() << ",\n";
+  os << "  \"aggregate\": {\n";
+  os << "    \"reached_goal\": " << reached << ",\n";
+  os << "    \"collided\": " << collided << ",\n";
+  os << "    \"timed_out\": " << timed_out << ",\n";
+  os << "    \"success_rate\": " << jsonNumber(static_cast<double>(reached) / n) << ",\n";
+  os << "    \"mean_mission_time\": " << jsonNumber(total_time / n) << ",\n";
+  os << "    \"mean_total_energy\": " << jsonNumber(total_energy / n) << ",\n";
+  os << "    \"mean_velocity\": " << jsonNumber(total_velocity / n) << "\n";
+  os << "  },\n";
+  os << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const runtime::MissionResult& r = row.result;
+    os << "    {\"env\": \"" << row.job.spec.label() << "\", \"design\": \""
+       << runtime::designName(row.job.design) << "\", \"mission_seed\": "
+       << row.job.mission_seed << ", \"reached_goal\": " << (r.reached_goal ? "true" : "false")
+       << ", \"collided\": " << (r.collided ? "true" : "false")
+       << ", \"timed_out\": " << (r.timed_out ? "true" : "false")
+       << ", \"mission_time\": " << jsonNumber(r.mission_time)
+       << ", \"distance\": " << jsonNumber(r.distance_traveled)
+       << ", \"avg_velocity\": " << jsonNumber(r.averageVelocity())
+       << ", \"median_latency\": " << jsonNumber(r.medianLatency())
+       << ", \"flight_energy\": " << jsonNumber(r.flight_energy)
+       << ", \"compute_energy\": " << jsonNumber(r.compute_energy)
+       << ", \"decisions\": " << r.decisions() << "}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parseArgs(argc, argv, opts)) return 2;
+
+  const std::vector<env::EnvSpec> specs = buildSpecs(opts);
+  const std::vector<runtime::DesignType> designs = buildDesigns(opts);
+  runtime::MissionConfig base_config = opts.config == "default"
+                                           ? runtime::defaultMissionConfig()
+                                           : (opts.config == "smoke"
+                                                  ? runtime::smokeMissionConfig()
+                                                  : runtime::testMissionConfig());
+
+  std::vector<Job> jobs;
+  for (const env::EnvSpec& spec : specs) {
+    for (const runtime::DesignType design : designs) {
+      for (std::size_t s = 0; s < opts.seeds; ++s) {
+        Job job;
+        job.spec = spec;
+        job.design = design;
+        job.mission_seed = base_config.seed + s;
+        jobs.push_back(job);
+      }
+    }
+  }
+
+  // Progress goes to stderr: stdout must stay parseable JSON when --out is
+  // omitted.
+  if (!opts.quiet) {
+    std::cerr << "suite_runner: " << jobs.size() << " missions (" << specs.size()
+              << " envs x " << designs.size() << " designs x " << opts.seeds
+              << " seeds) on " << opts.threads << " thread(s)\n";
+  }
+
+  // Results land at their job index, so output ordering (and content) is
+  // independent of scheduling.
+  std::vector<Row> rows(jobs.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= jobs.size()) return;
+      const Job& job = jobs[i];
+      const env::Environment environment = env::generateEnvironment(job.spec);
+      runtime::MissionConfig config = base_config;
+      config.seed = job.mission_seed;
+      rows[i].job = job;
+      rows[i].result = runtime::runMission(environment, job.design, config);
+      const std::size_t finished = done.fetch_add(1) + 1;
+      if (!opts.quiet) {
+        std::ostringstream line;  // single write keeps interleaving readable
+        line << "  [" << finished << "/" << jobs.size() << "] " << job.spec.label()
+             << " " << runtime::designName(job.design) << " seed=" << job.mission_seed
+             << (rows[i].result.reached_goal
+                     ? " reached"
+                     : (rows[i].result.collided ? " COLLIDED" : " timeout"))
+             << "\n";
+        std::cerr << line.str();
+      }
+    }
+  };
+
+  const unsigned thread_count =
+      static_cast<unsigned>(std::min<std::size_t>(opts.threads, jobs.size()));
+  std::vector<std::thread> pool;
+  for (unsigned t = 1; t < thread_count; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+
+  if (opts.out_path.empty()) {
+    writeJson(std::cout, opts, rows);
+  } else {
+    std::ofstream out(opts.out_path);
+    if (!out) {
+      std::cerr << "suite_runner: cannot open " << opts.out_path << "\n";
+      return 1;
+    }
+    writeJson(out, opts, rows);
+    if (!opts.quiet) std::cerr << "suite_runner: wrote " << opts.out_path << "\n";
+  }
+
+  // Smoke-test contract: every mission must terminate in a defined state.
+  for (const Row& row : rows) {
+    const runtime::MissionResult& r = row.result;
+    if (!r.reached_goal && !r.collided && !r.timed_out && !r.battery_depleted) {
+      std::cerr << "suite_runner: mission ended in an undefined state: "
+                << row.job.spec.label() << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

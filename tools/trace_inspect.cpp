@@ -62,6 +62,11 @@ int compare(const std::string& path_a, const std::string& path_b) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
+  if (!args.empty() && (args[0] == "--help" || args[0] == "-h")) {
+    std::cout << "usage: trace_inspect <trace.csv> [...]\n"
+              << "       trace_inspect --compare <a.csv> <b.csv>\n";
+    return 0;
+  }
   if (args.empty()) {
     std::cerr << "usage: trace_inspect <trace.csv> [...]\n"
               << "       trace_inspect --compare <a.csv> <b.csv>\n";
