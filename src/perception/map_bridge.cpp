@@ -13,21 +13,25 @@ BridgeResult buildPlannerMap(const OccupancyOctree& tree, const geom::Vec3& posi
   const int level = tree.levelForPrecision(precision);
   result.msg.map = PlannerMap(precision, params.inflation);
 
+  // Level-bounded occupied iteration: the pooled tree's has_occupied bit
+  // prunes empty subtrees, so this visits only map structure that can emit
+  // voxels (the seed implementation re-scanned subtrees per coarsened node).
   auto voxels = tree.collectOccupied(level);
 
   // The volume budget bounds the known region communicated: a sphere around
   // the MAV whose volume equals the budget. Everything beyond its radius is
-  // pruned (the "select higher level trees in sorted order" operator).
+  // pruned — the "select higher level trees in sorted order" operator.
+  // Because the budget keeps every voxel inside the sphere and drops every
+  // voxel beyond it, a one-pass radius filter communicates exactly the
+  // nearest-sorted prefix without paying for a distance sort.
   const double radius =
       std::cbrt(3.0 * params.volume_budget / (4.0 * std::numbers::pi));
-  std::sort(voxels.begin(), voxels.end(), [&](const VoxelBox& a, const VoxelBox& b) {
-    return a.center.dist(position) < b.center.dist(position);
-  });
 
   const double mapped = tree.stats().mappedVolume();
   result.report.region_volume = std::min(mapped, params.volume_budget);
   result.msg.region_volume = result.report.region_volume;
 
+  result.msg.map.reserve(voxels.size());
   for (const auto& v : voxels) {
     if (v.center.dist(position) > radius) {
       ++result.report.voxels_dropped;

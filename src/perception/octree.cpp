@@ -1,6 +1,8 @@
 #include "perception/octree.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_set>
@@ -9,22 +11,15 @@ namespace roborun::perception {
 
 namespace {
 
-int childIndexFor(const Vec3& center, const Vec3& p) {
-  return (p.x >= center.x ? 1 : 0) | (p.y >= center.y ? 2 : 0) | (p.z >= center.z ? 4 : 0);
-}
-
-Vec3 childCenterFor(const Vec3& center, double half, int ci) {
-  const double q = half * 0.5;
-  return {center.x + ((ci & 1) ? q : -q), center.y + ((ci & 2) ? q : -q),
-          center.z + ((ci & 4) ? q : -q)};
-}
-
 double distToBox(const Vec3& p, const Vec3& center, double half) {
   const double dx = std::max(std::abs(p.x - center.x) - half, 0.0);
   const double dy = std::max(std::abs(p.y - center.y) - half, 0.0);
   const double dz = std::max(std::abs(p.z - center.z) - half, 0.0);
   return std::sqrt(dx * dx + dy * dy + dz * dz);
 }
+
+/// Deepest key level supported by 3-bits-per-level packing in 64 bits.
+constexpr int kMaxKeyDepth = 21;
 
 }  // namespace
 
@@ -38,9 +33,12 @@ OccupancyOctree::OccupancyOctree(const Aabb& extent, double voxel_min) : voxel_m
     root_size_ *= 2.0;
     ++max_depth_;
   }
+  if (max_depth_ > kMaxKeyDepth)
+    throw std::invalid_argument("OccupancyOctree: extent/voxel_min needs more than 21 levels");
   const Vec3 c = extent.center();
   const Vec3 h{root_size_ * 0.5, root_size_ * 0.5, root_size_ * 0.5};
   root_box_ = {c - h, c + h};
+  pool_.push_back(Node{});  // the root leaf
 }
 
 int OccupancyOctree::levelForPrecision(double precision) const {
@@ -65,74 +63,220 @@ double OccupancyOctree::snapPrecision(double precision) const {
   return cell;
 }
 
-void OccupancyOctree::split(Node& node) const {
-  node.children = std::make_unique<std::array<Node, 8>>();
-  for (auto& child : *node.children) child.state = node.state;
+std::uint64_t OccupancyOctree::cellKey(const Vec3& p, int level) const {
+  // Pure arithmetic (no tree access): the same center-comparison ladder the
+  // pointer descent used, so keyed and point updates bin identically even
+  // for points sitting exactly on cell boundaries. Stops at the target
+  // level — coarse cells need proportionally less ladder.
+  //
+  // Written branchlessly: the child choice per level is data-random, so a
+  // conditional-move formulation beats a 50%-mispredicted branch ladder by
+  // ~3x. copysign(q, p - c) walks the center exactly like the ?: form —
+  // q is a power of two, the add is exact either way, and the p == c tie
+  // produces +0.0, matching the `>=` convention of childIndexFor.
+  const int depth = std::max(0, max_depth_ - std::clamp(level, 0, max_depth_));
+  const Vec3 c0 = root_box_.center();
+  double cx = c0.x, cy = c0.y, cz = c0.z;
+  double q = root_size_ * 0.25;  // first-level child-center offset
+  std::uint64_t key = 0;
+  for (int d = 0; d < depth; ++d) {
+    // +0.0 normalizes a -0.0 difference to +0.0 so copysign agrees with the
+    // `>=` tie-break (p == center descends into the upper child).
+    const double dx = (p.x - cx) + 0.0;
+    const double dy = (p.y - cy) + 0.0;
+    const double dz = (p.z - cz) + 0.0;
+    const std::uint64_t ci = static_cast<std::uint64_t>(dx >= 0.0) |
+                             (static_cast<std::uint64_t>(dy >= 0.0) << 1) |
+                             (static_cast<std::uint64_t>(dz >= 0.0) << 2);
+    key = (key << 3) | ci;
+    cx += std::copysign(q, dx);
+    cy += std::copysign(q, dy);
+    cz += std::copysign(q, dz);
+    q *= 0.5;
+  }
+  return key;
 }
 
-bool OccupancyOctree::allChildrenUniformLeaves(const Node& node, Occupancy& state) {
-  const auto& kids = *node.children;
-  if (!kids[0].isLeaf()) return false;
-  state = kids[0].state;
-  for (int i = 1; i < 8; ++i)
-    if (!kids[i].isLeaf() || kids[i].state != state) return false;
-  return true;
+Vec3 OccupancyOctree::cellCenter(std::uint64_t key, int level) const {
+  const int depth = std::max(0, max_depth_ - std::clamp(level, 0, max_depth_));
+  Vec3 center = root_box_.center();
+  double half = root_size_ * 0.5;
+  for (int d = 0; d < depth; ++d) {
+    const int ci = static_cast<int>((key >> (3 * (depth - 1 - d))) & 7u);
+    center = childCenterFor(center, half, ci);
+    half *= 0.5;
+  }
+  return center;
 }
 
-bool OccupancyOctree::subtreeHasOccupied(const Node& node) {
-  if (node.isLeaf()) return node.state == Occupancy::Occupied;
-  for (const auto& child : *node.children)
-    if (subtreeHasOccupied(child)) return true;
-  return false;
+std::uint32_t OccupancyOctree::allocBlock() {
+  if (!free_blocks_.empty()) {
+    const std::uint32_t block = free_blocks_.back();
+    free_blocks_.pop_back();
+    return block;
+  }
+  const std::uint32_t block = static_cast<std::uint32_t>(pool_.size());
+  pool_.resize(pool_.size() + 8);
+  return block;
 }
 
-bool OccupancyOctree::update(Node& node, const Vec3& center, double half, int depth_left,
-                             const Vec3& p, Occupancy state) {
-  if (depth_left == 0) {
-    if (state == Occupancy::Free) {
-      // Sticky occupancy: never let a free-space sweep erase an obstacle.
-      if (subtreeHasOccupied(node)) return true;
-      node.children.reset();
-      node.state = Occupancy::Free;
-      return false;
+void OccupancyOctree::releaseBlockRec(std::uint32_t block) {
+  for (int i = 0; i < 8; ++i) {
+    Node& child = pool_[block + static_cast<std::uint32_t>(i)];
+    if (child.first_child != kNoChild) {
+      releaseBlockRec(child.first_child);
+      child.first_child = kNoChild;
     }
-    node.children.reset();
-    node.state = state;
-    return state == Occupancy::Occupied;
   }
-  if (node.isLeaf()) {
-    if (node.state == state) return state == Occupancy::Occupied;  // no-op
-    split(node);
+  free_blocks_.push_back(block);
+}
+
+void OccupancyOctree::collapseToLeaf(Node& node) {
+  if (node.first_child == kNoChild) return;
+  releaseBlockRec(node.first_child);
+  node.first_child = kNoChild;
+}
+
+void OccupancyOctree::splitNode(std::uint32_t index) {
+  const std::uint32_t block = allocBlock();  // may reallocate the pool
+  Node& node = pool_[index];
+  for (int i = 0; i < 8; ++i) {
+    Node& child = pool_[block + static_cast<std::uint32_t>(i)];
+    child.first_child = kNoChild;
+    child.state = node.state;
+    child.has_occupied = node.has_occupied;
   }
-  const int ci = childIndexFor(center, p);
-  const bool child_occ = update((*node.children)[ci], childCenterFor(center, half, ci),
-                                half * 0.5, depth_left - 1, p, state);
-  Occupancy uniform;
-  if (allChildrenUniformLeaves(node, uniform)) {
-    node.children.reset();
-    node.state = uniform;
-    return uniform == Occupancy::Occupied;
+  node.first_child = block;
+}
+
+void OccupancyOctree::finalizeNode(std::uint32_t index, std::uint32_t child_index) {
+  Node& node = pool_[index];
+  // has_occupied is monotone (occupancy is sticky; nothing ever clears it
+  // while structure exists), so propagating the bit of the one child the
+  // walk just left is enough — the other children's bits were already
+  // folded in when their own subtrees were last finalized.
+  node.has_occupied |= pool_[child_index].has_occupied;
+  const std::uint32_t block = node.first_child;
+  const Node& first = pool_[block];
+  if (!first.isLeaf()) return;
+  const Occupancy uniform = first.state;
+  for (int i = 1; i < 8; ++i) {
+    const Node& child = pool_[block + static_cast<std::uint32_t>(i)];
+    if (!child.isLeaf() || child.state != uniform) return;
   }
-  return child_occ || subtreeHasOccupied(node);
+  free_blocks_.push_back(block);  // children are all leaves: one block
+  node.first_child = kNoChild;
+  node.state = uniform;
+  node.has_occupied = uniform == Occupancy::Occupied ? 1 : 0;
+}
+
+void OccupancyOctree::applyKeys(std::span<const std::uint64_t> keys, int depth,
+                                Occupancy state) {
+  // path[d] = pool index of the node at depth d along the current descent.
+  // dirty bit d = the node at depth d saw a split or terminal write
+  // somewhere beneath it and needs its merge/aggregate maintenance before
+  // the walk leaves it; clean levels unwind for free (the steady-state case
+  // of re-sweeping already-known space).
+  std::array<std::uint32_t, kMaxKeyDepth + 1> path;
+  std::uint32_t dirty = 0;
+  path[0] = kRootIndex;
+  int deepest = 0;  // deepest level path[] is valid for
+  std::uint64_t prev = 0;
+  bool first = true;
+
+  for (const std::uint64_t key : keys) {
+    if (!first && key == prev) continue;  // duplicate target cell: no-op
+
+    // Restart the walk at the deepest ancestor shared with the previous
+    // key: unwind (merging/refreshing aggregate bits) down to it, then
+    // descend only the differing suffix.
+    int common = 0;
+    if (!first) {
+      const std::uint64_t diff = key ^ prev;
+      common = diff == 0 ? depth : depth - 1 - (std::bit_width(diff) - 1) / 3;
+      common = std::min(common, deepest);
+    }
+    for (int d = deepest - 1; d >= common; --d) {
+      if (dirty & (1u << d)) {
+        finalizeNode(path[d], path[d + 1]);
+        dirty &= ~(1u << d);
+      }
+    }
+
+    int d = common;
+    bool noop = false;
+    bool structural = false;
+    for (; d < depth; ++d) {
+      if (pool_[path[d]].isLeaf()) {
+        if (pool_[path[d]].state == state) {
+          // The whole enclosing cell already has this state.
+          noop = true;
+          break;
+        }
+        splitNode(path[d]);
+        structural = true;
+      }
+      const int ci = static_cast<int>((key >> (3 * (depth - 1 - d))) & 7u);
+      path[d + 1] = pool_[path[d]].first_child + static_cast<std::uint32_t>(ci);
+    }
+    deepest = d;
+    if (!noop) {
+      Node& node = pool_[path[depth]];
+      if (state == Occupancy::Free) {
+        // Sticky occupancy: never let a free-space sweep erase an obstacle
+        // (one bit check — the seed implementation re-walked the subtree).
+        if (!node.has_occupied) {
+          collapseToLeaf(node);
+          node.state = Occupancy::Free;
+          structural = true;
+        }
+      } else {
+        collapseToLeaf(node);
+        node.state = Occupancy::Occupied;
+        node.has_occupied = 1;
+        structural = true;
+      }
+    }
+    // A split chain with a sticky-rejected terminal still altered structure
+    // (the seed code split on the way down and re-merged on the way up), so
+    // ancestors must run their merge checks either way.
+    if (structural) dirty |= (1u << deepest) - 1u;
+    prev = key;
+    first = false;
+  }
+  for (int d = deepest - 1; d >= 0; --d) {
+    if (dirty & (1u << d)) finalizeNode(path[d], path[d + 1]);
+  }
+  // (dirty bits above `deepest` cannot exist: marks only ever cover levels
+  // below the current path tip, and unwinds clear as they go.)
 }
 
 void OccupancyOctree::updateCell(const Vec3& p, int level, Occupancy state) {
   if (!root_box_.contains(p) || state == Occupancy::Unknown) return;
   const int depth = std::max(0, max_depth_ - std::clamp(level, 0, max_depth_));
   stats_dirty_ = true;
-  update(root_, root_box_.center(), root_size_ * 0.5, depth, p, state);
+  const std::uint64_t key = cellKey(p, level);
+  applyKeys({&key, 1}, depth, state);
+}
+
+void OccupancyOctree::updateCells(std::span<const std::uint64_t> keys, int level,
+                                  Occupancy state) {
+  if (keys.empty() || state == Occupancy::Unknown) return;
+  const int depth = std::max(0, max_depth_ - std::clamp(level, 0, max_depth_));
+  stats_dirty_ = true;
+  applyKeys(keys, depth, state);
 }
 
 Occupancy OccupancyOctree::query(const Vec3& p) const {
   if (!root_box_.contains(p)) return Occupancy::Unknown;
-  const Node* node = &root_;
+  const Node* node = &pool_[kRootIndex];
   Vec3 center = root_box_.center();
   double half = root_size_ * 0.5;
   while (!node->isLeaf()) {
     const int ci = childIndexFor(center, p);
     center = childCenterFor(center, half, ci);
     half *= 0.5;
-    node = &(*node->children)[ci];
+    node = &pool_[node->first_child + static_cast<std::uint32_t>(ci)];
   }
   return node->state;
 }
@@ -140,7 +284,7 @@ Occupancy OccupancyOctree::query(const Vec3& p) const {
 Occupancy OccupancyOctree::queryAtLevel(const Vec3& p, int level) const {
   if (!root_box_.contains(p)) return Occupancy::Unknown;
   const int depth_stop = std::max(0, max_depth_ - std::clamp(level, 0, max_depth_));
-  const Node* node = &root_;
+  const Node* node = &pool_[kRootIndex];
   Vec3 center = root_box_.center();
   double half = root_size_ * 0.5;
   int depth = 0;
@@ -148,25 +292,26 @@ Occupancy OccupancyOctree::queryAtLevel(const Vec3& p, int level) const {
     const int ci = childIndexFor(center, p);
     center = childCenterFor(center, half, ci);
     half *= 0.5;
-    node = &(*node->children)[ci];
+    node = &pool_[node->first_child + static_cast<std::uint32_t>(ci)];
     ++depth;
   }
   if (node->isLeaf()) return node->state;
   // Finer structure below the requested level: the coarse view is occupied
   // if anything beneath is (voxel inflation), else free.
-  return subtreeHasOccupied(*node) ? Occupancy::Occupied : Occupancy::Free;
+  return node->has_occupied ? Occupancy::Occupied : Occupancy::Free;
 }
 
 const OccupancyOctree::Stats& OccupancyOctree::stats() const {
   if (stats_dirty_) {
     stats_cache_ = Stats{};
-    accumulateStats(root_, root_size_, stats_cache_);
+    accumulateStats(kRootIndex, root_size_, stats_cache_);
     stats_dirty_ = false;
   }
   return stats_cache_;
 }
 
-void OccupancyOctree::accumulateStats(const Node& node, double size, Stats& s) const {
+void OccupancyOctree::accumulateStats(std::uint32_t index, double size, Stats& s) const {
+  const Node& node = pool_[index];
   if (node.isLeaf()) {
     const double vol = size * size * size;
     if (node.state == Occupancy::Occupied) {
@@ -179,13 +324,14 @@ void OccupancyOctree::accumulateStats(const Node& node, double size, Stats& s) c
     return;
   }
   ++s.inner_nodes;
-  for (const auto& child : *node.children) accumulateStats(child, size * 0.5, s);
+  for (int ci = 0; ci < 8; ++ci)
+    accumulateStats(node.first_child + static_cast<std::uint32_t>(ci), size * 0.5, s);
 }
 
 std::vector<VoxelBox> OccupancyOctree::collectOccupied(int level) const {
   std::vector<VoxelBox> raw;
+  visitOccupied(level, [&raw](const Vec3& center, double size) { raw.push_back({center, size}); });
   const double target = cellSizeAtLevel(level);
-  collect(root_, root_box_.center(), root_size_, target, raw);
 
   // Deduplicate voxels snapped onto the same target cell.
   std::unordered_set<std::uint64_t> seen;
@@ -213,43 +359,30 @@ std::vector<VoxelBox> OccupancyOctree::collectOccupied(int level) const {
   return out;
 }
 
-void OccupancyOctree::collect(const Node& node, const Vec3& center, double size,
-                              double target_size, std::vector<VoxelBox>& out) const {
-  if (node.isLeaf()) {
-    if (node.state == Occupancy::Occupied) out.push_back({center, size});
-    return;
-  }
-  if (size <= target_size + 1e-9) {
-    // At the target cell size with finer structure beneath: the pruned view
-    // marks the whole cell occupied if anything in the subtree is.
-    if (subtreeHasOccupied(node)) out.push_back({center, size});
-    return;
-  }
-  const double half = size * 0.5;
-  for (int ci = 0; ci < 8; ++ci)
-    collect((*node.children)[ci], childCenterFor(center, half, ci), half, target_size, out);
-}
-
 double OccupancyOctree::nearestOccupiedDistance(const Vec3& p, double fallback) const {
   double best = fallback;
   struct Frame {
-    const Node* node;
+    std::uint32_t index;
     Vec3 center;
     double half;
   };
   std::vector<Frame> stack;
-  stack.push_back({&root_, root_box_.center(), root_size_ * 0.5});
+  if (pool_[kRootIndex].has_occupied || pool_[kRootIndex].state == Occupancy::Occupied)
+    stack.push_back({kRootIndex, root_box_.center(), root_size_ * 0.5});
   while (!stack.empty()) {
     const Frame f = stack.back();
     stack.pop_back();
     if (distToBox(p, f.center, f.half) >= best) continue;
-    if (f.node->isLeaf()) {
-      if (f.node->state == Occupancy::Occupied) best = distToBox(p, f.center, f.half);
+    const Node& node = pool_[f.index];
+    if (node.isLeaf()) {
+      if (node.state == Occupancy::Occupied) best = distToBox(p, f.center, f.half);
       continue;
     }
-    for (int ci = 0; ci < 8; ++ci)
-      stack.push_back(
-          {&(*f.node->children)[ci], childCenterFor(f.center, f.half, ci), f.half * 0.5});
+    for (int ci = 0; ci < 8; ++ci) {
+      const std::uint32_t child = node.first_child + static_cast<std::uint32_t>(ci);
+      if (!pool_[child].has_occupied) continue;  // nothing occupied beneath
+      stack.push_back({child, childCenterFor(f.center, f.half, ci), f.half * 0.5});
+    }
   }
   return best;
 }

@@ -1,17 +1,31 @@
 // Occupancy octree — the reproduction's OctoMap.
 //
-// A pointer octree over a power-of-two cube. Leaves carry a tri-state
-// occupancy (Unknown until observed; Occupied is sticky over Free, the
-// conservative choice for a collision map). Updates may target any tree
-// level: the *precision* knobs choose the level, so coarse policies write
-// coarse leaves and fine policies write fine ones — exactly the mechanism
-// behind the paper's precision operators (raytracer step size, map pruning).
-// Uniform sibling leaves merge eagerly, which is OctoMap's pruning.
+// An octree over a power-of-two cube, stored as a contiguous node pool:
+// nodes live in one std::vector and address their 8 children as a single
+// uint32_t block index (plus a free-list of recycled blocks), so a descent
+// walks an array instead of chasing heap pointers and a split never calls
+// the allocator in steady state. Leaves carry a tri-state occupancy
+// (Unknown until observed; Occupied is sticky over Free, the conservative
+// choice for a collision map). Every node also carries a `has_occupied`
+// subtree bit maintained incrementally on the update path, making the
+// sticky-free check, coarse queries and occupied-collection pruning O(1)
+// per node instead of a recursive subtree scan.
+//
+// Updates may target any tree level: the *precision* knobs choose the
+// level, so coarse policies write coarse leaves and fine policies write
+// fine ones — exactly the mechanism behind the paper's precision operators
+// (raytracer step size, map pruning). Uniform sibling leaves merge eagerly,
+// which is OctoMap's pruning.
+//
+// The hot insertion path is batched: a cell is named by a Morton-style
+// *path key* (the concatenated child indices of its root-to-cell descent,
+// see cellKey()), and updateCells() applies a whole same-level/same-state
+// batch in key order, reusing the shared tree prefix between consecutive
+// keys instead of re-descending from the root per cell.
 #pragma once
 
-#include <array>
 #include <cstdint>
-#include <memory>
+#include <span>
 #include <vector>
 
 #include "geom/aabb.h"
@@ -56,10 +70,32 @@ class OccupancyOctree {
   /// p in {voxmin * 2^n} constraint), rounding down for safety.
   double snapPrecision(double precision) const;
 
+  /// Path key of the level-`level` cell containing `p`: 3 bits per level,
+  /// most-significant group = the root's child index, walking only the
+  /// maxDepth()-level groups the cell needs. Derived from the same center
+  /// comparisons as the descent itself, so keyed updates bin points exactly
+  /// like point updates do. `p` must be inside rootBox(). Level 0 (the
+  /// default) names the finest voxel.
+  std::uint64_t cellKey(const Vec3& p, int level = 0) const;
+  /// Center of the cell a cellKey(p, level) key names (inverse of cellKey).
+  Vec3 cellCenter(std::uint64_t key, int level) const;
+
   /// Set the cell containing p at `level` to `state`. Occupied is sticky:
   /// a Free update cannot overwrite an Occupied cell (or any cell whose
   /// subtree contains occupancy). Points outside the root cube are ignored.
   void updateCell(const Vec3& p, int level, Occupancy state);
+
+  /// Batched form of updateCell for one level and one state: `keys` are
+  /// cellKey(p, level) values for the same `level`, applied in caller order
+  /// with the walk between consecutive keys restarted at their deepest
+  /// shared ancestor rather than at the root. A same-level/same-state batch
+  /// is order-independent (free updates never change where occupancy lives,
+  /// occupied updates never fail), so ANY key order is correct — see
+  /// octree_equivalence_test. Walk cost, however, tracks key coherence:
+  /// ray marches are naturally Morton-coherent and need no preprocessing
+  /// (sorting them costs more than it saves); spatially scattered batches
+  /// benefit from a std::sort first.
+  void updateCells(std::span<const std::uint64_t> keys, int level, Occupancy state);
 
   /// Occupancy of the finest known cell containing p (Unknown outside).
   Occupancy query(const Vec3& p) const;
@@ -81,39 +117,102 @@ class OccupancyOctree {
   /// Full-tree traversal (cached until the next update).
   const Stats& stats() const;
 
+  /// Level-bounded iteration over occupied space: invokes
+  /// `visit(center, size)` for every occupied leaf coarser than or at
+  /// `level`, and once per level-cell whose finer subtree contains any
+  /// occupancy (without descending into it). Subtrees with no occupancy are
+  /// pruned via the has_occupied bit; visit order is the deterministic
+  /// child-index DFS the bridge and tests rely on.
+  template <typename Visitor>
+  void visitOccupied(int level, Visitor&& visit) const {
+    visitOccupiedRec(kRootIndex, root_box_.center(), root_size_, cellSizeAtLevel(level), visit);
+  }
+
   /// All occupied space coarsened to `level`: every emitted voxel has edge
   /// cellSizeAtLevel(>= level); finer occupied leaves are snapped up to the
   /// level grid and deduplicated. This is the bridge's "select higher level
-  /// trees" pruning primitive.
+  /// trees" pruning primitive (visitOccupied + grid snapping).
   std::vector<VoxelBox> collectOccupied(int level) const;
 
-  /// Nearest occupied voxel center to `p` found by scanning occupied leaves
-  /// (profiler support; map sizes here make linear scans acceptable).
+  /// Nearest occupied voxel center to `p`, found by a best-first descent
+  /// pruned by the has_occupied bit (empty subtrees are never entered).
   /// Returns distance, or `fallback` if the map has no occupied cell.
   double nearestOccupiedDistance(const Vec3& p, double fallback) const;
 
+  /// Pool occupancy diagnostics: live nodes (root + allocated child blocks
+  /// minus the free-list) and the pool's total capacity in nodes.
+  std::size_t liveNodeCount() const { return pool_.size() - 8 * free_blocks_.size(); }
+  std::size_t poolSize() const { return pool_.size(); }
+
  private:
+  /// kNoChild marks a leaf; any other value is the pool index of the first
+  /// of 8 contiguous children (child ci lives at first_child + ci).
+  static constexpr std::uint32_t kNoChild = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kRootIndex = 0;
+
   struct Node {
-    std::unique_ptr<std::array<Node, 8>> children;
+    std::uint32_t first_child = kNoChild;
     Occupancy state = Occupancy::Unknown;
-    bool isLeaf() const { return children == nullptr; }
+    std::uint8_t has_occupied = 0;  ///< subtree (or leaf) contains Occupied
+    bool isLeaf() const { return first_child == kNoChild; }
   };
 
-  void split(Node& node) const;
-  static bool allChildrenUniformLeaves(const Node& node, Occupancy& state);
-  static bool subtreeHasOccupied(const Node& node);
-  /// Returns true if the subtree rooted at `node` contains any Occupied.
-  bool update(Node& node, const Vec3& center, double half, int depth_left, const Vec3& p,
-              Occupancy state);
-  void accumulateStats(const Node& node, double size, Stats& s) const;
-  void collect(const Node& node, const Vec3& center, double size, double target_size,
-               std::vector<VoxelBox>& out) const;
+  static int childIndexFor(const Vec3& center, const Vec3& p) {
+    return (p.x >= center.x ? 1 : 0) | (p.y >= center.y ? 2 : 0) | (p.z >= center.z ? 4 : 0);
+  }
+  static Vec3 childCenterFor(const Vec3& center, double half, int ci) {
+    const double q = half * 0.5;
+    return {center.x + ((ci & 1) ? q : -q), center.y + ((ci & 2) ? q : -q),
+            center.z + ((ci & 4) ? q : -q)};
+  }
+
+  /// Allocate/recycle a block of 8 children (indices are stable; the pool
+  /// vector may reallocate, so re-resolve Node references after calling).
+  std::uint32_t allocBlock();
+  /// Return `block` and every block beneath it to the free-list.
+  void releaseBlockRec(std::uint32_t block);
+  /// Make `node` a leaf, recycling its whole subtree.
+  void collapseToLeaf(Node& node);
+  /// Split a leaf: children copy its state (and therefore its bit).
+  void splitNode(std::uint32_t index);
+  /// Merge-or-refresh the aggregate state of the node at `index` after the
+  /// walk leaves its child at `child_index` (the unwind step of the keyed
+  /// walker).
+  void finalizeNode(std::uint32_t index, std::uint32_t child_index);
+  /// Core keyed walker: apply `state` at `depth` for each key in order,
+  /// sharing tree prefixes between consecutive keys (adjacent duplicates
+  /// collapse to one application; non-adjacent repeats are no-ops).
+  void applyKeys(std::span<const std::uint64_t> keys, int depth, Occupancy state);
+
+  void accumulateStats(std::uint32_t index, double size, Stats& s) const;
+
+  template <typename Visitor>
+  void visitOccupiedRec(std::uint32_t index, const Vec3& center, double size, double target_size,
+                        Visitor& visit) const {
+    const Node& node = pool_[index];
+    if (node.isLeaf()) {
+      if (node.state == Occupancy::Occupied) visit(center, size);
+      return;
+    }
+    if (!node.has_occupied) return;  // nothing to emit anywhere beneath
+    if (size <= target_size + 1e-9) {
+      // At the target cell size with finer structure beneath: the pruned
+      // view marks the whole cell occupied if anything in the subtree is.
+      visit(center, size);
+      return;
+    }
+    const double half = size * 0.5;
+    for (int ci = 0; ci < 8; ++ci)
+      visitOccupiedRec(node.first_child + static_cast<std::uint32_t>(ci),
+                       childCenterFor(center, half, ci), half, target_size, visit);
+  }
 
   Aabb root_box_;
   double voxel_min_;
   double root_size_;
   int max_depth_;
-  Node root_;
+  std::vector<Node> pool_;                  ///< pool_[0] is the root
+  std::vector<std::uint32_t> free_blocks_;  ///< recycled 8-child blocks
   mutable Stats stats_cache_;
   mutable bool stats_dirty_ = true;
 };

@@ -7,6 +7,7 @@
 // precision knob, counting work steps for the latency model.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_set>
 #include <vector>
@@ -30,6 +31,10 @@ class PlannerMap {
 
   double precision() const { return precision_; }
   double inflation() const { return inflation_; }
+
+  /// Pre-size the cell hash for a known voxel batch (the bridge knows the
+  /// collected count up front; one rehash instead of log2(n)).
+  void reserve(std::size_t n) { cells_.reserve(n); }
 
   /// Insert a voxel; boxes coarser than the grid cell are kept separately.
   void addVoxel(const VoxelBox& v);

@@ -1,6 +1,7 @@
 #include "planning/astar.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <optional>
 #include <queue>
@@ -37,7 +38,10 @@ AStarResult planPathAStar(const perception::PlannerMap& map, const Vec3& start,
                           const Vec3& goal, const AStarParams& params) {
   AStarResult result;
   auto& report = result.report;
-  const double cell = params.cell;
+  // Lattice pitch: the caller's knob, or the map's own snapped cell size
+  // when unset — the map already derived the power-of-two precision once,
+  // so reuse it instead of re-deriving a grid per planner call.
+  const double cell = params.cell > 0.0 ? params.cell : map.precision();
 
   auto keyOf = [&](const Vec3& p) {
     return CellKey{static_cast<int>(std::floor(p.x / cell)),
@@ -59,6 +63,25 @@ AStarResult planPathAStar(const perception::PlannerMap& map, const Vec3& start,
   nodes[start_key] = NodeInfo{0.0, start_key, false};
   open.push({heuristic(start_key), start_key});
 
+  // 26-neighborhood with step costs hoisted out of the expansion loop: the
+  // sqrt-scaled lattice distances are fixed per cell size, so deriving them
+  // per generated neighbor (the hot inner loop) was pure waste.
+  struct NeighborStep {
+    int dx, dy, dz;
+    double step;
+  };
+  std::array<NeighborStep, 26> neighbors;
+  {
+    std::size_t n = 0;
+    for (int dz = -1; dz <= 1; ++dz)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          neighbors[n++] = {dx, dy, dz,
+                            cell * std::sqrt(static_cast<double>(dx * dx + dy * dy + dz * dz))};
+        }
+  }
+
   std::optional<CellKey> reached;
   while (!open.empty() && report.expansions < params.max_expansions) {
     const auto [f, current] = open.top();
@@ -74,23 +97,17 @@ AStarResult planPathAStar(const perception::PlannerMap& map, const Vec3& start,
       break;
     }
 
-    for (int dz = -1; dz <= 1; ++dz) {
-      for (int dy = -1; dy <= 1; ++dy) {
-        for (int dx = -1; dx <= 1; ++dx) {
-          if (dx == 0 && dy == 0 && dz == 0) continue;
-          const CellKey next{current.x + dx, current.y + dy, current.z + dz};
-          const Vec3 c = centerOf(next);
-          ++report.generated;
-          if (!params.bounds.contains(c)) continue;
-          if (map.occupiedPoint(c)) continue;
-          const double step = cell * std::sqrt(static_cast<double>(dx * dx + dy * dy + dz * dz));
-          const double g = it->second.g + step;
-          const auto found = nodes.find(next);
-          if (found == nodes.end() || g + 1e-12 < found->second.g) {
-            nodes[next] = NodeInfo{g, current, true};
-            open.push({g + heuristic(next), next});
-          }
-        }
+    for (const NeighborStep& nb : neighbors) {
+      const CellKey next{current.x + nb.dx, current.y + nb.dy, current.z + nb.dz};
+      const Vec3 c = centerOf(next);
+      ++report.generated;
+      if (!params.bounds.contains(c)) continue;
+      if (map.occupiedPoint(c)) continue;
+      const double g = it->second.g + nb.step;
+      const auto found = nodes.find(next);
+      if (found == nodes.end() || g + 1e-12 < found->second.g) {
+        nodes[next] = NodeInfo{g, current, true};
+        open.push({g + heuristic(next), next});
       }
     }
   }

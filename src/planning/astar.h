@@ -20,7 +20,7 @@ namespace roborun::planning {
 
 struct AStarParams {
   geom::Aabb bounds;             ///< search region
-  double cell = 1.5;             ///< m; lattice pitch
+  double cell = 1.5;             ///< m; lattice pitch (<= 0: use the map's snapped precision)
   double goal_tolerance = 3.0;   ///< m
   std::size_t max_expansions = 200000;
 };

@@ -15,10 +15,14 @@ using geom::Vec3;
 /// the dynamic obstacle field (evaluated at its current time).
 bool inCollision(const env::World& world, const env::DynamicObstacleField& dynamic,
                  const Vec3& p, double radius) {
-  if (world.occupied(p) || dynamic.occupied(p)) return true;
+  // Static-only missions skip the dynamic-field probes entirely (the sensor
+  // path already guards this; the collision probe runs every sim substep,
+  // so 5 no-op field scans per substep add up).
+  const bool probe_dynamic = !dynamic.empty();
+  if (world.occupied(p) || (probe_dynamic && dynamic.occupied(p))) return true;
   const Vec3 offsets[4] = {{radius, 0, 0}, {-radius, 0, 0}, {0, radius, 0}, {0, -radius, 0}};
   for (const auto& o : offsets)
-    if (world.occupied(p + o) || dynamic.occupied(p + o)) return true;
+    if (world.occupied(p + o) || (probe_dynamic && dynamic.occupied(p + o))) return true;
   return false;
 }
 

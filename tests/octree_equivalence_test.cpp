@@ -1,0 +1,251 @@
+// Old-vs-new octree equivalence: replay identical insert/query sequences
+// against the frozen seed implementation (tests/reference_octree.h) and the
+// pooled Morton-keyed tree, and demand identical observable behavior —
+// occupancy answers, stats, coarsening/collection output (including order),
+// and nearest-occupied distances. This is the contract that let the pool
+// refactor land without perturbing a single MissionResult bit.
+//
+// Registered under tier2; run it with -DROBORUN_SANITIZE=address;undefined
+// to also exercise the pool's block recycling under ASan/UBSan.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "geom/rng.h"
+#include "perception/octomap_kernel.h"
+#include "perception/octree.h"
+#include "perception/point_cloud.h"
+#include "reference_octree.h"
+
+namespace roborun::perception {
+namespace {
+
+using geom::Aabb;
+using geom::Rng;
+using geom::Vec3;
+
+constexpr double kVoxMin = 0.3;
+constexpr double kHalf = 4.8;  // 32^3 fine voxels: dense comparison stays fast
+
+Aabb worldBox(double half = kHalf) { return {{-half, -half, -half}, {half, half, half}}; }
+
+Vec3 randomDirection(Rng& rng) {
+  for (;;) {
+    const Vec3 v = rng.uniformInBox({-1.0, -1.0, -1.0}, {1.0, 1.0, 1.0});
+    const double n = v.norm();
+    if (n > 0.1) return v / n;
+  }
+}
+
+/// Compare every externally observable view of the two trees.
+void expectEquivalent(const OccupancyOctree& pooled, const reference::ReferenceOctree& ref,
+                      Rng& rng, int max_level) {
+  // Structural counters and volumes: both implementations accumulate over
+  // the same child-index DFS, so even the floating-point sums must agree
+  // exactly, not just approximately.
+  const auto& ps = pooled.stats();
+  const auto& rs = ref.stats();
+  EXPECT_EQ(ps.occupied_leaves, rs.occupied_leaves);
+  EXPECT_EQ(ps.free_leaves, rs.free_leaves);
+  EXPECT_EQ(ps.inner_nodes, rs.inner_nodes);
+  EXPECT_EQ(ps.occupied_volume, rs.occupied_volume);
+  EXPECT_EQ(ps.free_volume, rs.free_volume);
+
+  // Dense fine-voxel sweep.
+  const int n = static_cast<int>(std::round(2.0 * kHalf / kVoxMin));
+  std::size_t query_mismatches = 0;
+  for (int iz = 0; iz < n; ++iz)
+    for (int iy = 0; iy < n; ++iy)
+      for (int ix = 0; ix < n; ++ix) {
+        const Vec3 c{-kHalf + (ix + 0.5) * kVoxMin, -kHalf + (iy + 0.5) * kVoxMin,
+                     -kHalf + (iz + 0.5) * kVoxMin};
+        if (pooled.query(c) != ref.query(c)) ++query_mismatches;
+      }
+  EXPECT_EQ(query_mismatches, 0u);
+
+  // Random coarse views and nearest-occupied probes.
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec3 p = rng.uniformInBox({-kHalf - 1.0, -kHalf - 1.0, -kHalf - 1.0},
+                                    {kHalf + 1.0, kHalf + 1.0, kHalf + 1.0});
+    const int level = rng.uniformInt(0, max_level);
+    EXPECT_EQ(pooled.queryAtLevel(p, level), ref.queryAtLevel(p, level))
+        << "queryAtLevel mismatch at level " << level;
+    EXPECT_EQ(pooled.nearestOccupiedDistance(p, 99.0), ref.nearestOccupiedDistance(p, 99.0));
+  }
+
+  // Coarsened occupied collection: same voxels, same order, same bits.
+  for (int level = 0; level <= max_level; ++level) {
+    const auto pv = pooled.collectOccupied(level);
+    const auto rv = ref.collectOccupied(level);
+    ASSERT_EQ(pv.size(), rv.size()) << "collectOccupied size at level " << level;
+    for (std::size_t i = 0; i < pv.size(); ++i) {
+      EXPECT_EQ(pv[i].center.x, rv[i].center.x);
+      EXPECT_EQ(pv[i].center.y, rv[i].center.y);
+      EXPECT_EQ(pv[i].center.z, rv[i].center.z);
+      EXPECT_EQ(pv[i].size, rv[i].size);
+    }
+  }
+}
+
+class OctreeEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Arbitrary interleavings of point updates at arbitrary levels and states.
+TEST_P(OctreeEquivalence, RandomPointUpdateReplay) {
+  OccupancyOctree pooled(worldBox(), kVoxMin);
+  reference::ReferenceOctree ref(worldBox(), kVoxMin);
+  ASSERT_EQ(pooled.maxDepth(), ref.maxDepth());
+
+  Rng rng(GetParam());
+  for (int step = 0; step < 1500; ++step) {
+    const Vec3 p = rng.uniformInBox({-kHalf - 0.5, -kHalf - 0.5, -kHalf - 0.5},
+                                    {kHalf + 0.5, kHalf + 0.5, kHalf + 0.5});
+    const int level = rng.uniformInt(0, pooled.maxDepth());
+    const Occupancy state = rng.chance(0.3) ? Occupancy::Occupied : Occupancy::Free;
+    pooled.updateCell(p, level, state);
+    ref.updateCell(p, level, state);
+  }
+  Rng probe(GetParam() ^ 0x9E3779B97F4A7C15ULL);
+  expectEquivalent(pooled, ref, probe, pooled.maxDepth());
+}
+
+// The batched path against the seed's sequential per-cell descents, on the
+// exact update pattern the OctoMap kernel produces: per ray, a same-level
+// free-cell batch followed by a finer occupied endpoint.
+TEST_P(OctreeEquivalence, BatchedRayInsertionMatchesSeedPerCell) {
+  OccupancyOctree pooled(worldBox(), kVoxMin);
+  reference::ReferenceOctree ref(worldBox(), kVoxMin);
+
+  Rng rng(GetParam() * 2654435761ULL + 17);
+  std::vector<std::uint64_t> keys;
+  for (int frame = 0; frame < 12; ++frame) {
+    const Vec3 origin = rng.uniformInBox({-3.0, -3.0, -1.0}, {3.0, 3.0, 1.0});
+    const int occ_level = rng.uniformInt(0, 1);
+    const int free_level = rng.uniformInt(occ_level, 3);
+    const double cell = pooled.cellSizeAtLevel(free_level);
+    for (int rayi = 0; rayi < 40; ++rayi) {
+      const Vec3 dir = randomDirection(rng);
+      const double len = rng.uniform(0.5, 6.0);
+      const bool hit = rng.chance(0.5);
+      const Vec3 end = origin + dir * len;
+
+      // Seed path: one root-to-leaf descent per marched cell, in ray order.
+      const double free_len = hit ? std::max(0.0, len - cell) : len;
+      for (double t = cell * 0.5; t < free_len; t += cell)
+        ref.updateCell(origin + dir * t, free_level, Occupancy::Free);
+      if (hit) ref.updateCell(end, occ_level, Occupancy::Occupied);
+
+      // Pooled path: the kernel's per-ray Morton batch.
+      keys.clear();
+      for (double t = cell * 0.5; t < free_len; t += cell) {
+        const Vec3 p = origin + dir * t;
+        if (pooled.rootBox().contains(p)) keys.push_back(pooled.cellKey(p, free_level));
+      }
+      pooled.updateCells(keys, free_level, Occupancy::Free);
+      if (hit) pooled.updateCell(end, occ_level, Occupancy::Occupied);
+    }
+  }
+  Rng probe(GetParam() + 3);
+  expectEquivalent(pooled, ref, probe, pooled.maxDepth());
+}
+
+// Order-independence of a same-level/same-state batch: Morton-sorted batch
+// application must equal per-cell application in the original order.
+TEST_P(OctreeEquivalence, BatchIsOrderIndependent) {
+  OccupancyOctree batched(worldBox(), kVoxMin);
+  OccupancyOctree sequential(worldBox(), kVoxMin);
+  reference::ReferenceOctree ref(worldBox(), kVoxMin);
+
+  Rng rng(GetParam() + 101);
+  std::vector<std::uint64_t> keys;
+  for (int round = 0; round < 30; ++round) {
+    const int level = rng.uniformInt(0, 3);
+    const Occupancy state = rng.chance(0.25) ? Occupancy::Occupied : Occupancy::Free;
+    std::vector<Vec3> points;
+    for (int i = 0, count = rng.uniformInt(1, 60); i < count; ++i)
+      points.push_back(rng.uniformInBox({-kHalf + 0.01, -kHalf + 0.01, -kHalf + 0.01},
+                                        {kHalf - 0.01, kHalf - 0.01, kHalf - 0.01}));
+    keys.clear();
+    for (const Vec3& p : points) {
+      sequential.updateCell(p, level, state);
+      ref.updateCell(p, level, state);
+      keys.push_back(batched.cellKey(p, level));
+    }
+    batched.updateCells(keys, level, state);
+  }
+  Rng probe_a(GetParam() + 7);
+  expectEquivalent(batched, ref, probe_a, batched.maxDepth());
+  Rng probe_b(GetParam() + 7);
+  expectEquivalent(sequential, ref, probe_b, sequential.maxDepth());
+}
+
+// Full-kernel check: insertPointCloud (which batches internally) against a
+// hand-rolled seed-style insertion into the reference tree.
+TEST_P(OctreeEquivalence, InsertPointCloudMatchesReference) {
+  OccupancyOctree pooled(worldBox(), kVoxMin);
+  reference::ReferenceOctree ref(worldBox(), kVoxMin);
+
+  Rng rng(GetParam() + 555);
+  PointCloud cloud;
+  cloud.origin = {0.0, 0.0, 0.0};
+  cloud.max_range = 6.0;
+  for (int i = 0; i < 60; ++i) {
+    const Vec3 dir = randomDirection(rng);
+    if (rng.chance(0.6)) {
+      cloud.points.push_back(cloud.origin + dir * rng.uniform(0.5, 5.5));
+    } else {
+      cloud.free_rays.push_back({dir, rng.uniform(0.5, 6.0)});
+    }
+  }
+  cloud.source_rays = 60;
+
+  OctomapInsertParams params;
+  params.precision = 0.3;
+  params.volume_budget = 1e9;  // integrate everything: no drop ordering effects
+  params.free_resolution_floor = 0.6;
+  params.free_resolution_ceiling = 1.2;
+  const auto report = insertPointCloud(pooled, cloud, params, {});
+  EXPECT_GT(report.rays_integrated, 0u);
+
+  // Seed-style reference insertion replicating the kernel's precision
+  // snapping and ray order (sorted by distance from the origin, since no
+  // trajectory is passed).
+  const double precision = ref.snapPrecision(params.precision);
+  const int level = ref.levelForPrecision(precision);
+  const int free_level = ref.levelForPrecision(
+      std::clamp(precision, params.free_resolution_floor, params.free_resolution_ceiling));
+  struct RefRay {
+    Vec3 end;
+    double len;
+    bool hit;
+  };
+  std::vector<RefRay> rays;
+  for (const auto& p : cloud.points) rays.push_back({p, p.dist(cloud.origin), true});
+  for (const auto& fr : cloud.free_rays)
+    rays.push_back({cloud.origin + fr.direction * fr.range, fr.range, false});
+  std::sort(rays.begin(), rays.end(),
+            [](const RefRay& a, const RefRay& b) { return a.len < b.len; });
+  const double cell = ref.cellSizeAtLevel(free_level);
+  for (const auto& r : rays) {
+    const Vec3 d = r.end - cloud.origin;
+    const double len = d.norm();
+    if (len > 1e-9) {
+      const Vec3 dir = d / len;
+      const double free_len = r.hit ? std::max(0.0, len - cell) : len;
+      for (double t = cell * 0.5; t < free_len; t += cell)
+        ref.updateCell(cloud.origin + dir * t, free_level, Occupancy::Free);
+    }
+    if (r.hit) ref.updateCell(r.end, level, Occupancy::Occupied);
+  }
+
+  Rng probe(GetParam() + 9);
+  expectEquivalent(pooled, ref, probe, pooled.maxDepth());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OctreeEquivalence,
+                         ::testing::Values(1u, 2u, 7u, 42u, 1234u, 99991u));
+
+}  // namespace
+}  // namespace roborun::perception

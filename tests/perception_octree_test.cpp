@@ -2,6 +2,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "geom/rng.h"
 #include "perception/octree.h"
@@ -260,6 +262,77 @@ TEST_P(OctreeGoldenModel, MatchesDenseVoxelMap) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OctreeGoldenModel, ::testing::Values(1u, 7u, 42u, 1234u));
+
+TEST(OctreeMortonKey, RoundTripsThroughCellCenter) {
+  auto tree = makeTree();
+  geom::Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Vec3 p = rng.uniformInBox(tree.rootBox().lo, tree.rootBox().hi);
+    const std::uint64_t key = tree.cellKey(p);
+    // Decoding the key to its finest-cell center and re-encoding must be the
+    // identity: the key ladder and the point binning agree exactly.
+    const Vec3 center = tree.cellCenter(key, 0);
+    EXPECT_EQ(tree.cellKey(center), key);
+    // Keys at every level round-trip and stay near the original point.
+    for (int level = 0; level <= tree.maxDepth(); ++level) {
+      const std::uint64_t lk = tree.cellKey(p, level);
+      const Vec3 c = tree.cellCenter(lk, level);
+      EXPECT_EQ(tree.cellKey(c, level), lk);
+      EXPECT_NEAR(c.dist(p), 0.0, tree.cellSizeAtLevel(level) * 0.87);  // sqrt(3)/2
+    }
+  }
+}
+
+TEST(OctreeMortonKey, SameFineVoxelSameKey) {
+  auto tree = makeTree();
+  // Fine voxels are 0.3 m cells on the [-38.4, 38.4] grid: [0.9, 1.2) x
+  // [1.8, 2.1) x [3.0, 3.3) here.
+  EXPECT_EQ(tree.cellKey({1.01, 2.01, 3.01}), tree.cellKey({1.15, 2.05, 3.25}));
+  EXPECT_NE(tree.cellKey({1.01, 2.01, 3.01}), tree.cellKey({1.01, 2.01, 3.31}));
+}
+
+TEST(OctreeMortonKey, KeyedUpdateMatchesPointUpdate) {
+  auto by_point = makeTree();
+  auto by_key = makeTree();
+  geom::Rng rng(77);
+  std::vector<std::uint64_t> keys;
+  for (int trial = 0; trial < 100; ++trial) {
+    const Vec3 p = rng.uniformInBox({-30, -30, -30}, {30, 30, 30});
+    const int level = rng.uniformInt(0, 4);
+    const auto state = rng.chance(0.4) ? Occupancy::Occupied : Occupancy::Free;
+    by_point.updateCell(p, level, state);
+    keys.assign(1, by_key.cellKey(p, level));
+    by_key.updateCells(keys, level, state);
+  }
+  geom::Rng probe(78);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Vec3 p = probe.uniformInBox({-35, -35, -35}, {35, 35, 35});
+    EXPECT_EQ(by_point.query(p), by_key.query(p));
+  }
+  EXPECT_EQ(by_point.stats().occupied_leaves, by_key.stats().occupied_leaves);
+  EXPECT_EQ(by_point.stats().free_leaves, by_key.stats().free_leaves);
+  EXPECT_EQ(by_point.stats().inner_nodes, by_key.stats().inner_nodes);
+}
+
+TEST(OctreePool, RecyclesMergedBlocks) {
+  auto tree = makeTree(9.6, 0.3);
+  // Fill a coarse cell's children free so they merge; the pool must reuse
+  // the recycled block instead of growing.
+  const Vec3 base{0.15, 0.15, 0.15};
+  for (int i = 0; i < 8; ++i) {
+    const Vec3 p{base.x + (i & 1 ? 0.3 : 0.0), base.y + (i & 2 ? 0.3 : 0.0),
+                 base.z + (i & 4 ? 0.3 : 0.0)};
+    tree.updateCell(p, 0, Occupancy::Free);
+  }
+  const std::size_t live_after_merge = tree.liveNodeCount();
+  const std::size_t pool_after_merge = tree.poolSize();
+  EXPECT_EQ(pool_after_merge - live_after_merge, 8u);  // free-list holds the merged block
+  // A single split elsewhere (an unknown 4.8 m cell refined to write one
+  // 2.4 m child) must be served from the free-list, not grow the pool.
+  tree.updateCell({-2.0, -2.0, -2.0}, 3, Occupancy::Occupied);
+  EXPECT_EQ(tree.poolSize(), pool_after_merge);
+  EXPECT_EQ(tree.liveNodeCount(), pool_after_merge);
+}
 
 // Property: random interleaved updates never lose an obstacle.
 TEST(OctreeProperty, ObstaclesSurviveRandomFreeSweeps) {

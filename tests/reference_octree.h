@@ -1,0 +1,299 @@
+// Reference occupancy octree — a frozen copy of the pre-pool (seed)
+// implementation, kept verbatim (modulo header-only inlining and the
+// `reference` namespace) as the golden model for the old-vs-new equivalence
+// suite (octree_equivalence_test.cpp) and as the "seed per-cell path"
+// comparator in bench_perception_throughput.
+//
+// Do NOT optimize or refactor this file: its whole value is that it still
+// does the root-to-leaf pointer-chasing descent per cell, the per-split
+// std::array<Node, 8> allocation, and the recursive subtreeHasOccupied
+// scan that the pooled tree replaced. Any behavioral divergence between
+// this model and perception::OccupancyOctree is a bug in the new tree.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "geom/aabb.h"
+#include "geom/vec3.h"
+#include "perception/octree.h"
+
+namespace roborun::perception::reference {
+
+using geom::Aabb;
+using geom::Vec3;
+
+namespace detail {
+
+inline int childIndexFor(const Vec3& center, const Vec3& p) {
+  return (p.x >= center.x ? 1 : 0) | (p.y >= center.y ? 2 : 0) | (p.z >= center.z ? 4 : 0);
+}
+
+inline Vec3 childCenterFor(const Vec3& center, double half, int ci) {
+  const double q = half * 0.5;
+  return {center.x + ((ci & 1) ? q : -q), center.y + ((ci & 2) ? q : -q),
+          center.z + ((ci & 4) ? q : -q)};
+}
+
+inline double distToBox(const Vec3& p, const Vec3& center, double half) {
+  const double dx = std::max(std::abs(p.x - center.x) - half, 0.0);
+  const double dy = std::max(std::abs(p.y - center.y) - half, 0.0);
+  const double dz = std::max(std::abs(p.z - center.z) - half, 0.0);
+  return std::sqrt(dx * dx + dy * dy + dz * dz);
+}
+
+}  // namespace detail
+
+class ReferenceOctree {
+ public:
+  using Stats = OccupancyOctree::Stats;
+
+  ReferenceOctree(const Aabb& extent, double voxel_min) : voxel_min_(voxel_min) {
+    if (voxel_min <= 0.0) throw std::invalid_argument("ReferenceOctree: voxel_min must be > 0");
+    const Vec3 size = extent.size();
+    const double max_dim = std::max({size.x, size.y, size.z, voxel_min});
+    max_depth_ = 0;
+    root_size_ = voxel_min_;
+    while (root_size_ < max_dim) {
+      root_size_ *= 2.0;
+      ++max_depth_;
+    }
+    const Vec3 c = extent.center();
+    const Vec3 h{root_size_ * 0.5, root_size_ * 0.5, root_size_ * 0.5};
+    root_box_ = {c - h, c + h};
+  }
+
+  double voxelMin() const { return voxel_min_; }
+  int maxDepth() const { return max_depth_; }
+  double rootSize() const { return root_size_; }
+  const Aabb& rootBox() const { return root_box_; }
+
+  int levelForPrecision(double precision) const {
+    if (precision <= voxel_min_) return 0;
+    int level = 0;
+    double cell = voxel_min_;
+    while (cell < precision - 1e-9 && level < max_depth_) {
+      cell *= 2.0;
+      ++level;
+    }
+    return level;
+  }
+
+  double cellSizeAtLevel(int level) const {
+    return voxel_min_ * std::pow(2.0, std::clamp(level, 0, max_depth_));
+  }
+
+  double snapPrecision(double precision) const {
+    if (precision <= voxel_min_) return voxel_min_;
+    double cell = voxel_min_;
+    while (cell * 2.0 <= precision + 1e-9 && cell * 2.0 <= root_size_) cell *= 2.0;
+    return cell;
+  }
+
+  void updateCell(const Vec3& p, int level, Occupancy state) {
+    if (!root_box_.contains(p) || state == Occupancy::Unknown) return;
+    const int depth = std::max(0, max_depth_ - std::clamp(level, 0, max_depth_));
+    stats_dirty_ = true;
+    update(root_, root_box_.center(), root_size_ * 0.5, depth, p, state);
+  }
+
+  Occupancy query(const Vec3& p) const {
+    if (!root_box_.contains(p)) return Occupancy::Unknown;
+    const Node* node = &root_;
+    Vec3 center = root_box_.center();
+    double half = root_size_ * 0.5;
+    while (!node->isLeaf()) {
+      const int ci = detail::childIndexFor(center, p);
+      center = detail::childCenterFor(center, half, ci);
+      half *= 0.5;
+      node = &(*node->children)[ci];
+    }
+    return node->state;
+  }
+
+  Occupancy queryAtLevel(const Vec3& p, int level) const {
+    if (!root_box_.contains(p)) return Occupancy::Unknown;
+    const int depth_stop = std::max(0, max_depth_ - std::clamp(level, 0, max_depth_));
+    const Node* node = &root_;
+    Vec3 center = root_box_.center();
+    double half = root_size_ * 0.5;
+    int depth = 0;
+    while (!node->isLeaf() && depth < depth_stop) {
+      const int ci = detail::childIndexFor(center, p);
+      center = detail::childCenterFor(center, half, ci);
+      half *= 0.5;
+      node = &(*node->children)[ci];
+      ++depth;
+    }
+    if (node->isLeaf()) return node->state;
+    return subtreeHasOccupied(*node) ? Occupancy::Occupied : Occupancy::Free;
+  }
+
+  const Stats& stats() const {
+    if (stats_dirty_) {
+      stats_cache_ = Stats{};
+      accumulateStats(root_, root_size_, stats_cache_);
+      stats_dirty_ = false;
+    }
+    return stats_cache_;
+  }
+
+  std::vector<VoxelBox> collectOccupied(int level) const {
+    std::vector<VoxelBox> raw;
+    const double target = cellSizeAtLevel(level);
+    collect(root_, root_box_.center(), root_size_, target, raw);
+
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(raw.size());
+    std::vector<VoxelBox> out;
+    out.reserve(raw.size());
+    const double inv = 1.0 / target;
+    for (const auto& v : raw) {
+      if (v.size > target + 1e-9) {
+        out.push_back(v);
+        continue;
+      }
+      const auto kx = static_cast<std::int64_t>(std::floor((v.center.x - root_box_.lo.x) * inv));
+      const auto ky = static_cast<std::int64_t>(std::floor((v.center.y - root_box_.lo.y) * inv));
+      const auto kz = static_cast<std::int64_t>(std::floor((v.center.z - root_box_.lo.z) * inv));
+      const std::uint64_t key = (static_cast<std::uint64_t>(kx & 0xFFFFF) << 40) |
+                                (static_cast<std::uint64_t>(ky & 0xFFFFF) << 20) |
+                                static_cast<std::uint64_t>(kz & 0xFFFFF);
+      if (!seen.insert(key).second) continue;
+      const Vec3 snapped{root_box_.lo.x + (kx + 0.5) * target,
+                         root_box_.lo.y + (ky + 0.5) * target,
+                         root_box_.lo.z + (kz + 0.5) * target};
+      out.push_back({snapped, target});
+    }
+    return out;
+  }
+
+  double nearestOccupiedDistance(const Vec3& p, double fallback) const {
+    double best = fallback;
+    struct Frame {
+      const Node* node;
+      Vec3 center;
+      double half;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({&root_, root_box_.center(), root_size_ * 0.5});
+    while (!stack.empty()) {
+      const Frame f = stack.back();
+      stack.pop_back();
+      if (detail::distToBox(p, f.center, f.half) >= best) continue;
+      if (f.node->isLeaf()) {
+        if (f.node->state == Occupancy::Occupied) best = detail::distToBox(p, f.center, f.half);
+        continue;
+      }
+      for (int ci = 0; ci < 8; ++ci)
+        stack.push_back(
+            {&(*f.node->children)[ci], detail::childCenterFor(f.center, f.half, ci), f.half * 0.5});
+    }
+    return best;
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<std::array<Node, 8>> children;
+    Occupancy state = Occupancy::Unknown;
+    bool isLeaf() const { return children == nullptr; }
+  };
+
+  void split(Node& node) const {
+    node.children = std::make_unique<std::array<Node, 8>>();
+    for (auto& child : *node.children) child.state = node.state;
+  }
+
+  static bool allChildrenUniformLeaves(const Node& node, Occupancy& state) {
+    const auto& kids = *node.children;
+    if (!kids[0].isLeaf()) return false;
+    state = kids[0].state;
+    for (int i = 1; i < 8; ++i)
+      if (!kids[i].isLeaf() || kids[i].state != state) return false;
+    return true;
+  }
+
+  static bool subtreeHasOccupied(const Node& node) {
+    if (node.isLeaf()) return node.state == Occupancy::Occupied;
+    for (const auto& child : *node.children)
+      if (subtreeHasOccupied(child)) return true;
+    return false;
+  }
+
+  bool update(Node& node, const Vec3& center, double half, int depth_left, const Vec3& p,
+              Occupancy state) {
+    if (depth_left == 0) {
+      if (state == Occupancy::Free) {
+        if (subtreeHasOccupied(node)) return true;
+        node.children.reset();
+        node.state = Occupancy::Free;
+        return false;
+      }
+      node.children.reset();
+      node.state = state;
+      return state == Occupancy::Occupied;
+    }
+    if (node.isLeaf()) {
+      if (node.state == state) return state == Occupancy::Occupied;  // no-op
+      split(node);
+    }
+    const int ci = detail::childIndexFor(center, p);
+    const bool child_occ = update((*node.children)[ci], detail::childCenterFor(center, half, ci),
+                                  half * 0.5, depth_left - 1, p, state);
+    Occupancy uniform;
+    if (allChildrenUniformLeaves(node, uniform)) {
+      node.children.reset();
+      node.state = uniform;
+      return uniform == Occupancy::Occupied;
+    }
+    return child_occ || subtreeHasOccupied(node);
+  }
+
+  void accumulateStats(const Node& node, double size, Stats& s) const {
+    if (node.isLeaf()) {
+      const double vol = size * size * size;
+      if (node.state == Occupancy::Occupied) {
+        ++s.occupied_leaves;
+        s.occupied_volume += vol;
+      } else if (node.state == Occupancy::Free) {
+        ++s.free_leaves;
+        s.free_volume += vol;
+      }
+      return;
+    }
+    ++s.inner_nodes;
+    for (const auto& child : *node.children) accumulateStats(child, size * 0.5, s);
+  }
+
+  void collect(const Node& node, const Vec3& center, double size, double target_size,
+               std::vector<VoxelBox>& out) const {
+    if (node.isLeaf()) {
+      if (node.state == Occupancy::Occupied) out.push_back({center, size});
+      return;
+    }
+    if (size <= target_size + 1e-9) {
+      if (subtreeHasOccupied(node)) out.push_back({center, size});
+      return;
+    }
+    const double half = size * 0.5;
+    for (int ci = 0; ci < 8; ++ci)
+      collect((*node.children)[ci], detail::childCenterFor(center, half, ci), half, target_size,
+              out);
+  }
+
+  Aabb root_box_;
+  double voxel_min_;
+  double root_size_;
+  int max_depth_;
+  Node root_;
+  mutable Stats stats_cache_;
+  mutable bool stats_dirty_ = true;
+};
+
+}  // namespace roborun::perception::reference

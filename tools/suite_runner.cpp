@@ -11,16 +11,24 @@
 //     at full size produces the per-mission rows EXPERIMENTS-style analysis
 //     needs, independent of the figure-specific benches.
 //
-// Results are stored by job index, so the output is byte-identical for any
-// --threads value (see tests/determinism_test.cpp for the single-mission
-// guarantee this builds on).
+// Results are stored by job index, so every *mission metric* in the output
+// is byte-identical for any --threads value (see tests/determinism_test.cpp
+// for the single-mission guarantee this builds on). The wall-clock fields
+// (`wall_ms` per row, the `timing` aggregate) are measurements of this run
+// and naturally vary — tooling that diffs suite output must ignore them.
+//
+// --bench-json writes a compact perf record (missions/sec, wall-time
+// percentiles) suitable for publishing as BENCH_PERF.json from CI.
 //
 // Usage:
 //   suite_runner [--grid smoke|small|paper] [--max-envs N] [--seeds N]
 //                [--design both|roborun|baseline] [--config smoke|test|default]
-//                [--threads N] [--out results.json] [--quiet]
+//                [--threads N] [--out results.json] [--bench-json perf.json]
+//                [--quiet]
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -46,6 +54,7 @@ struct Options {
   std::string config = "test";
   unsigned threads = std::thread::hardware_concurrency();
   std::string out_path;
+  std::string bench_json_path;
   bool quiet = false;
 };
 
@@ -58,12 +67,14 @@ struct Job {
 struct Row {
   Job job;
   runtime::MissionResult result;
+  double wall_ms = 0.0;  ///< this run's wall-clock for the mission (not deterministic)
 };
 
 void usage(std::ostream& os) {
   os << "usage: suite_runner [--grid smoke|small|paper] [--max-envs N] [--seeds N]\n"
         "                    [--design both|roborun|baseline] [--config smoke|test|default]\n"
-        "                    [--threads N] [--out results.json] [--quiet]\n";
+        "                    [--threads N] [--out results.json] [--bench-json perf.json]\n"
+        "                    [--quiet]\n";
 }
 
 /// Strict decimal parse with failure reporting. Deliberately not std::stoul:
@@ -127,6 +138,10 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       const char* v = next("--out");
       if (v == nullptr) return false;
       opts.out_path = v;
+    } else if (arg == "--bench-json") {
+      const char* v = next("--bench-json");
+      if (v == nullptr) return false;
+      opts.bench_json_path = v;
     } else if (arg == "--quiet") {
       opts.quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -194,7 +209,49 @@ std::string jsonNumber(double v, int decimals = 6) {
   return ss.str();
 }
 
-void writeJson(std::ostream& os, const Options& opts, const std::vector<Row>& rows) {
+/// This run's wall-clock measurements, aggregated over all missions.
+struct SuiteTiming {
+  double harness_wall_s = 0.0;   ///< configure-to-finish wall time of the grid
+  double total_mission_ms = 0.0; ///< sum of per-mission wall times
+  double mean_mission_ms = 0.0;
+  double p50_mission_ms = 0.0;
+  double p95_mission_ms = 0.0;
+  double max_mission_ms = 0.0;
+  double missions_per_sec = 0.0; ///< throughput including pool parallelism
+};
+
+SuiteTiming computeTiming(const std::vector<Row>& rows, double harness_wall_s) {
+  SuiteTiming t;
+  t.harness_wall_s = harness_wall_s;
+  if (rows.empty()) return t;
+  std::vector<double> walls;
+  walls.reserve(rows.size());
+  for (const Row& row : rows) {
+    walls.push_back(row.wall_ms);
+    t.total_mission_ms += row.wall_ms;
+    t.max_mission_ms = std::max(t.max_mission_ms, row.wall_ms);
+  }
+  std::sort(walls.begin(), walls.end());
+  t.mean_mission_ms = t.total_mission_ms / static_cast<double>(walls.size());
+  t.p50_mission_ms = walls[walls.size() / 2];
+  t.p95_mission_ms = walls[std::min(walls.size() - 1, (walls.size() * 95) / 100)];
+  if (harness_wall_s > 0.0)
+    t.missions_per_sec = static_cast<double>(rows.size()) / harness_wall_s;
+  return t;
+}
+
+void writeTimingObject(std::ostream& os, const SuiteTiming& t, const char* indent) {
+  os << indent << "\"harness_wall_s\": " << jsonNumber(t.harness_wall_s) << ",\n";
+  os << indent << "\"missions_per_sec\": " << jsonNumber(t.missions_per_sec) << ",\n";
+  os << indent << "\"total_mission_wall_ms\": " << jsonNumber(t.total_mission_ms, 3) << ",\n";
+  os << indent << "\"mean_mission_wall_ms\": " << jsonNumber(t.mean_mission_ms, 3) << ",\n";
+  os << indent << "\"p50_mission_wall_ms\": " << jsonNumber(t.p50_mission_ms, 3) << ",\n";
+  os << indent << "\"p95_mission_wall_ms\": " << jsonNumber(t.p95_mission_ms, 3) << ",\n";
+  os << indent << "\"max_mission_wall_ms\": " << jsonNumber(t.max_mission_ms, 3) << "\n";
+}
+
+void writeJson(std::ostream& os, const Options& opts, const std::vector<Row>& rows,
+               const SuiteTiming& timing) {
   std::size_t reached = 0, collided = 0, timed_out = 0;
   double total_time = 0.0, total_energy = 0.0, total_velocity = 0.0;
   for (const Row& row : rows) {
@@ -220,6 +277,9 @@ void writeJson(std::ostream& os, const Options& opts, const std::vector<Row>& ro
   os << "    \"mean_total_energy\": " << jsonNumber(total_energy / n) << ",\n";
   os << "    \"mean_velocity\": " << jsonNumber(total_velocity / n) << "\n";
   os << "  },\n";
+  os << "  \"timing\": {\n";
+  writeTimingObject(os, timing, "    ");
+  os << "  },\n";
   os << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
@@ -235,10 +295,24 @@ void writeJson(std::ostream& os, const Options& opts, const std::vector<Row>& ro
        << ", \"median_latency\": " << jsonNumber(r.medianLatency())
        << ", \"flight_energy\": " << jsonNumber(r.flight_energy)
        << ", \"compute_energy\": " << jsonNumber(r.compute_energy)
-       << ", \"decisions\": " << r.decisions() << "}"
+       << ", \"decisions\": " << r.decisions()
+       << ", \"wall_ms\": " << jsonNumber(row.wall_ms, 3) << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
+  os << "}\n";
+}
+
+/// Compact perf record for CI publication (the BENCH_PERF.json payload).
+void writeBenchJson(std::ostream& os, const Options& opts, const std::vector<Row>& rows,
+                    const SuiteTiming& timing) {
+  os << "{\n";
+  os << "  \"schema\": \"roborun-mission-perf-v1\",\n";
+  os << "  \"grid\": \"" << opts.grid << "\",\n";
+  os << "  \"config\": \"" << opts.config << "\",\n";
+  os << "  \"threads\": " << opts.threads << ",\n";
+  os << "  \"missions\": " << rows.size() << ",\n";
+  writeTimingObject(os, timing, "  ");
   os << "}\n";
 }
 
@@ -277,21 +351,26 @@ int main(int argc, char** argv) {
               << " seeds) on " << opts.threads << " thread(s)\n";
   }
 
-  // Results land at their job index, so output ordering (and content) is
-  // independent of scheduling.
+  // Results land at their job index, so output ordering (and all mission
+  // metrics) are independent of scheduling; only wall_ms varies run to run.
   std::vector<Row> rows(jobs.size());
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  const auto harness_start = std::chrono::steady_clock::now();
   auto worker = [&]() {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= jobs.size()) return;
       const Job& job = jobs[i];
+      const auto mission_start = std::chrono::steady_clock::now();
       const env::Environment environment = env::generateEnvironment(job.spec);
       runtime::MissionConfig config = base_config;
       config.seed = job.mission_seed;
       rows[i].job = job;
       rows[i].result = runtime::runMission(environment, job.design, config);
+      rows[i].wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - mission_start)
+                            .count();
       const std::size_t finished = done.fetch_add(1) + 1;
       if (!opts.quiet) {
         std::ostringstream line;  // single write keeps interleaving readable
@@ -312,17 +391,36 @@ int main(int argc, char** argv) {
   for (unsigned t = 1; t < thread_count; ++t) pool.emplace_back(worker);
   worker();
   for (std::thread& t : pool) t.join();
+  const double harness_wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - harness_start).count();
+  const SuiteTiming timing = computeTiming(rows, harness_wall_s);
+
+  if (!opts.quiet) {
+    std::cerr << "suite_runner: " << rows.size() << " missions in "
+              << jsonNumber(harness_wall_s, 2) << " s ("
+              << jsonNumber(timing.missions_per_sec, 2) << " missions/s)\n";
+  }
 
   if (opts.out_path.empty()) {
-    writeJson(std::cout, opts, rows);
+    writeJson(std::cout, opts, rows, timing);
   } else {
     std::ofstream out(opts.out_path);
     if (!out) {
       std::cerr << "suite_runner: cannot open " << opts.out_path << "\n";
       return 1;
     }
-    writeJson(out, opts, rows);
+    writeJson(out, opts, rows, timing);
     if (!opts.quiet) std::cerr << "suite_runner: wrote " << opts.out_path << "\n";
+  }
+
+  if (!opts.bench_json_path.empty()) {
+    std::ofstream bench(opts.bench_json_path);
+    if (!bench) {
+      std::cerr << "suite_runner: cannot open " << opts.bench_json_path << "\n";
+      return 1;
+    }
+    writeBenchJson(bench, opts, rows, timing);
+    if (!opts.quiet) std::cerr << "suite_runner: wrote " << opts.bench_json_path << "\n";
   }
 
   // Smoke-test contract: every mission must terminate in a defined state.
