@@ -22,6 +22,10 @@ struct Aabb {
     return {{inf, inf, inf}, {-inf, -inf, -inf}};
   }
 
+  /// True when the box contains nothing (any axis inverted — the empty()
+  /// sentinel before anything was merged, or a degenerate intersection).
+  bool isEmpty() const { return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z; }
+
   bool contains(const Vec3& p) const {
     return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z && p.z <= hi.z;
   }
@@ -38,6 +42,14 @@ struct Aabb {
     hi.x = std::max(hi.x, p.x);
     hi.y = std::max(hi.y, p.y);
     hi.z = std::max(hi.z, p.z);
+  }
+
+  /// Merge another box, ignoring empty ones (merging an empty() box's
+  /// infinite corners point-wise would blow this box up to everything).
+  void merge(const Aabb& o) {
+    if (o.isEmpty()) return;
+    merge(o.lo);
+    merge(o.hi);
   }
 
   Vec3 center() const { return (lo + hi) * 0.5; }

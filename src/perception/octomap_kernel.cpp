@@ -102,8 +102,19 @@ OctomapInsertReport insertPointCloud(OccupancyOctree& tree, const PointCloud& cl
     report.volume_ingested += ray_volume;
     ++report.rays_integrated;
     if (r.hit) ++report.points_inserted;
+    report.touched.merge(cloud.origin);
+    report.touched.merge(r.end);
     traceRay(tree, cloud.origin, r.end, r.hit, level, free_level, key_scratch);
     report.ray_steps += static_cast<std::size_t>(std::ceil(r.length / precision));
+  }
+  if (report.rays_integrated > 0) {
+    // Every cell written lies on an integrated segment; widening by the
+    // coarsest written cell size makes the box cover those cells' full
+    // extents (the dirty-region contract downstream).
+    const double pad =
+        std::max(tree.cellSizeAtLevel(free_level), tree.cellSizeAtLevel(level));
+    report.touched.lo = report.touched.lo - Vec3{pad, pad, pad};
+    report.touched.hi = report.touched.hi + Vec3{pad, pad, pad};
   }
 
   // Work dedup: as the swept region becomes denser in rays than in voxels,

@@ -11,6 +11,7 @@
 
 #include <span>
 
+#include "geom/aabb.h"
 #include "geom/vec3.h"
 #include "perception/octree.h"
 #include "perception/point_cloud.h"
@@ -36,6 +37,11 @@ struct OctomapInsertReport {
   std::size_t rays_dropped = 0;     ///< rays discarded by the volume operator
   std::size_t points_inserted = 0;  ///< occupied endpoints written
   double volume_ingested = 0.0;     ///< m^3 actually added this sweep
+  /// Conservative cover of every tree cell this sweep may have changed
+  /// (integrated-ray extents widened by the written cell size; empty() when
+  /// nothing was integrated). The bridge turns this into the planner map's
+  /// dirty region, which gates the incremental planner's replan reuse.
+  geom::Aabb touched = geom::Aabb::empty();
 };
 
 /// Insert one (already precision-downsampled) point cloud into the map.

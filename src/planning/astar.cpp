@@ -3,9 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <optional>
-#include <queue>
-#include <unordered_map>
 
 namespace roborun::planning {
 
@@ -13,29 +10,21 @@ namespace {
 
 using geom::Vec3;
 
-struct CellKey {
-  int x, y, z;
-  bool operator==(const CellKey&) const = default;
-};
+constexpr std::uint32_t kNone = PlannerArena::kNone;
 
-struct CellKeyHash {
-  std::size_t operator()(const CellKey& k) const {
-    return (static_cast<std::size_t>(static_cast<std::uint32_t>(k.x)) * 73856093u) ^
-           (static_cast<std::size_t>(static_cast<std::uint32_t>(k.y)) * 19349663u) ^
-           (static_cast<std::size_t>(static_cast<std::uint32_t>(k.z)) * 83492791u);
-  }
-};
+/// Maximum dirty-region cell count the incremental planner will probe
+/// exactly against the consulted table before conceding a full replan.
+constexpr double kMaxPreciseDirtyCells = 4096.0;
 
-struct NodeInfo {
-  double g = 0.0;
-  CellKey parent{0, 0, 0};
-  bool has_parent = false;
-};
+inline Vec3 latticeCenter(int x, int y, int z, double cell) {
+  return Vec3{(x + 0.5) * cell, (y + 0.5) * cell, (z + 0.5) * cell};
+}
 
 }  // namespace
 
 AStarResult planPathAStar(const perception::PlannerMap& map, const Vec3& start,
-                          const Vec3& goal, const AStarParams& params) {
+                          const Vec3& goal, const AStarParams& params,
+                          PlannerArena& arena) {
   AStarResult result;
   auto& report = result.report;
   // Lattice pitch: the caller's knob, or the map's own snapped cell size
@@ -43,25 +32,19 @@ AStarResult planPathAStar(const perception::PlannerMap& map, const Vec3& start,
   // so reuse it instead of re-deriving a grid per planner call.
   const double cell = params.cell > 0.0 ? params.cell : map.precision();
 
-  auto keyOf = [&](const Vec3& p) {
-    return CellKey{static_cast<int>(std::floor(p.x / cell)),
-                   static_cast<int>(std::floor(p.y / cell)),
-                   static_cast<int>(std::floor(p.z / cell))};
-  };
-  auto centerOf = [&](const CellKey& k) {
-    return Vec3{(k.x + 0.5) * cell, (k.y + 0.5) * cell, (k.z + 0.5) * cell};
-  };
-  auto heuristic = [&](const CellKey& k) { return centerOf(k).dist(goal); };
+  arena.beginAStar();
 
-  const CellKey start_key = keyOf(start);
+  const int sx = static_cast<int>(std::floor(start.x / cell));
+  const int sy = static_cast<int>(std::floor(start.y / cell));
+  const int sz = static_cast<int>(std::floor(start.z / cell));
+  const std::uint64_t start_key = packLatticeKey(sx, sy, sz);
 
-  std::unordered_map<CellKey, NodeInfo, CellKeyHash> nodes;
-  using QueueEntry = std::pair<double, CellKey>;  // (f, cell)
-  auto cmp = [](const QueueEntry& a, const QueueEntry& b) { return a.first > b.first; };
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)> open(cmp);
-
-  nodes[start_key] = NodeInfo{0.0, start_key, false};
-  open.push({heuristic(start_key), start_key});
+  {
+    const std::uint32_t slot = arena.cellSlot(start_key);
+    arena.cellAt(slot).node = arena.newNode(start_key, 0.0, kNone);
+    arena.mergeConsulted(latticeCenter(sx, sy, sz, cell));
+    arena.heapPush(latticeCenter(sx, sy, sz, cell).dist(goal), 0);
+  }
 
   // 26-neighborhood with step costs hoisted out of the expansion loop: the
   // sqrt-scaled lattice distances are fixed per cell size, so deriving them
@@ -82,46 +65,68 @@ AStarResult planPathAStar(const perception::PlannerMap& map, const Vec3& start,
         }
   }
 
-  std::optional<CellKey> reached;
-  while (!open.empty() && report.expansions < params.max_expansions) {
-    const auto [f, current] = open.top();
-    open.pop();
-    const auto it = nodes.find(current);
-    if (it == nodes.end()) continue;
-    // Stale queue entry (already relaxed to a lower g)?
-    if (f > it->second.g + heuristic(current) + 1e-9) continue;
+  std::uint32_t reached = kNone;
+  while (!arena.heapEmpty() && report.expansions < params.max_expansions) {
+    const auto [f, current] = arena.heapPop();
+    // Copy the node fields before the neighbor loop: newNode() may grow the
+    // pool and invalidate references into it.
+    const std::uint64_t cur_key = arena.node(current).key;
+    const double cur_g = arena.node(current).g;
+    const int cx = unpackLatticeX(cur_key);
+    const int cy = unpackLatticeY(cur_key);
+    const int cz = unpackLatticeZ(cur_key);
+    const Vec3 cur_center = latticeCenter(cx, cy, cz, cell);
+    const double cur_h = cur_center.dist(goal);
+    // Stale queue entry (already relaxed to a lower g)? Entries are never
+    // removed on decrease-key; the improved push simply outranks them and
+    // this check invalidates the leftovers when they surface.
+    if (f > cur_g + cur_h + 1e-9) continue;
     ++report.expansions;
 
-    if (centerOf(current).dist(goal) <= std::max(params.goal_tolerance, cell)) {
+    if (cur_h <= std::max(params.goal_tolerance, cell)) {
       reached = current;
       break;
     }
 
     for (const NeighborStep& nb : neighbors) {
-      const CellKey next{current.x + nb.dx, current.y + nb.dy, current.z + nb.dz};
-      const Vec3 c = centerOf(next);
+      const int nx = cx + nb.dx;
+      const int ny = cy + nb.dy;
+      const int nz = cz + nb.dz;
+      const Vec3 c = latticeCenter(nx, ny, nz, cell);
       ++report.generated;
       if (!params.bounds.contains(c)) continue;
-      if (map.occupiedPoint(c)) continue;
-      const double g = it->second.g + nb.step;
-      const auto found = nodes.find(next);
-      if (found == nodes.end() || g + 1e-12 < found->second.g) {
-        nodes[next] = NodeInfo{g, current, true};
-        open.push({g + heuristic(next), next});
+      arena.mergeConsulted(c);
+      const std::uint32_t slot = arena.cellSlot(packLatticeKey(nx, ny, nz));
+      PlannerArena::AStarCell& lattice_cell = arena.cellAt(slot);
+      // The map is frozen for the duration of the search, so the inflated
+      // occupancy probe (7 hash lookups in the map) runs once per cell, not
+      // once per generating neighbor.
+      if (lattice_cell.occupancy == 0)
+        lattice_cell.occupancy = map.occupiedPoint(c) ? 2 : 1;
+      if (lattice_cell.occupancy == 2) continue;
+      const double g = cur_g + nb.step;
+      if (lattice_cell.node == kNone) {
+        lattice_cell.node = arena.newNode(packLatticeKey(nx, ny, nz), g, current);
+        arena.heapPush(g + c.dist(goal), lattice_cell.node);
+      } else if (g + 1e-12 < arena.node(lattice_cell.node).g) {
+        PlannerArena::AStarNode& node = arena.node(lattice_cell.node);
+        node.g = g;
+        node.parent = current;
+        arena.heapPush(g + c.dist(goal), lattice_cell.node);
       }
     }
   }
 
-  if (!reached) return result;
+  if (reached == kNone) return result;
 
   // Reconstruct: start -> ... -> reached cell -> goal.
   std::vector<Vec3> rev;
-  CellKey k = *reached;
-  for (;;) {
-    rev.push_back(centerOf(k));
-    const auto& info = nodes.at(k);
-    if (!info.has_parent) break;
-    k = info.parent;
+  for (std::uint32_t n = reached;;) {
+    const PlannerArena::AStarNode& node = arena.node(n);
+    rev.push_back(latticeCenter(unpackLatticeX(node.key), unpackLatticeY(node.key),
+                                unpackLatticeZ(node.key), cell));
+    if (node.parent == kNone) break;
+    n = node.parent;
   }
   std::reverse(rev.begin(), rev.end());
   rev.front() = start;
@@ -131,6 +136,89 @@ AStarResult planPathAStar(const perception::PlannerMap& map, const Vec3& start,
   for (std::size_t i = 1; i < result.path.size(); ++i)
     report.path_cost += result.path[i].dist(result.path[i - 1]);
   return result;
+}
+
+AStarResult planPathAStar(const perception::PlannerMap& map, const Vec3& start,
+                          const Vec3& goal, const AStarParams& params) {
+  PlannerArena arena;
+  return planPathAStar(map, start, goal, params, arena);
+}
+
+bool AStarIncremental::canReuse(const perception::PlannerMap& map, const Vec3& start,
+                                const Vec3& goal, const AStarParams& params,
+                                const geom::Aabb& dirty) const {
+  if (!has_cached_) return false;
+  // Any change to the search inputs themselves forces a full plan: the
+  // cached search replays bit-exactly only for identical start/goal/params.
+  if (!(start == start_) || !(goal == goal_)) return false;
+  if (params.cell != params_.cell || params.goal_tolerance != params_.goal_tolerance ||
+      params.max_expansions != params_.max_expansions)
+    return false;
+  if (!(params.bounds.lo == params_.bounds.lo) || !(params.bounds.hi == params_.bounds.hi))
+    return false;
+  if (map.precision() != map_precision_ || map.inflation() != map_inflation_) return false;
+
+  // Nothing changed at all.
+  if (dirty.isEmpty()) return true;
+
+  // The search consults the map through occupiedPoint(center), which probes
+  // up to the inflation radius away from each cell center — widen the dirty
+  // region by that radius so "changed cell near a consulted center" counts.
+  const double r = map.inflation();
+  geom::Aabb dirty_infl{{dirty.lo.x - r, dirty.lo.y - r, dirty.lo.z - r},
+                        {dirty.hi.x + r, dirty.hi.y + r, dirty.hi.z + r}};
+
+  const geom::Aabb& consulted = arena_.consultedBounds();
+  if (!dirty_infl.intersects(consulted)) return true;
+
+  // Exact check: enumerate the lattice cells whose centers fall inside the
+  // widened dirty region (clipped to the consulted bounds) and probe the
+  // arena's consulted table. Only cells the previous search actually looked
+  // at can invalidate it.
+  const double cell = params.cell > 0.0 ? params.cell : map.precision();
+  const double lo[3] = {std::max(dirty_infl.lo.x, consulted.lo.x),
+                        std::max(dirty_infl.lo.y, consulted.lo.y),
+                        std::max(dirty_infl.lo.z, consulted.lo.z)};
+  const double hi[3] = {std::min(dirty_infl.hi.x, consulted.hi.x),
+                        std::min(dirty_infl.hi.y, consulted.hi.y),
+                        std::min(dirty_infl.hi.z, consulted.hi.z)};
+  int kmin[3], kmax[3];
+  double count = 1.0;
+  for (int axis = 0; axis < 3; ++axis) {
+    // Centers (k + 0.5) * cell within [lo, hi] <=> k in [lo/cell - 0.5,
+    // hi/cell - 0.5].
+    const double kmin_d = std::ceil(lo[axis] / cell - 0.5);
+    const double kmax_d = std::floor(hi[axis] / cell - 0.5);
+    if (kmax_d < kmin_d) return true;  // clipped region holds no cell center
+    count *= kmax_d - kmin_d + 1.0;
+    if (count > kMaxPreciseDirtyCells) return false;  // too large to probe: replan
+    kmin[axis] = static_cast<int>(kmin_d);
+    kmax[axis] = static_cast<int>(kmax_d);
+  }
+  for (int z = kmin[2]; z <= kmax[2]; ++z)
+    for (int y = kmin[1]; y <= kmax[1]; ++y)
+      for (int x = kmin[0]; x <= kmax[0]; ++x)
+        if (arena_.consultedCell(packLatticeKey(x, y, z))) return false;
+  return true;
+}
+
+AStarResult AStarIncremental::plan(const perception::PlannerMap& map, const Vec3& start,
+                                   const Vec3& goal, const AStarParams& params,
+                                   const geom::Aabb& dirty) {
+  ++stats_.plans;
+  if (canReuse(map, start, goal, params, dirty)) {
+    ++stats_.reused;
+    return cached_;
+  }
+  ++stats_.full;
+  cached_ = planPathAStar(map, start, goal, params, arena_);
+  has_cached_ = true;
+  start_ = start;
+  goal_ = goal;
+  params_ = params;
+  map_precision_ = map.precision();
+  map_inflation_ = map.inflation();
+  return cached_;
 }
 
 }  // namespace roborun::planning

@@ -7,6 +7,15 @@
 // searched lattice rather than with the sampled tree, and its paths hug the
 // lattice. Useful as a drop-in comparator and as a fallback for callers
 // that need determinism without a seed.
+//
+// The search core runs over a PlannerArena (planner_arena.h): node
+// bookkeeping lives in a generation-stamped contiguous pool keyed by packed
+// lattice index instead of a per-call unordered_map, the open list is a
+// reusable binary heap, and each cell's inflated-occupancy answer is
+// memoized for the duration of the search. Results are bit-identical to the
+// frozen seed implementation (tests/reference_astar.h, enforced by
+// planning_equivalence_test) — the arena only changes where the search
+// state lives, not what the search does.
 #pragma once
 
 #include <cstddef>
@@ -15,13 +24,24 @@
 #include "geom/aabb.h"
 #include "geom/vec3.h"
 #include "perception/planner_map.h"
+#include "planning/planner_arena.h"
 
 namespace roborun::planning {
 
 struct AStarParams {
   geom::Aabb bounds;             ///< search region
-  double cell = 1.5;             ///< m; lattice pitch (<= 0: use the map's snapped precision)
-  double goal_tolerance = 3.0;   ///< m
+  /// Lattice pitch in meters. <= 0 selects the planner map's own precision
+  /// (map.precision()) — the pitch the bridge already snapped onto the
+  /// power-of-two grid — so the planner never re-derives a lattice the map
+  /// has one for. Callers that set an explicit pitch own its snapping.
+  double cell = 1.5;
+  /// Goal acceptance radius in meters. Values below the lattice pitch are
+  /// effectively clamped UP to the pitch: the search accepts any cell whose
+  /// center is within max(goal_tolerance, cell) of the goal, because a
+  /// tolerance finer than the lattice can exclude every cell center and the
+  /// search would otherwise exhaust its expansion budget next to the goal
+  /// (see AStarTest.GoalToleranceBelowPitchStillTerminates).
+  double goal_tolerance = 3.0;
   std::size_t max_expansions = 200000;
 };
 
@@ -37,8 +57,68 @@ struct AStarResult {
   AStarReport report;
 };
 
-/// Plan on the lattice through the (inflated) planner map.
+/// Plan on the lattice through the (inflated) planner map, using `arena`
+/// for all search storage. Reusing one arena across calls makes steady-
+/// state replanning allocation-free; the arena is reset (O(1)) on entry.
+AStarResult planPathAStar(const perception::PlannerMap& map, const geom::Vec3& start,
+                          const geom::Vec3& goal, const AStarParams& params,
+                          PlannerArena& arena);
+
+/// Convenience overload with a private single-use arena (the seed-shaped
+/// entry point; identical results, pays one-time buffer growth per call).
 AStarResult planPathAStar(const perception::PlannerMap& map, const geom::Vec3& start,
                           const geom::Vec3& goal, const AStarParams& params);
+
+struct AStarIncrementalStats {
+  std::size_t plans = 0;   ///< replan requests served
+  std::size_t reused = 0;  ///< requests answered from the persisted search
+  std::size_t full = 0;    ///< requests that ran a full search
+};
+
+/// Incremental replan entry point: persists the arena (and the completed
+/// search it holds) across sensor epochs and skips the search entirely when
+/// the map provably did not change anywhere the previous search looked.
+///
+/// Contract: each plan() call passes `dirty` — an AABB covering every
+/// planner-map cell (full cell extents) whose raw occupancy may differ from
+/// the map passed to the *previous* plan() call (geom::Aabb::empty() when
+/// nothing changed; an infinite box when unknown). The planner inflates the
+/// region by the map's query inflation radius and tests it against the
+/// consulted-cell record kept in the arena: first a consulted-bounds AABB
+/// rejection, then (for small regions) an exact per-lattice-cell probe of
+/// the consulted table. Only if no consulted cell can have changed is the
+/// cached result returned — in that case a from-scratch search would replay
+/// the previous one decision-for-decision, so the reuse is bit-exact
+/// (planning_equivalence_test replays arbitrary dirty-region schedules
+/// against from-scratch searches to enforce this). Any change of start,
+/// goal, params or map precision/inflation forces a full search into the
+/// O(1)-cleared arena.
+class AStarIncremental {
+ public:
+  AStarResult plan(const perception::PlannerMap& map, const geom::Vec3& start,
+                   const geom::Vec3& goal, const AStarParams& params,
+                   const geom::Aabb& dirty);
+
+  /// Drop the persisted search (the next plan() runs in full).
+  void invalidate() { has_cached_ = false; }
+
+  const AStarIncrementalStats& stats() const { return stats_; }
+  PlannerArena& arena() { return arena_; }
+
+ private:
+  bool canReuse(const perception::PlannerMap& map, const geom::Vec3& start,
+                const geom::Vec3& goal, const AStarParams& params,
+                const geom::Aabb& dirty) const;
+
+  PlannerArena arena_;
+  AStarResult cached_;
+  bool has_cached_ = false;
+  geom::Vec3 start_;
+  geom::Vec3 goal_;
+  AStarParams params_;
+  double map_precision_ = 0.0;
+  double map_inflation_ = 0.0;
+  AStarIncrementalStats stats_;
+};
 
 }  // namespace roborun::planning

@@ -1,0 +1,19 @@
+#include "planning/planner_arena.h"
+
+#include <algorithm>
+
+namespace roborun::planning {
+
+void PlannerArena::heapPush(double f, std::uint32_t node_index) {
+  astar_heap_.push_back(HeapEntry{f, node_index});
+  std::push_heap(astar_heap_.begin(), astar_heap_.end(), heapAfter);
+}
+
+PlannerArena::HeapEntry PlannerArena::heapPop() {
+  std::pop_heap(astar_heap_.begin(), astar_heap_.end(), heapAfter);
+  const HeapEntry top = astar_heap_.back();
+  astar_heap_.pop_back();
+  return top;
+}
+
+}  // namespace roborun::planning

@@ -3,21 +3,31 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "planning/planner_arena.h"
 
 namespace roborun::planning {
 
 namespace {
 
 /// Uniform-grid spatial index over tree nodes for nearest/neighborhood
-/// queries (linear scans would dominate at a few thousand iterations).
+/// queries (linear scans would dominate at a few thousand iterations). The
+/// bucket storage (and the point mirror) borrows the arena's pooled
+/// BucketGrid, so steady-state replans never touch the allocator; buckets
+/// preserve insertion order, which keeps nearest/neighbors answers — and
+/// therefore whole missions — bit-identical to the unordered_map-of-vectors
+/// index this replaced.
 class NodeIndex {
  public:
-  explicit NodeIndex(double cell) : cell_(cell), inv_cell_(1.0 / cell) {}
+  NodeIndex(PlannerArena& arena, double cell)
+      : grid_(arena.rrtGrid()), points_(arena.rrtPoints()), cell_(cell),
+        inv_cell_(1.0 / cell) {
+    grid_.clear();
+    points_.clear();
+  }
 
   void add(const Vec3& p, std::size_t id) {
-    grid_[key(p)].push_back(id);
+    grid_.add(key(p), static_cast<std::uint32_t>(id));
     points_.push_back(p);
   }
 
@@ -27,28 +37,23 @@ class NodeIndex {
     std::size_t best = SIZE_MAX;
     double best_d2 = std::numeric_limits<double>::infinity();
     for (int ring = 0;; ++ring) {
-      bool any_cell = false;
       for (int dz = -ring; dz <= ring; ++dz) {
         for (int dy = -ring; dy <= ring; ++dy) {
           for (int dx = -ring; dx <= ring; ++dx) {
             if (std::max({std::abs(dx), std::abs(dy), std::abs(dz)}) != ring) continue;
-            const auto it = grid_.find(pack(cx + dx, cy + dy, cz + dz));
-            if (it == grid_.end()) continue;
-            any_cell = true;
-            for (const std::size_t id : it->second) {
+            grid_.forEach(packLatticeKey(cx + dx, cy + dy, cz + dz), [&](std::uint32_t id) {
               const double d2 = points_[id].dist(q) * points_[id].dist(q);
               if (d2 < best_d2) {
                 best_d2 = d2;
                 best = id;
               }
-            }
+            });
           }
         }
       }
       // After the first hit, scanning one more ring covers the corner
       // cases where a euclidean-nearer node sits in the next shell.
       if (best != SIZE_MAX && ring >= 1) break;
-      (void)any_cell;
       if (ring > 512) break;  // degenerate safety stop
     }
     return best;
@@ -62,12 +67,10 @@ class NodeIndex {
     for (int dz = -r; dz <= r; ++dz) {
       for (int dy = -r; dy <= r; ++dy) {
         for (int dx = -r; dx <= r; ++dx) {
-          const auto it = grid_.find(pack(cx + dx, cy + dy, cz + dz));
-          if (it == grid_.end()) continue;
-          for (const std::size_t id : it->second) {
+          grid_.forEach(packLatticeKey(cx + dx, cy + dy, cz + dz), [&](std::uint32_t id) {
             const Vec3 d = points_[id] - q;
             if (d.norm2() <= r2) out.push_back(id);
-          }
+          });
         }
       }
     }
@@ -79,48 +82,42 @@ class NodeIndex {
             static_cast<int>(std::floor(p.y * inv_cell_)),
             static_cast<int>(std::floor(p.z * inv_cell_))};
   }
-  static std::uint64_t pack(int x, int y, int z) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(x) & 0x1FFFFF) << 42) |
-           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(y) & 0x1FFFFF) << 21) |
-           (static_cast<std::uint64_t>(static_cast<std::uint32_t>(z) & 0x1FFFFF));
-  }
   std::uint64_t key(const Vec3& p) const {
     const auto [x, y, z] = cellOf(p);
-    return pack(x, y, z);
+    return packLatticeKey(x, y, z);
   }
 
+  BucketGrid& grid_;
+  std::vector<Vec3>& points_;
   double cell_;
   double inv_cell_;
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> grid_;
-  std::vector<Vec3> points_;
 };
 
-struct TreeNode {
-  Vec3 position;
-  std::size_t parent = SIZE_MAX;
-  double cost = 0.0;  ///< path length from the root
-};
+using TreeNode = RrtTreeNode;
 
 /// Tracks the volume covered by the search: each step-sized cell first
-/// touched by a sample claims step^3 of explored space.
+/// touched by a sample claims step^3 of explored space. Cell membership
+/// lives in the arena's O(1)-clearing stamped set.
 class ExploredVolume {
  public:
-  explicit ExploredVolume(double cell) : cell_(cell), inv_cell_(1.0 / cell) {}
+  ExploredVolume(PlannerArena& arena, double cell)
+      : cells_(arena.rrtExplored()), cell_(cell), inv_cell_(1.0 / cell) {
+    cells_.clear();
+  }
 
   void visit(const Vec3& p) {
-    const auto cx = static_cast<std::int64_t>(std::floor(p.x * inv_cell_)) & 0x1FFFFF;
-    const auto cy = static_cast<std::int64_t>(std::floor(p.y * inv_cell_)) & 0x1FFFFF;
-    const auto cz = static_cast<std::int64_t>(std::floor(p.z * inv_cell_)) & 0x1FFFFF;
-    cells_.insert((static_cast<std::uint64_t>(cx) << 42) |
-                  (static_cast<std::uint64_t>(cy) << 21) | static_cast<std::uint64_t>(cz));
+    const int cx = static_cast<int>(std::floor(p.x * inv_cell_));
+    const int cy = static_cast<int>(std::floor(p.y * inv_cell_));
+    const int cz = static_cast<int>(std::floor(p.z * inv_cell_));
+    cells_.insert(packLatticeKey(cx, cy, cz));
   }
 
   double volume() const { return static_cast<double>(cells_.size()) * cell_ * cell_ * cell_; }
 
  private:
+  StampedSet& cells_;
   double cell_;
   double inv_cell_;
-  std::unordered_set<std::uint64_t> cells_;
 };
 
 /// Uniform sampler over the prolate hyperspheroid with foci `start`/`goal`
@@ -170,6 +167,12 @@ std::vector<Vec3> extractPath(const std::vector<TreeNode>& nodes, std::size_t le
 
 RrtResult planPath(const perception::PlannerMap& map, const Vec3& start, const Vec3& goal,
                    const RrtParams& params, geom::Rng& rng) {
+  PlannerArena arena;
+  return planPath(map, start, goal, params, rng, arena);
+}
+
+RrtResult planPath(const perception::PlannerMap& map, const Vec3& start, const Vec3& goal,
+                   const RrtParams& params, geom::Rng& rng, PlannerArena& arena) {
   RrtResult result;
   auto& report = result.report;
 
@@ -191,16 +194,18 @@ RrtResult planPath(const perception::PlannerMap& map, const Vec3& start, const V
     return result;
   }
 
-  std::vector<TreeNode> nodes;
+  std::vector<TreeNode>& nodes = arena.rrtNodes();
+  nodes.clear();
   nodes.push_back({start, SIZE_MAX, 0.0});
-  NodeIndex index(std::max(params.rewire_radius, 1.0));
+  NodeIndex index(arena, std::max(params.rewire_radius, 1.0));
   index.add(start, 0);
-  ExploredVolume explored(std::max(params.step, 1.0));
+  ExploredVolume explored(arena, std::max(params.step, 1.0));
   explored.visit(start);
 
   std::size_t goal_node = SIZE_MAX;
   double goal_cost = std::numeric_limits<double>::infinity();
-  std::vector<std::size_t> nearby;
+  std::vector<std::size_t>& nearby = arena.rrtNearby();
+  nearby.clear();
   std::size_t iters_since_found = 0;
   const InformedSampler informed(start, goal);
 

@@ -17,6 +17,7 @@
 #include "geom/rng.h"
 #include "geom/vec3.h"
 #include "perception/planner_map.h"
+#include "planning/planner_arena.h"
 
 namespace roborun::planning {
 
@@ -68,5 +69,11 @@ struct RrtResult {
 /// Plan a collision-free piecewise path from start to goal through the map.
 RrtResult planPath(const perception::PlannerMap& map, const Vec3& start, const Vec3& goal,
                    const RrtParams& params, geom::Rng& rng);
+
+/// As above, but with the tree, grid index and explored-volume set stored
+/// in `arena` (planner_arena.h): reusing one arena across replans makes the
+/// steady state allocation-free. Results are identical either way.
+RrtResult planPath(const perception::PlannerMap& map, const Vec3& start, const Vec3& goal,
+                   const RrtParams& params, geom::Rng& rng, PlannerArena& arena);
 
 }  // namespace roborun::planning

@@ -6,6 +6,12 @@
 
 namespace roborun::runtime {
 
+std::size_t MissionResult::replans() const {
+  std::size_t n = 0;
+  for (const auto& r : records) n += r.replanned ? 1 : 0;
+  return n;
+}
+
 double MissionResult::averageVelocity() const {
   if (records.empty()) return 0.0;
   double sum = 0.0;

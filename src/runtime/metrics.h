@@ -62,9 +62,18 @@ struct MissionResult {
   double compute_energy = 0.0;   ///< J
   double battery_soc = 1.0;      ///< state of charge at mission end [0,1]
   double distance_traveled = 0.0;///< m
+  /// Measured wall time spent replanning (planner + smoother, summed over
+  /// the replanning decisions) across the whole mission (ms). A measurement
+  /// of this run, like suite_runner's wall_ms — NOT part of the
+  /// deterministic replay contract; every decision-driving quantity uses
+  /// the modeled latencies instead.
+  double planner_wall_ms = 0.0;
   std::vector<DecisionRecord> records;
 
   std::size_t decisions() const { return records.size(); }
+  /// Decisions that ran the planner (the replan-rate denominator for the
+  /// per-replan timing suite_runner reports).
+  std::size_t replans() const;
   /// Mean of the per-decision commanded velocities (the paper's "flight
   /// velocity" metric).
   double averageVelocity() const;

@@ -163,6 +163,7 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
     rec.cpu_utilization =
         std::min(1.0, outcome.latencies.compute() / std::max(decision.budget, 1e-3));
     result.records.push_back(rec);
+    result.planner_wall_ms += outcome.plan_wall_ms;
 
     energy.integrate(0.0, 0.0, outcome.latencies.compute());
 

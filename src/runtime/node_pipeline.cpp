@@ -150,7 +150,7 @@ void PlannerNode::onMap(const perception::PlannerMapMsg& msg) {
                           std::max(position.y, goal_.y) + 30.0, 8.0}};
   rp.volume_budget = std::max(policy_.stage(Stage::Planning).volume, span);
   rp.check_precision = policy_.stage(Stage::Planning).precision;
-  auto rrt = planning::planPath(msg.map, position, goal_, rp, rng_);
+  auto rrt = planning::planPath(msg.map, position, goal_, rp, rng_, arena_);
   if (!rrt.report.found) return;
 
   planning::SmootherParams sp;

@@ -118,6 +118,7 @@ class PlannerNode : public miniros::Node {
   geom::Rng rng_;
   core::PipelinePolicy policy_;
   planning::Trajectory current_;
+  planning::PlannerArena arena_;  ///< persistent planner state across replans
   miniros::Publisher<planning::Trajectory> pub_;
 };
 

@@ -1,6 +1,7 @@
 #include "runtime/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numbers>
 
@@ -106,14 +107,26 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
   // the airframe radius: the drone must always be able to re-plan the path
   // it physically flew, or backtracking out of dead ends is impossible.
   if (goal_override_) bp.inflation = 0.45;
-  auto bridge = perception::buildPlannerMap(*octree_, position, bp);
+  // Hand the bridge this epoch's octree delta and the previous epoch's cull
+  // inputs so the built map carries a bounded dirty region (consumed by the
+  // incremental planner; inert in the other modes).
+  bridge_delta_.octree_touched = out.octomap_report.touched;
+  auto bridge = perception::buildPlannerMap(*octree_, position, bp, &bridge_delta_);
+  bridge_delta_.prev_position = position;
+  bridge_delta_.prev_radius = bridge.report.cull_radius;
+  bridge_delta_.prev_precision = bridge.msg.map.precision();
+  bridge_delta_.prev_inflation = bp.inflation;
   out.bridge_report = bridge.report;
   out.latencies.bridge = latency_model_.bridge(bridge.report.nodes);
   out.latencies.comm_map = config_.comm.cost(perception::byteSizeOf(bridge.msg));
   map_pub_.publish(bridge.msg);
   const perception::PlannerMap& planner_map = bridge.msg.map;
+  // This epoch's map change joins the pending dirty set whether or not a
+  // replan triggers below — the incremental planner must see every change
+  // since it last ran, not just the final epoch's.
+  pending_plan_dirty_.merge(planner_map.dirtyBounds());
 
-  // --- Planning: replan check, RRT*, smoothing ---
+  // --- Planning: replan check, planner (RRT* or pooled A*), smoothing ---
   std::size_t monitor_steps = 0;
   const bool replan =
       needsReplan(planner_map, position, p_plan.precision, monitor_steps);
@@ -121,6 +134,7 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
 
   if (replan) {
     out.replanned = true;
+    const auto plan_wall_start = std::chrono::steady_clock::now();
     // Plan only as far as the planner's volume knob lets it explore: a small
     // budget (tight deadline) means short hops; an open-space budget means
     // the full horizon. Without this coupling, a volume-starved RRT* would
@@ -136,30 +150,56 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
         std::clamp(0.9 * v2_radius, 8.0, config_.replan_horizon);
     const Vec3 local_goal = selectLocalGoal(planner_map, position, horizon);
 
-    planning::RrtParams rp;
     const geom::Aabb root = octree_->rootBox();
     const double x_lo = std::min(position.x, local_goal.x) - 15.0;
     const double x_hi = std::max(position.x, local_goal.x) + 15.0;
-    rp.bounds = geom::Aabb{
+    const geom::Aabb plan_bounds{
         {x_lo, std::min(position.y, local_goal.y) - config_.lateral_margin,
          std::max(config_.altitude_min, root.lo.z)},
         {x_hi, std::max(position.y, local_goal.y) + config_.lateral_margin,
          std::min(root.hi.z, std::max(config_.altitude_max, position.z + 0.5))}};
-    rp.step = config_.rrt_step;
-    rp.max_iterations = config_.rrt_max_iterations;
-    rp.volume_budget = std::max(p_plan.volume, rp.step * rp.step * rp.step);
-    rp.check_precision = p_plan.precision;
 
-    auto rrt = planning::planPath(planner_map, position, local_goal, rp, rng_);
-    out.rrt_report = rrt.report;
-    planning_steps += rrt.report.check_steps;
+    std::vector<Vec3> plan_path;
+    bool plan_found = false;
+    if (config_.planner_mode == PlannerMode::RrtStar) {
+      planning::RrtParams rp;
+      rp.bounds = plan_bounds;
+      rp.step = config_.rrt_step;
+      rp.max_iterations = config_.rrt_max_iterations;
+      rp.volume_budget = std::max(p_plan.volume, rp.step * rp.step * rp.step);
+      rp.check_precision = p_plan.precision;
 
-    if (rrt.report.found) {
+      auto rrt = planning::planPath(planner_map, position, local_goal, rp, rng_, arena_);
+      out.rrt_report = rrt.report;
+      planning_steps += rrt.report.check_steps;
+      plan_found = rrt.report.found;
+      plan_path = std::move(rrt.path);
+    } else {
+      planning::AStarParams ap;
+      ap.bounds = plan_bounds;
+      ap.cell = 0.0;  // the map's own snapped precision
+      ap.goal_tolerance = config_.astar_goal_tolerance;
+      ap.max_expansions = config_.astar_max_expansions;
+      planning::AStarResult astar;
+      if (config_.planner_mode == PlannerMode::AStarIncremental) {
+        astar = astar_incremental_.plan(planner_map, position, local_goal, ap,
+                                        pending_plan_dirty_);
+        pending_plan_dirty_ = geom::Aabb::empty();  // consumed by this plan()
+      } else {
+        astar = planning::planPathAStar(planner_map, position, local_goal, ap, arena_);
+      }
+      out.astar_report = astar.report;
+      planning_steps += astar.report.generated;
+      plan_found = astar.report.found;
+      plan_path = std::move(astar.path);
+    }
+
+    if (plan_found) {
       planning::SmootherParams sp;
       sp.v_max = config_.v_max;
       sp.a_max = config_.a_max;
       sp.check_precision = p_plan.precision;
-      auto smooth = planning::smoothPath(rrt.path, planner_map, sp);
+      auto smooth = planning::smoothPath(plan_path, planner_map, sp);
       out.smoother_report = smooth.report;
       out.latencies.smoothing = latency_model_.smoother(smooth.report.segments);
       planning_steps += smooth.report.check_steps;
@@ -174,8 +214,17 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
       // path the vehicle refuses to fly.
       follower_.setTrajectory(planning::Trajectory{});
     }
+    out.plan_wall_ms = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - plan_wall_start)
+                           .count();
   }
-  out.latencies.planning = latency_model_.planner(out.rrt_report.iterations, planning_steps);
+  // Work-unit latency: RRT* charges sampling iterations, the A* modes
+  // charge node expansions; collision/march work rides in planning_steps
+  // either way.
+  const std::size_t planner_iterations = config_.planner_mode == PlannerMode::RrtStar
+                                             ? out.rrt_report.iterations
+                                             : out.astar_report.expansions;
+  out.latencies.planning = latency_model_.planner(planner_iterations, planning_steps);
 
   // Deliver the published messages through the middleware (the comm cost is
   // already charged above via the same model; this keeps the bus ledger and

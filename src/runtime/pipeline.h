@@ -22,6 +22,8 @@
 #include "perception/octree.h"
 #include "perception/planner_map.h"
 #include "perception/point_cloud.h"
+#include "planning/astar.h"
+#include "planning/planner_arena.h"
 #include "planning/rrt_star.h"
 #include "planning/smoother.h"
 #include "runtime/metrics.h"
@@ -29,6 +31,14 @@
 #include "sim/sensor.h"
 
 namespace roborun::runtime {
+
+/// Which planner fills the planning stage. RrtStar is the paper's design
+/// and the default — mission results in this mode are byte-identical to the
+/// seed. The A* modes run the deterministic pooled lattice planner instead
+/// (same maps, same smoothing); AStarIncremental additionally persists the
+/// search across sensor epochs and skips replans the bridge's dirty region
+/// provably cannot have affected (planning/astar.h).
+enum class PlannerMode { RrtStar, AStar, AStarIncremental };
 
 struct PipelineConfig {
   double v_max = 3.2;              ///< m/s; design velocity cap (smoother profile)
@@ -41,6 +51,9 @@ struct PipelineConfig {
                                    ///< roof-hopping over warehouse racks)
   std::size_t rrt_max_iterations = 3000;
   double rrt_step = 4.0;           ///< m
+  PlannerMode planner_mode = PlannerMode::RrtStar;  ///< design knob (see enum)
+  double astar_goal_tolerance = 3.0;      ///< m; A*-mode goal acceptance
+  std::size_t astar_max_expansions = 200000;
   sim::LatencyConfig latency;
   miniros::CommModel comm{0.003, 2.0e6};
 };
@@ -53,6 +66,12 @@ struct DecisionOutcome {
   perception::BridgeReport bridge_report;
   planning::RrtReport rrt_report;
   planning::SmootherReport smoother_report;
+  planning::AStarReport astar_report;  ///< populated in the A* planner modes
+  /// Measured wall time of this decision's replan (planner + smoother), in
+  /// milliseconds; 0.0 when the decision did not replan. A measurement of
+  /// this run — NOT deterministic, excluded from the replay contract (the
+  /// modeled `latencies` drive all decisions).
+  double plan_wall_ms = 0.0;
 };
 
 /// Owns the world model (octree), the planner state, and the follower.
@@ -94,6 +113,17 @@ class NavigationPipeline {
   std::optional<geom::Vec3> goal_override_;
   std::unique_ptr<perception::OccupancyOctree> octree_;
   control::TrajectoryFollower follower_;
+  // Persistent planner state: one arena reused by every replan of this
+  // pipeline (RRT* tree/grid or pooled A*), plus the incremental planner's
+  // own persisted search, plus what the bridge needs to bound each epoch's
+  // dirty region against the previous one.
+  planning::PlannerArena arena_;
+  planning::AStarIncremental astar_incremental_;
+  perception::BridgeDelta bridge_delta_;
+  /// Dirty regions accumulated since the incremental planner last ran: its
+  /// contract is "changes since the previous plan() call", and epochs whose
+  /// decisions do not replan still mutate the map.
+  geom::Aabb pending_plan_dirty_ = geom::Aabb::empty();
   geom::Rng rng_;
   sim::LatencyModel latency_model_;
   miniros::Bus bus_;

@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "env/env_gen.h"
+#include "geom/rng.h"
+#include "perception/planner_map.h"
+#include "planning/astar.h"
 #include "runtime/designs.h"
 #include "runtime/mission.h"
 
@@ -126,11 +129,123 @@ TEST(DeterminismTest, BaselineRepeatsBitwise) {
   EXPECT_TRUE(resultsIdentical(first, second));
 }
 
+// Missions driven by the persistent-state planner modes must replay
+// bitwise too: the arena and the incremental cache are per-pipeline state,
+// reset with the mission, never shared across missions.
+TEST(DeterminismTest, IncrementalAStarMissionRepeatsBitwise) {
+  const env::Environment environment = env::generateEnvironment(shortSpec(11));
+  runtime::MissionConfig config = runtime::smokeMissionConfig();
+  config.seed = 7;
+  config.pipeline.planner_mode = runtime::PlannerMode::AStarIncremental;
+  const auto first = runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  const auto second = runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  ASSERT_GT(first.decisions(), 0u);
+  EXPECT_TRUE(resultsIdentical(first, second));
+}
+
 TEST(DeterminismTest, DifferentSeedsDiverge) {
   const runtime::MissionResult a = runOnce(runtime::DesignType::RoboRun, 11, 7);
   const runtime::MissionResult b = runOnce(runtime::DesignType::RoboRun, 12, 7);
   // A different world must change *something* observable.
   EXPECT_FALSE(resultsIdentical(a, b));
+}
+
+// --- Incremental planner determinism ---------------------------------------
+//
+// The AStarIncremental entry point persists search state across epochs; its
+// replayability contract is the same as the mission's: an identical seed
+// (deciding the obstacle/dirty-region schedule) must produce bitwise-
+// identical AStarResults at every epoch, on every run, regardless of how
+// many sibling planners run concurrently on other threads.
+
+::testing::AssertionResult astarResultsIdentical(const planning::AStarResult& a,
+                                                 const planning::AStarResult& b) {
+  auto fail = [&](const char* field) {
+    return ::testing::AssertionFailure() << "AStarResult differs in " << field;
+  };
+  if (a.report.found != b.report.found) return fail("found");
+  if (a.report.expansions != b.report.expansions) return fail("expansions");
+  if (a.report.generated != b.report.generated) return fail("generated");
+  if (!bitEqual(a.report.path_cost, b.report.path_cost)) return fail("path_cost");
+  if (a.path.size() != b.path.size()) return fail("path.size");
+  for (std::size_t i = 0; i < a.path.size(); ++i)
+    if (!bitEqual(a.path[i].x, b.path[i].x) || !bitEqual(a.path[i].y, b.path[i].y) ||
+        !bitEqual(a.path[i].z, b.path[i].z))
+      return fail("path waypoint");
+  return ::testing::AssertionSuccess();
+}
+
+/// Replay a seed-derived dirty-region schedule through one AStarIncremental
+/// and collect every epoch's result.
+std::vector<planning::AStarResult> runIncrementalSchedule(std::uint64_t seed) {
+  geom::Rng rng(seed * 6364136223846793005ULL + 1442695040888963407ULL);
+  const double precision = 0.3;
+  std::vector<perception::VoxelBox> voxels;
+  planning::AStarParams params;
+  params.bounds = geom::Aabb{{-4, -20, 0}, {44, 20, 9}};
+  params.cell = 0.75;
+  planning::AStarIncremental planner;
+  std::vector<planning::AStarResult> results;
+  for (int epoch = 0; epoch < 10; ++epoch) {
+    geom::Aabb dirty = geom::Aabb::empty();
+    if (epoch > 0) {
+      // One voxel cluster per epoch, alternating near and far from the
+      // corridor so both the reuse and the full-replan path execute.
+      const geom::Vec3 c = epoch % 2 == 0 ? rng.uniformInBox({12, -3, 1}, {28, 3, 5})
+                                          : rng.uniformInBox({6, 12, 0}, {34, 18, 7});
+      for (int i = 0; i < 12; ++i) {
+        const geom::Vec3 p = c + rng.uniformInBox({-0.9, -0.9, -0.9}, {0.9, 0.9, 0.9});
+        const perception::VoxelBox v{p, precision};
+        voxels.push_back(v);
+        dirty.merge(v.box().lo);
+        dirty.merge(v.box().hi);
+      }
+    }
+    perception::PlannerMap map(precision, 0.45);
+    for (const auto& v : voxels) map.addVoxel(v);
+    results.push_back(planner.plan(map, {2, 0, 2}, {38, 0, 2}, params, dirty));
+  }
+  return results;
+}
+
+TEST(DeterminismTest, IncrementalPlannerRepeatsBitwise) {
+  const auto first = runIncrementalSchedule(31);
+  const auto second = runIncrementalSchedule(31);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i)
+    EXPECT_TRUE(astarResultsIdentical(first[i], second[i])) << "epoch " << i;
+}
+
+TEST(DeterminismTest, IncrementalPlannerIndependentOfThreadCount) {
+  constexpr std::size_t kSchedules = 4;
+  const auto runGrid = [](unsigned threads) {
+    std::vector<std::vector<planning::AStarResult>> results(kSchedules);
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= kSchedules) return;
+        results[i] = runIncrementalSchedule(100 + i);
+      }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker);
+    worker();
+    for (std::thread& t : pool) t.join();
+    return results;
+  };
+
+  const auto serial = runGrid(1);
+  for (const unsigned threads : {2u, 4u}) {
+    const auto parallel = runGrid(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i].size(), parallel[i].size());
+      for (std::size_t e = 0; e < serial[i].size(); ++e)
+        EXPECT_TRUE(astarResultsIdentical(serial[i][e], parallel[i][e]))
+            << "schedule " << i << " epoch " << e << " threads " << threads;
+    }
+  }
 }
 
 // The suite_runner contract: a mission's result must not depend on how many

@@ -74,6 +74,23 @@ TEST(AabbTest, EmptyGrowsByMerge) {
   EXPECT_EQ(box.hi, Vec3(1, 2, 5));
 }
 
+TEST(AabbTest, IsEmptyAndBoxMerge) {
+  EXPECT_TRUE(Aabb::empty().isEmpty());
+  EXPECT_FALSE((Aabb{{0, 0, 0}, {1, 1, 1}}.isEmpty()));
+  // Zero-extent boxes still contain their point: not empty.
+  EXPECT_FALSE((Aabb{{1, 1, 1}, {1, 1, 1}}.isEmpty()));
+
+  Aabb acc = Aabb::empty();
+  acc.merge(Aabb::empty());  // merging nothing changes nothing
+  EXPECT_TRUE(acc.isEmpty());
+  acc.merge(Aabb{{0, 0, 0}, {1, 2, 3}});
+  acc.merge(Aabb{{-1, 1, 1}, {0, 1, 4}});
+  EXPECT_EQ(acc.lo, Vec3(-1, 0, 0));
+  EXPECT_EQ(acc.hi, Vec3(1, 2, 4));
+  acc.merge(Aabb::empty());  // still a no-op after growth
+  EXPECT_EQ(acc.lo, Vec3(-1, 0, 0));
+}
+
 TEST(AabbTest, VolumeAndCenter) {
   const Aabb box{{0, 0, 0}, {2, 3, 4}};
   EXPECT_DOUBLE_EQ(box.volume(), 24.0);

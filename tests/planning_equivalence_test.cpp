@@ -1,0 +1,219 @@
+// Old-vs-new planner equivalence: replay randomized environments, start/
+// goal pairs and lattice pitches through the frozen seed A*
+// (tests/reference_astar.h) and the pooled PlannerArena implementation, and
+// demand identical observable behavior — the returned path bit-for-bit, the
+// path cost, and the expansion/generation work counters. This is the
+// contract that lets the arena refactor (and the occupancy memoization and
+// heap pooling inside it) land without perturbing a single planner answer.
+//
+// The incremental entry point gets the same treatment: arbitrary
+// dirty-region schedules (obstacle insertions and removals, near and far
+// from the searched corridor, plus unknown-extent epochs) are replayed
+// through AStarIncremental and through from-scratch searches, asserting
+// bitwise-identical AStarResults — reuse is only legal when it is
+// indistinguishable from replanning.
+//
+// Registered under tier2; the sanitizer CI lane runs it with
+// -DROBORUN_SANITIZE=address;undefined to exercise the arena's stamped
+// tables and pool recycling under ASan/UBSan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "geom/rng.h"
+#include "perception/planner_map.h"
+#include "planning/astar.h"
+#include "reference_astar.h"
+
+namespace roborun::planning {
+namespace {
+
+using geom::Aabb;
+using geom::Rng;
+using geom::Vec3;
+using perception::PlannerMap;
+using perception::VoxelBox;
+
+bool bitEqual(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
+
+::testing::AssertionResult resultsIdentical(const AStarResult& a, const AStarResult& b,
+                                            bool compare_work) {
+  auto fail = [&](const char* what) {
+    return ::testing::AssertionFailure() << "AStarResult differs in " << what;
+  };
+  if (a.report.found != b.report.found) return fail("found");
+  if (!bitEqual(a.report.path_cost, b.report.path_cost)) return fail("path_cost");
+  if (compare_work) {
+    if (a.report.expansions != b.report.expansions) return fail("expansions");
+    if (a.report.generated != b.report.generated) return fail("generated");
+  }
+  if (a.path.size() != b.path.size()) return fail("path.size");
+  for (std::size_t i = 0; i < a.path.size(); ++i) {
+    if (!bitEqual(a.path[i].x, b.path[i].x) || !bitEqual(a.path[i].y, b.path[i].y) ||
+        !bitEqual(a.path[i].z, b.path[i].z))
+      return fail("path waypoint");
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// A cluster of fine voxels around `center`; returns the covering AABB
+/// (full cell extents — the dirty-region contract).
+Aabb addCluster(std::vector<VoxelBox>& voxels, const Vec3& center, int radius_cells,
+                double voxel, Rng& rng) {
+  Aabb touched = Aabb::empty();
+  for (int dz = -radius_cells; dz <= radius_cells; ++dz)
+    for (int dy = -radius_cells; dy <= radius_cells; ++dy)
+      for (int dx = -radius_cells; dx <= radius_cells; ++dx) {
+        if (!rng.chance(0.7)) continue;
+        const VoxelBox v{{center.x + dx * voxel, center.y + dy * voxel, center.z + dz * voxel},
+                         voxel};
+        voxels.push_back(v);
+        touched.merge(v.box().lo);
+        touched.merge(v.box().hi);
+      }
+  return touched;
+}
+
+PlannerMap buildMap(const std::vector<VoxelBox>& voxels, double precision, double inflation) {
+  PlannerMap map(precision, inflation);
+  map.reserve(voxels.size());
+  for (const auto& v : voxels) map.addVoxel(v);
+  return map;
+}
+
+class PlanningEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Randomized env x start/goal x cell-pitch replay: the pooled planner must
+// be indistinguishable from the frozen seed, including its work counters.
+TEST_P(PlanningEquivalence, RandomizedReplayMatchesReference) {
+  Rng rng(GetParam() * 2654435761ULL + 5);
+  // One arena survives the whole replay: stale state from any case leaking
+  // into the next would show up as a mismatch here.
+  PlannerArena arena;
+
+  for (int world = 0; world < 3; ++world) {
+    const double precision = rng.chance(0.5) ? 0.3 : 0.6;
+    const double inflation = rng.chance(0.3) ? 0.0 : rng.uniform(0.3, 0.8);
+    std::vector<VoxelBox> voxels;
+    // Scattered clusters plus a partial wall: blocked, cluttered and open
+    // regions in one map.
+    for (int i = 0, n = rng.uniformInt(3, 8); i < n; ++i)
+      addCluster(voxels, rng.uniformInBox({2, -14, 0}, {38, 14, 7}), rng.uniformInt(1, 3),
+                 precision, rng);
+    const double gap = rng.uniform(-10.0, 10.0);
+    for (double y = -15; y <= 15; y += precision) {
+      if (std::abs(y - gap) < 2.5) continue;
+      for (double z = 0; z <= 8; z += precision)
+        voxels.push_back({{20.0, y, z}, precision});
+    }
+    const PlannerMap map = buildMap(voxels, precision, inflation);
+
+    for (int query = 0; query < 6; ++query) {
+      AStarParams params;
+      params.bounds = Aabb{{-4, -16, 0}, {44, 16, 9}};
+      const double cells[] = {0.0, 0.75, 1.0, 1.5};  // 0 = snapped map precision
+      params.cell = cells[rng.uniformInt(0, 3)];
+      const double tols[] = {0.05, 1.0, 3.0};  // includes tolerance < pitch
+      params.goal_tolerance = tols[rng.uniformInt(0, 2)];
+      params.max_expansions = rng.chance(0.2) ? 1500 : 150000;
+      const Vec3 start = rng.uniformInBox({-2, -12, 1}, {8, 12, 6});
+      const Vec3 goal = rng.uniformInBox({30, -12, 1}, {42, 12, 6});
+
+      const AStarResult ref = reference::planPathAStar(map, start, goal, params);
+      const AStarResult pooled = planPathAStar(map, start, goal, params, arena);
+      EXPECT_TRUE(resultsIdentical(ref, pooled, /*compare_work=*/true))
+          << "world " << world << " query " << query;
+    }
+  }
+}
+
+// Incremental == from-scratch after arbitrary dirty-region sequences. Every
+// epoch mutates the map (insertions near and far from the corridor, and
+// occasional removals), rebuilds it, and plans through both entry points;
+// the results must match bit-for-bit whether the incremental planner reused
+// its cache or replanned — and the schedule must actually exercise both.
+TEST_P(PlanningEquivalence, IncrementalMatchesFromScratchUnderDirtySchedules) {
+  Rng rng(GetParam() + 77);
+  const double precision = 0.3;
+  const double inflation = rng.chance(0.5) ? 0.0 : 0.45;
+
+  std::vector<VoxelBox> voxels;
+  addCluster(voxels, {20, 5, 3}, 2, precision, rng);
+
+  const Vec3 start{2, 0, 2};
+  const Vec3 goal{38, 0, 2};
+  AStarParams params;
+  params.bounds = Aabb{{-4, -24, 0}, {44, 24, 9}};
+  params.cell = 0.75;
+
+  AStarIncremental incremental;
+  PlannerArena scratch_arena;
+
+  for (int epoch = 0; epoch < 24; ++epoch) {
+    Aabb dirty = Aabb::empty();
+    bool dirty_known = true;
+    switch (rng.uniformInt(0, 5)) {
+      case 0:
+        // No map change this epoch (a pure re-request).
+        break;
+      case 1: {
+        // Far change: clutter added well off the corridor.
+        dirty = addCluster(voxels, rng.uniformInBox({4, 14, 0}, {36, 22, 7}),
+                           rng.uniformInt(1, 2), precision, rng);
+        break;
+      }
+      case 2: {
+        // Near change: clutter dropped onto the corridor itself.
+        dirty = addCluster(voxels, rng.uniformInBox({10, -4, 1}, {30, 4, 5}),
+                           rng.uniformInt(1, 2), precision, rng);
+        break;
+      }
+      case 3: {
+        // Removal: delete every voxel inside a random region.
+        const Vec3 c = rng.uniformInBox({6, -20, 0}, {34, 20, 7});
+        const Aabb region{{c.x - 3, c.y - 3, c.z - 2}, {c.x + 3, c.y + 3, c.z + 2}};
+        std::vector<VoxelBox> kept;
+        for (const auto& v : voxels) {
+          if (region.contains(v.center)) {
+            dirty.merge(v.box().lo);
+            dirty.merge(v.box().hi);
+          } else {
+            kept.push_back(v);
+          }
+        }
+        voxels.swap(kept);
+        break;
+      }
+      default: {
+        // Change of unknown extent: the caller must declare everything
+        // dirty and the incremental planner must fall back to a full plan.
+        addCluster(voxels, rng.uniformInBox({4, -20, 0}, {36, 20, 7}), 1, precision, rng);
+        dirty_known = false;
+        break;
+      }
+    }
+    const PlannerMap map = buildMap(voxels, precision, inflation);
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    const Aabb everything{{-kInf, -kInf, -kInf}, {kInf, kInf, kInf}};
+
+    const AStarResult inc =
+        incremental.plan(map, start, goal, params, dirty_known ? dirty : everything);
+    const AStarResult scratch = planPathAStar(map, start, goal, params, scratch_arena);
+    EXPECT_TRUE(resultsIdentical(inc, scratch, /*compare_work=*/true))
+        << "epoch " << epoch << (dirty_known ? "" : " (unknown dirty)");
+  }
+  // The schedule must have hit both sides of the reuse decision, or the
+  // test proved nothing about one of them.
+  EXPECT_GT(incremental.stats().reused, 0u);
+  EXPECT_GT(incremental.stats().full, 1u);
+  EXPECT_EQ(incremental.stats().plans, 24u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanningEquivalence,
+                         ::testing::Values(1u, 2u, 7u, 42u, 1234u, 99991u));
+
+}  // namespace
+}  // namespace roborun::planning

@@ -219,6 +219,128 @@ TEST(AStarTest, DeterministicAndLatticeOptimalVsRrt) {
   EXPECT_LT(a1.report.path_cost, rrt.report.path_cost * 1.25 + 2.0);
 }
 
+// AStarParams.cell <= 0 contract: the planner lattices on the map's own
+// (already snapped) precision — it must not invent a pitch of its own.
+TEST(AStarTest, CellZeroUsesSnappedMapPrecision) {
+  PlannerMap map(0.6, 0.0);  // bridge-style map: precision is the snapped p1
+  AStarParams by_default;
+  by_default.bounds = Aabb{{-5, -20, 0}, {45, 20, 10}};
+  by_default.cell = 0.0;
+  AStarParams explicit_pitch = by_default;
+  explicit_pitch.cell = map.precision();
+
+  const auto a = planPathAStar(map, {0, 0, 2}, {40, 0, 2}, by_default);
+  const auto b = planPathAStar(map, {0, 0, 2}, {40, 0, 2}, explicit_pitch);
+  ASSERT_TRUE(a.report.found);
+  // cell <= 0 must behave exactly like passing the map precision.
+  EXPECT_EQ(a.report.expansions, b.report.expansions);
+  EXPECT_DOUBLE_EQ(a.report.path_cost, b.report.path_cost);
+  ASSERT_EQ(a.path.size(), b.path.size());
+  // Interior waypoints sit on the map-precision lattice: centers at
+  // (k + 0.5) * precision.
+  for (std::size_t i = 1; i + 1 < a.path.size(); ++i) {
+    const double k = a.path[i].x / map.precision() - 0.5;
+    EXPECT_NEAR(k, std::round(k), 1e-9) << "waypoint " << i << " off-lattice";
+  }
+}
+
+// Regression for the near-goal non-termination edge: a goal tolerance finer
+// than the lattice pitch can exclude every cell center, so the acceptance
+// radius clamps up to the pitch (documented on AStarParams.goal_tolerance).
+// The search must terminate by finding a path — not by exhausting its
+// expansion budget next to the goal.
+TEST(AStarTest, GoalToleranceBelowPitchStillTerminates) {
+  PlannerMap map(0.3, 0.0);
+  AStarParams params;
+  params.bounds = Aabb{{-5, -20, 0}, {45, 20, 10}};
+  params.cell = 1.5;
+  params.goal_tolerance = 0.05;  // far below the 1.5 m pitch
+  params.max_expansions = 50000;
+  // A goal deliberately off the lattice: no cell center within 0.05 m.
+  const auto result = planPathAStar(map, {0, 0, 2}, {40.37, 0.21, 2.4}, params);
+  ASSERT_TRUE(result.report.found);
+  EXPECT_LT(result.report.expansions, params.max_expansions);
+  // The accepted cell is within the clamped radius, and the path still ends
+  // exactly at the caller's goal point.
+  ASSERT_GE(result.path.size(), 2u);
+  EXPECT_LE(result.path[result.path.size() - 2].dist({40.37, 0.21, 2.4}),
+            std::max(params.goal_tolerance, params.cell) + 1e-9);
+  EXPECT_EQ(result.path.back(), (Vec3{40.37, 0.21, 2.4}));
+}
+
+// One arena, many searches: results must not depend on what the arena held
+// before (the O(1) generation-stamped clear must be a real clear).
+TEST(AStarTest, ArenaReuseMatchesFreshArena) {
+  const auto map = wallWorld(5.0);
+  AStarParams params;
+  params.bounds = Aabb{{-5, -20, 0}, {45, 20, 10}};
+  params.cell = 1.0;
+  PlannerArena reused;
+  for (const double gap_y : {5.0, -8.0, 0.0}) {
+    const auto world = wallWorld(gap_y);
+    const auto warm = planPathAStar(world, {0, 0, 2}, {40, 0, 2}, params, reused);
+    const auto fresh = planPathAStar(world, {0, 0, 2}, {40, 0, 2}, params);
+    EXPECT_EQ(warm.report.expansions, fresh.report.expansions);
+    EXPECT_DOUBLE_EQ(warm.report.path_cost, fresh.report.path_cost);
+    ASSERT_EQ(warm.path.size(), fresh.path.size());
+    for (std::size_t i = 0; i < warm.path.size(); ++i)
+      EXPECT_EQ(warm.path[i], fresh.path[i]);
+  }
+}
+
+// Incremental basics: a far-away change reuses the persisted search, a
+// corridor-blocking change forces a detour, and stats expose which happened.
+TEST(AStarIncrementalTest, ReusesFarChangesReplansNearOnes) {
+  std::vector<perception::VoxelBox> voxels;
+  auto build = [&] {
+    PlannerMap map(0.3, 0.4);
+    for (const auto& v : voxels) map.addVoxel(v);
+    return map;
+  };
+  AStarParams params;
+  params.bounds = Aabb{{-5, -20, 0}, {45, 20, 10}};
+  params.cell = 1.0;
+  AStarIncremental planner;
+
+  const auto first = planner.plan(build(), {0, 0, 2}, {40, 0, 2}, params, Aabb::empty());
+  ASSERT_TRUE(first.report.found);
+  EXPECT_EQ(planner.stats().full, 1u);
+
+  // Clutter far off the corridor: provably outside everything the search
+  // consulted -> answered from the cache.
+  Aabb far_dirty = Aabb::empty();
+  for (double x = 10; x <= 14; x += 0.3)
+    for (double z = 0; z <= 6; z += 0.3) {
+      const perception::VoxelBox v{{x, 18.0, z}, 0.3};
+      voxels.push_back(v);
+      far_dirty.merge(v.box().lo);
+      far_dirty.merge(v.box().hi);
+    }
+  const auto reused = planner.plan(build(), {0, 0, 2}, {40, 0, 2}, params, far_dirty);
+  EXPECT_EQ(planner.stats().reused, 1u);
+  EXPECT_DOUBLE_EQ(reused.report.path_cost, first.report.path_cost);
+
+  // A wall dropped across the corridor: the cache is provably stale and the
+  // planner must search again and route around it.
+  Aabb near_dirty = Aabb::empty();
+  for (double y = -6; y <= 6; y += 0.3)
+    for (double z = 0; z <= 10; z += 0.3) {
+      const perception::VoxelBox v{{20.0, y, z}, 0.3};
+      voxels.push_back(v);
+      near_dirty.merge(v.box().lo);
+      near_dirty.merge(v.box().hi);
+    }
+  const auto detour = planner.plan(build(), {0, 0, 2}, {40, 0, 2}, params, near_dirty);
+  EXPECT_EQ(planner.stats().full, 2u);
+  ASSERT_TRUE(detour.report.found);
+  EXPECT_GT(detour.report.path_cost, first.report.path_cost + 1.0);
+
+  // A different start invalidates regardless of dirt.
+  planner.plan(build(), {0, 1, 2}, {40, 0, 2}, params, Aabb::empty());
+  EXPECT_EQ(planner.stats().full, 3u);
+  EXPECT_EQ(planner.stats().plans, 4u);
+}
+
 TEST(SmootherTest, ProducesTimeParameterizedTrajectory) {
   PlannerMap map(0.3);
   const std::vector<Vec3> path{{0, 0, 2}, {10, 0, 2}, {20, 5, 2}, {30, 5, 2}};

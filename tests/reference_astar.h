@@ -1,0 +1,151 @@
+// Frozen pre-arena lattice A* — the seed planner, kept verbatim as the
+// equivalence comparator for the pooled PlannerArena implementation (the
+// same pattern as tests/reference_octree.h for the perception pool).
+//
+// planning_equivalence_test.cpp replays randomized environments, start/goal
+// pairs and cell pitches through this reference and through
+// planning::planPathAStar, demanding identical paths, costs and expansion
+// counts; bench_planning_throughput times the two against each other, so
+// the speedup column stays measurable against the same frozen comparator
+// in every future PR. Do not "improve" this file — its value is that it
+// does not change.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/vec3.h"
+#include "perception/planner_map.h"
+#include "planning/astar.h"
+
+namespace roborun::planning::reference {
+
+namespace detail {
+
+struct CellKey {
+  int x, y, z;
+  bool operator==(const CellKey&) const = default;
+};
+
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& k) const {
+    return (static_cast<std::size_t>(static_cast<std::uint32_t>(k.x)) * 73856093u) ^
+           (static_cast<std::size_t>(static_cast<std::uint32_t>(k.y)) * 19349663u) ^
+           (static_cast<std::size_t>(static_cast<std::uint32_t>(k.z)) * 83492791u);
+  }
+};
+
+struct NodeInfo {
+  double g = 0.0;
+  CellKey parent{0, 0, 0};
+  bool has_parent = false;
+};
+
+}  // namespace detail
+
+/// The seed planPathAStar, bit-for-bit: per-call unordered_map node
+/// bookkeeping and a lazily-deduplicated std::priority_queue open list.
+inline AStarResult planPathAStar(const perception::PlannerMap& map, const geom::Vec3& start,
+                                 const geom::Vec3& goal, const AStarParams& params) {
+  using geom::Vec3;
+  using detail::CellKey;
+  using detail::CellKeyHash;
+  using detail::NodeInfo;
+
+  AStarResult result;
+  auto& report = result.report;
+  const double cell = params.cell > 0.0 ? params.cell : map.precision();
+
+  auto keyOf = [&](const Vec3& p) {
+    return CellKey{static_cast<int>(std::floor(p.x / cell)),
+                   static_cast<int>(std::floor(p.y / cell)),
+                   static_cast<int>(std::floor(p.z / cell))};
+  };
+  auto centerOf = [&](const CellKey& k) {
+    return Vec3{(k.x + 0.5) * cell, (k.y + 0.5) * cell, (k.z + 0.5) * cell};
+  };
+  auto heuristic = [&](const CellKey& k) { return centerOf(k).dist(goal); };
+
+  const CellKey start_key = keyOf(start);
+
+  std::unordered_map<CellKey, NodeInfo, CellKeyHash> nodes;
+  using QueueEntry = std::pair<double, CellKey>;  // (f, cell)
+  auto cmp = [](const QueueEntry& a, const QueueEntry& b) { return a.first > b.first; };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, decltype(cmp)> open(cmp);
+
+  nodes[start_key] = NodeInfo{0.0, start_key, false};
+  open.push({heuristic(start_key), start_key});
+
+  struct NeighborStep {
+    int dx, dy, dz;
+    double step;
+  };
+  std::array<NeighborStep, 26> neighbors;
+  {
+    std::size_t n = 0;
+    for (int dz = -1; dz <= 1; ++dz)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dx = -1; dx <= 1; ++dx) {
+          if (dx == 0 && dy == 0 && dz == 0) continue;
+          neighbors[n++] = {dx, dy, dz,
+                            cell * std::sqrt(static_cast<double>(dx * dx + dy * dy + dz * dz))};
+        }
+  }
+
+  std::optional<CellKey> reached;
+  while (!open.empty() && report.expansions < params.max_expansions) {
+    const auto [f, current] = open.top();
+    open.pop();
+    const auto it = nodes.find(current);
+    if (it == nodes.end()) continue;
+    if (f > it->second.g + heuristic(current) + 1e-9) continue;
+    ++report.expansions;
+
+    if (centerOf(current).dist(goal) <= std::max(params.goal_tolerance, cell)) {
+      reached = current;
+      break;
+    }
+
+    for (const NeighborStep& nb : neighbors) {
+      const CellKey next{current.x + nb.dx, current.y + nb.dy, current.z + nb.dz};
+      const Vec3 c = centerOf(next);
+      ++report.generated;
+      if (!params.bounds.contains(c)) continue;
+      if (map.occupiedPoint(c)) continue;
+      const double g = it->second.g + nb.step;
+      const auto found = nodes.find(next);
+      if (found == nodes.end() || g + 1e-12 < found->second.g) {
+        nodes[next] = NodeInfo{g, current, true};
+        open.push({g + heuristic(next), next});
+      }
+    }
+  }
+
+  if (!reached) return result;
+
+  std::vector<Vec3> rev;
+  CellKey k = *reached;
+  for (;;) {
+    rev.push_back(centerOf(k));
+    const auto& info = nodes.at(k);
+    if (!info.has_parent) break;
+    k = info.parent;
+  }
+  std::reverse(rev.begin(), rev.end());
+  rev.front() = start;
+  rev.push_back(goal);
+  result.path = std::move(rev);
+  report.found = true;
+  for (std::size_t i = 1; i < result.path.size(); ++i)
+    report.path_cost += result.path[i].dist(result.path[i - 1]);
+  return result;
+}
+
+}  // namespace roborun::planning::reference

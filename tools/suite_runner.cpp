@@ -14,8 +14,10 @@
 // Results are stored by job index, so every *mission metric* in the output
 // is byte-identical for any --threads value (see tests/determinism_test.cpp
 // for the single-mission guarantee this builds on). The wall-clock fields
-// (`wall_ms` per row, the `timing` aggregate) are measurements of this run
-// and naturally vary — tooling that diffs suite output must ignore them.
+// (`wall_ms` and `plan_wall_ms` per row, the wall fields of the `timing`
+// aggregate) are measurements of this run and naturally vary — tooling that
+// diffs suite output must ignore them. `replans` and `total_replans` are
+// deterministic mission metrics like the rest.
 //
 // --bench-json writes a compact perf record (missions/sec, wall-time
 // percentiles) suitable for publishing as BENCH_PERF.json from CI.
@@ -218,6 +220,11 @@ struct SuiteTiming {
   double p95_mission_ms = 0.0;
   double max_mission_ms = 0.0;
   double missions_per_sec = 0.0; ///< throughput including pool parallelism
+  // Planning-stage breakdown (per-replan planner timing; replan counts are
+  // deterministic, the wall fields are this run's measurements).
+  std::size_t total_replans = 0;
+  double total_plan_wall_ms = 0.0;
+  double mean_plan_wall_ms = 0.0;  ///< per replan
 };
 
 SuiteTiming computeTiming(const std::vector<Row>& rows, double harness_wall_s) {
@@ -230,6 +237,8 @@ SuiteTiming computeTiming(const std::vector<Row>& rows, double harness_wall_s) {
     walls.push_back(row.wall_ms);
     t.total_mission_ms += row.wall_ms;
     t.max_mission_ms = std::max(t.max_mission_ms, row.wall_ms);
+    t.total_replans += row.result.replans();
+    t.total_plan_wall_ms += row.result.planner_wall_ms;
   }
   std::sort(walls.begin(), walls.end());
   t.mean_mission_ms = t.total_mission_ms / static_cast<double>(walls.size());
@@ -237,6 +246,8 @@ SuiteTiming computeTiming(const std::vector<Row>& rows, double harness_wall_s) {
   t.p95_mission_ms = walls[std::min(walls.size() - 1, (walls.size() * 95) / 100)];
   if (harness_wall_s > 0.0)
     t.missions_per_sec = static_cast<double>(rows.size()) / harness_wall_s;
+  if (t.total_replans > 0)
+    t.mean_plan_wall_ms = t.total_plan_wall_ms / static_cast<double>(t.total_replans);
   return t;
 }
 
@@ -247,7 +258,10 @@ void writeTimingObject(std::ostream& os, const SuiteTiming& t, const char* inden
   os << indent << "\"mean_mission_wall_ms\": " << jsonNumber(t.mean_mission_ms, 3) << ",\n";
   os << indent << "\"p50_mission_wall_ms\": " << jsonNumber(t.p50_mission_ms, 3) << ",\n";
   os << indent << "\"p95_mission_wall_ms\": " << jsonNumber(t.p95_mission_ms, 3) << ",\n";
-  os << indent << "\"max_mission_wall_ms\": " << jsonNumber(t.max_mission_ms, 3) << "\n";
+  os << indent << "\"max_mission_wall_ms\": " << jsonNumber(t.max_mission_ms, 3) << ",\n";
+  os << indent << "\"total_replans\": " << t.total_replans << ",\n";
+  os << indent << "\"total_plan_wall_ms\": " << jsonNumber(t.total_plan_wall_ms, 3) << ",\n";
+  os << indent << "\"mean_plan_wall_ms\": " << jsonNumber(t.mean_plan_wall_ms, 4) << "\n";
 }
 
 void writeJson(std::ostream& os, const Options& opts, const std::vector<Row>& rows,
@@ -296,7 +310,9 @@ void writeJson(std::ostream& os, const Options& opts, const std::vector<Row>& ro
        << ", \"flight_energy\": " << jsonNumber(r.flight_energy)
        << ", \"compute_energy\": " << jsonNumber(r.compute_energy)
        << ", \"decisions\": " << r.decisions()
-       << ", \"wall_ms\": " << jsonNumber(row.wall_ms, 3) << "}"
+       << ", \"replans\": " << r.replans()
+       << ", \"wall_ms\": " << jsonNumber(row.wall_ms, 3)
+       << ", \"plan_wall_ms\": " << jsonNumber(r.planner_wall_ms, 3) << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
