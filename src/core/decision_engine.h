@@ -1,0 +1,276 @@
+// DecisionEngine — the unified, memoized governor core shared by both
+// runtime pipelines (the procedural mission runner through
+// runtime::NavigationPipeline, and the mini-ROS GovernorNode).
+//
+// It owns the full per-decision path the paper's governor runs each sensor
+// sweep:
+//
+//   space profiling (Table I)  ->  time budgeting (Eq. 1 / Alg. 1)
+//       ->  Eq. 3 solve (exhaustive or pluggable strategy)  ->  policy
+//
+// and rearchitects it for decision-heavy traffic while staying bit-identical
+// to the seed implementation (frozen as tests/reference_governor.h):
+//
+//  * Solver memoization. The exhaustive Eq. 3 enumeration is a pure
+//    function of (knob budget, KnobEnvelope): every other input reaches the
+//    solver only through those seven doubles. Results are cached in a
+//    generation-stamped, allocation-free open-addressed table. The
+//    *quantized* key tuple picks the bucket (nearby budgets/envelopes land
+//    in the same probe window, keeping the table dense); a hit requires the
+//    stored key to match the live key BIT FOR BIT, and re-derives the
+//    feasibility flag / objective / deadline from the live inputs (the
+//    exact feasibility re-check). A cached answer is therefore always
+//    identical to what enumeration would have produced — quantization can
+//    only cost hits, never correctness.
+//
+//  * Hoisted precision-ladder candidate tables. The (p0, p1) pairs Eq. 3's
+//    constraints admit depend only on the envelope's [p0_lo, p0_hi] ladder
+//    interval; all 36 candidate lists are precomputed at construction in
+//    the seed's exact enumeration order, so a memo miss runs no per-rung
+//    filtering.
+//
+//  * Incremental space profiling. The only map-dependent (and dominant)
+//    part of profileSpace is the occupancy sample pass along the
+//    trajectory; the engine fuses the seed's two passes (d_unknown probe +
+//    waypoint visibility sampling) into one and caches the sample arrays.
+//    When the client's dirty-bounds plumbing (OctomapInsertReport.touched
+//    -> noteMapChanged()) proves the map did not change inside the sampled
+//    corridor, and trajectory + query position are unchanged, the samples
+//    are reused instead of re-queried. Reuse conditions are exact, so the
+//    profile is bit-identical either way.
+//
+// The engine is internally synchronized: one instance may be shared by
+// governor clients running on different threads (e.g. a fleet of node
+// graphs pooling one memo table). Because results are bit-identical
+// regardless of memo state, sharing cannot change any client's decisions.
+// Sharing trades latency for memo warmth, deliberately: one mutex guards
+// the whole decision (so shared clients serialize their profiling, whose
+// map.stats() walk dominates on grown maps), and the profile cache is a
+// single slot keyed by client map/trajectory, so interleaved clients evict
+// each other's samples. Fleets that need parallel decide() throughput
+// should give each vehicle its own engine; the shared shape is for pooling
+// the solver memo across lock-tolerant clients.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/governor.h"
+#include "core/knob_config.h"
+#include "core/latency_predictor.h"
+#include "core/profilers.h"
+#include "core/solver.h"
+#include "core/strategies.h"
+#include "core/time_budgeter.h"
+#include "geom/aabb.h"
+
+namespace roborun::sim {
+class LatencyModel;
+}
+
+namespace roborun::core {
+
+/// Measured wall time of one decision, split by governor stage (ms). A
+/// measurement of this run — NOT deterministic, never fed back into the
+/// decision loop (the modeled latencies drive all decisions).
+struct DecisionTiming {
+  double profile_wall_ms = 0.0;  ///< space profiling (0 for decide(profile))
+  double budget_wall_ms = 0.0;   ///< Eq. 1 / Algorithm 1
+  double solve_wall_ms = 0.0;    ///< Eq. 3 (memo probe or enumeration)
+  double total_wall_ms = 0.0;
+};
+
+/// One full sensor-path decision: the profile the governor saw, the policy
+/// it emitted, and this decision's measured stage timing.
+struct EngineDecision {
+  SpaceProfile profile;
+  GovernorDecision decision;
+  DecisionTiming timing;
+  bool solver_memo_hit = false;  ///< Eq. 3 answered from the memo table
+  bool profile_reused = false;   ///< visibility samples reused across epochs
+};
+
+/// Monotonic counters since construction (or the last resetStats()).
+struct EngineStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t solver_memo_hits = 0;
+  std::uint64_t solver_memo_misses = 0;  ///< exhaustive enumerations run
+  std::uint64_t strategy_decisions = 0;  ///< routed to a pluggable strategy
+  std::uint64_t profile_builds = 0;
+  std::uint64_t profile_reuses = 0;
+  double profile_wall_ms = 0.0;
+  double budget_wall_ms = 0.0;
+  double solve_wall_ms = 0.0;
+};
+
+class DecisionEngine {
+ public:
+  struct Config {
+    KnobConfig knobs;          ///< incl. fixed_overhead (the single source)
+    BudgeterConfig budgeter;
+    ProfilerConfig profiler;
+    /// Solver memo capacity (entries; rounded up to a power of two).
+    /// 0 disables memoization — every decision enumerates (the hoisted
+    /// candidate tables still apply); bench ablation surface.
+    std::size_t solver_memo_capacity = 1024;
+    /// Collect per-stage wall timing. Costs a few clock reads per decision;
+    /// throughput benches may turn it off.
+    bool collect_timing = true;
+  };
+
+  DecisionEngine(const Config& config, LatencyPredictor predictor);
+
+  /// Build an engine whose Eq. 4 predictor is freshly calibrated against
+  /// the given simulator latency model (core/latency_calibration.h). This
+  /// is how both runtime pipelines construct their engine: the
+  /// latency-model -> predictor feedback stays behind the engine boundary,
+  /// so clients hand over ground truth, never fitted coefficients.
+  static std::shared_ptr<DecisionEngine> calibrated(const sim::LatencyModel& latency_model,
+                                                    const Config& config);
+
+  /// The governor core: budget the profiled horizon, solve Eq. 3 (memoized
+  /// on the exhaustive path), emit the policy. Bit-identical to the seed
+  /// RoboRunGovernor::decide for every input.
+  GovernorDecision decide(const SpaceProfile& profile);
+
+  /// The full per-decision path: profile space from the live sensor frame /
+  /// map / trajectory (fused sampling, cross-epoch reuse), then decide().
+  EngineDecision decideFromSensors(const sim::SensorFrame& frame,
+                                   const perception::OccupancyOctree& map,
+                                   const planning::Trajectory& trajectory,
+                                   const geom::Vec3& position, const geom::Vec3& velocity,
+                                   const geom::Vec3& travel_dir);
+
+  /// Space profiling only (the engine's fused + cached path). Bit-identical
+  /// to core::profileSpace on the same inputs. Advances the sample cache.
+  SpaceProfile profile(const sim::SensorFrame& frame,
+                       const perception::OccupancyOctree& map,
+                       const planning::Trajectory& trajectory, const geom::Vec3& position,
+                       const geom::Vec3& velocity, const geom::Vec3& travel_dir);
+
+  /// Dirty-bounds plumbing: the client MUST report every region of the map
+  /// it may have mutated since the engine last profiled (e.g. forward each
+  /// OctomapInsertReport.touched). Sample reuse is gated on the accumulated
+  /// dirty region provably missing the sampled corridor. Empty boxes are
+  /// ignored.
+  void noteMapChanged(const geom::Aabb& bounds);
+  /// Conservative invalidation when the change region is unknown.
+  void noteMapChangedEverywhere();
+  /// The client MUST call this whenever the trajectory it profiles against
+  /// may have changed (replan, trajectory cleared, new message).
+  void noteTrajectoryChanged();
+
+  /// Route Eq. 3 through an alternative strategy (core/strategies.h). The
+  /// built-in memoized exhaustive solver is used when no strategy is set;
+  /// strategy decisions bypass the memo (strategies may carry state).
+  void setStrategy(std::unique_ptr<SolverStrategy> strategy);
+  /// Install a strategy by type, bound to this engine's predictor.
+  /// Exhaustive clears back to the built-in memoized solver.
+  void selectStrategy(StrategyType type, int patience = 3);
+  /// Forget cross-decision strategy state (start of a new mission).
+  void resetStrategy();
+
+  /// Start-of-mission reset: strategy state, profile cache and dirty
+  /// region. The solver memo survives — entries are pure functions of
+  /// their key, so they stay valid across missions.
+  void reset();
+  /// Drop every memo entry (O(1): generation bump).
+  void clearMemo();
+
+  EngineStats stats() const;
+  void resetStats();
+  /// Timing of the most recent decide()/decideFromSensors() call.
+  DecisionTiming lastTiming() const;
+
+  const KnobConfig& knobs() const { return config_.knobs; }
+  const TimeBudgeter& budgeter() const { return budgeter_; }
+  const LatencyPredictor& predictor() const { return predictor_; }
+  double fixedOverhead() const { return config_.knobs.fixed_overhead; }
+
+ private:
+  /// Memo key: the exact bit patterns of (knob_budget, envelope). Hashing
+  /// quantizes; matching never does.
+  using MemoKey = std::array<std::uint64_t, 7>;
+
+  struct MemoEntry {
+    std::uint64_t generation = 0;  ///< 0 = never written
+    MemoKey key{};
+    // The enumeration's chosen solution; everything else (deadline,
+    // predicted latency, objective, budget_met) is re-derived exactly.
+    double p0 = 0.0;
+    double p1 = 0.0;
+    std::array<double, 3> volumes{};
+    double latency = 0.0;
+    bool has_solution = false;  ///< false: enumeration admitted no candidate
+  };
+
+  struct ProfileCache {
+    bool valid = false;
+    const void* map_addr = nullptr;
+    const void* traj_addr = nullptr;
+    std::uint64_t traj_version = 0;
+    /// O(1) fingerprint (size + duration + endpoint bits) guarding against
+    /// clients that mutate the trajectory object without calling
+    /// noteTrajectoryChanged(); the version counter is the contract, this
+    /// is the belt-and-braces.
+    std::array<std::uint64_t, 8> traj_fingerprint{};
+    std::array<std::uint64_t, 3> position_bits{};
+    double start_s = 0.0;
+    double total = 0.0;
+    // The fused sample pass: arc lengths, free bits, and the backward-pass
+    // free-run frontier the waypoint visibilities read.
+    std::vector<double> sample_s;
+    std::vector<char> sample_free;
+    std::vector<double> free_until;
+    std::ptrdiff_t first_blocked = -1;  ///< index of first non-free sample
+    geom::Aabb sample_bounds = geom::Aabb::empty();
+  };
+
+  GovernorDecision decideLocked(const SpaceProfile& profile, DecisionTiming& timing,
+                                bool& memo_hit);
+  SolverResult solveMemoized(double budget, const SpaceProfile& profile, bool& memo_hit);
+  void enumerate(double knob_budget, const KnobEnvelope& env, MemoEntry& entry) const;
+  SolverResult resultFromEntry(const MemoEntry& entry, double budget,
+                               double knob_budget) const;
+  SpaceProfile profileLocked(const sim::SensorFrame& frame,
+                             const perception::OccupancyOctree& map,
+                             const planning::Trajectory& trajectory,
+                             const geom::Vec3& position, const geom::Vec3& velocity,
+                             const geom::Vec3& travel_dir, bool& reused);
+
+  const MemoEntry* memoFind(const MemoKey& key) const;
+  void memoInsert(const MemoKey& key, const MemoEntry& entry);
+  int ladderIndexOf(double p) const;
+
+  Config config_;
+  TimeBudgeter budgeter_;
+  LatencyPredictor predictor_;
+  std::unique_ptr<SolverStrategy> strategy_;  ///< null = built-in memoized solver
+
+  // Hoisted Eq. 3 candidate tables: for each (lo, hi) ladder interval, the
+  // (l0, l1) pairs in the seed's exact enumeration order.
+  std::array<double, 8> ladder_{};
+  int ladder_levels_ = 0;
+  std::vector<std::vector<std::pair<int, int>>> candidates_;  ///< [lo * 8 + hi]
+
+  // Solver memo (allocation-free after construction).
+  std::vector<MemoEntry> memo_;
+  std::uint64_t memo_generation_ = 1;
+  std::uint64_t memo_mask_ = 0;  ///< slots - 1 (0 when disabled)
+
+  // Incremental profiling state.
+  ProfileCache profile_cache_;
+  geom::Aabb dirty_since_cache_ = geom::Aabb::empty();
+  bool all_dirty_ = true;  ///< unknown map state until first build
+  std::uint64_t traj_version_ = 0;
+
+  EngineStats stats_;
+  DecisionTiming last_timing_;
+
+  mutable std::mutex mutex_;
+};
+
+}  // namespace roborun::core

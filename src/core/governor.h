@@ -33,8 +33,14 @@ struct GovernorDecision {
 
 class RoboRunGovernor {
  public:
+  /// By default the fixed per-decision overhead comes from
+  /// knobs.fixed_overhead (the single source); the explicit overload exists
+  /// for ablations that deliberately deviate from the configured value.
   RoboRunGovernor(const KnobConfig& knobs, const BudgeterConfig& budgeter,
-                  LatencyPredictor predictor, double fixed_overhead = 0.27)
+                  LatencyPredictor predictor)
+      : RoboRunGovernor(knobs, budgeter, std::move(predictor), knobs.fixed_overhead) {}
+  RoboRunGovernor(const KnobConfig& knobs, const BudgeterConfig& budgeter,
+                  LatencyPredictor predictor, double fixed_overhead)
       : knobs_(knobs),
         budgeter_(budgeter),
         predictor_(std::move(predictor)),
@@ -66,6 +72,7 @@ class RoboRunGovernor {
   const TimeBudgeter& budgeter() const { return budgeter_; }
   const LatencyPredictor& predictor() const { return predictor_; }
   const KnobConfig& knobs() const { return knobs_; }
+  double fixedOverhead() const { return fixed_overhead_; }
 
  private:
   KnobConfig knobs_;

@@ -16,6 +16,13 @@ struct KnobRange {
   double clamp(double v) const { return v < lo ? lo : (v > hi ? hi : v); }
 };
 
+/// Fixed per-decision overhead (point cloud + runtime + fixed comm cost, in
+/// seconds) subtracted from the deadline before the Eq. 3 knob budget is
+/// solved. Single-sourced here: KnobConfig, SolverInputs, the governors and
+/// the mission runner all default to this constant (they used to carry
+/// independent 0.26/0.27 copies that drifted apart).
+inline constexpr double kDefaultFixedOverhead = 0.27;
+
 struct KnobConfig {
   // --- Table II ---
   double static_point_cloud_precision = 0.3;      ///< m
@@ -28,6 +35,12 @@ struct KnobConfig {
   KnobRange dynamic_octomap_volume{0.0, 60000.0};
   KnobRange dynamic_bridge_volume{0.0, 1000000.0};
   KnobRange dynamic_planner_volume{0.0, 1000000.0};
+
+  /// Fixed per-decision overhead (s) the solver subtracts from the deadline
+  /// (see kDefaultFixedOverhead). Every consumer of a KnobConfig — the
+  /// governors, the DecisionEngine, SolverInputs construction — must read
+  /// this field rather than carrying its own copy.
+  double fixed_overhead = kDefaultFixedOverhead;
 
   /// voxmin: the finest voxel size; every legal precision is voxmin * 2^n
   /// (the OctoMap framework constraint in Eq. 3).

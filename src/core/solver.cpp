@@ -6,33 +6,6 @@
 
 namespace roborun::core {
 
-namespace {
-
-/// Monotone line search: largest scale s in [0,1] whose total latency stays
-/// within `budget` (stage latencies increase with volume). Writes the total
-/// latency at the chosen scale to `latency_out`.
-template <typename LatencyFn>
-double volumeScaleForBudget(LatencyFn&& latency_of_scale, double budget, double& latency_out) {
-  const double at_full = latency_of_scale(1.0);
-  if (at_full <= budget) {
-    latency_out = at_full;
-    return 1.0;
-  }
-  double lo = 0.0;
-  double hi = 1.0;
-  for (int iter = 0; iter < 24; ++iter) {
-    const double mid = 0.5 * (lo + hi);
-    if (latency_of_scale(mid) <= budget)
-      lo = mid;
-    else
-      hi = mid;
-  }
-  latency_out = latency_of_scale(lo);
-  return lo;
-}
-
-}  // namespace
-
 std::array<double, 3> KnobEnvelope::volumesAtScale(double s) const {
   return {v_demand + s * std::max(v0_cap - v_demand, 0.0),
           v_demand + s * std::max(v1_cap - v_demand, 0.0),

@@ -26,8 +26,10 @@ namespace roborun::core {
 
 struct SolverInputs {
   double budget = 1.0;          ///< s; delta_d from the time budgeter
-  double fixed_overhead = 0.26; ///< s; point-cloud + runtime + fixed comm cost
-                                ///< subtracted from the budget before solving
+  /// s; point-cloud + runtime + fixed comm cost subtracted from the budget
+  /// before solving. Single-sourced with KnobConfig::fixed_overhead (this
+  /// default used to be an out-of-sync 0.26 copy).
+  double fixed_overhead = kDefaultFixedOverhead;
   SpaceProfile profile;
 };
 
@@ -50,6 +52,32 @@ struct KnobEnvelope {
 
 /// Evaluate Eq. 3's constraint set for a profile.
 KnobEnvelope computeEnvelope(const KnobConfig& knobs, const SpaceProfile& profile);
+
+/// Monotone line search: largest volume scale s in [0,1] whose total latency
+/// stays within `budget` (stage latencies increase with volume). Writes the
+/// total latency at the chosen scale to `latency_out`. Shared by the
+/// exhaustive GovernorSolver and the DecisionEngine's memoized enumeration —
+/// both must run this exact iteration, or the bit-identical contract between
+/// the two paths breaks.
+template <typename LatencyFn>
+double volumeScaleForBudget(LatencyFn&& latency_of_scale, double budget, double& latency_out) {
+  const double at_full = latency_of_scale(1.0);
+  if (at_full <= budget) {
+    latency_out = at_full;
+    return 1.0;
+  }
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 24; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (latency_of_scale(mid) <= budget)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  latency_out = latency_of_scale(lo);
+  return lo;
+}
 
 struct SolverResult {
   PipelinePolicy policy;

@@ -68,6 +68,10 @@ struct MissionResult {
   /// deterministic replay contract; every decision-driving quantity uses
   /// the modeled latencies instead.
   double planner_wall_ms = 0.0;
+  /// Measured wall time of the governor path (space profiling + budgeting +
+  /// Eq. 3 solve), summed over every decision (ms). Same contract as
+  /// planner_wall_ms: a measurement of this run, never decision-driving.
+  double decision_wall_ms = 0.0;
   std::vector<DecisionRecord> records;
 
   std::size_t decisions() const { return records.size(); }

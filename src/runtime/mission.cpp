@@ -1,9 +1,10 @@
 #include "runtime/mission.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
-#include "core/latency_calibration.h"
+#include "core/decision_engine.h"
 
 namespace roborun::runtime {
 
@@ -45,12 +46,21 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
   NavigationPipeline pipeline(world.extent(), goal, config.pipeline,
                               config.seed * 2654435761ULL + 1);
 
-  // Governors. RoboRun calibrates its Eq. 4 latency model once at startup.
-  const sim::LatencyModel latency_model(config.pipeline.latency);
-  const auto calibration = core::calibratePredictor(latency_model, config.knobs);
-  core::RoboRunGovernor roborun(config.knobs, config.budgeter, calibration.predictor,
-                                config.runtime_fixed_overhead);
-  roborun.selectStrategy(config.solver_strategy);
+  // The governor core. Both designs profile space through the pipeline's
+  // DecisionEngine (its fused/cached profiler is bit-identical to the seed
+  // profileSpace); RoboRun additionally budgets + solves through it. The
+  // Eq. 4 latency model is calibrated once at startup, behind the engine
+  // boundary.
+  {
+    core::DecisionEngine::Config engine_config;
+    engine_config.knobs = config.knobs;
+    engine_config.budgeter = config.budgeter;
+    engine_config.profiler = config.profiler;
+    auto engine = core::DecisionEngine::calibrated(
+        sim::LatencyModel(config.pipeline.latency), engine_config);
+    engine->selectStrategy(config.solver_strategy);
+    pipeline.installEngine(std::move(engine));
+  }
   const core::StaticGovernor oblivious(config.knobs, stopping, config.static_design);
 
   MissionResult result;
@@ -76,21 +86,24 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
     const sim::SensorFrame frame =
         sensor.capture(world, pos, dynamic.empty() ? nullptr : &dynamic);
 
-    // --- profile (Table I) ---
-    const Vec3 travel_dir = vel.norm() > 0.2 ? vel : (goal - pos);
-    const core::SpaceProfile profile = core::profileSpace(
-        frame, pipeline.map(), pipeline.trajectory(), pos, vel, travel_dir, config.profiler);
-
-    // --- govern ---
+    // --- profile + govern (the pipeline's DecisionEngine owns the path) ---
+    const auto govern_start = std::chrono::steady_clock::now();
+    core::SpaceProfile profile;
     core::GovernorDecision decision;
     double runtime_latency = 0.0;
     if (design == DesignType::RoboRun) {
-      decision = roborun.decide(profile);
+      core::EngineDecision governed = pipeline.govern(frame, pos, vel);
+      profile = std::move(governed.profile);
+      decision = governed.decision;
       runtime_latency = config.pipeline.latency.runtime_governor;
     } else {
+      profile = pipeline.profileSpace(frame, pos, vel);
       decision = oblivious.decide();
       runtime_latency = config.pipeline.latency.runtime_static;
     }
+    result.decision_wall_ms += std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - govern_start)
+                                   .count();
 
     // --- execute the pipeline under the policy ---
     const DecisionOutcome outcome =

@@ -44,7 +44,8 @@ struct MissionConfig {
   double max_mission_time = 9000.0;  ///< s; timeout
   double v_max_dynamic = 3.2;        ///< m/s; RoboRun's experimental velocity cap
   double creep_velocity = 0.3;       ///< m/s; when planning failed
-  double runtime_fixed_overhead = 0.27;  ///< s; pc + runtime + fixed comm
+  // NOTE: the fixed per-decision overhead lives in knobs.fixed_overhead
+  // (single-sourced; this struct used to carry its own 0.27 copy).
   std::uint64_t seed = 7;
 
   /// When set, the mission aborts once the pack's usable energy is spent

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "core/latency_calibration.h"
 #include "core/profilers.h"
+#include "sim/latency_model.h"
 
 namespace roborun::runtime {
 
@@ -36,25 +36,31 @@ void SensorNode::step(double) {
 
 GovernorNode::GovernorNode(miniros::Bus& bus, miniros::ParamServer& params,
                            const perception::OccupancyOctree& map, PoseProvider pose,
-                           core::RoboRunGovernor governor)
+                           std::shared_ptr<core::DecisionEngine> engine)
     : Node(bus, params, "governor"),
       map_(&map),
       pose_(std::move(pose)),
-      governor_(std::move(governor)) {
+      engine_(std::move(engine)) {
   pub_ = advertise<PolicyMsg>("/policy");
   subscribe<sim::SensorFrame>("/sensor/frame",
                               [this](const sim::SensorFrame& f) { onFrame(f); });
-  subscribe<planning::Trajectory>(
-      "/trajectory", [this](const planning::Trajectory& t) { last_trajectory_ = t; });
+  subscribe<planning::Trajectory>("/trajectory", [this](const planning::Trajectory& t) {
+    last_trajectory_ = t;
+    engine_->noteTrajectoryChanged();
+  });
+  // The octree's dirty bounds, straight from OctomapNode: what gates the
+  // engine's cross-epoch visibility-sample reuse.
+  subscribe<MapDeltaMsg>("/map/delta",
+                         [this](const MapDeltaMsg& m) { engine_->noteMapChanged(m.touched); });
 }
 
 void GovernorNode::onFrame(const sim::SensorFrame& frame) {
   const Pose pose = pose_();
   const Vec3 travel =
       pose.velocity.norm() > 0.2 ? pose.velocity : Vec3{1, 0, 0};
-  const auto profile = core::profileSpace(frame, *map_, last_trajectory_, pose.position,
-                                          pose.velocity, travel);
-  const auto decision = governor_.decide(profile);
+  const auto governed = engine_->decideFromSensors(frame, *map_, last_trajectory_,
+                                                   pose.position, pose.velocity, travel);
+  const auto& decision = governed.decision;
   pub_.publish(PolicyMsg{decision.policy});
   // Mirror the knobs onto the parameter server for external introspection
   // (rosparam-style).
@@ -69,6 +75,9 @@ void GovernorNode::onFrame(const sim::SensorFrame& frame) {
   params().setDouble("/roborun/planner/volume",
                      decision.policy.stage(Stage::Planning).volume);
   params().setDouble("/roborun/deadline", decision.budget);
+  // The engine's own cost, observable like the knobs (wall time of this
+  // decision; NOT fed back into any decision).
+  params().setDouble("/roborun/governor/decision_wall_ms", governed.timing.total_wall_ms);
 }
 
 // --- PointCloudNode ---------------------------------------------------------
@@ -98,6 +107,7 @@ OctomapNode::OctomapNode(miniros::Bus& bus, miniros::ParamServer& params,
   // Baseline defaults until the governor publishes (Table II static column).
   policy_ = core::StaticGovernor(core::KnobConfig{}, sim::StoppingModel{}).policy();
   pub_ = advertise<perception::PlannerMapMsg>("/map/planner");
+  delta_pub_ = advertise<MapDeltaMsg>("/map/delta");
   subscribe<PolicyMsg>("/policy", [this](const PolicyMsg& m) { policy_ = m.policy; });
   subscribe<perception::PointCloud>(
       "/sensor/points", [this](const perception::PointCloud& c) { onCloud(c); });
@@ -107,7 +117,8 @@ void OctomapNode::onCloud(const perception::PointCloud& cloud) {
   perception::OctomapInsertParams ins;
   ins.precision = policy_.stage(Stage::Perception).precision;
   ins.volume_budget = std::max(policy_.stage(Stage::Perception).volume, 1.0);
-  perception::insertPointCloud(*octree_, cloud, ins, {});
+  const auto report = perception::insertPointCloud(*octree_, cloud, ins, {});
+  delta_pub_.publish(MapDeltaMsg{report.touched});
 
   perception::BridgeParams bp;
   bp.precision = policy_.stage(Stage::PerceptionToPlanning).precision;
@@ -181,18 +192,18 @@ void ControlNode::step(double) {
 // --- NodeGraph --------------------------------------------------------------
 
 NodeGraph::NodeGraph(const env::World& world, const Vec3& goal, PoseProvider pose,
-                     std::uint64_t seed)
+                     std::uint64_t seed, std::shared_ptr<core::DecisionEngine> engine)
     : executor_(bus_) {
-  const sim::LatencyModel latency_model;
-  auto calibration = core::calibratePredictor(latency_model, core::KnobConfig{});
-  core::RoboRunGovernor governor(core::KnobConfig{}, core::BudgeterConfig{},
-                                 std::move(calibration.predictor));
+  if (!engine)
+    engine = core::DecisionEngine::calibrated(sim::LatencyModel{},
+                                              core::DecisionEngine::Config{});
+  engine_ = engine;
 
   sensor_ = std::make_unique<SensorNode>(bus_, params_, world, pose);
   point_cloud_ = std::make_unique<PointCloudNode>(bus_, params_);
   octomap_ = std::make_unique<OctomapNode>(bus_, params_, world.extent(), pose);
   governor_ = std::make_unique<GovernorNode>(bus_, params_, octomap_->map(), pose,
-                                             std::move(governor));
+                                             std::move(engine));
   planner_ = std::make_unique<PlannerNode>(bus_, params_, pose, goal, seed);
   control_ = std::make_unique<ControlNode>(bus_, params_, pose);
 

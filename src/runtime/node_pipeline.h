@@ -8,10 +8,12 @@
 // RoboRun into an existing node graph:
 //
 //   SensorNode      -> /sensor/frame
-//   GovernorNode    -> /policy            (reads /sensor/frame; RoboRun's
-//                                          profilers + budgeter + solver)
+//   GovernorNode    -> /policy            (reads /sensor/frame + /map/delta;
+//                                          thin client of the shared
+//                                          core::DecisionEngine)
 //   PointCloudNode  -> /sensor/points     (applies /policy precision)
 //   OctomapNode     -> /map/planner       (applies /policy volumes, bridges)
+//                      /map/delta         (octree dirty bounds per sweep)
 //   PlannerNode     -> /trajectory        (RRT* + smoothing)
 //   ControlNode     -> /cmd_vel           (PID follower)
 #pragma once
@@ -21,6 +23,7 @@
 #include <optional>
 
 #include "control/follower.h"
+#include "core/decision_engine.h"
 #include "core/governor.h"
 #include "env/world.h"
 #include "miniros/executor.h"
@@ -42,6 +45,18 @@ std::size_t frameByteSize(const sim::SensorFrame& frame);
 struct PolicyMsg {
   core::PipelinePolicy policy;
 };
+
+/// Published by OctomapNode after each insertion: a conservative cover of
+/// every map cell the sweep may have changed (the octree kernel's touched
+/// region; empty when nothing was integrated). GovernorNode forwards it to
+/// the DecisionEngine's incremental profiler, which reuses its visibility
+/// samples whenever the accumulated deltas provably missed the sampled
+/// trajectory corridor.
+struct MapDeltaMsg {
+  geom::Aabb touched = geom::Aabb::empty();
+};
+// (No byteSizeOf overload: the payload is static, so miniros's generic
+// sizeof-based customization point charges it correctly.)
 
 struct Pose {
   geom::Vec3 position;
@@ -65,18 +80,26 @@ class SensorNode : public miniros::Node {
   miniros::Publisher<sim::SensorFrame> pub_;
 };
 
+/// Thin client of the unified governor core: profiles + budgets + solves
+/// through a core::DecisionEngine. The engine may be shared with other
+/// clients — other node graphs on other threads, or the procedural
+/// NavigationPipeline — pooling one solver memo table; it is internally
+/// synchronized and its answers are bit-identical regardless of memo state.
 class GovernorNode : public miniros::Node {
  public:
   GovernorNode(miniros::Bus& bus, miniros::ParamServer& params,
                const perception::OccupancyOctree& map, PoseProvider pose,
-               core::RoboRunGovernor governor);
+               std::shared_ptr<core::DecisionEngine> engine);
+
+  const core::DecisionEngine& engine() const { return *engine_; }
+  core::DecisionEngine& engine() { return *engine_; }
 
  private:
   void onFrame(const sim::SensorFrame& frame);
 
   const perception::OccupancyOctree* map_;
   PoseProvider pose_;
-  core::RoboRunGovernor governor_;
+  std::shared_ptr<core::DecisionEngine> engine_;
   miniros::Publisher<PolicyMsg> pub_;
   planning::Trajectory last_trajectory_;  // updated via /trajectory
 };
@@ -104,6 +127,7 @@ class OctomapNode : public miniros::Node {
   std::unique_ptr<perception::OccupancyOctree> octree_;
   core::PipelinePolicy policy_;
   miniros::Publisher<perception::PlannerMapMsg> pub_;
+  miniros::Publisher<MapDeltaMsg> delta_pub_;  ///< /map/delta (dirty bounds)
 };
 
 class PlannerNode : public miniros::Node {
@@ -141,8 +165,11 @@ class ControlNode : public miniros::Node {
 /// The fully wired graph, ready to cycle.
 class NodeGraph {
  public:
+  /// `engine` lets several graphs pool one governor core (shared memo
+  /// table; safe across threads). When null, the graph builds its own from
+  /// default knobs and a freshly calibrated Eq. 4 predictor.
   NodeGraph(const env::World& world, const geom::Vec3& goal, PoseProvider pose,
-            std::uint64_t seed = 1);
+            std::uint64_t seed = 1, std::shared_ptr<core::DecisionEngine> engine = nullptr);
 
   /// One executor cycle (every node steps, all messages delivered).
   void cycle() { executor_.cycle(); }
@@ -151,8 +178,10 @@ class NodeGraph {
   miniros::ParamServer& params() { return params_; }
   const perception::OccupancyOctree& map() const { return octomap_->map(); }
   const geom::Vec3& lastCommand() const { return control_->lastCommand(); }
+  const std::shared_ptr<core::DecisionEngine>& engine() const { return engine_; }
 
  private:
+  std::shared_ptr<core::DecisionEngine> engine_;
   miniros::Bus bus_;
   miniros::ParamServer params_;
   miniros::Executor executor_;

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
 namespace roborun::runtime {
 
@@ -74,6 +75,31 @@ Vec3 NavigationPipeline::selectLocalGoal(const perception::PlannerMap& map,
   return lg;
 }
 
+void NavigationPipeline::installEngine(std::shared_ptr<core::DecisionEngine> engine) {
+  engine_ = std::move(engine);
+}
+
+core::EngineDecision NavigationPipeline::govern(const sim::SensorFrame& frame,
+                                                const Vec3& position, const Vec3& velocity) {
+  if (!engine_)
+    throw std::logic_error(
+        "NavigationPipeline::govern: no DecisionEngine installed (call installEngine())");
+  const Vec3 travel = velocity.norm() > 0.2 ? velocity : (goal_ - position);
+  return engine_->decideFromSensors(frame, *octree_, follower_.trajectory(), position,
+                                    velocity, travel);
+}
+
+core::SpaceProfile NavigationPipeline::profileSpace(const sim::SensorFrame& frame,
+                                                    const Vec3& position,
+                                                    const Vec3& velocity) {
+  if (!engine_)
+    throw std::logic_error(
+        "NavigationPipeline::profileSpace: no DecisionEngine installed (call installEngine())");
+  const Vec3 travel = velocity.norm() > 0.2 ? velocity : (goal_ - position);
+  return engine_->profile(frame, *octree_, follower_.trajectory(), position, velocity,
+                          travel);
+}
+
 DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const Vec3& position,
                                            const core::PipelinePolicy& policy,
                                            double runtime_latency) {
@@ -98,6 +124,9 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
   const auto traj_positions = follower_.trajectory().positions();
   out.octomap_report = perception::insertPointCloud(*octree_, ds.cloud, ins, traj_positions);
   out.latencies.octomap = latency_model_.octomap(out.octomap_report.ray_steps);
+  // Feed the governor core's incremental profiler the same dirty region the
+  // incremental planner consumes: everything this sweep may have changed.
+  if (engine_) engine_->noteMapChanged(out.octomap_report.touched);
 
   // --- Perception-to-planning bridge (precision + volume operators) ---
   perception::BridgeParams bp;
@@ -204,6 +233,7 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
       out.latencies.smoothing = latency_model_.smoother(smooth.report.segments);
       planning_steps += smooth.report.check_steps;
       follower_.setTrajectory(smooth.trajectory);
+      if (engine_) engine_->noteTrajectoryChanged();
       out.latencies.comm_trajectory =
           config_.comm.cost(planning::byteSizeOf(smooth.trajectory));
       traj_pub_.publish(smooth.trajectory);
@@ -213,6 +243,7 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
       // one exists: clear it so the budgeter/profilers don't reason over a
       // path the vehicle refuses to fly.
       follower_.setTrajectory(planning::Trajectory{});
+      if (engine_) engine_->noteTrajectoryChanged();
     }
     out.plan_wall_ms = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - plan_wall_start)

@@ -13,6 +13,7 @@
 #include <span>
 
 #include "control/follower.h"
+#include "core/decision_engine.h"
 #include "core/policy.h"
 #include "geom/rng.h"
 #include "miniros/bus.h"
@@ -85,6 +86,27 @@ class NavigationPipeline {
   DecisionOutcome decide(const sim::SensorFrame& frame, const geom::Vec3& position,
                          const core::PipelinePolicy& policy, double runtime_latency);
 
+  /// Install the shared decision engine this pipeline governs through.
+  /// The pipeline feeds it the dirty-bounds / trajectory-change notes its
+  /// own decide() generates, so the engine's incremental profiler can
+  /// safely reuse visibility samples across sensor epochs. The engine may
+  /// be shared with other clients (it is internally synchronized).
+  void installEngine(std::shared_ptr<core::DecisionEngine> engine);
+  core::DecisionEngine* engine() { return engine_.get(); }
+  const core::DecisionEngine* engine() const { return engine_.get(); }
+
+  /// One governor decision over the live sensor frame and this pipeline's
+  /// own map + trajectory: profile -> budget -> Eq. 3 solve. Requires an
+  /// installed engine. The travel-direction fallback when hovering is
+  /// toward the mission goal (the decide-then-fly loop's convention).
+  core::EngineDecision govern(const sim::SensorFrame& frame, const geom::Vec3& position,
+                              const geom::Vec3& velocity);
+
+  /// Space profiling only (the spatial-oblivious design still profiles for
+  /// its velocity governor and records). Requires an installed engine.
+  core::SpaceProfile profileSpace(const sim::SensorFrame& frame, const geom::Vec3& position,
+                                  const geom::Vec3& velocity);
+
   const perception::OccupancyOctree& map() const { return *octree_; }
   const control::TrajectoryFollower& follower() const { return follower_; }
   control::TrajectoryFollower& follower() { return follower_; }
@@ -113,6 +135,9 @@ class NavigationPipeline {
   std::optional<geom::Vec3> goal_override_;
   std::unique_ptr<perception::OccupancyOctree> octree_;
   control::TrajectoryFollower follower_;
+  /// The unified governor core (may be shared across pipelines/threads);
+  /// null until installEngine() — decide() then skips the change notes.
+  std::shared_ptr<core::DecisionEngine> engine_;
   // Persistent planner state: one arena reused by every replan of this
   // pipeline (RRT* tree/grid or pooled A*), plus the incremental planner's
   // own persisted search, plus what the bridge needs to bound each epoch's

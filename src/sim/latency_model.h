@@ -13,6 +13,12 @@
 // Using modeled rather than measured time keeps missions bit-reproducible
 // and machine-independent while preserving how latency *scales* with the
 // precision and volume knobs — which is what every figure depends on.
+//
+// This model is also the governor's calibration ground truth: the runtime
+// pipelines hand it to core::DecisionEngine::calibrated(), which fits the
+// Eq. 4 predictor against it once at startup (core/latency_calibration.h)
+// — the latency-model -> predictor feedback never leaves the engine
+// boundary.
 #pragma once
 
 #include <cstddef>

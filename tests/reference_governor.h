@@ -1,0 +1,269 @@
+// Frozen pre-DecisionEngine governor core — the seed time budgeter (Eq. 1 +
+// Algorithm 1), Eq. 3 envelope + exhaustive solver, and RoboRunGovernor
+// orchestration, kept verbatim as the equivalence comparator for
+// core::DecisionEngine (the same pattern as tests/reference_astar.h for the
+// planner arena and tests/reference_octree.h for the perception pool).
+//
+// governor_equivalence_test.cpp replays randomized profile x budget x
+// strategy grids through this reference and through the memoized
+// DecisionEngine, demanding bit-identical policies, objectives and
+// budget_met flags; bench_governor_throughput times the two against each
+// other, so the decisions/s speedup column stays measurable against the
+// same frozen comparator in every future PR. Do not "improve" this file —
+// its value is that it does not change.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <memory>
+#include <numbers>
+#include <span>
+
+#include "core/governor.h"
+#include "core/knob_config.h"
+#include "core/latency_predictor.h"
+#include "core/policy.h"
+#include "core/profilers.h"
+#include "core/solver.h"
+#include "core/strategies.h"
+#include "core/time_budgeter.h"
+#include "sim/stopping_model.h"
+
+namespace roborun::core::reference {
+
+// --- time_budgeter.cpp, bit-for-bit ----------------------------------------
+
+class TimeBudgeter {
+ public:
+  TimeBudgeter() = default;
+  explicit TimeBudgeter(const BudgeterConfig& config) : config_(config) {}
+
+  const BudgeterConfig& config() const { return config_; }
+
+  double localBudget(double velocity, double visibility) const {
+    const double attainable = config_.stopping.maxSafeVelocity(0.0, visibility);
+    const double v = std::clamp(velocity, 0.05, std::max(attainable * 0.9, 0.05));
+    const double b = config_.stopping.timeBudget(v, visibility, config_.budget_cap);
+    return std::max(b, config_.budget_floor);
+  }
+
+  double globalBudget(std::span<const WaypointState> waypoints) const {
+    if (waypoints.empty()) return config_.budget_floor;
+    double bg = 0.0;
+    double br = localBudget(waypoints[0].velocity, waypoints[0].visibility);
+    bool broke = false;
+    for (std::size_t i = 1; i < waypoints.size(); ++i) {
+      const double ft = waypoints[i].flight_time_from_prev;
+      br -= ft;
+      const double bl = localBudget(waypoints[i].velocity, waypoints[i].visibility);
+      br = std::min(br, bl);
+      if (br <= 0.0) {
+        broke = true;
+        break;
+      }
+      bg += ft;
+    }
+    if (!broke) bg += std::max(br, 0.0);
+    return std::clamp(bg, config_.budget_floor, config_.budget_cap);
+  }
+
+ private:
+  BudgeterConfig config_;
+};
+
+// --- solver.cpp, bit-for-bit -----------------------------------------------
+
+namespace detail {
+
+/// Monotone line search: largest scale s in [0,1] whose total latency stays
+/// within `budget` (the seed volumeScaleForBudget, verbatim).
+template <typename LatencyFn>
+inline double volumeScaleForBudget(LatencyFn&& latency_of_scale, double budget,
+                                   double& latency_out) {
+  const double at_full = latency_of_scale(1.0);
+  if (at_full <= budget) {
+    latency_out = at_full;
+    return 1.0;
+  }
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int iter = 0; iter < 24; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (latency_of_scale(mid) <= budget)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  latency_out = latency_of_scale(lo);
+  return lo;
+}
+
+}  // namespace detail
+
+/// The seed computeEnvelope, verbatim (returns the live KnobEnvelope type;
+/// only the algorithm is frozen here).
+inline KnobEnvelope computeEnvelope(const KnobConfig& knobs, const SpaceProfile& prof) {
+  KnobEnvelope env;
+  const double demand_lo = knobs.dynamic_precision.clamp(prof.gap_min * 0.5);
+  const double demand_hi_raw =
+      std::min(prof.gap_avg * 0.5, std::max(prof.d_obstacle * 0.5, 1e-3));
+  const double demand_hi = knobs.dynamic_precision.clamp(demand_hi_raw);
+  env.p0_lo = knobs.snapDown(demand_lo);
+  env.p0_hi = knobs.snapDown(demand_hi);
+  if (env.p0_lo > env.p0_hi) env.p0_lo = env.p0_hi;
+
+  env.v1_cap = std::min({prof.sensor_volume > 0 ? prof.sensor_volume : 1e18,
+                         prof.map_volume > 0 ? prof.map_volume : 1e18,
+                         knobs.dynamic_bridge_volume.hi});
+  env.v0_cap = std::min(knobs.dynamic_octomap_volume.hi, env.v1_cap);
+  env.v2_cap = std::min(knobs.dynamic_planner_volume.hi, env.v1_cap);
+  const double horizon = std::max(prof.visibility, 5.0);
+  env.v_demand =
+      std::min(4.0 / 3.0 * std::numbers::pi * horizon * horizon * horizon, env.v0_cap);
+  return env;
+}
+
+/// The seed GovernorSolver (exhaustive Eq. 3 enumeration), bit-for-bit.
+class GovernorSolver {
+ public:
+  GovernorSolver(const KnobConfig& knobs, const LatencyPredictor& predictor)
+      : knobs_(knobs), predictor_(&predictor) {}
+
+  SolverResult solve(const SolverInputs& inputs) const {
+    const auto ladder = knobs_.precisionLadder();
+    const double knob_budget = std::max(inputs.budget - inputs.fixed_overhead, 0.0);
+    const KnobEnvelope env = reference::computeEnvelope(knobs_, inputs.profile);
+    const double p0_lo = env.p0_lo;
+    const double p0_hi = env.p0_hi;
+
+    auto volumesAtScale = [&](double s) { return env.volumesAtScale(s); };
+
+    SolverResult best;
+    bool have_best = false;
+    double best_p0 = 1e18;
+    double best_p1 = 1e18;
+    double best_volume = -1.0;
+
+    for (int l1 = 0; l1 < knobs_.precision_levels; ++l1) {
+      const double p1 = ladder[static_cast<std::size_t>(l1)];
+      if (p1 > p0_hi + 1e-9) continue;
+      for (int l0 = 0; l0 <= l1; ++l0) {
+        const double p0 = ladder[static_cast<std::size_t>(l0)];
+        if (p0 + 1e-9 < p0_lo || p0 > p0_hi + 1e-9) continue;
+
+        auto latency_of_scale = [&](double s) {
+          const auto v = volumesAtScale(s);
+          return predictor_->predict(Stage::Perception, p0, v[0]) +
+                 predictor_->predict(Stage::PerceptionToPlanning, p1, v[1]) +
+                 predictor_->predict(Stage::Planning, p1, v[2]);
+        };
+
+        double latency = 0.0;
+        const double s = detail::volumeScaleForBudget(latency_of_scale, knob_budget, latency);
+        const auto v = volumesAtScale(s);
+
+        PipelinePolicy policy;
+        policy.stage(Stage::Perception) = {p0, v[0]};
+        policy.stage(Stage::PerceptionToPlanning) = {p1, v[1]};
+        policy.stage(Stage::Planning) = {p1, v[2]};
+        policy.deadline = inputs.budget;
+        policy.predicted_latency = latency + inputs.fixed_overhead;
+
+        const double diff = knob_budget - latency;
+        const double objective = diff * diff;
+        const bool met = latency <= knob_budget + 1e-9;
+
+        bool better = false;
+        if (!have_best) {
+          better = true;
+        } else if (met != best.budget_met) {
+          better = met;
+        } else if (p0 != best_p0) {
+          better = p0 > best_p0;
+        } else if (p1 != best_p1) {
+          better = p1 > best_p1;
+        } else if (v[0] != best_volume) {
+          better = v[0] > best_volume;
+        } else {
+          better = objective < best.objective;
+        }
+        if (better) {
+          best.policy = policy;
+          best.objective = objective;
+          best.budget_met = met;
+          best_p0 = p0;
+          best_p1 = p1;
+          best_volume = v[0];
+          have_best = true;
+        }
+      }
+    }
+    return best;
+  }
+
+  const KnobConfig& knobs() const { return knobs_; }
+
+ private:
+  KnobConfig knobs_;
+  const LatencyPredictor* predictor_;
+};
+
+// --- governor.cpp, bit-for-bit ---------------------------------------------
+
+/// The seed RoboRunGovernor orchestration: budgeter -> solver/strategy.
+/// Strategies are injected from the live core (they are configuration, not
+/// part of the frozen core); the exhaustive path runs entirely on the frozen
+/// classes above.
+class RoboRunGovernor {
+ public:
+  RoboRunGovernor(const KnobConfig& knobs, const BudgeterConfig& budgeter,
+                  LatencyPredictor predictor, double fixed_overhead = 0.27)
+      : knobs_(knobs),
+        budgeter_(budgeter),
+        predictor_(std::move(predictor)),
+        solver_(knobs_, predictor_),
+        fixed_overhead_(fixed_overhead) {}
+
+  GovernorDecision decide(const SpaceProfile& profile) {
+    GovernorDecision decision;
+    decision.budget = budgeter_.globalBudget(profile.waypoints);
+
+    SolverInputs inputs;
+    inputs.budget = decision.budget;
+    inputs.fixed_overhead = fixed_overhead_;
+    inputs.profile = profile;
+
+    const SolverResult result = strategy_ ? strategy_->solve(inputs) : solver_.solve(inputs);
+    decision.policy = result.policy;
+    decision.budget_met = result.budget_met;
+    decision.solver_objective = result.objective;
+    return decision;
+  }
+
+  void setStrategy(std::unique_ptr<SolverStrategy> strategy) {
+    strategy_ = std::move(strategy);
+  }
+  void selectStrategy(StrategyType type, int patience = 3) {
+    strategy_ = type == StrategyType::Exhaustive
+                    ? nullptr
+                    : makeStrategy(type, knobs_, predictor_, patience);
+  }
+  void resetStrategy() {
+    if (strategy_) strategy_->reset();
+  }
+
+  const TimeBudgeter& budgeter() const { return budgeter_; }
+  const LatencyPredictor& predictor() const { return predictor_; }
+  const KnobConfig& knobs() const { return knobs_; }
+
+ private:
+  KnobConfig knobs_;
+  TimeBudgeter budgeter_;
+  LatencyPredictor predictor_;
+  GovernorSolver solver_;
+  std::unique_ptr<SolverStrategy> strategy_;
+  double fixed_overhead_;
+};
+
+}  // namespace roborun::core::reference

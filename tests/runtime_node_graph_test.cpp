@@ -1,7 +1,12 @@
 // Tests for the mini-ROS node-graph packaging of the pipeline (Fig. 6's
-// layered architecture as actual nodes and topics).
+// layered architecture as actual nodes and topics), including the shared
+// DecisionEngine the GovernorNode now decides through.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <thread>
+
+#include "core/latency_calibration.h"
 #include "env/env_gen.h"
 #include "runtime/node_pipeline.h"
 
@@ -102,6 +107,68 @@ TEST(NodeGraphTest, OpenSkyPolicyIsCoarse) {
   NodeGraph graph(*environment.world, environment.spec.goal(), [&] { return pose; }, 5);
   for (int i = 0; i < 2; ++i) graph.cycle();
   EXPECT_DOUBLE_EQ(graph.params().getDouble("/roborun/perception/precision").value(), 9.6);
+}
+
+TEST(NodeGraphTest, MapDeltaTopicCarriesDirtyBounds) {
+  GraphFixture f;
+  std::size_t deltas = 0;
+  geom::Aabb last = geom::Aabb::empty();
+  f.graph.bus().subscribe<MapDeltaMsg>("/map/delta", [&](const MapDeltaMsg& m) {
+    ++deltas;
+    last = m.touched;
+  });
+  for (int i = 0; i < 3; ++i) f.graph.cycle();
+  EXPECT_GE(deltas, 2u);  // one per integrated sweep
+  EXPECT_FALSE(last.isEmpty());
+}
+
+TEST(NodeGraphTest, GovernorEngineCollectsDecisionStats) {
+  GraphFixture f;
+  for (int i = 0; i < 4; ++i) f.graph.cycle();
+  const core::EngineStats stats = f.graph.engine()->stats();
+  EXPECT_EQ(stats.decisions, 4u);
+  ASSERT_TRUE(f.graph.params().has("/roborun/governor/decision_wall_ms"));
+  EXPECT_GE(f.graph.params().getDouble("/roborun/governor/decision_wall_ms").value(), 0.0);
+}
+
+TEST(NodeGraphTest, GraphsSharingOneEngineAcrossThreadsAgreeWithPrivateEngines) {
+  // Two node graphs on two threads pooling ONE DecisionEngine (the fleet
+  // deployment shape; also the TSan target for the engine's internal
+  // locking). Because engine answers are bit-identical regardless of memo
+  // state, the shared-engine graphs must publish exactly the policies the
+  // private-engine graphs publish.
+  const env::Environment environment = GraphFixture::makeEnv();
+  const sim::LatencyModel latency_model;
+  auto calibration = core::calibratePredictor(latency_model, core::KnobConfig{});
+  auto shared = std::make_shared<core::DecisionEngine>(core::DecisionEngine::Config{},
+                                                       calibration.predictor);
+
+  auto run = [&](std::shared_ptr<core::DecisionEngine> engine, std::vector<double>& out) {
+    Pose pose{{0, 0, 3}, {1, 0, 0}};
+    NodeGraph graph(*environment.world, environment.spec.goal(), [&] { return pose; }, 5,
+                    std::move(engine));
+    graph.bus().subscribe<PolicyMsg>("/policy", [&](const PolicyMsg& m) {
+      out.push_back(m.policy.stage(core::Stage::Perception).precision);
+      out.push_back(m.policy.stage(core::Stage::Perception).volume);
+      out.push_back(m.policy.deadline);
+    });
+    for (int i = 0; i < 5; ++i) graph.cycle();
+  };
+
+  std::vector<double> shared_a, shared_b;
+  std::thread ta([&] { run(shared, shared_a); });
+  std::thread tb([&] { run(shared, shared_b); });
+  ta.join();
+  tb.join();
+
+  std::vector<double> private_a;
+  run(nullptr, private_a);  // builds its own engine
+  ASSERT_EQ(shared_a.size(), private_a.size());
+  for (std::size_t i = 0; i < private_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(shared_a[i], private_a[i]) << i;
+    EXPECT_DOUBLE_EQ(shared_b[i], private_a[i]) << i;
+  }
+  EXPECT_EQ(shared->stats().decisions, 10u);
 }
 
 }  // namespace

@@ -14,10 +14,11 @@
 // Results are stored by job index, so every *mission metric* in the output
 // is byte-identical for any --threads value (see tests/determinism_test.cpp
 // for the single-mission guarantee this builds on). The wall-clock fields
-// (`wall_ms` and `plan_wall_ms` per row, the wall fields of the `timing`
-// aggregate) are measurements of this run and naturally vary — tooling that
-// diffs suite output must ignore them. `replans` and `total_replans` are
-// deterministic mission metrics like the rest.
+// (`wall_ms`, `plan_wall_ms` and `decision_wall_ms` per row, the wall fields
+// of the `timing` aggregate) are measurements of this run and naturally
+// vary — tooling that diffs suite output must ignore them. `replans`,
+// `total_replans`, `decisions` and `total_decisions` are deterministic
+// mission metrics like the rest.
 //
 // --bench-json writes a compact perf record (missions/sec, wall-time
 // percentiles) suitable for publishing as BENCH_PERF.json from CI.
@@ -225,6 +226,12 @@ struct SuiteTiming {
   std::size_t total_replans = 0;
   double total_plan_wall_ms = 0.0;
   double mean_plan_wall_ms = 0.0;  ///< per replan
+  // Governor breakdown (per-decision DecisionEngine timing; decision counts
+  // are deterministic, the wall fields are this run's measurements).
+  std::size_t total_decisions = 0;
+  double total_decision_wall_ms = 0.0;
+  double mean_decision_wall_ms = 0.0;  ///< per decision
+  double decisions_per_sec = 0.0;      ///< governor throughput observed in-mission
 };
 
 SuiteTiming computeTiming(const std::vector<Row>& rows, double harness_wall_s) {
@@ -239,6 +246,8 @@ SuiteTiming computeTiming(const std::vector<Row>& rows, double harness_wall_s) {
     t.max_mission_ms = std::max(t.max_mission_ms, row.wall_ms);
     t.total_replans += row.result.replans();
     t.total_plan_wall_ms += row.result.planner_wall_ms;
+    t.total_decisions += row.result.decisions();
+    t.total_decision_wall_ms += row.result.decision_wall_ms;
   }
   std::sort(walls.begin(), walls.end());
   t.mean_mission_ms = t.total_mission_ms / static_cast<double>(walls.size());
@@ -248,6 +257,12 @@ SuiteTiming computeTiming(const std::vector<Row>& rows, double harness_wall_s) {
     t.missions_per_sec = static_cast<double>(rows.size()) / harness_wall_s;
   if (t.total_replans > 0)
     t.mean_plan_wall_ms = t.total_plan_wall_ms / static_cast<double>(t.total_replans);
+  if (t.total_decisions > 0)
+    t.mean_decision_wall_ms =
+        t.total_decision_wall_ms / static_cast<double>(t.total_decisions);
+  if (t.total_decision_wall_ms > 0.0)
+    t.decisions_per_sec =
+        static_cast<double>(t.total_decisions) / (t.total_decision_wall_ms / 1000.0);
   return t;
 }
 
@@ -261,7 +276,13 @@ void writeTimingObject(std::ostream& os, const SuiteTiming& t, const char* inden
   os << indent << "\"max_mission_wall_ms\": " << jsonNumber(t.max_mission_ms, 3) << ",\n";
   os << indent << "\"total_replans\": " << t.total_replans << ",\n";
   os << indent << "\"total_plan_wall_ms\": " << jsonNumber(t.total_plan_wall_ms, 3) << ",\n";
-  os << indent << "\"mean_plan_wall_ms\": " << jsonNumber(t.mean_plan_wall_ms, 4) << "\n";
+  os << indent << "\"mean_plan_wall_ms\": " << jsonNumber(t.mean_plan_wall_ms, 4) << ",\n";
+  os << indent << "\"total_decisions\": " << t.total_decisions << ",\n";
+  os << indent << "\"total_decision_wall_ms\": " << jsonNumber(t.total_decision_wall_ms, 3)
+     << ",\n";
+  os << indent << "\"mean_decision_wall_ms\": " << jsonNumber(t.mean_decision_wall_ms, 4)
+     << ",\n";
+  os << indent << "\"decisions_per_sec\": " << jsonNumber(t.decisions_per_sec, 1) << "\n";
 }
 
 void writeJson(std::ostream& os, const Options& opts, const std::vector<Row>& rows,
@@ -312,7 +333,8 @@ void writeJson(std::ostream& os, const Options& opts, const std::vector<Row>& ro
        << ", \"decisions\": " << r.decisions()
        << ", \"replans\": " << r.replans()
        << ", \"wall_ms\": " << jsonNumber(row.wall_ms, 3)
-       << ", \"plan_wall_ms\": " << jsonNumber(r.planner_wall_ms, 3) << "}"
+       << ", \"plan_wall_ms\": " << jsonNumber(r.planner_wall_ms, 3)
+       << ", \"decision_wall_ms\": " << jsonNumber(r.decision_wall_ms, 3) << "}"
        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
