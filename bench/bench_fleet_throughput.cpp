@@ -1,0 +1,180 @@
+// bench_fleet_throughput — fleet-scale mission serving behind
+// BENCH_PERF.json's fleet_throughput section.
+//
+// Serves the built-in demo catalog (every registered scenario generator
+// family) through scenario::FleetScheduler in the configurations the fleet
+// layer exposes as knobs:
+//
+//   async_1          one worker, free-running queue (the serial anchor)
+//   async_N          N workers, free-running queue
+//   sync_N           N workers, barrier waves (the GenTen-style synchronous
+//                    dispatch shape)
+//   async_N_private  N workers, engine sharing OFF (full: isolates what the
+//                    pooled cross-tenant memo is worth)
+//
+// Every configuration must produce bitwise-identical mission results —
+// the FleetScheduler determinism contract. The bench exits nonzero on any
+// divergence, so a throughput number can never come from a wrong mission.
+// The engine memo hit-rate ACROSS tenants is reported from the shared
+// async_N run (a measurement: which hits land where is scheduling-
+// dependent; the mission results are not).
+//
+// Usage:
+//   bench_fleet_throughput [--smoke] [--json <path>] [--threads N]
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/designs.h"
+#include "scenario/catalog.h"
+#include "scenario/fleet_report.h"
+#include "scenario/fleet_scheduler.h"
+
+namespace {
+
+using namespace roborun;
+using scenario::jsonNumber;
+
+struct Variant {
+  const char* name;
+  scenario::FleetConfig config;
+  scenario::FleetResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
+  unsigned threads = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<unsigned>(std::max(1, std::atoi(argv[++i])));
+    } else {
+      std::cout << "usage: bench_fleet_throughput [--smoke] [--json <path>] [--threads N]\n";
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+  if (threads == 0)
+    threads = std::clamp(std::thread::hardware_concurrency(), 2u, 8u);
+
+  // Workload: the whole family registry, at smoke fidelity (throughput is
+  // the subject here, not sensing fidelity — same policy as suite_runner's
+  // perf grid).
+  const double scale = smoke ? 0.35 : 0.5;
+  const std::size_t missions_per_scenario = smoke ? 1 : 3;
+  const std::vector<scenario::ScenarioSpec> catalog =
+      scenario::builtinCatalog(1, scale, missions_per_scenario);
+  const runtime::MissionConfig base = runtime::smokeMissionConfig();
+
+  std::vector<Variant> variants;
+  {
+    scenario::FleetConfig c;
+    c.threads = 1;
+    c.mode = scenario::DispatchMode::Async;
+    variants.push_back({"async_1", c, {}});
+    c.threads = threads;
+    variants.push_back({"async_N", c, {}});
+    c.mode = scenario::DispatchMode::Sync;
+    variants.push_back({"sync_N", c, {}});
+    if (!smoke) {
+      c.mode = scenario::DispatchMode::Async;
+      c.share_engine = false;
+      variants.push_back({"async_N_private", c, {}});
+    }
+  }
+
+  std::size_t total_missions = 0;
+  for (Variant& v : variants) {
+    scenario::FleetScheduler scheduler(base, v.config);
+    if (scheduler.admitAll(catalog) != catalog.size()) {
+      std::cerr << "bench_fleet_throughput: catalog admission failed\n";
+      return 1;
+    }
+    v.result = scheduler.run();
+    total_missions = v.result.rows.size();
+  }
+
+  // Determinism gate: every configuration must have produced bitwise-
+  // identical mission results.
+  bool identical = true;
+  for (std::size_t i = 1; i < variants.size(); ++i) {
+    if (!scenario::fleetResultsIdentical(variants[0].result, variants[i].result)) {
+      std::cerr << "bench_fleet_throughput: DIVERGENCE between " << variants[0].name
+                << " and " << variants[i].name << " mission results\n";
+      identical = false;
+    }
+  }
+
+  const scenario::FleetResult& shared = variants[1].result;  // async_N
+  std::cerr << "fleet throughput (" << (smoke ? "smoke" : "full") << ": " << total_missions
+            << " missions, " << catalog.size() << " scenarios, " << threads
+            << " threads)\n";
+  for (const Variant& v : variants) {
+    std::cerr << "  " << v.name << ":" << std::string(18 - std::string(v.name).size(), ' ')
+              << jsonNumber(v.result.missions_per_sec, 2) << " missions/s  ("
+              << jsonNumber(v.result.wall_s, 3) << " s";
+    if (v.result.engine_shared)
+      std::cerr << ", memo hit-rate "
+                << jsonNumber(100.0 * v.result.engine.solverMemoHitRate(), 1) << "%";
+    std::cerr << ")\n";
+  }
+  std::cerr << "  results identical across variants: " << (identical ? "yes" : "NO") << "\n";
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"schema\": \"roborun-fleet-throughput-v1\",\n";
+  json << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n";
+  json << "  \"workload\": {\"scenarios\": " << catalog.size()
+       << ", \"families\": " << scenario::families().size()
+       << ", \"missions\": " << total_missions << ", \"threads\": " << threads
+       << ", \"scale\": " << jsonNumber(scale, 2) << "},\n";
+  json << "  \"variants\": {\n";
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
+    json << "    \"" << v.name << "\": {\"wall_s\": " << jsonNumber(v.result.wall_s)
+         << ", \"missions_per_sec\": " << jsonNumber(v.result.missions_per_sec, 3)
+         << ", \"engine_shared\": " << (v.result.engine_shared ? "true" : "false") << "}"
+         << (i + 1 < variants.size() ? "," : "") << "\n";
+  }
+  json << "  },\n";
+  json << "  \"engine\": {\"decisions\": " << shared.engine.decisions
+       << ", \"solver_memo_hits\": " << shared.engine.solver_memo_hits
+       << ", \"solver_memo_misses\": " << shared.engine.solver_memo_misses
+       << ", \"solver_memo_hit_rate\": " << jsonNumber(shared.engine.solverMemoHitRate(), 4)
+       << ", \"profile_builds\": " << shared.engine.profile_builds
+       << ", \"profile_reuses\": " << shared.engine.profile_reuses << "},\n";
+  json << "  \"speedup\": {\"async_N\": "
+       << jsonNumber(variants[0].result.wall_s /
+                         std::max(variants[1].result.wall_s, 1e-12),
+                     3)
+       << ", \"sync_N\": "
+       << jsonNumber(variants[0].result.wall_s /
+                         std::max(variants[2].result.wall_s, 1e-12),
+                     3)
+       << "},\n";
+  json << "  \"results_identical\": " << (identical ? "true" : "false") << "\n";
+  json << "}\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "bench_fleet_throughput: cannot open " << json_path << "\n";
+      return 1;
+    }
+    out << json.str();
+  } else {
+    std::cout << json.str();
+  }
+  return identical ? 0 : 1;
+}

@@ -104,6 +104,16 @@ struct EngineStats {
   double profile_wall_ms = 0.0;
   double budget_wall_ms = 0.0;
   double solve_wall_ms = 0.0;
+
+  /// Memo hits per Eq. 3 solve (0 when no solver decisions ran). On a
+  /// fleet-shared engine this is the cross-tenant warmth metric: which hits
+  /// land is scheduling-dependent, so treat it as a measurement — like wall
+  /// time, never part of the deterministic replay contract.
+  double solverMemoHitRate() const {
+    const std::uint64_t solved = solver_memo_hits + solver_memo_misses;
+    return solved == 0 ? 0.0 : static_cast<double>(solver_memo_hits) /
+                                   static_cast<double>(solved);
+  }
 };
 
 class DecisionEngine {

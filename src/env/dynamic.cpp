@@ -129,4 +129,47 @@ DynamicObstacleField crossTraffic(const EnvSpec& spec, std::size_t count, double
   return field;
 }
 
+DynamicObstacleField swarmTraffic(const EnvSpec& spec, std::size_t count, double speed,
+                                  std::uint64_t seed) {
+  geom::Rng rng(seed * 0x9E3779B97F4A7C15ULL + 2);
+  DynamicObstacleField field;
+  // Movers occupy the whole corridor except the guaranteed-clear pockets
+  // around the mission endpoints (a mover camped on the start pad would
+  // make every expansion of the scenario dead on arrival).
+  const double x_lo = spec.clear_pocket + 2.0;
+  const double x_hi = spec.goal_distance - spec.clear_pocket - 2.0;
+  if (count == 0 || x_hi <= x_lo) return field;
+  // Cross-corridor patrols keep a 4 m shoulder on each side; a world too
+  // narrow for that gets stationary (span 0) movers rather than patrols
+  // that poke outside the footprint.
+  const double y_span_max =
+      std::clamp(2.0 * spec.world_half_width - 8.0, 0.0, 70.0);
+  const double lane_half = std::max(spec.world_half_width - 4.0, 0.0);
+  for (std::size_t i = 0; i < count; ++i) {
+    MovingObstacle o;
+    const double x = rng.uniform(x_lo, x_hi);
+    o.speed = speed * rng.uniform(0.5, 1.5);
+    o.radius = rng.uniform(0.6, 1.4);
+    o.height = rng.uniform(4.0, std::max(4.5, std::min(spec.ceiling * 0.6, 12.0)));
+    if (i % 3 == 2) {
+      // Along-corridor patroller: a bounded x-axis run clamped inside the
+      // corridor so the far end never leaves the world.
+      const double span = std::min(rng.uniform(15.0, 45.0), x_hi - x);
+      o.base = {x, rng.uniform(-lane_half, lane_half), 0.0};
+      o.direction = {1.0, 0.0, 0.0};
+      o.patrol_span = std::max(span, 0.0);
+    } else {
+      // Cross-corridor patroller on a randomized partial span, centered so
+      // both patrol ends stay inside the world's y footprint.
+      const double span = y_span_max * rng.uniform(0.4, 1.0);
+      o.base = {x, -span * 0.5, 0.0};
+      o.direction = {0.0, 1.0, 0.0};
+      o.patrol_span = span;
+    }
+    o.phase = rng.uniform(0.0, 2.0 * std::max(o.patrol_span, 1.0) / std::max(o.speed, 1e-6));
+    field.add(o);
+  }
+  return field;
+}
+
 }  // namespace roborun::env

@@ -75,4 +75,17 @@ class DynamicObstacleField {
 DynamicObstacleField crossTraffic(const EnvSpec& spec, std::size_t count, double speed,
                                   std::uint64_t seed);
 
+/// Generator: a swarm of `count` movers spread along the WHOLE mission
+/// corridor (zones A through C, outside the start/goal clear pockets), not
+/// just zone B — the scenario catalog's "moving-obstacle swarm" workload.
+/// Most movers patrol across the corridor (y axis) on randomized partial
+/// spans; every third patrols along it (x axis), the
+/// forklift-driving-down-the-aisle case. All patrol paths are clamped
+/// inside the world footprint, so a swarm never spawns or wanders outside
+/// world bounds regardless of `count`. Deterministic in `seed`; `count`
+/// zero (or a corridor too short for the clear pockets) yields an empty
+/// field.
+DynamicObstacleField swarmTraffic(const EnvSpec& spec, std::size_t count, double speed,
+                                  std::uint64_t seed);
+
 }  // namespace roborun::env

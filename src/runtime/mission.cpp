@@ -48,10 +48,20 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
 
   // The governor core. Both designs profile space through the pipeline's
   // DecisionEngine (its fused/cached profiler is bit-identical to the seed
-  // profileSpace); RoboRun additionally budgets + solves through it. The
-  // Eq. 4 latency model is calibrated once at startup, behind the engine
-  // boundary.
-  {
+  // profileSpace); RoboRun additionally budgets + solves through it. A
+  // fleet-shared engine (memo pooled across tenant missions) is used when
+  // the config lends one; otherwise the Eq. 4 latency model is calibrated
+  // once at startup, behind the engine boundary. Stateful solver
+  // strategies must stay per-mission, so the shared path is Exhaustive-only
+  // (the hook's contract; see MissionConfig::shared_engine).
+  if (config.shared_engine && config.solver_strategy == core::StrategyType::Exhaustive) {
+    // Heap addresses recycle across missions, so the engine's single-slot
+    // profile cache (keyed by map/trajectory address) must never survive a
+    // tenant handoff: invalidate conservatively before the first profile.
+    config.shared_engine->noteMapChangedEverywhere();
+    config.shared_engine->noteTrajectoryChanged();
+    pipeline.installEngine(config.shared_engine);
+  } else {
     core::DecisionEngine::Config engine_config;
     engine_config.knobs = config.knobs;
     engine_config.budgeter = config.budgeter;

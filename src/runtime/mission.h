@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/governor.h"
 #include "core/strategies.h"
@@ -65,6 +66,21 @@ struct MissionConfig {
   /// sub-pipeline obstacle reflex of real MAVs; only consulted when
   /// dynamic_obstacles is non-empty.
   bool proximity_guard = true;
+
+  /// Fleet hook: govern through this externally owned, internally
+  /// synchronized DecisionEngine instead of calibrating a private one —
+  /// how a fleet scheduler pools one solver memo across every tenant
+  /// mission. The engine's answers are bit-identical regardless of memo /
+  /// cache state (see core/decision_engine.h), so sharing cannot change any
+  /// mission's result; runMission conservatively invalidates the engine's
+  /// profile cache at mission start (heap addresses recycle across
+  /// missions, so stale samples must never be trusted). Requirements: the
+  /// engine must have been calibrated against THIS config's knobs /
+  /// budgeter / profiler / pipeline latency, and carry no pluggable
+  /// strategy. Ignored (a private engine is built, exactly as before) when
+  /// null or when solver_strategy is not Exhaustive — stateful strategies
+  /// must stay per-mission.
+  std::shared_ptr<core::DecisionEngine> shared_engine;
 };
 
 /// Run one full mission of `design` through `environment`.

@@ -198,7 +198,8 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
       rp.volume_budget = std::max(p_plan.volume, rp.step * rp.step * rp.step);
       rp.check_precision = p_plan.precision;
 
-      auto rrt = planning::planPath(planner_map, position, local_goal, rp, rng_, arena_);
+      auto rrt = planning::planPath(planner_map, position, local_goal, rp, rng_,
+                                    config_.shared_arena ? *config_.shared_arena : arena_);
       out.rrt_report = rrt.report;
       planning_steps += rrt.report.check_steps;
       plan_found = rrt.report.found;
@@ -215,7 +216,8 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
                                         pending_plan_dirty_);
         pending_plan_dirty_ = geom::Aabb::empty();  // consumed by this plan()
       } else {
-        astar = planning::planPathAStar(planner_map, position, local_goal, ap, arena_);
+        astar = planning::planPathAStar(planner_map, position, local_goal, ap,
+                                        config_.shared_arena ? *config_.shared_arena : arena_);
       }
       out.astar_report = astar.report;
       planning_steps += astar.report.generated;

@@ -57,6 +57,16 @@ struct PipelineConfig {
   std::size_t astar_max_expansions = 200000;
   sim::LatencyConfig latency;
   miniros::CommModel comm{0.003, 2.0e6};
+  /// Fleet hook: a borrowed persistent PlannerArena used instead of the
+  /// pipeline's own. Every planner call resets the arena (O(1) stamps) on
+  /// entry, so results are bit-identical whether the arena is fresh or has
+  /// served a thousand prior missions — lending one arena per WORKER lets a
+  /// fleet scheduler keep steady-state replanning allocation-free across
+  /// missions. The arena is not synchronized: it must never be lent to two
+  /// concurrently deciding pipelines. Null (the default) keeps the
+  /// pipeline's private arena. The incremental A* cache stays per-pipeline
+  /// either way (it persists search state tied to this pipeline's map).
+  planning::PlannerArena* shared_arena = nullptr;
 };
 
 struct DecisionOutcome {

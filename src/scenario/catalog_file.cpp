@@ -1,0 +1,154 @@
+#include "scenario/catalog_file.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/catalog.h"
+
+namespace roborun::scenario {
+
+namespace {
+
+/// Strict decimal u64 parse (no sign, no whitespace).
+bool parseU64(const std::string& s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  out = v;
+  return true;
+}
+
+bool parseDouble(const std::string& s, double& out) {
+  std::istringstream ss(s);
+  ss >> out;
+  return static_cast<bool>(ss) && ss.eof();
+}
+
+std::string knownFamilies() {
+  std::string names;
+  for (const FamilyInfo& f : families()) {
+    if (!names.empty()) names += ", ";
+    names += f.name;
+  }
+  return names;
+}
+
+}  // namespace
+
+CatalogParseResult parseCatalog(std::istream& in) {
+  CatalogParseResult result;
+  std::string line;
+  std::size_t line_no = 0;
+  auto error = [&](const std::string& message) {
+    result.errors.push_back("line " + std::to_string(line_no) + ": " + message);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream tokens(line);
+    std::string head;
+    if (!(tokens >> head)) continue;  // blank / comment-only line
+    if (head != "scenario") {
+      error("expected 'scenario <family> [key=value]...', got '" + head + "'");
+      continue;
+    }
+    ScenarioSpec spec;
+    if (!(tokens >> spec.family)) {
+      error("'scenario' without a family name");
+      continue;
+    }
+    if (findFamily(spec.family) == nullptr) {
+      error("unknown family '" + spec.family + "' (known: " + knownFamilies() + ")");
+      continue;
+    }
+    bool line_ok = true;
+    std::string token;
+    while (tokens >> token) {
+      const std::size_t eq = token.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+        error("expected key=value, got '" + token + "'");
+        line_ok = false;
+        break;
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "name") {
+        spec.name = value;
+      } else if (key == "design") {
+        if (!parseDesignSelection(value, spec.designs)) {
+          error("design must be roborun, baseline, or both; got '" + value + "'");
+          line_ok = false;
+          break;
+        }
+      } else if (key == "seed") {
+        if (!parseU64(value, spec.seed)) {
+          error("seed must be a decimal u64, got '" + value + "'");
+          line_ok = false;
+          break;
+        }
+      } else if (key == "missions") {
+        std::uint64_t n = 0;
+        if (!parseU64(value, n) || n == 0 || n > 10000) {
+          error("missions must be an integer in [1, 10000], got '" + value + "'");
+          line_ok = false;
+          break;
+        }
+        spec.missions = static_cast<std::size_t>(n);
+      } else if (key == "intensity" || key == "scale") {
+        double v = 0.0;
+        if (!parseDouble(value, v)) {
+          error(key + " must be a number, got '" + value + "'");
+          line_ok = false;
+          break;
+        }
+        (key == "intensity" ? spec.intensity : spec.scale) = v;
+      } else {
+        double v = 0.0;
+        if (!parseDouble(value, v)) {
+          error("param " + key + " must be numeric, got '" + value + "'");
+          line_ok = false;
+          break;
+        }
+        spec.params.push_back({key, v});
+      }
+    }
+    if (line_ok) result.scenarios.push_back(std::move(spec));
+  }
+  return result;
+}
+
+CatalogParseResult loadCatalogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    CatalogParseResult result;
+    result.errors.push_back("cannot open catalog file: " + path);
+    return result;
+  }
+  return parseCatalog(in);
+}
+
+std::string formatCatalog(const std::vector<ScenarioSpec>& scenarios) {
+  std::ostringstream os;
+  for (const ScenarioSpec& s : scenarios) {
+    os << "scenario " << s.family;
+    if (!s.name.empty()) os << " name=" << s.name;
+    os << " seed=" << s.seed << " missions=" << s.missions;
+    // Dials print with default stream precision — enough to round-trip the
+    // catalog values users actually write; specs are the source of truth.
+    os << " intensity=" << s.intensity << " scale=" << s.scale;
+    if (s.designs != DesignSelection::RoboRun)
+      os << " design=" << designSelectionName(s.designs);
+    for (const ScenarioParam& p : s.params) os << " " << p.key << "=" << p.value;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace roborun::scenario

@@ -1,0 +1,43 @@
+// Scenario catalog files — the small text format fleet tools load.
+//
+// One scenario per line:
+//
+//   # demo catalog
+//   scenario corridor_gradient name=narrowing seed=7 missions=3 intensity=0.7
+//   scenario swarm_crossing seed=9 scale=0.5 design=both count=8 speed=1.5
+//
+// Grammar: `scenario <family> [key=value]...`, '#' starts a comment, blank
+// lines are skipped. Reserved keys map onto ScenarioSpec fields
+// (name, seed, missions, intensity, scale, design=roborun|baseline|both);
+// every other key=value becomes a family-specific numeric dial
+// (ScenarioSpec::params, later entries winning). Families and their dials:
+// `fleet_runner --list-families`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_spec.h"
+
+namespace roborun::scenario {
+
+struct CatalogParseResult {
+  std::vector<ScenarioSpec> scenarios;
+  std::vector<std::string> errors;  ///< "line N: message", empty on success
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parse a catalog from a stream. Never throws: malformed lines are
+/// reported in `errors` (with line numbers) and skipped, so one typo does
+/// not silently drop the whole fleet's workload.
+CatalogParseResult parseCatalog(std::istream& in);
+
+/// Parse a catalog file; an unreadable path is reported as a single error.
+CatalogParseResult loadCatalogFile(const std::string& path);
+
+/// Render a catalog back into the file format (round-trips through
+/// parseCatalog); used to publish the built-in demo catalog as a file.
+std::string formatCatalog(const std::vector<ScenarioSpec>& scenarios);
+
+}  // namespace roborun::scenario

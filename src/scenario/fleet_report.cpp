@@ -1,0 +1,117 @@
+#include "scenario/fleet_report.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace roborun::scenario {
+
+std::string jsonNumber(double v, int decimals) {
+  if (!(v == v) || v > 1e300 || v < -1e300) return "0";
+  std::ostringstream ss;
+  ss.setf(std::ios::fixed);
+  ss.precision(decimals);
+  ss << v;
+  return ss.str();
+}
+
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += hex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+void writeFleetJson(std::ostream& os, const FleetResult& result,
+                    const std::string& catalog_label) {
+  os << "{\n";
+  os << "  \"schema\": \"roborun-fleet-v1\",\n";
+  os << "  \"catalog\": \"" << jsonEscape(catalog_label) << "\",\n";
+  os << "  \"scenarios\": " << result.shards.size() << ",\n";
+  os << "  \"missions\": " << result.rows.size() << ",\n";
+  os << "  \"shards\": [\n";
+  for (std::size_t i = 0; i < result.shards.size(); ++i) {
+    const ShardAggregate& s = result.shards[i];
+    const double n = s.missions == 0 ? 1.0 : static_cast<double>(s.missions);
+    os << "    {\"scenario\": \"" << jsonEscape(s.scenario) << "\", \"missions\": " << s.missions
+       << ", \"reached_goal\": " << s.reached << ", \"collided\": " << s.collided
+       << ", \"timed_out\": " << s.timed_out
+       << ", \"battery_depleted\": " << s.battery_depleted
+       << ", \"decisions\": " << s.decisions << ", \"replans\": " << s.replans
+       << ", \"mean_mission_time\": " << jsonNumber(s.mission_time / n)
+       << ", \"mean_velocity\": " << jsonNumber(s.mean_velocity)
+       << ", \"total_distance\": " << jsonNumber(s.distance)
+       << ", \"total_flight_energy\": " << jsonNumber(s.flight_energy)
+       << ", \"total_compute_energy\": " << jsonNumber(s.compute_energy) << "}"
+       << (i + 1 < result.shards.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  os << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const MissionCase& c = result.cases[i];
+    const runtime::MissionResult& r = result.rows[i].result;
+    os << "    {\"scenario\": \"" << jsonEscape(c.scenario) << "\", \"case\": \"" << jsonEscape(c.label)
+       << "\", \"env\": \"" << c.env.label() << "\", \"design\": \""
+       << runtime::designName(c.design) << "\", \"mission_seed\": " << c.config.seed
+       << ", \"movers\": " << c.config.dynamic_obstacles.size()
+       << ", \"reached_goal\": " << (r.reached_goal ? "true" : "false")
+       << ", \"collided\": " << (r.collided ? "true" : "false")
+       << ", \"timed_out\": " << (r.timed_out ? "true" : "false")
+       << ", \"battery_depleted\": " << (r.battery_depleted ? "true" : "false")
+       << ", \"mission_time\": " << jsonNumber(r.mission_time)
+       << ", \"distance\": " << jsonNumber(r.distance_traveled)
+       << ", \"avg_velocity\": " << jsonNumber(r.averageVelocity())
+       << ", \"median_latency\": " << jsonNumber(r.medianLatency())
+       << ", \"flight_energy\": " << jsonNumber(r.flight_energy)
+       << ", \"compute_energy\": " << jsonNumber(r.compute_energy)
+       << ", \"decisions\": " << r.decisions() << ", \"replans\": " << r.replans() << "}"
+       << (i + 1 < result.rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+void writeFleetBenchJson(std::ostream& os, const FleetResult& result,
+                         const std::string& catalog_label) {
+  const core::EngineStats& e = result.engine;
+  os << "{\n";
+  os << "  \"schema\": \"roborun-fleet-throughput-v1\",\n";
+  os << "  \"catalog\": \"" << jsonEscape(catalog_label) << "\",\n";
+  os << "  \"threads\": " << result.threads << ",\n";
+  os << "  \"mode\": \"" << dispatchModeName(result.mode) << "\",\n";
+  os << "  \"scenarios\": " << result.shards.size() << ",\n";
+  os << "  \"missions\": " << result.rows.size() << ",\n";
+  os << "  \"wall_s\": " << jsonNumber(result.wall_s) << ",\n";
+  os << "  \"missions_per_sec\": " << jsonNumber(result.missions_per_sec, 3) << ",\n";
+  os << "  \"engine\": {\n";
+  os << "    \"shared\": " << (result.engine_shared ? "true" : "false") << ",\n";
+  os << "    \"decisions\": " << e.decisions << ",\n";
+  os << "    \"solver_memo_hits\": " << e.solver_memo_hits << ",\n";
+  os << "    \"solver_memo_misses\": " << e.solver_memo_misses << ",\n";
+  os << "    \"solver_memo_hit_rate\": " << jsonNumber(e.solverMemoHitRate(), 4) << ",\n";
+  os << "    \"profile_builds\": " << e.profile_builds << ",\n";
+  os << "    \"profile_reuses\": " << e.profile_reuses << "\n";
+  os << "  }\n";
+  os << "}\n";
+}
+
+}  // namespace roborun::scenario

@@ -1,0 +1,42 @@
+// Fleet JSON reports — shared by fleet_runner, bench_fleet_throughput and
+// the CTest smokes.
+//
+// Two documents with two contracts:
+//
+//   writeFleetJson       the RESULT document: only deterministic fields
+//                        (case identity, mission metrics, shard
+//                        aggregates). Byte-identical for any --threads
+//                        value and either dispatch mode on the same
+//                        catalog — diff it freely.
+//   writeFleetBenchJson  the MEASUREMENT document: wall times, missions/s,
+//                        dispatch shape and shared-engine counters (memo
+//                        hit-rate across tenants). Varies run to run, like
+//                        every wall field in this repo.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "scenario/fleet_scheduler.h"
+
+namespace roborun::scenario {
+
+/// Fixed-decimal double formatting for the fleet JSON documents; JSON has
+/// no NaN/Inf, so those map to 0. Fixed decimals over bit-identical inputs
+/// render byte-identically, which is what lets the result document promise
+/// byte equality. (Shared with bench_fleet_throughput; the older tools and
+/// benches carry their own private copies of the same helper.)
+std::string jsonNumber(double v, int decimals = 6);
+
+/// JSON string escaping for user-controlled text (scenario names, catalog
+/// paths): quotes, backslashes and control characters must never corrupt
+/// the document.
+std::string jsonEscape(const std::string& s);
+
+void writeFleetJson(std::ostream& os, const FleetResult& result,
+                    const std::string& catalog_label);
+
+void writeFleetBenchJson(std::ostream& os, const FleetResult& result,
+                         const std::string& catalog_label);
+
+}  // namespace roborun::scenario

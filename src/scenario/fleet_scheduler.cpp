@@ -1,0 +1,223 @@
+#include "scenario/fleet_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "env/env_gen.h"
+#include "planning/planner_arena.h"
+#include "sim/latency_model.h"
+
+namespace roborun::scenario {
+
+namespace {
+
+bool bitEqual(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
+
+bool recordsIdentical(const runtime::DecisionRecord& a, const runtime::DecisionRecord& b) {
+  if (!bitEqual(a.t, b.t) || !bitEqual(a.position.x, b.position.x) ||
+      !bitEqual(a.position.y, b.position.y) || !bitEqual(a.position.z, b.position.z) ||
+      a.zone != b.zone || !bitEqual(a.velocity, b.velocity) ||
+      !bitEqual(a.commanded_velocity, b.commanded_velocity) ||
+      !bitEqual(a.visibility, b.visibility) ||
+      !bitEqual(a.known_free_horizon, b.known_free_horizon) ||
+      !bitEqual(a.deadline, b.deadline))
+    return false;
+  const runtime::StageLatencies& la = a.latencies;
+  const runtime::StageLatencies& lb = b.latencies;
+  if (!bitEqual(la.runtime, lb.runtime) || !bitEqual(la.point_cloud, lb.point_cloud) ||
+      !bitEqual(la.octomap, lb.octomap) || !bitEqual(la.bridge, lb.bridge) ||
+      !bitEqual(la.planning, lb.planning) || !bitEqual(la.smoothing, lb.smoothing) ||
+      !bitEqual(la.comm_point_cloud, lb.comm_point_cloud) ||
+      !bitEqual(la.comm_map, lb.comm_map) ||
+      !bitEqual(la.comm_trajectory, lb.comm_trajectory))
+    return false;
+  for (std::size_t s = 0; s < core::kNumStages; ++s)
+    if (!bitEqual(a.policy.stages[s].precision, b.policy.stages[s].precision) ||
+        !bitEqual(a.policy.stages[s].volume, b.policy.stages[s].volume))
+      return false;
+  if (!bitEqual(a.policy.deadline, b.policy.deadline) ||
+      !bitEqual(a.policy.predicted_latency, b.policy.predicted_latency))
+    return false;
+  return a.replanned == b.replanned && a.plan_failed == b.plan_failed &&
+         a.budget_met == b.budget_met && bitEqual(a.cpu_utilization, b.cpu_utilization);
+}
+
+bool missionResultsIdentical(const runtime::MissionResult& a,
+                             const runtime::MissionResult& b) {
+  if (a.reached_goal != b.reached_goal || a.collided != b.collided ||
+      a.timed_out != b.timed_out || a.battery_depleted != b.battery_depleted ||
+      !bitEqual(a.mission_time, b.mission_time) ||
+      !bitEqual(a.flight_energy, b.flight_energy) ||
+      !bitEqual(a.compute_energy, b.compute_energy) ||
+      !bitEqual(a.battery_soc, b.battery_soc) ||
+      !bitEqual(a.distance_traveled, b.distance_traveled) ||
+      a.records.size() != b.records.size())
+    return false;
+  for (std::size_t i = 0; i < a.records.size(); ++i)
+    if (!recordsIdentical(a.records[i], b.records[i])) return false;
+  return true;
+}
+
+}  // namespace
+
+bool fleetResultsIdentical(const FleetResult& a, const FleetResult& b) {
+  if (a.cases.size() != b.cases.size() || a.rows.size() != b.rows.size()) return false;
+  if (describeCases(a.cases) != describeCases(b.cases)) return false;
+  for (std::size_t i = 0; i < a.rows.size(); ++i)
+    if (!missionResultsIdentical(a.rows[i].result, b.rows[i].result)) return false;
+  return true;
+}
+
+FleetScheduler::FleetScheduler(runtime::MissionConfig base, FleetConfig config)
+    : base_(std::move(base)), config_(config) {
+  if (config_.threads == 0) config_.threads = 1;
+}
+
+bool FleetScheduler::admit(const ScenarioSpec& spec) {
+  if (findFamily(spec.family) == nullptr) return false;
+  std::vector<MissionCase> expanded = expandScenario(spec, base_);
+  // Every admission is its own metric shard: a repeated display name (two
+  // unnamed instances of one family, say) gets a deterministic "#N" suffix
+  // instead of silently merging two unrelated workloads' aggregates.
+  std::string shard = spec.displayName();
+  auto taken = [&](const std::string& key) {
+    return std::find(scenario_order_.begin(), scenario_order_.end(), key) !=
+           scenario_order_.end();
+  };
+  if (taken(shard)) {
+    std::size_t n = 2;
+    while (taken(shard + "#" + std::to_string(n))) ++n;
+    shard += "#" + std::to_string(n);
+  }
+  scenario_order_.push_back(shard);
+  for (MissionCase& c : expanded) {
+    c.scenario = shard;
+    cases_.push_back(std::move(c));
+  }
+  return true;
+}
+
+std::size_t FleetScheduler::admitAll(const std::vector<ScenarioSpec>& specs) {
+  std::size_t admitted = 0;
+  for (const ScenarioSpec& spec : specs)
+    if (admit(spec)) ++admitted;
+  return admitted;
+}
+
+FleetResult FleetScheduler::run() {
+  FleetResult out;
+  out.cases = cases_;
+  out.threads = config_.threads;
+  out.mode = config_.mode;
+  out.rows.resize(cases_.size());
+
+  // Shared governor core: calibrated once from the base config, pooled
+  // across every tenant that can legally use it (engine_shareable cases
+  // running the Exhaustive solver — see MissionConfig::shared_engine).
+  std::shared_ptr<core::DecisionEngine> engine;
+  if (config_.share_engine) {
+    core::DecisionEngine::Config engine_config;
+    engine_config.knobs = base_.knobs;
+    engine_config.budgeter = base_.budgeter;
+    engine_config.profiler = base_.profiler;
+    engine = core::DecisionEngine::calibrated(sim::LatencyModel(base_.pipeline.latency),
+                                              engine_config);
+  }
+
+  const unsigned threads = static_cast<unsigned>(
+      std::max<std::size_t>(1, std::min<std::size_t>(config_.threads,
+                                                     std::max<std::size_t>(cases_.size(), 1))));
+  // One arena per worker slot: a worker's missions run strictly
+  // sequentially, so the (unsynchronized) arena is never lent to two live
+  // pipelines at once.
+  std::vector<std::unique_ptr<planning::PlannerArena>> arenas;
+  if (config_.reuse_arenas)
+    for (unsigned t = 0; t < threads; ++t)
+      arenas.push_back(std::make_unique<planning::PlannerArena>());
+
+  auto run_case = [&](std::size_t i, unsigned worker) {
+    const MissionCase& c = cases_[i];
+    runtime::MissionConfig config = c.config;
+    if (engine && c.engine_shareable &&
+        config.solver_strategy == core::StrategyType::Exhaustive)
+      config.shared_engine = engine;
+    if (config_.reuse_arenas) config.pipeline.shared_arena = arenas[worker].get();
+    const auto started = std::chrono::steady_clock::now();
+    const env::Environment environment = env::generateEnvironment(c.env);
+    out.rows[i].result = runtime::runMission(environment, c.design, config);
+    out.rows[i].wall_ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - started)
+                              .count();
+  };
+
+  const auto fleet_start = std::chrono::steady_clock::now();
+  if (config_.mode == DispatchMode::Async) {
+    // Free-running ticket queue: workers pull the next case as they finish.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&](unsigned slot) {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= cases_.size()) return;
+        run_case(i, slot);
+      }
+    };
+    std::vector<std::thread> pool;
+    for (unsigned t = 1; t < threads; ++t) pool.emplace_back(worker, t);
+    worker(0);
+    for (std::thread& t : pool) t.join();
+  } else {
+    // Synchronous waves: `threads` cases per wave, a barrier (join) between
+    // waves, worker k always serving the wave's k-th case.
+    for (std::size_t base = 0; base < cases_.size(); base += threads) {
+      const std::size_t wave = std::min<std::size_t>(threads, cases_.size() - base);
+      std::vector<std::thread> pool;
+      for (std::size_t k = 1; k < wave; ++k)
+        pool.emplace_back(run_case, base + k, static_cast<unsigned>(k));
+      run_case(base, 0);
+      for (std::thread& t : pool) t.join();
+    }
+  }
+  out.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - fleet_start)
+                   .count();
+  if (out.wall_s > 0.0 && !out.rows.empty())
+    out.missions_per_sec = static_cast<double>(out.rows.size()) / out.wall_s;
+  if (engine) {
+    out.engine_shared = true;
+    out.engine = engine->stats();
+  }
+
+  // Per-shard aggregation, in admission order over index-ordered rows —
+  // deterministic because every input field is.
+  for (const std::string& shard : scenario_order_) {
+    ShardAggregate agg;
+    agg.scenario = shard;
+    std::size_t n = 0;
+    double velocity_sum = 0.0;
+    for (std::size_t i = 0; i < cases_.size(); ++i) {
+      if (cases_[i].scenario != shard) continue;
+      const runtime::MissionResult& r = out.rows[i].result;
+      ++n;
+      agg.reached += r.reached_goal ? 1 : 0;
+      agg.collided += r.collided ? 1 : 0;
+      agg.timed_out += r.timed_out ? 1 : 0;
+      agg.battery_depleted += r.battery_depleted ? 1 : 0;
+      agg.decisions += r.decisions();
+      agg.replans += r.replans();
+      agg.mission_time += r.mission_time;
+      agg.distance += r.distance_traveled;
+      agg.flight_energy += r.flight_energy;
+      agg.compute_energy += r.compute_energy;
+      velocity_sum += r.averageVelocity();
+    }
+    agg.missions = n;
+    if (n > 0) agg.mean_velocity = velocity_sum / static_cast<double>(n);
+    out.shards.push_back(std::move(agg));
+  }
+  return out;
+}
+
+}  // namespace roborun::scenario

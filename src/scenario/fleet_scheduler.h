@@ -1,0 +1,134 @@
+// FleetScheduler — the multi-tenant mission server over the scenario
+// catalog.
+//
+// A scheduler admits scenarios (each expanding into an ordered list of
+// MissionCases), then runs the whole case list across a worker pool with
+// the pooled infrastructure the runtime layers grew for exactly this:
+//
+//   * one internally synchronized core::DecisionEngine shared by every
+//     tenant mission (MissionConfig::shared_engine) — the Eq. 3 solver memo
+//     warms across scenarios, the cross-tenant hit-rate is the fleet bench's
+//     headline metric;
+//   * one planning::PlannerArena per WORKER (PipelineConfig::shared_arena),
+//     so steady-state replanning stays allocation-free across the missions
+//     a worker serves back to back.
+//
+// Dispatch modes (the GenTen sync-vs-async scheduling axis, made an
+// explicit knob):
+//
+//   Sync   missions run in deterministic waves of `threads` cases with a
+//          barrier between waves — every shard steps together, worker k
+//          always serves case wave*threads+k. The fairness/phase-aligned
+//          shape; stragglers idle the whole wave.
+//   Async  a free-running work queue (atomic ticket) — workers pull the
+//          next case the moment they finish one. Best load balance; case ->
+//          worker assignment is a race.
+//
+// The determinism contract, for BOTH modes and ANY thread count: every
+// mission metric in FleetResult (rows, shard aggregates) is bitwise
+// identical — results land at their case index, missions are independently
+// seeded, and the shared engine/arena infrastructure answers bit-identically
+// regardless of pool state (see decision_engine.h / planner_arena.h).
+// Only the wall-time fields and the engine counters (which hits land where
+// is a race) vary run to run; tools keep those out of the deterministic
+// report (fleet_report.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/decision_engine.h"
+#include "scenario/catalog.h"
+
+namespace roborun::scenario {
+
+enum class DispatchMode { Sync, Async };
+
+inline const char* dispatchModeName(DispatchMode m) {
+  return m == DispatchMode::Sync ? "sync" : "async";
+}
+
+inline bool parseDispatchMode(const std::string& name, DispatchMode& out) {
+  if (name == "sync") out = DispatchMode::Sync;
+  else if (name == "async") out = DispatchMode::Async;
+  else return false;
+  return true;
+}
+
+struct FleetConfig {
+  unsigned threads = 1;
+  DispatchMode mode = DispatchMode::Async;
+  /// Pool one DecisionEngine (solver memo) across every tenant mission.
+  bool share_engine = true;
+  /// Lend each worker a persistent PlannerArena reused across its missions.
+  bool reuse_arenas = true;
+};
+
+/// One finished mission (at its case index).
+struct FleetRow {
+  runtime::MissionResult result;
+  double wall_ms = 0.0;  ///< this run's wall clock — NOT deterministic
+};
+
+/// Deterministic per-scenario aggregate (the fleet's metric shard).
+struct ShardAggregate {
+  std::string scenario;
+  std::size_t missions = 0;
+  std::size_t reached = 0;
+  std::size_t collided = 0;
+  std::size_t timed_out = 0;
+  std::size_t battery_depleted = 0;
+  std::size_t decisions = 0;
+  std::size_t replans = 0;
+  double mission_time = 0.0;    ///< s, summed over the shard
+  double distance = 0.0;        ///< m, summed
+  double flight_energy = 0.0;   ///< J, summed
+  double compute_energy = 0.0;  ///< J, summed
+  double mean_velocity = 0.0;   ///< mean of per-mission average velocities
+};
+
+struct FleetResult {
+  std::vector<MissionCase> cases;      ///< the admitted expansion, in order
+  std::vector<FleetRow> rows;          ///< by case index
+  std::vector<ShardAggregate> shards;  ///< in scenario admission order
+  // --- measurements of this run (never deterministic) ---
+  double wall_s = 0.0;
+  double missions_per_sec = 0.0;
+  unsigned threads = 1;
+  DispatchMode mode = DispatchMode::Async;
+  bool engine_shared = false;
+  core::EngineStats engine;  ///< shared-engine counters; zeros when unshared
+};
+
+/// Bitwise comparison of every deterministic field (each row's full
+/// MissionResult including all decision records, and the case list) —
+/// the contract fleet tools and tests pin across thread counts and
+/// dispatch modes. Wall-time fields and engine counters are excluded.
+bool fleetResultsIdentical(const FleetResult& a, const FleetResult& b);
+
+class FleetScheduler {
+ public:
+  FleetScheduler(runtime::MissionConfig base, FleetConfig config);
+
+  /// Expand and enqueue a scenario; false (nothing enqueued) on an unknown
+  /// family.
+  bool admit(const ScenarioSpec& spec);
+  /// Admit a whole catalog; returns how many scenarios were accepted.
+  std::size_t admitAll(const std::vector<ScenarioSpec>& specs);
+
+  const std::vector<MissionCase>& cases() const { return cases_; }
+  /// Admitted scenario names, in order (the shard order of run()).
+  const std::vector<std::string>& scenarios() const { return scenario_order_; }
+
+  /// Run every admitted case. May be called repeatedly (each call runs the
+  /// same admitted workload from scratch with a fresh engine/arena pool).
+  FleetResult run();
+
+ private:
+  runtime::MissionConfig base_;
+  FleetConfig config_;
+  std::vector<MissionCase> cases_;
+  std::vector<std::string> scenario_order_;
+};
+
+}  // namespace roborun::scenario

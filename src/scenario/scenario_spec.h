@@ -1,0 +1,71 @@
+// ScenarioSpec — a seeded, fully deterministic description of one
+// procedural scenario instance.
+//
+// The paper's evaluation sweeps a fixed 27-cell grid (env::Suite); the
+// scenario catalog generalizes that into *families* of procedurally
+// generated workloads ("as many scenarios as you can imagine"): a spec
+// names a registered generator family plus a handful of dials, and the
+// family expands it into concrete missions (env::EnvSpec + MissionConfig +
+// DynamicObstacleField schedules). Expansion is a pure function of the spec
+// — same spec, same bytes, on every run and platform — which is what lets
+// the fleet layer promise bitwise-deterministic results at any thread
+// count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace roborun::scenario {
+
+/// A family-specific numeric dial (e.g. swarm_crossing's `count`). Kept as
+/// an ordered list, not a map: the order is part of the spec's identity and
+/// serializes byte-stably.
+struct ScenarioParam {
+  std::string key;
+  double value = 0.0;
+};
+
+/// Which design(s) each expanded mission runs.
+enum class DesignSelection { RoboRun, Baseline, Both };
+
+inline const char* designSelectionName(DesignSelection d) {
+  switch (d) {
+    case DesignSelection::RoboRun: return "roborun";
+    case DesignSelection::Baseline: return "baseline";
+    case DesignSelection::Both: return "both";
+  }
+  return "?";
+}
+
+inline bool parseDesignSelection(const std::string& name, DesignSelection& out) {
+  if (name == "roborun") out = DesignSelection::RoboRun;
+  else if (name == "baseline") out = DesignSelection::Baseline;
+  else if (name == "both") out = DesignSelection::Both;
+  else return false;
+  return true;
+}
+
+struct ScenarioSpec {
+  std::string family;         ///< registered generator family (catalog key)
+  std::string name;           ///< instance label; empty = the family name
+  std::uint64_t seed = 1;     ///< the ONLY entropy source of the expansion
+  std::size_t missions = 3;   ///< cases to expand (ramp steps / chain legs)
+  double intensity = 0.5;     ///< difficulty dial in [0, 1]
+  double scale = 1.0;         ///< geometric scale (goal distances etc.)
+  DesignSelection designs = DesignSelection::RoboRun;
+  std::vector<ScenarioParam> params;  ///< family-specific extras
+
+  /// Last-set value of `key`, or `fallback` when absent (later entries win,
+  /// so catalog files can override earlier defaults).
+  double param(const std::string& key, double fallback) const {
+    double v = fallback;
+    for (const ScenarioParam& p : params)
+      if (p.key == key) v = p.value;
+    return v;
+  }
+
+  const std::string& displayName() const { return name.empty() ? family : name; }
+};
+
+}  // namespace roborun::scenario

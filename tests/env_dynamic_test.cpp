@@ -137,6 +137,134 @@ TEST(CrossTrafficTest, GeneratorIsDeterministicAndInZoneB) {
   }
 }
 
+// --- edge cases exercised by the scenario catalog's swarm workloads --------
+
+TEST(DynamicObstacleTest, EmptyFieldAnswersEveryQuery) {
+  // Zero obstacles: every query must degrade to the "nothing there" answer
+  // (swarm scenarios legitimately expand to zero movers at ramp start).
+  DynamicObstacleField field;
+  EXPECT_TRUE(field.empty());
+  EXPECT_EQ(field.size(), 0u);
+  field.setTime(123.0);  // a clock with no movers is fine too
+  EXPECT_FALSE(field.occupied({0.0, 0.0, 1.0}));
+  EXPECT_FALSE(field.raycast({0, 0, 3}, {1, 0, 0}, 100.0).has_value());
+  EXPECT_DOUBLE_EQ(field.nearestObstacleXY({0, 0, 0}, 55.0), 55.0);
+}
+
+TEST(DynamicObstacleTest, MoverOutsideWorldBoundsIsHarmless) {
+  // A mover spawned far outside any world footprint must never phantom-hit
+  // in-world queries — occupancy and raycasts see it only where it actually
+  // is, and in-world space stays clear.
+  auto o = patroller();
+  o.base = {-500.0, 900.0, 0.0};
+  DynamicObstacleField field({o});
+  field.setTime(0.0);
+  EXPECT_FALSE(field.occupied({0.0, 0.0, 3.0}));
+  EXPECT_FALSE(field.raycast({0, 0, 3}, {1, 0, 0}, 200.0).has_value());
+  // The distance probe saturates at max_r instead of going negative/NaN.
+  EXPECT_DOUBLE_EQ(field.nearestObstacleXY({0, 0, 3}, 40.0), 40.0);
+  // Queries AT the far-away mover still resolve exactly.
+  EXPECT_TRUE(field.occupied({-500.0, 900.0, 3.0}));
+  // And a sensor sweep over an in-world drone is unaffected by it.
+  const geom::Aabb extent{{-20, -20, 0}, {20, 20, 20}};
+  World world(extent, 1.0);
+  sim::SensorConfig config;
+  config.range = 30.0;
+  sim::DepthCameraArray sensor(config);
+  const auto with = sensor.capture(world, {0, 0, 3}, &field);
+  const auto without = sensor.capture(world, {0, 0, 3});
+  EXPECT_EQ(with.points.size(), without.points.size());
+}
+
+TEST(DynamicObstacleTest, ScheduleWrapsAroundExactly) {
+  // The patrol is periodic: any whole number of cycles later (including
+  // phase pushing past several cycles) lands on the same position, and far
+  // future clocks stay on the patrol segment. This is the wrap-around a
+  // long fleet soak drives the schedule through.
+  auto o = patroller();  // speed 2, span 10 -> cycle = 10 s
+  const double cycle = 2.0 * o.patrol_span / o.speed;
+  DynamicObstacleField field({o});
+  for (const double t : {1.25, 3.75, 6.5, 9.0}) {
+    field.setTime(t);
+    const auto at_t = field.positionOf(0);
+    field.setTime(t + 7.0 * cycle);
+    const auto wrapped = field.positionOf(0);
+    EXPECT_NEAR(at_t.y, wrapped.y, 1e-9) << "t=" << t;
+  }
+  // Phase larger than several cycles wraps identically.
+  auto shifted = patroller();
+  shifted.phase = 2.5 + 3.0 * cycle;
+  DynamicObstacleField shifted_field({shifted});
+  shifted_field.setTime(0.0);
+  EXPECT_NEAR(shifted_field.positionOf(0).y, 5.0, 1e-9);
+  // A far-future clock still lies on the patrol segment.
+  field.setTime(1.0e6 + 2.5);
+  const auto far = field.positionOf(0);
+  EXPECT_GE(far.y, 0.0);
+  EXPECT_LE(far.y, o.patrol_span);
+}
+
+TEST(SwarmTrafficTest, GeneratorIsDeterministicAndInsideTheWorld) {
+  EnvSpec spec;
+  spec.goal_distance = 420.0;
+  const auto a = swarmTraffic(spec, 9, 1.2, 5);
+  const auto b = swarmTraffic(spec, 9, 1.2, 5);
+  ASSERT_EQ(a.size(), 9u);
+  ASSERT_EQ(b.size(), 9u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.obstacles()[i].base.x, b.obstacles()[i].base.x);
+    EXPECT_DOUBLE_EQ(a.obstacles()[i].phase, b.obstacles()[i].phase);
+    // Both patrol endpoints stay inside the world footprint: x within the
+    // corridor, y within the half-width, for the whole patrol.
+    const auto& o = a.obstacles()[i];
+    const Vec3 dir = Vec3{o.direction.x, o.direction.y, 0.0}.normalized();
+    for (const double s : {0.0, o.patrol_span}) {
+      const double x = o.base.x + dir.x * s;
+      const double y = o.base.y + dir.y * s;
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, spec.goal_distance);
+      EXPECT_GE(y, -spec.world_half_width);
+      EXPECT_LE(y, spec.world_half_width);
+    }
+    // Clear pockets around the mission endpoints stay mover-free.
+    EXPECT_GT(o.base.x, spec.clear_pocket);
+    EXPECT_LT(o.base.x, spec.goal_distance - spec.clear_pocket);
+  }
+  // Different seeds move the swarm.
+  const auto c = swarmTraffic(spec, 9, 1.2, 6);
+  EXPECT_NE(a.obstacles()[0].base.x, c.obstacles()[0].base.x);
+}
+
+TEST(SwarmTrafficTest, NarrowWorldsStayClampedInside) {
+  // The in-world guarantee holds even for corridors far narrower than the
+  // patrol shoulders assume: spans collapse (to stationary movers at the
+  // limit) instead of poking outside the footprint.
+  for (const double half_width : {2.0, 3.5, 5.0}) {
+    EnvSpec spec;
+    spec.goal_distance = 420.0;
+    spec.world_half_width = half_width;
+    const auto field = swarmTraffic(spec, 12, 1.2, 5);
+    ASSERT_EQ(field.size(), 12u);
+    for (const auto& o : field.obstacles()) {
+      const Vec3 dir = Vec3{o.direction.x, o.direction.y, 0.0}.normalized();
+      for (const double s : {0.0, o.patrol_span}) {
+        EXPECT_GE(o.base.y + dir.y * s, -half_width) << "half_width=" << half_width;
+        EXPECT_LE(o.base.y + dir.y * s, half_width) << "half_width=" << half_width;
+      }
+    }
+  }
+}
+
+TEST(SwarmTrafficTest, DegenerateRequestsYieldEmptyFields) {
+  EnvSpec spec;
+  spec.goal_distance = 420.0;
+  EXPECT_EQ(swarmTraffic(spec, 0, 1.2, 5).size(), 0u);
+  // A corridor shorter than the two clear pockets has no room for movers.
+  EnvSpec cramped;
+  cramped.goal_distance = 2.0 * cramped.clear_pocket;
+  EXPECT_EQ(swarmTraffic(cramped, 8, 1.2, 5).size(), 0u);
+}
+
 TEST(CrossTrafficTest, TooShortZoneBYieldsNoTraffic) {
   EnvSpec spec;
   spec.goal_distance = 320.0;  // zones nearly touch

@@ -1,0 +1,281 @@
+// Scenario catalog + fleet scheduler determinism regressions.
+//
+// Two contracts, extending the determinism_test pattern up a layer:
+//
+//  * Expansion: the same ScenarioSpec must expand byte-identically on every
+//    run and platform — expansion is a pure function of the spec (our own
+//    Rng, no clocks, no global state), checked through describeCases()'s
+//    exact bit-pattern dump.
+//  * Fleet: FleetScheduler results must be bitwise identical for any
+//    --threads value, for sync vs async dispatch, and with the pooled
+//    engine/arena infrastructure on or off — the contract fleet_runner's
+//    byte-identical --out JSON rests on.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "runtime/designs.h"
+#include "scenario/catalog.h"
+#include "scenario/catalog_file.h"
+#include "scenario/fleet_report.h"
+#include "scenario/fleet_scheduler.h"
+
+namespace {
+
+using namespace roborun;
+
+scenario::ScenarioSpec tinySpec(const std::string& family, std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.family = family;
+  spec.seed = seed;
+  spec.missions = 2;
+  spec.scale = 0.35;  // ~140 m goals: whole missions in tens of milliseconds
+  return spec;
+}
+
+/// The tier1 fleet workload: two families (one with a dynamic-obstacle
+/// schedule), two cases each, smoke fidelity.
+std::vector<scenario::ScenarioSpec> tinyCatalog() {
+  return {tinySpec("corridor_gradient", 11), tinySpec("swarm_crossing", 23)};
+}
+
+scenario::FleetResult runFleet(unsigned threads, scenario::DispatchMode mode,
+                               bool share_engine = true, bool reuse_arenas = true) {
+  scenario::FleetConfig config;
+  config.threads = threads;
+  config.mode = mode;
+  config.share_engine = share_engine;
+  config.reuse_arenas = reuse_arenas;
+  scenario::FleetScheduler scheduler(runtime::smokeMissionConfig(), config);
+  EXPECT_EQ(scheduler.admitAll(tinyCatalog()), 2u);
+  return scheduler.run();
+}
+
+// --- catalog registry -------------------------------------------------------
+
+TEST(ScenarioCatalogTest, RegistersAtLeastFiveFamilies) {
+  ASSERT_GE(scenario::families().size(), 5u);
+  for (const scenario::FamilyInfo& f : scenario::families()) {
+    EXPECT_EQ(scenario::findFamily(f.name), &f);
+    // Every family must expand a default spec into at least one runnable case.
+    scenario::ScenarioSpec spec = tinySpec(f.name, 3);
+    const auto cases = scenario::expandScenario(spec, runtime::smokeMissionConfig());
+    EXPECT_FALSE(cases.empty()) << f.name;
+    for (const scenario::MissionCase& c : cases) {
+      EXPECT_GT(c.env.goal_distance, 0.0) << f.name;
+      EXPECT_NE(c.env.seed, 0u) << f.name;
+      EXPECT_NE(c.config.seed, 0u) << f.name;
+    }
+  }
+  EXPECT_EQ(scenario::findFamily("no_such_family"), nullptr);
+  EXPECT_THROW(
+      scenario::expandScenario(scenario::ScenarioSpec{}, runtime::smokeMissionConfig()),
+      std::invalid_argument);
+}
+
+TEST(ScenarioCatalogTest, ExpansionIsByteIdenticalAcrossRuns) {
+  const runtime::MissionConfig base = runtime::smokeMissionConfig();
+  for (const scenario::FamilyInfo& f : scenario::families()) {
+    scenario::ScenarioSpec spec = tinySpec(f.name, 77);
+    const std::string first = scenario::describeCases(scenario::expandScenario(spec, base));
+    const std::string second = scenario::describeCases(scenario::expandScenario(spec, base));
+    EXPECT_EQ(first, second) << f.name;
+  }
+}
+
+TEST(ScenarioCatalogTest, ExpansionIsSeedSensitive) {
+  const runtime::MissionConfig base = runtime::smokeMissionConfig();
+  for (const scenario::FamilyInfo& f : scenario::families()) {
+    const std::string a =
+        scenario::describeCases(scenario::expandScenario(tinySpec(f.name, 1), base));
+    const std::string b =
+        scenario::describeCases(scenario::expandScenario(tinySpec(f.name, 2), base));
+    EXPECT_NE(a, b) << f.name;
+  }
+}
+
+TEST(ScenarioCatalogTest, ParamsOverrideFamilyDefaults) {
+  scenario::ScenarioSpec spec = tinySpec("swarm_crossing", 5);
+  spec.missions = 1;
+  spec.params.push_back({"count", 7.0});
+  const auto cases = scenario::expandScenario(spec, runtime::smokeMissionConfig());
+  ASSERT_EQ(cases.size(), 1u);
+  // A single-case ramp sits at the midpoint between 1 and the peak count.
+  EXPECT_EQ(cases[0].config.dynamic_obstacles.size(), 4u);
+  // Later entries win (catalog files append overrides).
+  spec.params.push_back({"count", 1.0});
+  const auto overridden = scenario::expandScenario(spec, runtime::smokeMissionConfig());
+  ASSERT_EQ(overridden.size(), 1u);
+  EXPECT_EQ(overridden[0].config.dynamic_obstacles.size(), 1u);
+}
+
+TEST(ScenarioCatalogTest, DesignSelectionFansOut) {
+  scenario::ScenarioSpec spec = tinySpec("clutter_ramp", 9);
+  spec.missions = 2;
+  spec.designs = scenario::DesignSelection::Both;
+  const auto cases = scenario::expandScenario(spec, runtime::smokeMissionConfig());
+  ASSERT_EQ(cases.size(), 4u);
+  EXPECT_EQ(cases[0].design, runtime::DesignType::SpatialOblivious);
+  EXPECT_EQ(cases[1].design, runtime::DesignType::RoboRun);
+  // Paired designs fly the exact same world and mission seed.
+  EXPECT_EQ(cases[0].env.seed, cases[1].env.seed);
+  EXPECT_EQ(cases[0].config.seed, cases[1].config.seed);
+}
+
+TEST(ScenarioCatalogTest, BuiltinCatalogCoversEveryFamily) {
+  const auto catalog = scenario::builtinCatalog(1, 0.35, 1);
+  ASSERT_EQ(catalog.size(), scenario::families().size());
+  for (std::size_t i = 0; i < catalog.size(); ++i)
+    EXPECT_EQ(catalog[i].family, scenario::families()[i].name);
+}
+
+// --- catalog files ----------------------------------------------------------
+
+TEST(CatalogFileTest, ParsesScenarioLines) {
+  std::istringstream in(
+      "# demo\n"
+      "\n"
+      "scenario swarm_crossing name=rush seed=9 missions=4 intensity=0.7 "
+      "design=both count=8 speed=1.5\n"
+      "scenario clutter_ramp scale=0.5  # trailing comment\n");
+  const auto parsed = scenario::parseCatalog(in);
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0]);
+  ASSERT_EQ(parsed.scenarios.size(), 2u);
+  const scenario::ScenarioSpec& s = parsed.scenarios[0];
+  EXPECT_EQ(s.family, "swarm_crossing");
+  EXPECT_EQ(s.name, "rush");
+  EXPECT_EQ(s.seed, 9u);
+  EXPECT_EQ(s.missions, 4u);
+  EXPECT_DOUBLE_EQ(s.intensity, 0.7);
+  EXPECT_EQ(s.designs, scenario::DesignSelection::Both);
+  EXPECT_DOUBLE_EQ(s.param("count", 0.0), 8.0);
+  EXPECT_DOUBLE_EQ(s.param("speed", 0.0), 1.5);
+  EXPECT_DOUBLE_EQ(parsed.scenarios[1].scale, 0.5);
+}
+
+TEST(CatalogFileTest, ReportsErrorsWithLineNumbers) {
+  std::istringstream in(
+      "scenario bogus_family seed=1\n"
+      "mission clutter_ramp\n"
+      "scenario clutter_ramp missions=0\n"
+      "scenario clutter_ramp seed=ten\n"
+      "scenario weather_front floor=low\n");
+  const auto parsed = scenario::parseCatalog(in);
+  EXPECT_TRUE(parsed.scenarios.empty());
+  ASSERT_EQ(parsed.errors.size(), 5u);
+  EXPECT_NE(parsed.errors[0].find("line 1"), std::string::npos);
+  EXPECT_NE(parsed.errors[0].find("unknown family"), std::string::npos);
+  EXPECT_NE(parsed.errors[4].find("line 5"), std::string::npos);
+}
+
+TEST(CatalogFileTest, FormatRoundTrips) {
+  std::vector<scenario::ScenarioSpec> catalog = {tinySpec("goal_chain", 13)};
+  catalog[0].name = "relay";
+  catalog[0].designs = scenario::DesignSelection::Both;
+  catalog[0].params.push_back({"leg_min", 200.0});
+  std::istringstream in(scenario::formatCatalog(catalog));
+  const auto parsed = scenario::parseCatalog(in);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.scenarios.size(), 1u);
+  EXPECT_EQ(parsed.scenarios[0].name, "relay");
+  EXPECT_EQ(parsed.scenarios[0].seed, 13u);
+  EXPECT_EQ(parsed.scenarios[0].designs, scenario::DesignSelection::Both);
+  EXPECT_DOUBLE_EQ(parsed.scenarios[0].param("leg_min", 0.0), 200.0);
+  const runtime::MissionConfig base = runtime::smokeMissionConfig();
+  EXPECT_EQ(scenario::describeCases(scenario::expandScenario(catalog[0], base)),
+            scenario::describeCases(scenario::expandScenario(parsed.scenarios[0], base)));
+}
+
+// --- fleet determinism ------------------------------------------------------
+
+TEST(FleetSchedulerTest, ResultsIndependentOfThreadCount) {
+  const scenario::FleetResult serial = runFleet(1, scenario::DispatchMode::Async);
+  ASSERT_EQ(serial.rows.size(), 4u);
+  ASSERT_GT(serial.rows[0].result.decisions(), 0u);
+  for (const unsigned threads : {4u, 16u}) {
+    const scenario::FleetResult parallel = runFleet(threads, scenario::DispatchMode::Async);
+    EXPECT_TRUE(scenario::fleetResultsIdentical(serial, parallel))
+        << threads << " threads diverged from serial";
+  }
+}
+
+TEST(FleetSchedulerTest, SyncAndAsyncDispatchAgree) {
+  const scenario::FleetResult async = runFleet(4, scenario::DispatchMode::Async);
+  const scenario::FleetResult sync = runFleet(4, scenario::DispatchMode::Sync);
+  EXPECT_TRUE(scenario::fleetResultsIdentical(async, sync));
+}
+
+TEST(FleetSchedulerTest, PooledInfrastructureDoesNotChangeResults) {
+  const scenario::FleetResult pooled = runFleet(4, scenario::DispatchMode::Async, true, true);
+  const scenario::FleetResult isolated =
+      runFleet(4, scenario::DispatchMode::Async, false, false);
+  EXPECT_FALSE(isolated.engine_shared);
+  EXPECT_TRUE(pooled.engine_shared);
+  // The pooled engine actually served the fleet's governor decisions...
+  EXPECT_GT(pooled.engine.decisions, 0u);
+  // ...without changing a single mission bit.
+  EXPECT_TRUE(scenario::fleetResultsIdentical(pooled, isolated));
+}
+
+TEST(FleetSchedulerTest, DuplicateScenarioNamesGetDistinctShards) {
+  // Two unnamed instances of one family are distinct workloads: their
+  // shards must not merge (which would cross-contaminate per-scenario
+  // aggregates), and the suffixing must be deterministic.
+  scenario::FleetScheduler scheduler(runtime::smokeMissionConfig(), scenario::FleetConfig{});
+  EXPECT_TRUE(scheduler.admit(tinySpec("clutter_ramp", 1)));
+  EXPECT_TRUE(scheduler.admit(tinySpec("clutter_ramp", 2)));
+  EXPECT_TRUE(scheduler.admit(tinySpec("clutter_ramp", 3)));
+  ASSERT_EQ(scheduler.scenarios().size(), 3u);
+  EXPECT_EQ(scheduler.scenarios()[0], "clutter_ramp");
+  EXPECT_EQ(scheduler.scenarios()[1], "clutter_ramp#2");
+  EXPECT_EQ(scheduler.scenarios()[2], "clutter_ramp#3");
+  // Cases carry their shard's key, so rows and aggregates stay separable.
+  EXPECT_EQ(scheduler.cases()[0].scenario, "clutter_ramp");
+  EXPECT_EQ(scheduler.cases()[2].scenario, "clutter_ramp#2");
+  EXPECT_EQ(scheduler.cases()[4].scenario, "clutter_ramp#3");
+}
+
+TEST(FleetReportTest, EscapesUserControlledStrings) {
+  scenario::ScenarioSpec spec = tinySpec("clutter_ramp", 4);
+  spec.missions = 1;
+  spec.name = "bad\"name\\with\tweird chars";
+  scenario::FleetScheduler scheduler(runtime::smokeMissionConfig(), scenario::FleetConfig{});
+  ASSERT_TRUE(scheduler.admit(spec));
+  const scenario::FleetResult result = scheduler.run();
+  std::ostringstream os;
+  scenario::writeFleetJson(os, result, "catalog \"path\" with quotes");
+  const std::string doc = os.str();
+  EXPECT_NE(doc.find("bad\\\"name\\\\with\\tweird chars"), std::string::npos);
+  EXPECT_NE(doc.find("catalog \\\"path\\\" with quotes"), std::string::npos);
+  // No raw quote/control bytes survive inside any string literal.
+  EXPECT_EQ(doc.find('\t'), std::string::npos);
+  EXPECT_EQ(scenario::jsonEscape("plain"), "plain");
+  EXPECT_EQ(scenario::jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(FleetSchedulerTest, ShardAggregatesAreConsistentWithRows) {
+  const scenario::FleetResult result = runFleet(2, scenario::DispatchMode::Async);
+  ASSERT_EQ(result.shards.size(), 2u);
+  std::size_t missions = 0, decisions = 0;
+  for (const scenario::ShardAggregate& s : result.shards) {
+    missions += s.missions;
+    decisions += s.decisions;
+  }
+  EXPECT_EQ(missions, result.rows.size());
+  std::size_t row_decisions = 0;
+  for (const scenario::FleetRow& row : result.rows)
+    row_decisions += row.result.decisions();
+  EXPECT_EQ(decisions, row_decisions);
+}
+
+TEST(FleetSchedulerTest, DeterministicReportIsByteStable) {
+  const scenario::FleetResult a = runFleet(1, scenario::DispatchMode::Async);
+  const scenario::FleetResult b = runFleet(4, scenario::DispatchMode::Sync);
+  std::ostringstream ja, jb;
+  scenario::writeFleetJson(ja, a, "catalog");
+  scenario::writeFleetJson(jb, b, "catalog");
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+}  // namespace

@@ -1,0 +1,287 @@
+// fleet_runner — the fleet-scale mission server CLI.
+//
+// Loads a scenario catalog (a catalog file, or the built-in demo catalog
+// covering every registered generator family), admits it into a
+// scenario::FleetScheduler, and serves the whole expansion across a worker
+// pool with the pooled DecisionEngine memo + per-worker PlannerArenas.
+//
+// Output contract (see src/scenario/fleet_report.h):
+//   --out         deterministic result JSON — byte-identical for any
+//                 --threads value and either --mode on the same catalog
+//   --bench-json  this run's measurements (missions/s, dispatch shape,
+//                 shared-engine memo hit-rate across tenants)
+//
+// Usage:
+//   fleet_runner [--catalog file] [--seed N] [--scale F] [--missions N]
+//                [--threads N] [--mode sync|async] [--config smoke|test|default]
+//                [--no-share-engine] [--no-reuse-arenas]
+//                [--out results.json] [--bench-json perf.json]
+//                [--list-families] [--print-catalog] [--quiet]
+//
+// Exit code: 0 when every mission terminated in a defined state, 1 on IO /
+// undefined-state errors, 2 on usage errors.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/designs.h"
+#include "scenario/catalog.h"
+#include "scenario/catalog_file.h"
+#include "scenario/fleet_report.h"
+#include "scenario/fleet_scheduler.h"
+
+namespace {
+
+using namespace roborun;
+
+struct Options {
+  std::string catalog_path;  ///< empty = built-in demo catalog
+  std::uint64_t seed = 1;    ///< built-in catalog base seed
+  double scale = 0.5;        ///< built-in catalog geometric scale
+  std::size_t missions = 2;  ///< built-in catalog cases per scenario
+  unsigned threads = std::thread::hardware_concurrency();
+  scenario::DispatchMode mode = scenario::DispatchMode::Async;
+  std::string config = "test";
+  bool share_engine = true;
+  bool reuse_arenas = true;
+  std::string out_path;
+  std::string bench_json_path;
+  bool list_families = false;
+  bool print_catalog = false;
+  bool quiet = false;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: fleet_runner [--catalog file] [--seed N] [--scale F] [--missions N]\n"
+        "                    [--threads N] [--mode sync|async]\n"
+        "                    [--config smoke|test|default]\n"
+        "                    [--no-share-engine] [--no-reuse-arenas]\n"
+        "                    [--out results.json] [--bench-json perf.json]\n"
+        "                    [--list-families] [--print-catalog] [--quiet]\n"
+        "\n"
+        "Without --catalog, serves the built-in demo catalog (one scenario per\n"
+        "registered family; --seed/--scale/--missions shape it). The --out JSON\n"
+        "is deterministic: byte-identical for any --threads and either --mode.\n";
+}
+
+bool parseCount(const char* flag, const char* text, std::size_t& out, std::size_t max) {
+  const std::string s(text);
+  std::size_t v = 0;
+  bool ok = !s.empty() && s.size() <= 9;
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      ok = false;
+      break;
+    }
+    v = v * 10 + static_cast<std::size_t>(c - '0');
+  }
+  if (!ok || v > max) {
+    std::cerr << "fleet_runner: " << flag << " needs an integer in [0, " << max
+              << "], got '" << text << "'\n";
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool parseArgs(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "fleet_runner: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--catalog") {
+      const char* v = next("--catalog");
+      if (v == nullptr) return false;
+      opts.catalog_path = v;
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      std::size_t seed = 0;
+      if (v == nullptr || !parseCount("--seed", v, seed, 100000000)) return false;
+      opts.seed = seed;
+    } else if (arg == "--scale") {
+      const char* v = next("--scale");
+      if (v == nullptr) return false;
+      std::istringstream ss{std::string(v)};
+      if (!(ss >> opts.scale) || !ss.eof() || opts.scale <= 0.0) {
+        std::cerr << "fleet_runner: --scale needs a positive number, got '" << v << "'\n";
+        return false;
+      }
+    } else if (arg == "--missions") {
+      const char* v = next("--missions");
+      if (v == nullptr || !parseCount("--missions", v, opts.missions, 10000)) return false;
+      if (opts.missions == 0) opts.missions = 1;
+    } else if (arg == "--threads") {
+      const char* v = next("--threads");
+      std::size_t threads = 0;
+      if (v == nullptr || !parseCount("--threads", v, threads, 4096)) return false;
+      opts.threads = static_cast<unsigned>(threads);
+    } else if (arg == "--mode") {
+      const char* v = next("--mode");
+      if (v == nullptr || !scenario::parseDispatchMode(v, opts.mode)) {
+        std::cerr << "fleet_runner: --mode must be sync or async\n";
+        return false;
+      }
+    } else if (arg == "--config") {
+      const char* v = next("--config");
+      if (v == nullptr) return false;
+      opts.config = v;
+    } else if (arg == "--no-share-engine") {
+      opts.share_engine = false;
+    } else if (arg == "--no-reuse-arenas") {
+      opts.reuse_arenas = false;
+    } else if (arg == "--out") {
+      const char* v = next("--out");
+      if (v == nullptr) return false;
+      opts.out_path = v;
+    } else if (arg == "--bench-json") {
+      const char* v = next("--bench-json");
+      if (v == nullptr) return false;
+      opts.bench_json_path = v;
+    } else if (arg == "--list-families") {
+      opts.list_families = true;
+    } else if (arg == "--print-catalog") {
+      opts.print_catalog = true;
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "fleet_runner: unknown flag " << arg << "\n";
+      usage(std::cerr);
+      return false;
+    }
+  }
+  if (opts.config != "smoke" && opts.config != "test" && opts.config != "default") {
+    std::cerr << "fleet_runner: --config must be smoke, test, or default\n";
+    return false;
+  }
+  if (opts.threads == 0) opts.threads = 1;
+  return true;
+}
+
+void listFamilies(std::ostream& os) {
+  os << "registered scenario generator families:\n";
+  scenario::printFamilies(os);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parseArgs(argc, argv, opts)) return 2;
+
+  if (opts.list_families) {
+    listFamilies(std::cout);
+    return 0;
+  }
+
+  std::vector<scenario::ScenarioSpec> catalog;
+  std::string catalog_label;
+  if (opts.catalog_path.empty()) {
+    catalog = scenario::builtinCatalog(opts.seed, opts.scale, opts.missions);
+    catalog_label = "builtin";
+  } else {
+    const scenario::CatalogParseResult parsed =
+        scenario::loadCatalogFile(opts.catalog_path);
+    for (const std::string& err : parsed.errors)
+      std::cerr << "fleet_runner: " << opts.catalog_path << ": " << err << "\n";
+    if (!parsed.ok()) return 2;
+    catalog = parsed.scenarios;
+    catalog_label = opts.catalog_path;
+  }
+  if (catalog.empty()) {
+    std::cerr << "fleet_runner: catalog is empty\n";
+    return 2;
+  }
+  if (opts.print_catalog) {
+    std::cout << scenario::formatCatalog(catalog);
+    return 0;
+  }
+
+  runtime::MissionConfig base = opts.config == "default"
+                                    ? runtime::defaultMissionConfig()
+                                    : (opts.config == "smoke" ? runtime::smokeMissionConfig()
+                                                              : runtime::testMissionConfig());
+
+  scenario::FleetConfig fleet_config;
+  fleet_config.threads = opts.threads;
+  fleet_config.mode = opts.mode;
+  fleet_config.share_engine = opts.share_engine;
+  fleet_config.reuse_arenas = opts.reuse_arenas;
+  scenario::FleetScheduler scheduler(base, fleet_config);
+  const std::size_t admitted = scheduler.admitAll(catalog);
+  if (admitted != catalog.size()) {
+    std::cerr << "fleet_runner: only " << admitted << "/" << catalog.size()
+              << " scenarios admitted\n";
+    return 2;
+  }
+
+  if (!opts.quiet) {
+    std::cerr << "fleet_runner: " << scheduler.cases().size() << " missions from "
+              << admitted << " scenarios (" << catalog_label << ") on " << opts.threads
+              << " thread(s), " << scenario::dispatchModeName(opts.mode) << " dispatch\n";
+  }
+
+  const scenario::FleetResult result = scheduler.run();
+
+  if (!opts.quiet) {
+    std::size_t reached = 0;
+    for (const scenario::FleetRow& row : result.rows)
+      reached += row.result.reached_goal ? 1 : 0;
+    std::ostringstream line;
+    line.setf(std::ios::fixed);
+    line.precision(2);
+    line << "fleet_runner: " << result.rows.size() << " missions in " << result.wall_s
+         << " s (" << result.missions_per_sec << " missions/s), " << reached
+         << " reached goal";
+    if (result.engine_shared) {
+      line.precision(1);
+      line << "; engine memo hit-rate " << 100.0 * result.engine.solverMemoHitRate()
+           << "% across tenants";
+    }
+    std::cerr << line.str() << "\n";
+  }
+
+  if (opts.out_path.empty()) {
+    scenario::writeFleetJson(std::cout, result, catalog_label);
+  } else {
+    std::ofstream out(opts.out_path);
+    if (!out) {
+      std::cerr << "fleet_runner: cannot open " << opts.out_path << "\n";
+      return 1;
+    }
+    scenario::writeFleetJson(out, result, catalog_label);
+    if (!opts.quiet) std::cerr << "fleet_runner: wrote " << opts.out_path << "\n";
+  }
+  if (!opts.bench_json_path.empty()) {
+    std::ofstream bench(opts.bench_json_path);
+    if (!bench) {
+      std::cerr << "fleet_runner: cannot open " << opts.bench_json_path << "\n";
+      return 1;
+    }
+    scenario::writeFleetBenchJson(bench, result, catalog_label);
+    if (!opts.quiet) std::cerr << "fleet_runner: wrote " << opts.bench_json_path << "\n";
+  }
+
+  // Smoke contract (same as suite_runner): every mission must terminate in
+  // a defined state.
+  for (std::size_t i = 0; i < result.rows.size(); ++i) {
+    const runtime::MissionResult& r = result.rows[i].result;
+    if (!r.reached_goal && !r.collided && !r.timed_out && !r.battery_depleted) {
+      std::cerr << "fleet_runner: mission ended in an undefined state: "
+                << result.cases[i].scenario << "/" << result.cases[i].label << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -5,7 +5,7 @@
 //     --density <0..1>                    (default: 0.45)
 //     --spread <m>                        (default: 80)
 //     --goal <m>                          (default: 900)
-//     --seed <n>                          (default: 42)
+//     --seed <n>                          (default: 1)
 //     --weather <m>                       ambient visibility cap (default: clear)
 //     --vmax <m/s>                        RoboRun velocity cap (default: 3.2)
 //     --quick                             reduced sensor/planner fidelity
@@ -15,6 +15,9 @@
 //     --strategy <name>                   roborun solver strategy: exhaustive|greedy|
 //                                         uniform_split|hysteresis_exhaustive|hysteresis_greedy
 //     --map <path.ppm>                    render the mission map
+//     --list-scenarios                    list the scenario catalog's generator
+//                                         families (fleet_runner workloads)
+//     --help                              print usage and exit
 //
 // Exit code: 0 if every requested mission reached the goal, 1 otherwise.
 
@@ -28,6 +31,7 @@
 #include "runtime/designs.h"
 #include "runtime/report.h"
 #include "runtime/trace.h"
+#include "scenario/catalog.h"
 #include "viz/map_render.h"
 
 namespace {
@@ -46,6 +50,34 @@ struct CliOptions {
   std::optional<double> battery_kj;
   std::string strategy = "exhaustive";
 };
+
+void usage(std::ostream& os) {
+  os << "usage: roborun_cli [options]\n"
+        "  --design roborun|oblivious|both  designs to fly (default: both)\n"
+        "  --density <0..1>                 peak obstacle density (default: 0.45)\n"
+        "  --spread <m>                     obstacle spread sigma (default: 80)\n"
+        "  --goal <m>                       start->goal distance (default: 900)\n"
+        "  --seed <n>                       environment seed (default: 1)\n"
+        "  --weather <m>                    ambient visibility cap (default: clear)\n"
+        "  --vmax <m/s>                     RoboRun velocity cap (default: 3.2)\n"
+        "  --quick                          reduced sensor/planner fidelity\n"
+        "  --csv <path>                     per-decision records as CSV\n"
+        "  --trace <path>                   full mission trace (trace_inspect format)\n"
+        "  --battery <kJ>                   enforce a battery pack of this size\n"
+        "  --strategy <name>                exhaustive|greedy|uniform_split|\n"
+        "                                   hysteresis_exhaustive|hysteresis_greedy\n"
+        "  --map <path.ppm>                 render the mission map\n"
+        "  --list-scenarios                 list the scenario catalog's generator\n"
+        "                                   families (serve them with fleet_runner)\n"
+        "  --help                           print this text and exit\n";
+}
+
+/// The catalog registry, rendered for humans (same body as
+/// `fleet_runner --list-families`).
+void listScenarios(std::ostream& os) {
+  os << "scenario catalog generator families (serve with fleet_runner):\n";
+  scenario::printFamilies(os);
+}
 
 bool parseStrategy(const std::string& name, core::StrategyType& out) {
   for (const auto type :
@@ -121,8 +153,12 @@ bool parseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (!v) return false;
       opt.map_path = v;
+    } else if (arg == "--list-scenarios") {
+      listScenarios(std::cout);
+      std::exit(0);
     } else if (arg == "--help" || arg == "-h") {
-      return false;
+      usage(std::cout);
+      std::exit(0);
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       return false;
@@ -150,10 +186,7 @@ void dumpCsv(const std::string& path, const runtime::MissionResult& result,
 int main(int argc, char** argv) {
   CliOptions opt;
   if (!parseArgs(argc, argv, opt)) {
-    std::cerr << "usage: roborun_cli [--design roborun|oblivious|both] [--density d]\n"
-                 "                   [--spread m] [--goal m] [--seed n] [--weather m]\n"
-                 "                   [--vmax mps] [--quick] [--csv path] [--trace path]\n"
-                 "                   [--battery kJ] [--map path.ppm]\n";
+    usage(std::cerr);
     return 2;
   }
 

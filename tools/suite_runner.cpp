@@ -77,7 +77,9 @@ void usage(std::ostream& os) {
   os << "usage: suite_runner [--grid smoke|small|paper] [--max-envs N] [--seeds N]\n"
         "                    [--design both|roborun|baseline] [--config smoke|test|default]\n"
         "                    [--threads N] [--out results.json] [--bench-json perf.json]\n"
-        "                    [--quiet]\n";
+        "                    [--quiet]\n"
+        "  --seeds 0 expands the grid but runs no missions (config dry-run: the\n"
+        "  JSON reports come out with zero rows and zeroed aggregates).\n";
 }
 
 /// Strict decimal parse with failure reporting. Deliberately not std::stoul:
@@ -169,7 +171,8 @@ bool parseArgs(int argc, char** argv, Options& opts) {
     return false;
   }
   if (opts.threads == 0) opts.threads = 1;
-  if (opts.seeds == 0) opts.seeds = 1;
+  // NOTE: --seeds 0 is legal and means "zero missions" (dry-run); every
+  // aggregate below must divide safely over an empty row set.
   return true;
 }
 
@@ -237,6 +240,9 @@ struct SuiteTiming {
 SuiteTiming computeTiming(const std::vector<Row>& rows, double harness_wall_s) {
   SuiteTiming t;
   t.harness_wall_s = harness_wall_s;
+  // Zero-mission runs (--seeds 0) report a zeroed aggregate: every mean /
+  // percentile below divides or indexes by the row count, so bail before
+  // any of them can produce NaN or walk off an empty vector.
   if (rows.empty()) return t;
   std::vector<double> walls;
   walls.reserve(rows.size());
@@ -297,6 +303,8 @@ void writeJson(std::ostream& os, const Options& opts, const std::vector<Row>& ro
     total_energy += row.result.flight_energy + row.result.compute_energy;
     total_velocity += row.result.averageVelocity();
   }
+  // Empty row sets divide by 1 so the mean fields emit a clean 0 (never
+  // NaN); "missions": 0 and "rows": [] make the zero-mission run explicit.
   const double n = rows.empty() ? 1.0 : static_cast<double>(rows.size());
 
   os << "{\n";
