@@ -115,6 +115,23 @@ int main(int argc, char** argv) {
       identical = false;
     }
   }
+  // Keyed-cache gate: each client key's build/reuse sequence is a pure
+  // function of its own mission's epoch stream, so fleet-wide profile
+  // counters (and the total solve count — the hit/miss SPLIT is
+  // scheduling-dependent, the sum is not) must agree across thread
+  // counts and dispatch modes for the shared-engine variants.
+  for (const Variant& v : variants) {
+    if (!v.result.engine_shared) continue;
+    const core::EngineStats& a = variants[0].result.engine;
+    const core::EngineStats& b = v.result.engine;
+    if (a.profile_builds != b.profile_builds || a.profile_reuses != b.profile_reuses ||
+        a.solver_memo_hits + a.solver_memo_misses !=
+            b.solver_memo_hits + b.solver_memo_misses) {
+      std::cerr << "bench_fleet_throughput: ENGINE COUNTER DIVERGENCE between "
+                << variants[0].name << " and " << v.name << "\n";
+      identical = false;
+    }
+  }
 
   const scenario::FleetResult& shared = variants[1].result;  // async_N
   std::cerr << "fleet throughput (" << (smoke ? "smoke" : "full") << ": " << total_missions
@@ -144,7 +161,11 @@ int main(int argc, char** argv) {
     const Variant& v = variants[i];
     json << "    \"" << v.name << "\": {\"wall_s\": " << jsonNumber(v.result.wall_s)
          << ", \"missions_per_sec\": " << jsonNumber(v.result.missions_per_sec, 3)
-         << ", \"engine_shared\": " << (v.result.engine_shared ? "true" : "false") << "}"
+         << ", \"engine_shared\": " << (v.result.engine_shared ? "true" : "false")
+         << ", \"profile_builds\": " << v.result.engine.profile_builds
+         << ", \"profile_reuses\": " << v.result.engine.profile_reuses
+         << ", \"solver_memo_hit_rate\": "
+         << jsonNumber(v.result.engine.solverMemoHitRate(), 4) << "}"
          << (i + 1 < variants.size() ? "," : "") << "\n";
   }
   json << "  },\n";

@@ -30,9 +30,11 @@ std::uint64_t mix64(std::uint64_t x) {
 
 /// Bucket hash over the QUANTIZED key: the low 12 mantissa bits of every
 /// component are dropped, so near-identical budgets/envelopes probe the same
-/// window. Quantization only ever decides bucket placement — a hit still
-/// requires the full 7x64-bit key to match exactly (see memoFind), which is
-/// what keeps cached answers bit-identical to enumeration.
+/// window. Quantization only ever decides placement — a hit still requires
+/// the full 7x64-bit key to match exactly, which is what keeps cached
+/// answers bit-identical to enumeration. The hash's high bits pick the memo
+/// shard and its low bits pick the bucket within the shard, so striping and
+/// probe placement stay independent.
 std::uint64_t hashKey(const std::array<std::uint64_t, 7>& key) {
   std::uint64_t h = 0x2545F4914F6CDD1Dull;
   for (const std::uint64_t bits : key) h = mix64(h ^ (bits & ~0xFFFull));
@@ -81,10 +83,15 @@ DecisionEngine::DecisionEngine(const Config& config, LatencyPredictor predictor)
   }
 
   if (config_.solver_memo_capacity > 0) {
-    const std::size_t slots =
-        roundUpPow2(std::max<std::size_t>(config_.solver_memo_capacity, kProbeWindow));
-    memo_.resize(slots);
-    memo_mask_ = slots - 1;
+    // Capacity is the total across shards; each shard gets a power-of-two
+    // slab no smaller than one probe window so a single hot key cluster
+    // cannot wrap a shard.
+    const std::size_t per_shard = roundUpPow2(std::max<std::size_t>(
+        (config_.solver_memo_capacity + kMemoShards - 1) / kMemoShards, kProbeWindow));
+    for (MemoShard& shard : memo_shards_) {
+      shard.slots.resize(per_shard);
+      shard.mask = per_shard - 1;
+    }
   }
 }
 
@@ -103,42 +110,52 @@ int DecisionEngine::ladderIndexOf(double p) const {
   return -1;
 }
 
-// --- solver memo -----------------------------------------------------------
+// --- client registry --------------------------------------------------------
 
-const DecisionEngine::MemoEntry* DecisionEngine::memoFind(const MemoKey& key) const {
-  if (memo_mask_ == 0) return nullptr;
-  const std::uint64_t home = hashKey(key);
-  for (std::size_t k = 0; k < kProbeWindow; ++k) {
-    const MemoEntry& e = memo_[(home + k) & memo_mask_];
-    if (e.generation == memo_generation_ && e.key == key) return &e;
-  }
-  return nullptr;
+DecisionEngine::ClientId DecisionEngine::acquireClient() {
+  return next_client_.fetch_add(1, std::memory_order_relaxed);
 }
 
-void DecisionEngine::memoInsert(const MemoKey& key, const MemoEntry& entry) {
-  if (memo_mask_ == 0) return;
-  const std::uint64_t home = hashKey(key);
-  std::size_t victim = home & memo_mask_;
-  for (std::size_t k = 0; k < kProbeWindow; ++k) {
-    const std::size_t idx = (home + k) & memo_mask_;
-    MemoEntry& e = memo_[idx];
-    if (e.generation != memo_generation_ || e.key == key) {
-      victim = idx;  // stale/empty slot (or refresh of the same key)
-      break;
-    }
-  }
-  MemoEntry& slot = memo_[victim];
-  slot = entry;
-  slot.key = key;
-  slot.generation = memo_generation_;
+void DecisionEngine::releaseClient(ClientId client) {
+  std::lock_guard lock(clients_mutex_);
+  clients_.erase(client);
 }
+
+std::shared_ptr<DecisionEngine::ClientState> DecisionEngine::clientState(ClientId client) {
+  std::lock_guard lock(clients_mutex_);
+  const std::uint64_t tick = ++lru_clock_;
+  if (auto it = clients_.find(client); it != clients_.end()) {
+    it->second->last_used = tick;
+    return it->second;
+  }
+  // Fresh key: all-dirty until its first build, so a recycled key (or a
+  // slot re-created after LRU eviction) can never alias stale samples.
+  auto state = std::make_shared<ClientState>();
+  state->last_used = tick;
+  const std::size_t cap = std::max<std::size_t>(config_.profile_cache_clients, 1);
+  if (clients_.size() >= cap) {
+    auto victim = clients_.end();
+    for (auto it = clients_.begin(); it != clients_.end(); ++it)
+      if (victim == clients_.end() || it->second->last_used < victim->second->last_used)
+        victim = it;
+    // The shared_ptr handed to any in-flight profiler keeps the evicted
+    // slot alive until that call returns; only the registry entry dies.
+    if (victim != clients_.end()) clients_.erase(victim);
+  }
+  clients_.emplace(client, state);
+  return state;
+}
+
+// --- solver memo ------------------------------------------------------------
 
 void DecisionEngine::clearMemo() {
-  std::lock_guard lock(mutex_);
-  ++memo_generation_;
+  for (MemoShard& shard : memo_shards_) {
+    std::lock_guard lock(shard.mutex);
+    ++shard.generation;
+  }
 }
 
-// --- Eq. 3 solve -----------------------------------------------------------
+// --- Eq. 3 solve ------------------------------------------------------------
 
 SolverResult DecisionEngine::resultFromEntry(const MemoEntry& entry, double budget,
                                              double knob_budget) const {
@@ -250,23 +267,55 @@ SolverResult DecisionEngine::solveMemoized(double budget, const SpaceProfile& pr
                     bitsOf(env.v0_cap),  bitsOf(env.v1_cap), bitsOf(env.v2_cap),
                     bitsOf(env.v_demand)};
 
-  if (const MemoEntry* e = memoFind(key)) {
-    memo_hit = true;
-    ++stats_.solver_memo_hits;
-    return resultFromEntry(*e, budget, knob_budget);
+  const std::uint64_t home = hashKey(key);
+  MemoShard& shard = memo_shards_[(home >> 60) & (kMemoShards - 1)];
+  MemoEntry entry;
+
+  if (shard.mask != 0) {
+    std::lock_guard lock(shard.mutex);
+    for (std::size_t k = 0; k < kProbeWindow; ++k) {
+      const MemoEntry& e = shard.slots[(home + k) & shard.mask];
+      if (e.generation == shard.generation && e.key == key) {
+        memo_hit = true;
+        entry = e;
+        break;
+      }
+    }
+  }
+  if (memo_hit) {
+    stats_.solver_memo_hits.fetch_add(1, std::memory_order_relaxed);
+    return resultFromEntry(entry, budget, knob_budget);
   }
 
-  ++stats_.solver_memo_misses;
-  MemoEntry entry;
+  stats_.solver_memo_misses.fetch_add(1, std::memory_order_relaxed);
+  // Enumeration is a pure function of immutable tables — run it OUTSIDE the
+  // shard lock so a miss never serializes other shards' traffic (or even
+  // this shard's hits). Two threads racing the same cold key both enumerate
+  // the identical pure entry; the second insert is a no-op refresh.
   enumerate(knob_budget, env, entry);
-  memoInsert(key, entry);
+  if (shard.mask != 0) {
+    std::lock_guard lock(shard.mutex);
+    std::size_t victim = home & shard.mask;
+    for (std::size_t k = 0; k < kProbeWindow; ++k) {
+      const std::size_t idx = (home + k) & shard.mask;
+      const MemoEntry& e = shard.slots[idx];
+      if (e.generation != shard.generation || e.key == key) {
+        victim = idx;  // stale/empty slot (or refresh of the same key)
+        break;
+      }
+    }
+    MemoEntry& slot = shard.slots[victim];
+    slot = entry;
+    slot.key = key;
+    slot.generation = shard.generation;
+  }
   return resultFromEntry(entry, budget, knob_budget);
 }
 
-// --- governor path ---------------------------------------------------------
+// --- governor path ----------------------------------------------------------
 
-GovernorDecision DecisionEngine::decideLocked(const SpaceProfile& profile,
-                                              DecisionTiming& timing, bool& memo_hit) {
+GovernorDecision DecisionEngine::decideCore(const SpaceProfile& profile,
+                                            DecisionTiming& timing, bool& memo_hit) {
   const bool timed = config_.collect_timing;
   const auto t0 = timed ? Clock::now() : Clock::time_point{};
 
@@ -276,13 +325,16 @@ GovernorDecision DecisionEngine::decideLocked(const SpaceProfile& profile,
 
   SolverResult result;
   memo_hit = false;
-  if (strategy_) {
+  if (has_strategy_.load(std::memory_order_acquire)) {
+    // Strategies may carry cross-decision state, so they serialize here;
+    // the fleet-shared shape never takes this branch (Exhaustive-only).
+    std::lock_guard lock(strategy_mutex_);
     SolverInputs inputs;
     inputs.budget = decision.budget;
     inputs.fixed_overhead = config_.knobs.fixed_overhead;
     inputs.profile = profile;
     result = strategy_->solve(inputs);
-    ++stats_.strategy_decisions;
+    stats_.strategy_decisions.fetch_add(1, std::memory_order_relaxed);
   } else {
     // The memoized path reads the profile only through the envelope, so it
     // skips the waypoint-vector copy the SolverInputs interface forces.
@@ -297,20 +349,19 @@ GovernorDecision DecisionEngine::decideLocked(const SpaceProfile& profile,
   if (timed) {
     timing.budget_wall_ms += msBetween(t0, t1);
     timing.solve_wall_ms += msBetween(t1, t2);
-    stats_.budget_wall_ms += msBetween(t0, t1);
-    stats_.solve_wall_ms += msBetween(t1, t2);
+    stats_.budget_wall_ms.fetch_add(msBetween(t0, t1), std::memory_order_relaxed);
+    stats_.solve_wall_ms.fetch_add(msBetween(t1, t2), std::memory_order_relaxed);
   }
-  ++stats_.decisions;
+  stats_.decisions.fetch_add(1, std::memory_order_relaxed);
   return decision;
 }
 
 GovernorDecision DecisionEngine::decide(const SpaceProfile& profile) {
-  std::lock_guard lock(mutex_);
   DecisionTiming timing;
   bool memo_hit = false;
-  GovernorDecision decision = decideLocked(profile, timing, memo_hit);
+  GovernorDecision decision = decideCore(profile, timing, memo_hit);
   timing.total_wall_ms = timing.budget_wall_ms + timing.solve_wall_ms;
-  last_timing_ = timing;
+  recordTiming(timing);
   return decision;
 }
 
@@ -319,24 +370,29 @@ EngineDecision DecisionEngine::decideFromSensors(const sim::SensorFrame& frame,
                                                  const planning::Trajectory& trajectory,
                                                  const geom::Vec3& position,
                                                  const geom::Vec3& velocity,
-                                                 const geom::Vec3& travel_dir) {
-  std::lock_guard lock(mutex_);
+                                                 const geom::Vec3& travel_dir,
+                                                 ClientId client) {
   const bool timed = config_.collect_timing;
   const auto t0 = timed ? Clock::now() : Clock::time_point{};
 
   EngineDecision out;
-  out.profile =
-      profileLocked(frame, map, trajectory, position, velocity, travel_dir, out.profile_reused);
+  {
+    const std::shared_ptr<ClientState> state = clientState(client);
+    std::lock_guard lock(state->mutex);
+    out.profile = profileForClient(*state, frame, map, trajectory, position, velocity,
+                                   travel_dir, out.profile_reused);
+  }
   const auto t1 = timed ? Clock::now() : Clock::time_point{};
   if (timed) {
     out.timing.profile_wall_ms = msBetween(t0, t1);
-    stats_.profile_wall_ms += out.timing.profile_wall_ms;
+    stats_.profile_wall_ms.fetch_add(out.timing.profile_wall_ms,
+                                     std::memory_order_relaxed);
   }
 
-  out.decision = decideLocked(out.profile, out.timing, out.solver_memo_hit);
+  out.decision = decideCore(out.profile, out.timing, out.solver_memo_hit);
   out.timing.total_wall_ms =
       out.timing.profile_wall_ms + out.timing.budget_wall_ms + out.timing.solve_wall_ms;
-  last_timing_ = out.timing;
+  recordTiming(out.timing);
   return out;
 }
 
@@ -344,20 +400,23 @@ SpaceProfile DecisionEngine::profile(const sim::SensorFrame& frame,
                                      const perception::OccupancyOctree& map,
                                      const planning::Trajectory& trajectory,
                                      const geom::Vec3& position, const geom::Vec3& velocity,
-                                     const geom::Vec3& travel_dir) {
-  std::lock_guard lock(mutex_);
+                                     const geom::Vec3& travel_dir, ClientId client) {
   bool reused = false;
-  return profileLocked(frame, map, trajectory, position, velocity, travel_dir, reused);
+  const std::shared_ptr<ClientState> state = clientState(client);
+  std::lock_guard lock(state->mutex);
+  return profileForClient(*state, frame, map, trajectory, position, velocity, travel_dir,
+                          reused);
 }
 
-// --- incremental space profiling -------------------------------------------
+// --- incremental space profiling --------------------------------------------
 
-SpaceProfile DecisionEngine::profileLocked(const sim::SensorFrame& frame,
-                                           const perception::OccupancyOctree& map,
-                                           const planning::Trajectory& trajectory,
-                                           const geom::Vec3& position,
-                                           const geom::Vec3& velocity,
-                                           const geom::Vec3& travel_dir, bool& reused) {
+SpaceProfile DecisionEngine::profileForClient(ClientState& state,
+                                              const sim::SensorFrame& frame,
+                                              const perception::OccupancyOctree& map,
+                                              const planning::Trajectory& trajectory,
+                                              const geom::Vec3& position,
+                                              const geom::Vec3& velocity,
+                                              const geom::Vec3& travel_dir, bool& reused) {
   using geom::Vec3;
   reused = false;
 
@@ -376,7 +435,7 @@ SpaceProfile DecisionEngine::profileLocked(const sim::SensorFrame& frame,
     // two passes differ in step width): run the seed path itself — one
     // copy of that logic, trivially identical. Rare (non-default configs
     // and startup), so no caching.
-    profile_cache_.valid = false;
+    state.cache.valid = false;
     return profileSpace(frame, map, trajectory, position, velocity, travel_dir,
                         config_.profiler);
   }
@@ -402,21 +461,20 @@ SpaceProfile DecisionEngine::profileLocked(const sim::SensorFrame& frame,
   {
     const auto fingerprint = trajectoryFingerprint(trajectory);
     const bool cache_ok =
-        profile_cache_.valid && profile_cache_.map_addr == &map &&
-        profile_cache_.traj_addr == &trajectory &&
-        profile_cache_.traj_version == traj_version_ &&
-        profile_cache_.traj_fingerprint == fingerprint &&
-        profile_cache_.position_bits ==
+        state.cache.valid && state.cache.map_addr == &map &&
+        state.cache.traj_addr == &trajectory &&
+        state.cache.traj_version == state.traj_version &&
+        state.cache.traj_fingerprint == fingerprint &&
+        state.cache.position_bits ==
             std::array<std::uint64_t, 3>{bitsOf(position.x), bitsOf(position.y),
                                          bitsOf(position.z)} &&
-        !all_dirty_ &&
-        (dirty_since_cache_.isEmpty() ||
-         !dirty_since_cache_.intersects(profile_cache_.sample_bounds));
+        !state.all_dirty &&
+        (state.dirty.isEmpty() || !state.dirty.intersects(state.cache.sample_bounds));
     if (cache_ok) {
       reused = true;
-      ++stats_.profile_reuses;
+      stats_.profile_reuses.fetch_add(1, std::memory_order_relaxed);
     } else {
-      ProfileCache& c = profile_cache_;
+      ProfileCache& c = state.cache;
       c.valid = false;
       c.total = trajectory.length();
       c.start_s = trajectory.closestArcLength(position);
@@ -443,16 +501,16 @@ SpaceProfile DecisionEngine::profileLocked(const sim::SensorFrame& frame,
       }
       c.map_addr = &map;
       c.traj_addr = &trajectory;
-      c.traj_version = traj_version_;
+      c.traj_version = state.traj_version;
       c.traj_fingerprint = fingerprint;
       c.position_bits = {bitsOf(position.x), bitsOf(position.y), bitsOf(position.z)};
       c.valid = true;
-      dirty_since_cache_ = geom::Aabb::empty();
-      all_dirty_ = false;
-      ++stats_.profile_builds;
+      state.dirty = geom::Aabb::empty();
+      state.all_dirty = false;
+      stats_.profile_builds.fetch_add(1, std::memory_order_relaxed);
     }
 
-    const ProfileCache& c = profile_cache_;
+    const ProfileCache& c = state.cache;
     // d_unknown from the fused samples: the first non-free sample is
     // exactly where the seed's early-breaking probe loop stopped.
     if (c.first_blocked >= 0)
@@ -493,63 +551,100 @@ SpaceProfile DecisionEngine::profileLocked(const sim::SensorFrame& frame,
   return profile;
 }
 
-// --- dirty plumbing / lifecycle --------------------------------------------
+// --- dirty plumbing / lifecycle ---------------------------------------------
 
-void DecisionEngine::noteMapChanged(const geom::Aabb& bounds) {
+void DecisionEngine::noteMapChanged(const geom::Aabb& bounds, ClientId client) {
   if (bounds.isEmpty()) return;
-  std::lock_guard lock(mutex_);
-  dirty_since_cache_.merge(bounds);
+  const std::shared_ptr<ClientState> state = clientState(client);
+  std::lock_guard lock(state->mutex);
+  state->dirty.merge(bounds);
 }
 
-void DecisionEngine::noteMapChangedEverywhere() {
-  std::lock_guard lock(mutex_);
-  all_dirty_ = true;
-  profile_cache_.valid = false;
+void DecisionEngine::noteMapChangedEverywhere(ClientId client) {
+  const std::shared_ptr<ClientState> state = clientState(client);
+  std::lock_guard lock(state->mutex);
+  state->all_dirty = true;
+  state->cache.valid = false;
 }
 
-void DecisionEngine::noteTrajectoryChanged() {
-  std::lock_guard lock(mutex_);
-  ++traj_version_;
+void DecisionEngine::noteTrajectoryChanged(ClientId client) {
+  const std::shared_ptr<ClientState> state = clientState(client);
+  std::lock_guard lock(state->mutex);
+  ++state->traj_version;
 }
 
 void DecisionEngine::setStrategy(std::unique_ptr<SolverStrategy> strategy) {
-  std::lock_guard lock(mutex_);
+  std::lock_guard lock(strategy_mutex_);
   strategy_ = std::move(strategy);
+  has_strategy_.store(strategy_ != nullptr, std::memory_order_release);
 }
 
 void DecisionEngine::selectStrategy(StrategyType type, int patience) {
-  std::lock_guard lock(mutex_);
+  std::lock_guard lock(strategy_mutex_);
   strategy_ = type == StrategyType::Exhaustive
                   ? nullptr
                   : makeStrategy(type, config_.knobs, predictor_, patience);
+  has_strategy_.store(strategy_ != nullptr, std::memory_order_release);
 }
 
 void DecisionEngine::resetStrategy() {
-  std::lock_guard lock(mutex_);
+  std::lock_guard lock(strategy_mutex_);
   if (strategy_) strategy_->reset();
 }
 
 void DecisionEngine::reset() {
-  std::lock_guard lock(mutex_);
-  if (strategy_) strategy_->reset();
-  profile_cache_.valid = false;
-  dirty_since_cache_ = geom::Aabb::empty();
-  all_dirty_ = true;
-  ++traj_version_;
+  resetStrategy();
+  // Snapshot the live slots, then reset each under its own lock: no path
+  // holds a slot lock while taking clients_mutex_, but keeping the
+  // critical sections disjoint makes that invariant irrelevant.
+  std::vector<std::shared_ptr<ClientState>> snapshot;
+  {
+    std::lock_guard lock(clients_mutex_);
+    snapshot.reserve(clients_.size());
+    for (auto& [id, state] : clients_) snapshot.push_back(state);
+  }
+  for (const auto& state : snapshot) {
+    std::lock_guard lock(state->mutex);
+    state->cache.valid = false;
+    state->dirty = geom::Aabb::empty();
+    state->all_dirty = true;
+    ++state->traj_version;
+  }
 }
 
 EngineStats DecisionEngine::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  EngineStats out;
+  out.decisions = stats_.decisions.load(std::memory_order_relaxed);
+  out.solver_memo_hits = stats_.solver_memo_hits.load(std::memory_order_relaxed);
+  out.solver_memo_misses = stats_.solver_memo_misses.load(std::memory_order_relaxed);
+  out.strategy_decisions = stats_.strategy_decisions.load(std::memory_order_relaxed);
+  out.profile_builds = stats_.profile_builds.load(std::memory_order_relaxed);
+  out.profile_reuses = stats_.profile_reuses.load(std::memory_order_relaxed);
+  out.profile_wall_ms = stats_.profile_wall_ms.load(std::memory_order_relaxed);
+  out.budget_wall_ms = stats_.budget_wall_ms.load(std::memory_order_relaxed);
+  out.solve_wall_ms = stats_.solve_wall_ms.load(std::memory_order_relaxed);
+  return out;
 }
 
 void DecisionEngine::resetStats() {
-  std::lock_guard lock(mutex_);
-  stats_ = EngineStats{};
+  stats_.decisions.store(0, std::memory_order_relaxed);
+  stats_.solver_memo_hits.store(0, std::memory_order_relaxed);
+  stats_.solver_memo_misses.store(0, std::memory_order_relaxed);
+  stats_.strategy_decisions.store(0, std::memory_order_relaxed);
+  stats_.profile_builds.store(0, std::memory_order_relaxed);
+  stats_.profile_reuses.store(0, std::memory_order_relaxed);
+  stats_.profile_wall_ms.store(0.0, std::memory_order_relaxed);
+  stats_.budget_wall_ms.store(0.0, std::memory_order_relaxed);
+  stats_.solve_wall_ms.store(0.0, std::memory_order_relaxed);
+}
+
+void DecisionEngine::recordTiming(const DecisionTiming& timing) {
+  std::lock_guard lock(timing_mutex_);
+  last_timing_ = timing;
 }
 
 DecisionTiming DecisionEngine::lastTiming() const {
-  std::lock_guard lock(mutex_);
+  std::lock_guard lock(timing_mutex_);
   return last_timing_;
 }
 

@@ -39,23 +39,46 @@
 //    are reused instead of re-queried. Reuse conditions are exact, so the
 //    profile is bit-identical either way.
 //
-// The engine is internally synchronized: one instance may be shared by
-// governor clients running on different threads (e.g. a fleet of node
-// graphs pooling one memo table). Because results are bit-identical
-// regardless of memo state, sharing cannot change any client's decisions.
-// Sharing trades latency for memo warmth, deliberately: one mutex guards
-// the whole decision (so shared clients serialize their profiling, whose
-// map.stats() walk dominates on grown maps), and the profile cache is a
-// single slot keyed by client map/trajectory, so interleaved clients evict
-// each other's samples. Fleets that need parallel decide() throughput
-// should give each vehicle its own engine; the shared shape is for pooling
-// the solver memo across lock-tolerant clients.
+// Sharing contract (the fleet shape). One engine instance may be shared by
+// any number of governor clients on any number of threads; because every
+// answer is bit-identical regardless of cache/memo state, sharing cannot
+// change any client's decisions — it only trades warmth. Two mechanisms
+// make the shared shape scale instead of serialize:
+//
+//  * Keyed profile caches. Each client acquires a ClientId (acquireClient()
+//    / releaseClient()) and passes it to the profiling entry points; the
+//    engine keeps one independent sample cache + dirty-bounds accumulator
+//    per key in an LRU-bounded slot pool (Config::profile_cache_clients).
+//    Interleaved tenants therefore keep their own fused sample arrays warm
+//    instead of evicting a single shared slot, and profiling for distinct
+//    clients runs concurrently (each slot has its own lock). A fresh key
+//    starts conservatively all-dirty, so tenant handoffs and heap-address
+//    reuse can never alias a previous client's samples. Callers that never
+//    acquire a key use kDefaultClient and get the old single-client
+//    behavior.
+//
+//  * Sharded solver memo. The open-addressed memo table is striped across
+//    16 independently locked shards selected by key hash; concurrent
+//    decide() calls probe and insert in parallel, only colliding when their
+//    keys land in the same shard. Enumeration on a miss runs outside any
+//    lock (it is a pure function of immutable tables), and a hit still
+//    requires the full 7x64-bit key to match exactly, so cached answers
+//    stay bit-identical to enumeration. There is no whole-engine mutex on
+//    the decide path anymore; stats are atomic counters.
+//
+// Pluggable strategies may carry cross-decision state, so strategy solves
+// serialize on a dedicated strategy lock (fleet sharing is Exhaustive-only
+// by MissionConfig::shared_engine's contract, so this never gates fleet
+// traffic). Install strategies before sharing an engine across threads —
+// installation is not synchronized with in-flight decisions.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "core/governor.h"
@@ -108,7 +131,10 @@ struct EngineStats {
   /// Memo hits per Eq. 3 solve (0 when no solver decisions ran). On a
   /// fleet-shared engine this is the cross-tenant warmth metric: which hits
   /// land is scheduling-dependent, so treat it as a measurement — like wall
-  /// time, never part of the deterministic replay contract.
+  /// time, never part of the deterministic replay contract. (The profile
+  /// counters, by contrast, ARE schedule-independent on a keyed cache:
+  /// each client's build/reuse sequence is a pure function of its own
+  /// epoch stream.)
   double solverMemoHitRate() const {
     const std::uint64_t solved = solver_memo_hits + solver_memo_misses;
     return solved == 0 ? 0.0 : static_cast<double>(solver_memo_hits) /
@@ -118,14 +144,26 @@ struct EngineStats {
 
 class DecisionEngine {
  public:
+  /// Key of one profiling client (tenant) — see acquireClient(). Client 0
+  /// is the implicit default for callers that never acquire a key.
+  using ClientId = std::uint64_t;
+  static constexpr ClientId kDefaultClient = 0;
+
   struct Config {
     KnobConfig knobs;          ///< incl. fixed_overhead (the single source)
     BudgeterConfig budgeter;
     ProfilerConfig profiler;
-    /// Solver memo capacity (entries; rounded up to a power of two).
-    /// 0 disables memoization — every decision enumerates (the hoisted
-    /// candidate tables still apply); bench ablation surface.
+    /// Solver memo capacity (total entries across all shards; rounded up so
+    /// each shard is a power of two). 0 disables memoization — every
+    /// decision enumerates (the hoisted candidate tables still apply);
+    /// bench ablation surface.
     std::size_t solver_memo_capacity = 1024;
+    /// Keyed profile-cache slot pool: at most this many client keys keep
+    /// their sample caches live (least-recently-used key evicted beyond
+    /// it). Size it to the number of concurrently active tenants (fleet
+    /// schedulers use their worker count); an evicted key only loses
+    /// warmth, never correctness.
+    std::size_t profile_cache_clients = 8;
     /// Collect per-stage wall timing. Costs a few clock reads per decision;
     /// throughput benches may turn it off.
     bool collect_timing = true;
@@ -141,41 +179,57 @@ class DecisionEngine {
   static std::shared_ptr<DecisionEngine> calibrated(const sim::LatencyModel& latency_model,
                                                     const Config& config);
 
+  /// Obtain a fresh client key for the profiling entry points. Every
+  /// pipeline/tenant sharing this engine should hold its own key so
+  /// interleaved clients keep independent sample caches; the key's state
+  /// starts conservatively all-dirty. Thread-safe.
+  ClientId acquireClient();
+  /// Drop a client's cached profiling state immediately (end of mission /
+  /// pipeline teardown) instead of waiting for LRU eviction. Safe to call
+  /// with a key that was already evicted or never used.
+  void releaseClient(ClientId client);
+
   /// The governor core: budget the profiled horizon, solve Eq. 3 (memoized
   /// on the exhaustive path), emit the policy. Bit-identical to the seed
-  /// RoboRunGovernor::decide for every input.
+  /// RoboRunGovernor::decide for every input. Thread-safe; concurrent
+  /// callers only contend per memo shard.
   GovernorDecision decide(const SpaceProfile& profile);
 
   /// The full per-decision path: profile space from the live sensor frame /
-  /// map / trajectory (fused sampling, cross-epoch reuse), then decide().
+  /// map / trajectory (fused sampling, cross-epoch reuse against the given
+  /// client's cache), then decide().
   EngineDecision decideFromSensors(const sim::SensorFrame& frame,
                                    const perception::OccupancyOctree& map,
                                    const planning::Trajectory& trajectory,
                                    const geom::Vec3& position, const geom::Vec3& velocity,
-                                   const geom::Vec3& travel_dir);
+                                   const geom::Vec3& travel_dir,
+                                   ClientId client = kDefaultClient);
 
   /// Space profiling only (the engine's fused + cached path). Bit-identical
-  /// to core::profileSpace on the same inputs. Advances the sample cache.
+  /// to core::profileSpace on the same inputs. Advances the client's sample
+  /// cache.
   SpaceProfile profile(const sim::SensorFrame& frame,
                        const perception::OccupancyOctree& map,
                        const planning::Trajectory& trajectory, const geom::Vec3& position,
-                       const geom::Vec3& velocity, const geom::Vec3& travel_dir);
+                       const geom::Vec3& velocity, const geom::Vec3& travel_dir,
+                       ClientId client = kDefaultClient);
 
   /// Dirty-bounds plumbing: the client MUST report every region of the map
-  /// it may have mutated since the engine last profiled (e.g. forward each
-  /// OctomapInsertReport.touched). Sample reuse is gated on the accumulated
-  /// dirty region provably missing the sampled corridor. Empty boxes are
-  /// ignored.
-  void noteMapChanged(const geom::Aabb& bounds);
+  /// it may have mutated since the engine last profiled for it (e.g.
+  /// forward each OctomapInsertReport.touched). Sample reuse is gated on
+  /// the accumulated dirty region provably missing the sampled corridor.
+  /// Empty boxes are ignored.
+  void noteMapChanged(const geom::Aabb& bounds, ClientId client = kDefaultClient);
   /// Conservative invalidation when the change region is unknown.
-  void noteMapChangedEverywhere();
+  void noteMapChangedEverywhere(ClientId client = kDefaultClient);
   /// The client MUST call this whenever the trajectory it profiles against
   /// may have changed (replan, trajectory cleared, new message).
-  void noteTrajectoryChanged();
+  void noteTrajectoryChanged(ClientId client = kDefaultClient);
 
   /// Route Eq. 3 through an alternative strategy (core/strategies.h). The
   /// built-in memoized exhaustive solver is used when no strategy is set;
-  /// strategy decisions bypass the memo (strategies may carry state).
+  /// strategy decisions bypass the memo (strategies may carry state) and
+  /// serialize on the strategy lock.
   void setStrategy(std::unique_ptr<SolverStrategy> strategy);
   /// Install a strategy by type, bound to this engine's predictor.
   /// Exhaustive clears back to the built-in memoized solver.
@@ -183,11 +237,11 @@ class DecisionEngine {
   /// Forget cross-decision strategy state (start of a new mission).
   void resetStrategy();
 
-  /// Start-of-mission reset: strategy state, profile cache and dirty
-  /// region. The solver memo survives — entries are pure functions of
-  /// their key, so they stay valid across missions.
+  /// Start-of-mission reset: strategy state plus every client's profile
+  /// cache and dirty region. The solver memo survives — entries are pure
+  /// functions of their key, so they stay valid across missions.
   void reset();
-  /// Drop every memo entry (O(1): generation bump).
+  /// Drop every memo entry (O(1) per shard: generation bumps).
   void clearMemo();
 
   EngineStats stats() const;
@@ -217,6 +271,18 @@ class DecisionEngine {
     bool has_solution = false;  ///< false: enumeration admitted no candidate
   };
 
+  /// One stripe of the solver memo: its own lock, slots and generation.
+  /// Shard choice comes from the quantized key hash's high bits, bucket
+  /// choice within the shard from the low bits, so striping is independent
+  /// of probe placement.
+  struct MemoShard {
+    mutable std::mutex mutex;
+    std::vector<MemoEntry> slots;
+    std::uint64_t generation = 1;
+    std::uint64_t mask = 0;  ///< slots - 1 (0 when memoization disabled)
+  };
+  static constexpr std::size_t kMemoShards = 16;
+
   struct ProfileCache {
     bool valid = false;
     const void* map_addr = nullptr;
@@ -239,48 +305,79 @@ class DecisionEngine {
     geom::Aabb sample_bounds = geom::Aabb::empty();
   };
 
-  GovernorDecision decideLocked(const SpaceProfile& profile, DecisionTiming& timing,
-                                bool& memo_hit);
+  /// One client key's slot in the keyed profile cache: the sample cache
+  /// plus the dirty-bounds accumulation that gates its reuse. `mutex`
+  /// serializes same-key calls; distinct keys never contend. Slots are
+  /// handed out as shared_ptr so LRU eviction can drop a slot from the
+  /// registry while a racing profiler finishes on its own reference.
+  struct ClientState {
+    std::mutex mutex;
+    ProfileCache cache;
+    geom::Aabb dirty = geom::Aabb::empty();
+    bool all_dirty = true;  ///< unknown map state until first build
+    std::uint64_t traj_version = 0;
+    std::uint64_t last_used = 0;  ///< LRU tick; guarded by clients_mutex_
+  };
+
+  GovernorDecision decideCore(const SpaceProfile& profile, DecisionTiming& timing,
+                              bool& memo_hit);
   SolverResult solveMemoized(double budget, const SpaceProfile& profile, bool& memo_hit);
   void enumerate(double knob_budget, const KnobEnvelope& env, MemoEntry& entry) const;
   SolverResult resultFromEntry(const MemoEntry& entry, double budget,
                                double knob_budget) const;
-  SpaceProfile profileLocked(const sim::SensorFrame& frame,
-                             const perception::OccupancyOctree& map,
-                             const planning::Trajectory& trajectory,
-                             const geom::Vec3& position, const geom::Vec3& velocity,
-                             const geom::Vec3& travel_dir, bool& reused);
-
-  const MemoEntry* memoFind(const MemoKey& key) const;
-  void memoInsert(const MemoKey& key, const MemoEntry& entry);
+  SpaceProfile profileForClient(ClientState& state, const sim::SensorFrame& frame,
+                                const perception::OccupancyOctree& map,
+                                const planning::Trajectory& trajectory,
+                                const geom::Vec3& position, const geom::Vec3& velocity,
+                                const geom::Vec3& travel_dir, bool& reused);
+  /// Look up (or create, LRU-evicting beyond the pool bound) the slot for a
+  /// client key.
+  std::shared_ptr<ClientState> clientState(ClientId client);
+  void recordTiming(const DecisionTiming& timing);
   int ladderIndexOf(double p) const;
 
   Config config_;
   TimeBudgeter budgeter_;
   LatencyPredictor predictor_;
-  std::unique_ptr<SolverStrategy> strategy_;  ///< null = built-in memoized solver
+
+  // Pluggable strategy (stateful, so serialized): the atomic flag lets the
+  // common strategy-less fleet path skip the lock entirely.
+  std::unique_ptr<SolverStrategy> strategy_;  ///< guarded by strategy_mutex_
+  std::atomic<bool> has_strategy_{false};
+  mutable std::mutex strategy_mutex_;
 
   // Hoisted Eq. 3 candidate tables: for each (lo, hi) ladder interval, the
-  // (l0, l1) pairs in the seed's exact enumeration order.
+  // (l0, l1) pairs in the seed's exact enumeration order. Immutable after
+  // construction (lock-free shared reads).
   std::array<double, 8> ladder_{};
   int ladder_levels_ = 0;
   std::vector<std::vector<std::pair<int, int>>> candidates_;  ///< [lo * 8 + hi]
 
-  // Solver memo (allocation-free after construction).
-  std::vector<MemoEntry> memo_;
-  std::uint64_t memo_generation_ = 1;
-  std::uint64_t memo_mask_ = 0;  ///< slots - 1 (0 when disabled)
+  // Sharded solver memo (allocation-free after construction).
+  std::array<MemoShard, kMemoShards> memo_shards_;
 
-  // Incremental profiling state.
-  ProfileCache profile_cache_;
-  geom::Aabb dirty_since_cache_ = geom::Aabb::empty();
-  bool all_dirty_ = true;  ///< unknown map state until first build
-  std::uint64_t traj_version_ = 0;
+  // Keyed profile caches.
+  mutable std::mutex clients_mutex_;
+  std::unordered_map<ClientId, std::shared_ptr<ClientState>> clients_;
+  std::uint64_t lru_clock_ = 0;              ///< guarded by clients_mutex_
+  std::atomic<std::uint64_t> next_client_{1};
 
-  EngineStats stats_;
-  DecisionTiming last_timing_;
+  // Stats: lock-free counters (relaxed; read as a snapshot by stats()).
+  struct AtomicStats {
+    std::atomic<std::uint64_t> decisions{0};
+    std::atomic<std::uint64_t> solver_memo_hits{0};
+    std::atomic<std::uint64_t> solver_memo_misses{0};
+    std::atomic<std::uint64_t> strategy_decisions{0};
+    std::atomic<std::uint64_t> profile_builds{0};
+    std::atomic<std::uint64_t> profile_reuses{0};
+    std::atomic<double> profile_wall_ms{0.0};
+    std::atomic<double> budget_wall_ms{0.0};
+    std::atomic<double> solve_wall_ms{0.0};
+  };
+  AtomicStats stats_;
 
-  mutable std::mutex mutex_;
+  DecisionTiming last_timing_;  ///< guarded by timing_mutex_
+  mutable std::mutex timing_mutex_;
 };
 
 }  // namespace roborun::core

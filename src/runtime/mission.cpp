@@ -55,11 +55,11 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
   // strategies must stay per-mission, so the shared path is Exhaustive-only
   // (the hook's contract; see MissionConfig::shared_engine).
   if (config.shared_engine && config.solver_strategy == core::StrategyType::Exhaustive) {
-    // Heap addresses recycle across missions, so the engine's single-slot
-    // profile cache (keyed by map/trajectory address) must never survive a
-    // tenant handoff: invalidate conservatively before the first profile.
-    config.shared_engine->noteMapChangedEverywhere();
-    config.shared_engine->noteTrajectoryChanged();
+    // installEngine() acquires a fresh client key in the engine's keyed
+    // profile cache (starting all-dirty), so tenant handoffs and recycled
+    // heap addresses can never alias a previous mission's samples — no
+    // conservative whole-engine invalidation needed, and concurrent tenant
+    // missions keep their own sample caches warm.
     pipeline.installEngine(config.shared_engine);
   } else {
     core::DecisionEngine::Config engine_config;

@@ -69,13 +69,14 @@ struct MissionConfig {
 
   /// Fleet hook: govern through this externally owned, internally
   /// synchronized DecisionEngine instead of calibrating a private one —
-  /// how a fleet scheduler pools one solver memo across every tenant
-  /// mission. The engine's answers are bit-identical regardless of memo /
-  /// cache state (see core/decision_engine.h), so sharing cannot change any
-  /// mission's result; runMission conservatively invalidates the engine's
-  /// profile cache at mission start (heap addresses recycle across
-  /// missions, so stale samples must never be trusted). Requirements: the
-  /// engine must have been calibrated against THIS config's knobs /
+  /// how a fleet scheduler pools one sharded solver memo across every
+  /// tenant mission. The engine's answers are bit-identical regardless of
+  /// memo / cache state (see core/decision_engine.h), so sharing cannot
+  /// change any mission's result; each mission's pipeline acquires its own
+  /// key in the engine's keyed profile cache (starting all-dirty), so
+  /// concurrent tenants keep independent visibility-sample caches and
+  /// recycled heap addresses can never alias stale samples. Requirements:
+  /// the engine must have been calibrated against THIS config's knobs /
   /// budgeter / profiler / pipeline latency, and carry no pluggable
   /// strategy. Ignored (a private engine is built, exactly as before) when
   /// null or when solver_strategy is not Exhaustive — stateful strategies

@@ -40,26 +40,31 @@ GovernorNode::GovernorNode(miniros::Bus& bus, miniros::ParamServer& params,
     : Node(bus, params, "governor"),
       map_(&map),
       pose_(std::move(pose)),
-      engine_(std::move(engine)) {
+      engine_(std::move(engine)),
+      engine_client_(engine_->acquireClient()) {
   pub_ = advertise<PolicyMsg>("/policy");
   subscribe<sim::SensorFrame>("/sensor/frame",
                               [this](const sim::SensorFrame& f) { onFrame(f); });
   subscribe<planning::Trajectory>("/trajectory", [this](const planning::Trajectory& t) {
     last_trajectory_ = t;
-    engine_->noteTrajectoryChanged();
+    engine_->noteTrajectoryChanged(engine_client_);
   });
   // The octree's dirty bounds, straight from OctomapNode: what gates the
   // engine's cross-epoch visibility-sample reuse.
-  subscribe<MapDeltaMsg>("/map/delta",
-                         [this](const MapDeltaMsg& m) { engine_->noteMapChanged(m.touched); });
+  subscribe<MapDeltaMsg>("/map/delta", [this](const MapDeltaMsg& m) {
+    engine_->noteMapChanged(m.touched, engine_client_);
+  });
 }
+
+GovernorNode::~GovernorNode() { engine_->releaseClient(engine_client_); }
 
 void GovernorNode::onFrame(const sim::SensorFrame& frame) {
   const Pose pose = pose_();
   const Vec3 travel =
       pose.velocity.norm() > 0.2 ? pose.velocity : Vec3{1, 0, 0};
   const auto governed = engine_->decideFromSensors(frame, *map_, last_trajectory_,
-                                                   pose.position, pose.velocity, travel);
+                                                   pose.position, pose.velocity, travel,
+                                                   engine_client_);
   const auto& decision = governed.decision;
   pub_.publish(PolicyMsg{decision.policy});
   // Mirror the knobs onto the parameter server for external introspection

@@ -90,6 +90,7 @@ class GovernorNode : public miniros::Node {
   GovernorNode(miniros::Bus& bus, miniros::ParamServer& params,
                const perception::OccupancyOctree& map, PoseProvider pose,
                std::shared_ptr<core::DecisionEngine> engine);
+  ~GovernorNode();
 
   const core::DecisionEngine& engine() const { return *engine_; }
   core::DecisionEngine& engine() { return *engine_; }
@@ -100,6 +101,10 @@ class GovernorNode : public miniros::Node {
   const perception::OccupancyOctree* map_;
   PoseProvider pose_;
   std::shared_ptr<core::DecisionEngine> engine_;
+  /// This node's key into the engine's keyed profile cache (acquired in the
+  /// constructor, released on teardown): a shared engine keeps this graph's
+  /// visibility samples warm independently of any other tenant's.
+  core::DecisionEngine::ClientId engine_client_ = core::DecisionEngine::kDefaultClient;
   miniros::Publisher<PolicyMsg> pub_;
   planning::Trajectory last_trajectory_;  // updated via /trajectory
 };

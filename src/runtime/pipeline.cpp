@@ -75,8 +75,17 @@ Vec3 NavigationPipeline::selectLocalGoal(const perception::PlannerMap& map,
   return lg;
 }
 
+NavigationPipeline::~NavigationPipeline() {
+  if (engine_) engine_->releaseClient(engine_client_);
+}
+
 void NavigationPipeline::installEngine(std::shared_ptr<core::DecisionEngine> engine) {
+  if (engine_) engine_->releaseClient(engine_client_);
   engine_ = std::move(engine);
+  // A fresh client key starts all-dirty, so installing a warm shared engine
+  // can never alias another tenant's (or a dead pipeline's) samples.
+  engine_client_ =
+      engine_ ? engine_->acquireClient() : core::DecisionEngine::kDefaultClient;
 }
 
 core::EngineDecision NavigationPipeline::govern(const sim::SensorFrame& frame,
@@ -86,7 +95,7 @@ core::EngineDecision NavigationPipeline::govern(const sim::SensorFrame& frame,
         "NavigationPipeline::govern: no DecisionEngine installed (call installEngine())");
   const Vec3 travel = velocity.norm() > 0.2 ? velocity : (goal_ - position);
   return engine_->decideFromSensors(frame, *octree_, follower_.trajectory(), position,
-                                    velocity, travel);
+                                    velocity, travel, engine_client_);
 }
 
 core::SpaceProfile NavigationPipeline::profileSpace(const sim::SensorFrame& frame,
@@ -97,7 +106,7 @@ core::SpaceProfile NavigationPipeline::profileSpace(const sim::SensorFrame& fram
         "NavigationPipeline::profileSpace: no DecisionEngine installed (call installEngine())");
   const Vec3 travel = velocity.norm() > 0.2 ? velocity : (goal_ - position);
   return engine_->profile(frame, *octree_, follower_.trajectory(), position, velocity,
-                          travel);
+                          travel, engine_client_);
 }
 
 DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const Vec3& position,
@@ -126,7 +135,7 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
   out.latencies.octomap = latency_model_.octomap(out.octomap_report.ray_steps);
   // Feed the governor core's incremental profiler the same dirty region the
   // incremental planner consumes: everything this sweep may have changed.
-  if (engine_) engine_->noteMapChanged(out.octomap_report.touched);
+  if (engine_) engine_->noteMapChanged(out.octomap_report.touched, engine_client_);
 
   // --- Perception-to-planning bridge (precision + volume operators) ---
   perception::BridgeParams bp;
@@ -235,7 +244,7 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
       out.latencies.smoothing = latency_model_.smoother(smooth.report.segments);
       planning_steps += smooth.report.check_steps;
       follower_.setTrajectory(smooth.trajectory);
-      if (engine_) engine_->noteTrajectoryChanged();
+      if (engine_) engine_->noteTrajectoryChanged(engine_client_);
       out.latencies.comm_trajectory =
           config_.comm.cost(planning::byteSizeOf(smooth.trajectory));
       traj_pub_.publish(smooth.trajectory);
@@ -245,7 +254,7 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
       // one exists: clear it so the budgeter/profilers don't reason over a
       // path the vehicle refuses to fly.
       follower_.setTrajectory(planning::Trajectory{});
-      if (engine_) engine_->noteTrajectoryChanged();
+      if (engine_) engine_->noteTrajectoryChanged(engine_client_);
     }
     out.plan_wall_ms = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - plan_wall_start)

@@ -90,6 +90,7 @@ class NavigationPipeline {
  public:
   NavigationPipeline(const geom::Aabb& world_extent, const geom::Vec3& goal,
                      const PipelineConfig& config, std::uint64_t seed);
+  ~NavigationPipeline();
 
   /// Execute one decision with the given policy. `runtime_latency` is the
   /// governor's own cost (charged to the runtime stage).
@@ -97,10 +98,13 @@ class NavigationPipeline {
                          const core::PipelinePolicy& policy, double runtime_latency);
 
   /// Install the shared decision engine this pipeline governs through.
-  /// The pipeline feeds it the dirty-bounds / trajectory-change notes its
-  /// own decide() generates, so the engine's incremental profiler can
-  /// safely reuse visibility samples across sensor epochs. The engine may
-  /// be shared with other clients (it is internally synchronized).
+  /// The pipeline acquires its own profiling client key from the engine
+  /// (released on teardown or re-install) and feeds it the dirty-bounds /
+  /// trajectory-change notes its own decide() generates, so the engine's
+  /// keyed incremental profiler reuses this pipeline's visibility samples
+  /// across sensor epochs even when other tenants interleave on the same
+  /// engine. The engine may be shared with any number of clients (it is
+  /// internally synchronized and answers are bit-identical either way).
   void installEngine(std::shared_ptr<core::DecisionEngine> engine);
   core::DecisionEngine* engine() { return engine_.get(); }
   const core::DecisionEngine* engine() const { return engine_.get(); }
@@ -148,6 +152,8 @@ class NavigationPipeline {
   /// The unified governor core (may be shared across pipelines/threads);
   /// null until installEngine() — decide() then skips the change notes.
   std::shared_ptr<core::DecisionEngine> engine_;
+  /// This pipeline's key into the engine's keyed profile cache.
+  core::DecisionEngine::ClientId engine_client_ = core::DecisionEngine::kDefaultClient;
   // Persistent planner state: one arena reused by every replan of this
   // pipeline (RRT* tree/grid or pooled A*), plus the incremental planner's
   // own persisted search, plus what the bridge needs to bound each epoch's

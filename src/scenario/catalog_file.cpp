@@ -1,8 +1,12 @@
 #include "scenario/catalog_file.h"
 
+#include <array>
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "scenario/catalog.h"
 
@@ -24,10 +28,28 @@ bool parseU64(const std::string& s, std::uint64_t& out) {
   return true;
 }
 
+/// Strict, locale-independent double parse: the whole token must be one
+/// number in the C locale's format (std::from_chars never consults
+/// LC_NUMERIC, unlike istream extraction, which would parse the same
+/// catalog differently under e.g. de_DE.UTF-8). A leading '+' is accepted
+/// for istream compatibility; trailing characters — including a ','
+/// decimal separator — reject the token.
 bool parseDouble(const std::string& s, double& out) {
-  std::istringstream ss(s);
-  ss >> out;
-  return static_cast<bool>(ss) && ss.eof();
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  if (first != last && *first == '+') ++first;  // from_chars rejects '+'
+  if (first == last) return false;
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+/// parseDouble plus a finiteness gate: catalog dials are mission geometry —
+/// a NaN or infinity would flow through describeCases() into shard
+/// aggregates and fleet reports, poisoning the byte-identity contract, so
+/// the parser rejects them up front with a line-numbered error instead of
+/// letting the report writer mask them later.
+bool parseFiniteDouble(const std::string& s, double& out) {
+  return parseDouble(s, out) && std::isfinite(out);
 }
 
 std::string knownFamilies() {
@@ -103,16 +125,16 @@ CatalogParseResult parseCatalog(std::istream& in) {
         spec.missions = static_cast<std::size_t>(n);
       } else if (key == "intensity" || key == "scale") {
         double v = 0.0;
-        if (!parseDouble(value, v)) {
-          error(key + " must be a number, got '" + value + "'");
+        if (!parseFiniteDouble(value, v)) {
+          error(key + " must be a finite number, got '" + value + "'");
           line_ok = false;
           break;
         }
         (key == "intensity" ? spec.intensity : spec.scale) = v;
       } else {
         double v = 0.0;
-        if (!parseDouble(value, v)) {
-          error("param " + key + " must be numeric, got '" + value + "'");
+        if (!parseFiniteDouble(value, v)) {
+          error("param " + key + " must be a finite number, got '" + value + "'");
           line_ok = false;
           break;
         }
@@ -134,18 +156,31 @@ CatalogParseResult loadCatalogFile(const std::string& path) {
   return parseCatalog(in);
 }
 
+namespace {
+
+/// Shortest decimal form that parses back to the exact same double
+/// (std::to_chars round-trip guarantee) — so formatCatalog output always
+/// re-expands to the exact missions of the catalog it came from, instead of
+/// silently truncating dials to 6 significant digits.
+std::string formatDial(double v) {
+  std::array<char, 32> buf;
+  const auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  return std::string(buf.data(), ptr);
+}
+
+}  // namespace
+
 std::string formatCatalog(const std::vector<ScenarioSpec>& scenarios) {
   std::ostringstream os;
   for (const ScenarioSpec& s : scenarios) {
     os << "scenario " << s.family;
     if (!s.name.empty()) os << " name=" << s.name;
     os << " seed=" << s.seed << " missions=" << s.missions;
-    // Dials print with default stream precision — enough to round-trip the
-    // catalog values users actually write; specs are the source of truth.
-    os << " intensity=" << s.intensity << " scale=" << s.scale;
+    os << " intensity=" << formatDial(s.intensity) << " scale=" << formatDial(s.scale);
     if (s.designs != DesignSelection::RoboRun)
       os << " design=" << designSelectionName(s.designs);
-    for (const ScenarioParam& p : s.params) os << " " << p.key << "=" << p.value;
+    for (const ScenarioParam& p : s.params)
+      os << " " << p.key << "=" << formatDial(p.value);
     os << "\n";
   }
   return os.str();

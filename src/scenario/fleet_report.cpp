@@ -6,7 +6,9 @@
 namespace roborun::scenario {
 
 std::string jsonNumber(double v, int decimals) {
-  if (!(v == v) || v > 1e300 || v < -1e300) return "0";
+  // JSON has no NaN/Inf: emit null so a poisoned metric is visible to the
+  // consumer instead of masquerading as a measured zero.
+  if (!(v == v) || v > 1e300 || v < -1e300) return "null";
   std::ostringstream ss;
   ss.setf(std::ios::fixed);
   ss.precision(decimals);

@@ -22,10 +22,12 @@
 namespace roborun::scenario {
 
 /// Fixed-decimal double formatting for the fleet JSON documents; JSON has
-/// no NaN/Inf, so those map to 0. Fixed decimals over bit-identical inputs
-/// render byte-identically, which is what lets the result document promise
-/// byte equality. (Shared with bench_fleet_throughput; the older tools and
-/// benches carry their own private copies of the same helper.)
+/// no NaN/Inf, so non-finite (or absurdly huge) values render as `null` —
+/// visible to any consumer, never silently masked as a fabricated 0. Fixed
+/// decimals over bit-identical inputs render byte-identically, which is
+/// what lets the result document promise byte equality. (Shared with
+/// bench_fleet_throughput; the older tools and benches carry their own
+/// private copies of the same helper.)
 std::string jsonNumber(double v, int decimals = 6);
 
 /// JSON string escaping for user-controlled text (scenario names, catalog

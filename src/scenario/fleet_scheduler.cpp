@@ -124,6 +124,18 @@ FleetResult FleetScheduler::run() {
     engine_config.knobs = base_.knobs;
     engine_config.budgeter = base_.budgeter;
     engine_config.profiler = base_.profiler;
+    // Fleet traffic mixes many tenants' envelopes through one sharded memo;
+    // give it headroom beyond the single-vehicle default so cross-tenant
+    // reuse isn't capped by evictions.
+    engine_config.solver_memo_capacity = 4096;
+    // Each concurrent mission holds one live client key (acquired at
+    // pipeline construction, released at teardown), so sizing the keyed
+    // profile-cache pool at 2x the worker count guarantees no live key is
+    // ever LRU-evicted — which keeps each tenant's build/reuse sequence a
+    // pure function of its own epoch stream, independent of thread count
+    // and dispatch mode.
+    engine_config.profile_cache_clients =
+        std::max<std::size_t>(2 * std::max<std::size_t>(config_.threads, 1), 8);
     engine = core::DecisionEngine::calibrated(sim::LatencyModel(base_.pipeline.latency),
                                               engine_config);
   }

@@ -276,5 +276,88 @@ TEST(DecisionEngineConcurrencyTest, SharedEngineGivesEachThreadSeedAnswers) {
   EXPECT_EQ(shared.stats().decisions, static_cast<std::uint64_t>(kThreads * kDecisions));
 }
 
+TEST(DecisionEngineConcurrencyTest, ShardedMemoStaysExactUnderConcurrentMixedKeys) {
+  // Concurrent mixed-key traffic over the sharded memo: every thread
+  // replays one shared pool of profiles many times in a thread-specific
+  // order, so distinct keys race into the same shards and hot keys are
+  // probed while neighbors insert. Answers must stay bit-identical to a
+  // private memo-less engine, and the hit/miss ledger must balance: each
+  // distinct key misses at least once, every solve is either a hit or a
+  // miss, and replays actually hit (the pool is far smaller than one
+  // shard's capacity, so nothing can evict). TSan-clean by construction —
+  // this test is in the tsan lane's filter.
+  const KnobConfig knobs;
+  const LatencyPredictor predictor = calibrated(knobs);
+  DecisionEngine::Config config;
+  config.knobs = knobs;
+  DecisionEngine shared(config, predictor);
+
+  Rng pool_rng(4242);
+  std::vector<SpaceProfile> pool;
+  for (int i = 0; i < 32; ++i) pool.push_back(randomProfile(pool_rng));
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 8;
+  std::vector<std::vector<GovernorDecision>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& mine = got[static_cast<std::size_t>(t)];
+      for (int round = 0; round < kRounds; ++round)
+        for (std::size_t i = 0; i < pool.size(); ++i)
+          mine.push_back(shared.decide(
+              pool[(i * 7 + static_cast<std::size_t>(t) * 5 +
+                    static_cast<std::size_t>(round) * 13) %
+                   pool.size()]));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  RoboRunGovernor governor(knobs, BudgeterConfig{}, predictor);
+  for (int t = 0; t < kThreads; ++t)
+    for (int round = 0; round < kRounds; ++round)
+      for (std::size_t i = 0; i < pool.size(); ++i)
+        expectSameDecision(
+            got[static_cast<std::size_t>(t)]
+               [static_cast<std::size_t>(round) * pool.size() + i],
+            governor.decide(pool[(i * 7 + static_cast<std::size_t>(t) * 5 +
+                                  static_cast<std::size_t>(round) * 13) %
+                                 pool.size()]));
+
+  const EngineStats stats = shared.stats();
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(kThreads) * kRounds * pool.size();
+  EXPECT_EQ(stats.decisions, total);
+  EXPECT_EQ(stats.solver_memo_hits + stats.solver_memo_misses, total);
+  // Misses: at least one per distinct key; bounded by the cold-start races
+  // (a key can miss in several threads at once, but only before its first
+  // insert lands — far fewer than one full round).
+  EXPECT_GE(stats.solver_memo_misses, pool.size());
+  EXPECT_LE(stats.solver_memo_misses, static_cast<std::uint64_t>(kThreads) * pool.size());
+  EXPECT_GE(stats.solver_memo_hits, total - kThreads * pool.size());
+}
+
+TEST(DecisionEngineClientTest, AcquireReleaseKeepsClientCachesIndependent) {
+  // Client-key API basics: acquired keys are distinct (and never the
+  // default key), releasing is idempotent, and a released-then-reacquired
+  // key starts all-dirty rather than inheriting stale state.
+  DecisionEngine::Config config;
+  DecisionEngine engine(config, calibrated());
+  const DecisionEngine::ClientId a = engine.acquireClient();
+  const DecisionEngine::ClientId b = engine.acquireClient();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, DecisionEngine::kDefaultClient);
+  EXPECT_NE(b, DecisionEngine::kDefaultClient);
+  // Notes on any key (live, released, or never acquired) must be safe.
+  engine.noteTrajectoryChanged(a);
+  engine.noteMapChangedEverywhere(b);
+  engine.noteTrajectoryChanged(DecisionEngine::kDefaultClient);
+  engine.releaseClient(a);
+  engine.releaseClient(a);  // double-release: no-op
+  engine.noteTrajectoryChanged(a);  // post-release note: recreates all-dirty state
+  engine.releaseClient(DecisionEngine::kDefaultClient);
+  engine.reset();
+}
+
 }  // namespace
 }  // namespace roborun::core

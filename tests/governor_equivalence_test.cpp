@@ -330,6 +330,87 @@ TEST(ProfilerEquivalenceTest, FusedAndCachedProfilerMatchesSeedUnderDirtySchedul
   EXPECT_GT(stats.profile_builds, 0u);
 }
 
+TEST(ProfilerEquivalenceTest, InterleavedTenantsKeepPerClientSampleCaches) {
+  // The keyed profile cache contract: two tenants interleaving epochs on
+  // ONE shared engine must behave exactly like two private engines — bit
+  // for bit in every profile, and warm for warm in the cache counters.
+  // (The old single-slot cache made interleaved tenants evict each other
+  // every epoch: profiles stayed correct but reuses pinned at 0.)
+  const ProfilerConfig profiler_config;
+  DecisionEngine::Config config;
+  config.profiler = profiler_config;
+  DecisionEngine shared(config, calibrated());
+  DecisionEngine private_a(config, calibrated());
+  DecisionEngine private_b(config, calibrated());
+
+  const DecisionEngine::ClientId client_a = shared.acquireClient();
+  const DecisionEngine::ClientId client_b = shared.acquireClient();
+  ASSERT_NE(client_a, client_b);
+
+  struct Tenant {
+    ProfilerScenario scene;
+    Rng rng;
+    Vec3 pos{0, 0, 3};
+    int hover_streak = 0;
+    Tenant(std::uint64_t env_seed, std::uint64_t rng_seed, double lateral)
+        : scene(env_seed), rng(rng_seed) {
+      scene.setTrajectory({0, 0, 3}, {60, lateral, 3}, 24);
+    }
+    void step() {
+      if (hover_streak > 0) {
+        --hover_streak;
+      } else if (rng.chance(0.35)) {
+        hover_streak = rng.uniformInt(1, 4);
+      } else {
+        pos = pos + Vec3{rng.uniform(0.5, 2.5), rng.uniform(-0.5, 0.5), 0.0};
+      }
+    }
+  };
+  Tenant a(17, 55, 4.0);
+  Tenant b(19, 66, -4.0);
+  shared.noteTrajectoryChanged(client_a);
+  shared.noteTrajectoryChanged(client_b);
+  private_a.noteTrajectoryChanged();
+  private_b.noteTrajectoryChanged();
+
+  const Vec3 vel{1.2, 0, 0};
+  auto runEpoch = [&](Tenant& t, DecisionEngine::ClientId client,
+                      DecisionEngine& private_engine, const char* label) {
+    t.step();
+    const sim::SensorFrame frame = t.scene.sensor.capture(*t.scene.environment.world, t.pos);
+    const SpaceProfile got =
+        shared.profile(frame, t.scene.octree, t.scene.trajectory, t.pos, vel, vel, client);
+    const SpaceProfile want =
+        private_engine.profile(frame, t.scene.octree, t.scene.trajectory, t.pos, vel, vel);
+    expectProfileIdentical(got, want, label);
+    // Mostly off-corridor sweeps so hover epochs actually reuse samples.
+    const Vec3 sweep_origin =
+        t.rng.chance(0.5) ? t.pos : t.pos + Vec3{0.0, t.rng.uniform(40.0, 60.0), 0.0};
+    const geom::Aabb touched = t.scene.integrateSweep(sweep_origin);
+    shared.noteMapChanged(touched, client);
+    private_engine.noteMapChanged(touched);
+  };
+
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    // Strict A/B interleaving — the schedule the single-slot cache could
+    // never keep warm.
+    runEpoch(a, client_a, private_a, ("tenant A epoch " + std::to_string(epoch)).c_str());
+    runEpoch(b, client_b, private_b, ("tenant B epoch " + std::to_string(epoch)).c_str());
+  }
+
+  const EngineStats shared_stats = shared.stats();
+  const EngineStats a_stats = private_a.stats();
+  const EngineStats b_stats = private_b.stats();
+  // Interleaving on the shared engine costs nothing: its per-client caches
+  // are exactly as warm as the two private engines' caches combined.
+  EXPECT_GT(shared_stats.profile_reuses, 0u);
+  EXPECT_EQ(shared_stats.profile_reuses, a_stats.profile_reuses + b_stats.profile_reuses);
+  EXPECT_EQ(shared_stats.profile_builds, a_stats.profile_builds + b_stats.profile_builds);
+
+  shared.releaseClient(client_a);
+  shared.releaseClient(client_b);
+}
+
 TEST(ProfilerEquivalenceTest, EmptyAndDegenerateTrajectories) {
   const ProfilerConfig profiler_config;
   DecisionEngine::Config config;

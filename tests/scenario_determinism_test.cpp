@@ -13,6 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <locale>
 #include <sstream>
 
 #include "runtime/designs.h"
@@ -187,6 +190,88 @@ TEST(CatalogFileTest, FormatRoundTrips) {
             scenario::describeCases(scenario::expandScenario(parsed.scenarios[0], base)));
 }
 
+TEST(CatalogFileTest, ParsingIsLocaleIndependent) {
+  // Dial parsing must never consult LC_NUMERIC: the same catalog has to
+  // mean the same missions on a de_DE host. The parser uses
+  // std::from_chars, so a comma decimal separator is a parse error in
+  // every locale — and a '.' catalog parses identically whatever the
+  // global locale says.
+  const std::locale original = std::locale();
+  bool de_installed = false;
+  try {
+    std::locale::global(std::locale("de_DE.UTF-8"));
+    de_installed = true;
+  } catch (const std::runtime_error&) {
+    // Locale not installed in this image: the comma-rejection assertions
+    // below still pin the locale-independent semantics.
+  }
+  std::istringstream good("scenario clutter_ramp intensity=0.75 scale=0.5 density=1.25\n");
+  const auto parsed = scenario::parseCatalog(good);
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0]);
+  ASSERT_EQ(parsed.scenarios.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.scenarios[0].intensity, 0.75);
+  EXPECT_DOUBLE_EQ(parsed.scenarios[0].scale, 0.5);
+  EXPECT_DOUBLE_EQ(parsed.scenarios[0].param("density", 0.0), 1.25);
+
+  std::istringstream comma("scenario clutter_ramp scale=0,5\n");
+  const auto rejected = scenario::parseCatalog(comma);
+  EXPECT_TRUE(rejected.scenarios.empty());
+  ASSERT_EQ(rejected.errors.size(), 1u);
+  EXPECT_NE(rejected.errors[0].find("line 1"), std::string::npos);
+  if (de_installed) std::locale::global(original);
+}
+
+TEST(CatalogFileTest, RejectsNonFiniteDials) {
+  // NaN/Inf dials would poison describeCases() byte-identity and shard
+  // aggregates downstream; they must die in the parser with the line that
+  // wrote them, not get masked by the report writer.
+  std::istringstream in(
+      "scenario clutter_ramp intensity=nan\n"
+      "scenario clutter_ramp scale=inf\n"
+      "scenario clutter_ramp density=-inf\n"
+      "scenario clutter_ramp density=1e999\n");
+  const auto parsed = scenario::parseCatalog(in);
+  EXPECT_TRUE(parsed.scenarios.empty());
+  ASSERT_EQ(parsed.errors.size(), 4u);
+  EXPECT_NE(parsed.errors[0].find("line 1"), std::string::npos);
+  EXPECT_NE(parsed.errors[0].find("intensity must be a finite number"), std::string::npos);
+  EXPECT_NE(parsed.errors[1].find("line 2"), std::string::npos);
+  EXPECT_NE(parsed.errors[2].find("line 3"), std::string::npos);
+  EXPECT_NE(parsed.errors[3].find("line 4"), std::string::npos);
+}
+
+TEST(CatalogFileTest, FormatRoundTripsAtFullPrecision) {
+  // Dials that need more than 6 significant digits (the old default stream
+  // precision silently truncated them, so --print-catalog output re-expanded
+  // to DIFFERENT missions than the catalog it described).
+  std::vector<scenario::ScenarioSpec> catalog = {tinySpec("clutter_ramp", 21)};
+  catalog[0].intensity = 1.0 / 3.0;
+  catalog[0].scale = 0.1234567890123456;
+  catalog[0].params.push_back({"density", 2.0000000000000004});
+  const std::string once = scenario::formatCatalog(catalog);
+  std::istringstream in(once);
+  const auto parsed = scenario::parseCatalog(in);
+  ASSERT_TRUE(parsed.ok()) << (parsed.errors.empty() ? "" : parsed.errors[0]);
+  ASSERT_EQ(parsed.scenarios.size(), 1u);
+  // Exact doubles back, bit for bit...
+  EXPECT_EQ(parsed.scenarios[0].intensity, catalog[0].intensity);
+  EXPECT_EQ(parsed.scenarios[0].scale, catalog[0].scale);
+  EXPECT_EQ(parsed.scenarios[0].param("density", 0.0), 2.0000000000000004);
+  // ...so parse -> format -> parse is a byte-identity fixpoint.
+  EXPECT_EQ(scenario::formatCatalog(parsed.scenarios), once);
+}
+
+TEST(FleetReportTest, NonFiniteMetricsRenderAsNull) {
+  // JSON has no NaN/Inf; a poisoned metric must surface as null, never
+  // masquerade as a measured 0.
+  EXPECT_EQ(scenario::jsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(scenario::jsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(scenario::jsonNumber(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(scenario::jsonNumber(1e301), "null");
+  EXPECT_EQ(scenario::jsonNumber(1.5), "1.500000");
+  EXPECT_EQ(scenario::jsonNumber(0.6851, 4), "0.6851");
+}
+
 // --- fleet determinism ------------------------------------------------------
 
 TEST(FleetSchedulerTest, ResultsIndependentOfThreadCount) {
@@ -267,6 +352,31 @@ TEST(FleetSchedulerTest, ShardAggregatesAreConsistentWithRows) {
   for (const scenario::FleetRow& row : result.rows)
     row_decisions += row.result.decisions();
   EXPECT_EQ(decisions, row_decisions);
+}
+
+TEST(FleetSchedulerTest, SharedEngineProfileCountersAreScheduleIndependent) {
+  // The keyed profile cache gives every tenant mission its own slot, so
+  // each client key's build/reuse sequence is a pure function of its own
+  // epoch stream and the fleet-wide totals are independent of thread
+  // count and dispatch mode.  (Mission epochs always advance the drone,
+  // so the exact-position fused cache rebuilds every fused epoch here —
+  // cross-tenant reuse under interleaving is exercised with a hover
+  // schedule in governor_equivalence_test and bench_fleet_throughput.)
+  const scenario::FleetResult serial = runFleet(1, scenario::DispatchMode::Async);
+  EXPECT_GT(serial.engine.profile_builds, 0u);
+  for (const unsigned threads : {4u, 16u}) {
+    const scenario::FleetResult parallel = runFleet(threads, scenario::DispatchMode::Async);
+    EXPECT_EQ(parallel.engine.profile_builds, serial.engine.profile_builds) << threads;
+    EXPECT_EQ(parallel.engine.profile_reuses, serial.engine.profile_reuses) << threads;
+    // WHICH solves hit the sharded memo is scheduling-dependent, but the
+    // total number of solves is not.
+    EXPECT_EQ(parallel.engine.solver_memo_hits + parallel.engine.solver_memo_misses,
+              serial.engine.solver_memo_hits + serial.engine.solver_memo_misses)
+        << threads;
+  }
+  const scenario::FleetResult sync = runFleet(4, scenario::DispatchMode::Sync);
+  EXPECT_EQ(sync.engine.profile_builds, serial.engine.profile_builds);
+  EXPECT_EQ(sync.engine.profile_reuses, serial.engine.profile_reuses);
 }
 
 TEST(FleetSchedulerTest, DeterministicReportIsByteStable) {
