@@ -144,8 +144,8 @@ int main() {
         ++switches;
     std::cout << "  " << std::setw(22) << std::left << core::strategyName(type)
               << std::right << " | " << std::setw(12)
-              << (result.reached_goal ? "reached goal"
-                                      : result.collided ? "collided" : "timed out")
+              << (result.reached_goal() ? "reached goal"
+                                      : result.collided() ? "collided" : "timed out")
               << " | " << std::setw(8) << std::fixed << std::setprecision(1)
               << result.mission_time << " | " << std::setw(9) << std::setprecision(2)
               << result.averageVelocity() << " | " << std::setw(8) << switches << "\n";

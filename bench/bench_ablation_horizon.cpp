@@ -50,7 +50,7 @@ int main() {
       const auto environment = env::generateEnvironment(run_spec);
       const auto result =
           runtime::runMission(environment, runtime::DesignType::RoboRun, config);
-      if (result.reached_goal) {
+      if (result.reached_goal()) {
         ++ok;
         time_stats.add(result.mission_time);
         vel_stats.add(result.averageVelocity());

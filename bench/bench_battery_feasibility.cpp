@@ -75,9 +75,9 @@ int main() {
        {runtime::DesignType::SpatialOblivious, runtime::DesignType::RoboRun}) {
     const auto result = runtime::runMission(environment, design, config);
     std::cout << "  " << runtime::designName(design) << ": "
-              << (result.reached_goal      ? "reached goal"
-                  : result.battery_depleted ? "BATTERY DEPLETED"
-                  : result.collided         ? "collided"
+              << (result.reached_goal()      ? "reached goal"
+                  : result.battery_depleted() ? "BATTERY DEPLETED"
+                  : result.collided()         ? "collided"
                                             : "timed out")
               << " after " << result.mission_time << " s, "
               << result.flight_energy / 1e3 << " kJ, final SoC " << result.battery_soc

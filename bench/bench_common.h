@@ -98,7 +98,7 @@ inline void printSuccessRate(const std::vector<MissionJob>& jobs, runtime::Desig
   for (const auto& j : jobs) {
     if (j.design != design) continue;
     ++total;
-    ok += j.result.reached_goal ? 1 : 0;
+    ok += j.result.reached_goal() ? 1 : 0;
   }
   std::cout << "  " << runtime::designName(design) << ": " << ok << "/" << total
             << " missions reached the goal\n";

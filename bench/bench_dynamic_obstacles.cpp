@@ -60,12 +60,12 @@ int main() {
           run_config.dynamic_obstacles =
               env::crossTraffic(spec, mover_count, mover_speed, spec.seed);
         const auto result = runtime::runMission(environment, design, run_config);
-        if (result.reached_goal) {
+        if (result.reached_goal()) {
           ++ok;
           time_stats.add(result.mission_time);
           vel_stats.add(result.averageVelocity());
         }
-        if (result.collided) ++collisions;
+        if (result.collided()) ++collisions;
       }
       const double success = static_cast<double>(ok) / seeds;
       const double collision_rate = static_cast<double>(collisions) / seeds;

@@ -39,10 +39,10 @@ int main() {
     const auto& r = job.result;
     const bool is_rr = job.design == runtime::DesignType::RoboRun;
     csv.row({is_rr ? 1.0 : 0.0, job.spec.obstacle_density, job.spec.obstacle_spread,
-             job.spec.goal_distance, r.reached_goal ? 1.0 : 0.0, r.mission_time,
+             job.spec.goal_distance, r.reached_goal() ? 1.0 : 0.0, r.mission_time,
              r.flight_energy, r.averageVelocity(), r.medianLatency(),
              r.averageCpuUtilization()});
-    if (!r.reached_goal) continue;  // the paper averages successful flights
+    if (!r.reached_goal()) continue;  // the paper averages successful flights
     auto& time = is_rr ? time_r : time_b;
     auto& energy = is_rr ? energy_r : energy_b;
     auto& vel = is_rr ? vel_r : vel_b;

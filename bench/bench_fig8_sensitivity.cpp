@@ -54,7 +54,7 @@ std::vector<Row> loadOrRun() {
   for (const auto& job : jobs)
     rows.push_back({job.design == runtime::DesignType::RoboRun, job.spec.obstacle_density,
                     job.spec.obstacle_spread, job.spec.goal_distance,
-                    job.result.reached_goal, job.result.mission_time});
+                    job.result.reached_goal(), job.result.mission_time});
   return rows;
 }
 

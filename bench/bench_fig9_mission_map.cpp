@@ -67,7 +67,7 @@ int main() {
             << spec.zoneCBoundary() << "\n";
   for (const auto& job : jobs)
     std::cout << "  " << runtime::designName(job.design) << ": "
-              << (job.result.reached_goal ? "reached goal" : "DID NOT FINISH") << " in "
+              << (job.result.reached_goal() ? "reached goal" : "DID NOT FINISH") << " in "
               << job.result.mission_time << " s\n";
   std::cout << "  grids written to " << (bench::outDir() / "fig9_congestion.csv").string()
             << " and fig9_trajectories.csv\n";

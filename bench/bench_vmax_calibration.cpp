@@ -42,9 +42,9 @@ int main() {
     std::size_t ok = 0;
     geom::RunningStats time_stats, vel_stats;
     for (const auto& job : jobs) {
-      if (job.result.collided) continue;
+      if (job.result.collided()) continue;
       ++ok;
-      if (job.result.reached_goal) {
+      if (job.result.reached_goal()) {
         time_stats.add(job.result.mission_time);
         vel_stats.add(job.result.averageVelocity());
       }

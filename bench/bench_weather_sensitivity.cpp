@@ -51,18 +51,18 @@ int main() {
       std::cout << "  " << std::setw(17) << std::left << runtime::designName(design)
                 << std::right << " | " << std::setw(10) << visibility << " | "
                 << std::setw(12)
-                << (result.reached_goal ? "reached goal"
-                                        : result.collided ? "collided" : "timed out")
+                << (result.reached_goal() ? "reached goal"
+                                        : result.collided() ? "collided" : "timed out")
                 << " | " << std::setw(8) << std::fixed << std::setprecision(1)
                 << result.mission_time << " | " << std::setw(9) << std::setprecision(2)
                 << result.averageVelocity() << " | " << std::setw(8)
                 << std::setprecision(2) << median_deadline << "\n";
       csv.row({design == runtime::DesignType::RoboRun ? 1.0 : 0.0, visibility,
-               result.reached_goal ? 1.0 : 0.0, result.mission_time,
+               result.reached_goal() ? 1.0 : 0.0, result.mission_time,
                result.averageVelocity(), median_deadline});
       auto& series = design == runtime::DesignType::RoboRun ? series_roborun
                                                             : series_baseline;
-      if (result.reached_goal) {
+      if (result.reached_goal()) {
         series.x.push_back(visibility);
         series.y.push_back(result.averageVelocity());
       }

@@ -60,9 +60,9 @@ int main() {
   for (const auto& design : designs) {
     const auto result = runtime::runMission(environment, design.type, config);
     std::cout << design.name << ": "
-              << (result.reached_goal       ? "delivered"
-                  : result.battery_depleted ? "battery depleted mid-flight"
-                  : result.collided         ? "collided"
+              << (result.reached_goal()       ? "delivered"
+                  : result.battery_depleted() ? "battery depleted mid-flight"
+                  : result.collided()         ? "collided"
                                             : "timed out")
               << " (t=" << result.mission_time << " s, energy "
               << result.flight_energy / 1e3 << " kJ, SoC " << result.battery_soc << ")\n";

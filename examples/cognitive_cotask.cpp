@@ -36,7 +36,7 @@ int main() {
   for (const auto design :
        {runtime::DesignType::SpatialOblivious, runtime::DesignType::RoboRun}) {
     const auto mission = runtime::runMission(environment, design, config);
-    if (!mission.reached_goal) {
+    if (!mission.reached_goal()) {
       std::cout << runtime::designName(design) << ": mission failed, skipping\n";
       continue;
     }

@@ -45,7 +45,7 @@ int main() {
        {runtime::DesignType::SpatialOblivious, runtime::DesignType::RoboRun}) {
     const auto result = runtime::runMission(environment, design, config);
     std::cout << runtime::designName(design) << ": "
-              << (result.reached_goal ? "delivered" : result.collided ? "COLLIDED"
+              << (result.reached_goal() ? "delivered" : result.collided() ? "COLLIDED"
                                                                       : "timed out")
               << " in " << result.mission_time << " s at "
               << result.averageVelocity() << " m/s average\n";

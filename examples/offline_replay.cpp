@@ -46,7 +46,7 @@ int main() {
 
   const auto a = runtime::loadTrace(baseline_path);
   const auto b = runtime::loadTrace(roborun_path);
-  if (a.reached_goal && b.reached_goal && b.mission_time > 0.0) {
+  if (a.reached_goal() && b.reached_goal() && b.mission_time > 0.0) {
     std::cout << "offline improvement factors: time " << a.mission_time / b.mission_time
               << "x, energy " << a.flight_energy / b.flight_energy << "x, velocity "
               << b.averageVelocity() / a.averageVelocity() << "x\n";

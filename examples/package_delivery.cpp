@@ -33,8 +33,8 @@ int main() {
     const auto result = runtime::runMission(environment, design, config);
     runtime::printBanner(std::cout, runtime::designName(design));
     std::cout << "  delivery "
-              << (result.reached_goal ? "completed"
-                                      : (result.collided ? "CRASHED" : "timed out"))
+              << (result.reached_goal() ? "completed"
+                                      : (result.collided() ? "CRASHED" : "timed out"))
               << " in " << result.mission_time << " s\n";
     runtime::printMetric(std::cout, "battery energy used", result.flight_energy / 1000.0,
                          "kJ");

@@ -35,8 +35,8 @@ int main() {
     const runtime::MissionResult result = runtime::runMission(environment, design, config);
     runtime::printBanner(std::cout, runtime::designName(design));
     std::cout << "  outcome: "
-              << (result.reached_goal ? "reached goal"
-                                      : (result.collided ? "collision" : "timed out"))
+              << (result.reached_goal() ? "reached goal"
+                                      : (result.collided() ? "collision" : "timed out"))
               << "\n";
     runtime::printMetric(std::cout, "mission time", result.mission_time, "s");
     runtime::printMetric(std::cout, "flight energy", result.flight_energy / 1000.0, "kJ");

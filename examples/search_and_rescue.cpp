@@ -34,8 +34,8 @@ int main() {
               << (visibility > 1e6 ? std::string("clear")
                                    : std::to_string(static_cast<int>(visibility)) + " m")
               << ": "
-              << (result.reached_goal ? "rescued"
-                                      : (result.collided ? "CRASHED" : "timed out"))
+              << (result.reached_goal() ? "rescued"
+                                      : (result.collided() ? "CRASHED" : "timed out"))
               << " in " << result.mission_time << " s, avg velocity "
               << result.averageVelocity() << " m/s, median latency "
               << result.medianLatency() << " s\n";
@@ -46,7 +46,7 @@ int main() {
   const auto oblivious =
       runtime::runMission(environment, runtime::DesignType::SpatialOblivious, config);
   runtime::printBanner(std::cout, "spatial-oblivious reference (clear weather)");
-  std::cout << "  " << (oblivious.reached_goal ? "rescued" : "did not finish") << " in "
+  std::cout << "  " << (oblivious.reached_goal() ? "rescued" : "did not finish") << " in "
             << oblivious.mission_time << " s at " << oblivious.averageVelocity()
             << " m/s\n";
   std::cout << "\nLower visibility shrinks RoboRun's deadlines and velocity — the same\n"

@@ -52,16 +52,60 @@ struct DecisionRecord {
   double cpu_utilization = 0.0;  ///< compute busy share of the deadline window
 };
 
+/// How a mission terminated. Exactly one status per mission — the taxonomy
+/// replaces the old reached_goal/collided/timed_out/battery_depleted bool
+/// quartet, whose "all false" reading was an undefined state tools had to
+/// defensively reject. Values are part of the trace format (written as the
+/// integer code), so the codes are frozen: append, never renumber.
+enum class MissionStatus : int {
+  ReachedGoal = 0,         ///< arrived within the goal radius
+  Collided = 1,            ///< airframe struck an obstacle
+  TimedOut = 2,            ///< sim clock passed MissionConfig::max_mission_time
+  EnergyExhausted = 3,     ///< aborted mid-flight on an empty pack
+  AbortedWallDeadline = 4, ///< cooperative watchdog: wall clock passed max_wall_ms
+  Crashed = 5,             ///< an exception escaped the mission (fleet isolation)
+};
+
+inline const char* missionStatusName(MissionStatus s) {
+  switch (s) {
+    case MissionStatus::ReachedGoal: return "reached_goal";
+    case MissionStatus::Collided: return "collided";
+    case MissionStatus::TimedOut: return "timed_out";
+    case MissionStatus::EnergyExhausted: return "energy_exhausted";
+    case MissionStatus::AbortedWallDeadline: return "aborted_wall_deadline";
+    case MissionStatus::Crashed: return "crashed";
+  }
+  return "?";
+}
+
+/// Infrastructure failure (the fleet's retry + failure-report set), as
+/// opposed to a mission-level outcome: the mission did not run to a
+/// simulated conclusion.
+inline bool missionStatusIsInfrastructureFailure(MissionStatus s) {
+  return s == MissionStatus::AbortedWallDeadline || s == MissionStatus::Crashed;
+}
+
 struct MissionResult {
-  bool reached_goal = false;
-  bool collided = false;
-  bool timed_out = false;
-  bool battery_depleted = false;  ///< aborted mid-flight on an empty pack
+  /// TimedOut is the default so a result abandoned mid-loop (watchdog,
+  /// exception) still reads as a defined non-success — the old quartet's
+  /// undefined all-false state is unrepresentable.
+  MissionStatus status = MissionStatus::TimedOut;
+
+  bool reached_goal() const { return status == MissionStatus::ReachedGoal; }
+  bool collided() const { return status == MissionStatus::Collided; }
+  bool timed_out() const { return status == MissionStatus::TimedOut; }
+  bool battery_depleted() const { return status == MissionStatus::EnergyExhausted; }
+
   double mission_time = 0.0;     ///< s
   double flight_energy = 0.0;    ///< J
   double compute_energy = 0.0;   ///< J
   double battery_soc = 1.0;      ///< state of charge at mission end [0,1]
   double distance_traveled = 0.0;///< m
+  /// Deterministic fault-injection tallies (sim::FaultPlan): decision epochs
+  /// flown under a sensor blackout / with a latency spike applied. Zero when
+  /// no faults are configured; part of the bitwise replay contract.
+  std::size_t fault_blackouts = 0;
+  std::size_t fault_spikes = 0;
   /// Measured wall time spent replanning (planner + smoother, summed over
   /// the replanning decisions) across the whole mission (ms). A measurement
   /// of this run, like suite_runner's wall_ms — NOT part of the

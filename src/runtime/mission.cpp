@@ -14,6 +14,27 @@ using geom::Vec3;
 
 /// Collision probe: the drone's airframe against the ground-truth world and
 /// the dynamic obstacle field (evaluated at its current time).
+/// Cooperative wall-clock watchdog token: armed once at mission start,
+/// polled at the top of every decision epoch. Wall time is a measurement of
+/// this run (like every *_wall_ms field), so the token never feeds the
+/// simulation — it only bounds how long a mission may occupy its worker.
+class WallDeadline {
+ public:
+  explicit WallDeadline(double max_wall_ms) : armed_(max_wall_ms > 0.0) {
+    if (armed_)
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(max_wall_ms));
+  }
+  bool expired() const {
+    return armed_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+ private:
+  bool armed_;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
 bool inCollision(const env::World& world, const env::DynamicObstacleField& dynamic,
                  const Vec3& p, double radius) {
   // Static-only missions skip the dynamic-field probes entirely (the sensor
@@ -84,7 +105,13 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
   std::vector<Vec3> breadcrumbs{start};
   int consecutive_plan_failures = 0;
 
+  const WallDeadline wall_deadline(config.max_wall_ms);
+
   while (t < config.max_mission_time) {
+    if (wall_deadline.expired()) {
+      result.status = MissionStatus::AbortedWallDeadline;
+      break;
+    }
     const Vec3 pos = drone.state().position;
     const Vec3 vel = drone.state().velocity;
 
@@ -264,14 +291,14 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
       prev_pos = p;
       if (p.dist(breadcrumbs.back()) > 2.0) breadcrumbs.push_back(p);
       if (inCollision(world, dynamic, p, config.drone.collision_radius)) {
-        result.collided = true;
+        result.status = MissionStatus::Collided;
         terminal = true;
       } else if (p.dist(goal) <= config.pipeline.goal_radius) {
-        result.reached_goal = true;
+        result.status = MissionStatus::ReachedGoal;
         terminal = true;
       } else if (config.enforce_battery &&
                  energy.totalEnergy() > config.battery.usable()) {
-        result.battery_depleted = true;
+        result.status = MissionStatus::EnergyExhausted;
         terminal = true;
       }
     }
@@ -279,8 +306,9 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
     if (terminal) break;
   }
 
+  // No terminal event set a status: the default TimedOut stands (the sim
+  // clock ran out), or the watchdog's AbortedWallDeadline already did.
   result.mission_time = t;
-  result.timed_out = !result.reached_goal && !result.collided && !result.battery_depleted;
   if (config.enforce_battery && config.battery.capacity > 0.0) {
     sim::Battery pack(config.battery);
     pack.drain(energy.totalEnergy());

@@ -42,7 +42,17 @@ struct MissionConfig {
 
   double sim_dt = 0.05;              ///< s; physics step
   double min_decision_period = 0.25; ///< s; sensor frame period floor
-  double max_mission_time = 9000.0;  ///< s; timeout
+  double max_mission_time = 9000.0;  ///< s; timeout (simulated clock)
+  /// Cooperative wall-clock watchdog: when positive, the runner checks a
+  /// deadline token at the top of every decision epoch and aborts the
+  /// mission with MissionStatus::AbortedWallDeadline once this many REAL
+  /// milliseconds have elapsed. A liveness bound for fleet serving (a
+  /// wedged or pathologically slow mission yields its worker), NOT part of
+  /// the deterministic replay contract — which epoch trips it depends on
+  /// host speed, which is why it ships disabled (0) and why fleet retries
+  /// treat a wall abort as transient. The simulated-time timeout above is
+  /// the deterministic one.
+  double max_wall_ms = 0.0;
   double v_max_dynamic = 3.2;        ///< m/s; RoboRun's experimental velocity cap
   double creep_velocity = 0.3;       ///< m/s; when planning failed
   // NOTE: the fixed per-decision overhead lives in knobs.fixed_overhead

@@ -64,8 +64,13 @@ void writeTrace(const MissionResult& mission, std::ostream& out) {
   // max_digits10: doubles round-trip bit-exactly through the text format.
   out.precision(17);
   out << kMagic << "\n";
-  out << "# reached_goal=" << mission.reached_goal << " collided=" << mission.collided
-      << " timed_out=" << mission.timed_out << " battery_depleted=" << mission.battery_depleted
+  // `status` carries the full taxonomy (integer code — frozen, see
+  // MissionStatus); the four legacy bool keys are still written so older
+  // readers keep their verdict, and readers prefer `status` when present.
+  out << "# status=" << static_cast<int>(mission.status)
+      << " reached_goal=" << mission.reached_goal() << " collided=" << mission.collided()
+      << " timed_out=" << mission.timed_out() << " battery_depleted=" << mission.battery_depleted()
+      << " fault_blackouts=" << mission.fault_blackouts << " fault_spikes=" << mission.fault_spikes
       << " mission_time=" << mission.mission_time << " flight_energy=" << mission.flight_energy
       << " compute_energy=" << mission.compute_energy << " battery_soc=" << mission.battery_soc
       << " distance_traveled=" << mission.distance_traveled << "\n";
@@ -104,16 +109,33 @@ MissionResult readTrace(std::istream& in) {
   {
     std::istringstream meta(line.substr(2));
     std::string pair;
+    bool saw_status = false;
     while (meta >> pair) {
       const std::size_t eq = pair.find('=');
       if (eq == std::string::npos)
         throw std::runtime_error("trace: malformed metadata '" + pair + "'");
       const std::string key = pair.substr(0, eq);
       const double value = std::stod(pair.substr(eq + 1));
-      if (key == "reached_goal") mission.reached_goal = value != 0.0;
-      else if (key == "collided") mission.collided = value != 0.0;
-      else if (key == "timed_out") mission.timed_out = value != 0.0;
-      else if (key == "battery_depleted") mission.battery_depleted = value != 0.0;
+      if (key == "status") {
+        const int code = static_cast<int>(value);
+        if (code < static_cast<int>(MissionStatus::ReachedGoal) ||
+            code > static_cast<int>(MissionStatus::Crashed))
+          throw std::runtime_error("trace: unknown status code " + pair.substr(eq + 1));
+        mission.status = static_cast<MissionStatus>(code);
+        saw_status = true;
+      }
+      // Legacy bool keys (pre-status traces): only consulted until a
+      // `status` key has been seen; TimedOut covers the all-false reading.
+      else if (key == "reached_goal" && !saw_status && value != 0.0)
+        mission.status = MissionStatus::ReachedGoal;
+      else if (key == "collided" && !saw_status && value != 0.0)
+        mission.status = MissionStatus::Collided;
+      else if (key == "battery_depleted" && !saw_status && value != 0.0)
+        mission.status = MissionStatus::EnergyExhausted;
+      else if (key == "fault_blackouts")
+        mission.fault_blackouts = static_cast<std::size_t>(value);
+      else if (key == "fault_spikes")
+        mission.fault_spikes = static_cast<std::size_t>(value);
       else if (key == "mission_time") mission.mission_time = value;
       else if (key == "flight_energy") mission.flight_energy = value;
       else if (key == "compute_energy") mission.compute_energy = value;
@@ -248,12 +270,7 @@ BreakdownSummary normalizedBreakdown(const MissionResult& mission) {
 std::string describeTrace(const MissionResult& mission) {
   std::ostringstream os;
   os.precision(4);
-  os << "verdict: "
-     << (mission.reached_goal       ? "reached goal"
-         : mission.collided         ? "collided"
-         : mission.battery_depleted ? "battery depleted"
-                                    : "timed out")
-     << "\n";
+  os << "verdict: " << missionStatusName(mission.status) << "\n";
   os << "mission time: " << mission.mission_time << " s over " << mission.records.size()
      << " decisions\n";
   os << "flight energy: " << mission.flight_energy / 1e3

@@ -46,7 +46,7 @@ std::string jsonEscape(const std::string& s) {
 void writeFleetJson(std::ostream& os, const FleetResult& result,
                     const std::string& catalog_label) {
   os << "{\n";
-  os << "  \"schema\": \"roborun-fleet-v1\",\n";
+  os << "  \"schema\": \"roborun-fleet-v2\",\n";
   os << "  \"catalog\": \"" << jsonEscape(catalog_label) << "\",\n";
   os << "  \"scenarios\": " << result.shards.size() << ",\n";
   os << "  \"missions\": " << result.rows.size() << ",\n";
@@ -75,10 +75,11 @@ void writeFleetJson(std::ostream& os, const FleetResult& result,
        << "\", \"env\": \"" << c.env.label() << "\", \"design\": \""
        << runtime::designName(c.design) << "\", \"mission_seed\": " << c.config.seed
        << ", \"movers\": " << c.config.dynamic_obstacles.size()
-       << ", \"reached_goal\": " << (r.reached_goal ? "true" : "false")
-       << ", \"collided\": " << (r.collided ? "true" : "false")
-       << ", \"timed_out\": " << (r.timed_out ? "true" : "false")
-       << ", \"battery_depleted\": " << (r.battery_depleted ? "true" : "false")
+       << ", \"status\": \"" << runtime::missionStatusName(r.status) << "\""
+       << ", \"reached_goal\": " << (r.reached_goal() ? "true" : "false")
+       << ", \"collided\": " << (r.collided() ? "true" : "false")
+       << ", \"timed_out\": " << (r.timed_out() ? "true" : "false")
+       << ", \"battery_depleted\": " << (r.battery_depleted() ? "true" : "false")
        << ", \"mission_time\": " << jsonNumber(r.mission_time)
        << ", \"distance\": " << jsonNumber(r.distance_traveled)
        << ", \"avg_velocity\": " << jsonNumber(r.averageVelocity())

@@ -48,8 +48,8 @@ bool recordsIdentical(const runtime::DecisionRecord& a, const runtime::DecisionR
 
 bool missionResultsIdentical(const runtime::MissionResult& a,
                              const runtime::MissionResult& b) {
-  if (a.reached_goal != b.reached_goal || a.collided != b.collided ||
-      a.timed_out != b.timed_out || a.battery_depleted != b.battery_depleted ||
+  if (a.status != b.status || a.fault_blackouts != b.fault_blackouts ||
+      a.fault_spikes != b.fault_spikes ||
       !bitEqual(a.mission_time, b.mission_time) ||
       !bitEqual(a.flight_energy, b.flight_energy) ||
       !bitEqual(a.compute_energy, b.compute_energy) ||
@@ -213,10 +213,10 @@ FleetResult FleetScheduler::run() {
       if (cases_[i].scenario != shard) continue;
       const runtime::MissionResult& r = out.rows[i].result;
       ++n;
-      agg.reached += r.reached_goal ? 1 : 0;
-      agg.collided += r.collided ? 1 : 0;
-      agg.timed_out += r.timed_out ? 1 : 0;
-      agg.battery_depleted += r.battery_depleted ? 1 : 0;
+      agg.reached += r.reached_goal() ? 1 : 0;
+      agg.collided += r.collided() ? 1 : 0;
+      agg.timed_out += r.timed_out() ? 1 : 0;
+      agg.battery_depleted += r.battery_depleted() ? 1 : 0;
       agg.decisions += r.decisions();
       agg.replans += r.replans();
       agg.mission_time += r.mission_time;

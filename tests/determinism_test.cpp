@@ -76,10 +76,9 @@ bool bitEqual(double a, double b) {
   auto fail = [&](const char* field) {
     return ::testing::AssertionFailure() << "MissionResult differs in " << field;
   };
-  if (a.reached_goal != b.reached_goal) return fail("reached_goal");
-  if (a.collided != b.collided) return fail("collided");
-  if (a.timed_out != b.timed_out) return fail("timed_out");
-  if (a.battery_depleted != b.battery_depleted) return fail("battery_depleted");
+  if (a.status != b.status) return fail("status");
+  if (a.fault_blackouts != b.fault_blackouts) return fail("fault_blackouts");
+  if (a.fault_spikes != b.fault_spikes) return fail("fault_spikes");
   if (!bitEqual(a.mission_time, b.mission_time)) return fail("mission_time");
   if (!bitEqual(a.flight_energy, b.flight_energy)) return fail("flight_energy");
   if (!bitEqual(a.compute_energy, b.compute_energy)) return fail("compute_energy");

@@ -308,7 +308,7 @@ TEST(DynamicMissionTest, MissionCompletesAmongMovers) {
   ASSERT_GT(config.dynamic_obstacles.size(), 0u);
   const auto result =
       runtime::runMission(environment, runtime::DesignType::RoboRun, config);
-  EXPECT_TRUE(result.reached_goal) << "collided=" << result.collided;
+  EXPECT_TRUE(result.reached_goal()) << "collided=" << result.collided();
 }
 
 TEST(DynamicMissionTest, ReplayIsDeterministicWithMovers) {

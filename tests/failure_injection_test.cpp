@@ -35,8 +35,8 @@ TEST(FailureInjectionTest, NearBlindSensorStillTerminates) {
   const auto result =
       runtime::runMission(environment, runtime::DesignType::RoboRun, config);
   EXPECT_LE(result.mission_time, config.max_mission_time + 60.0);
-  if (result.reached_goal) {
-    EXPECT_FALSE(result.collided);
+  if (result.reached_goal()) {
+    EXPECT_FALSE(result.collided());
   }
 }
 
@@ -50,8 +50,8 @@ TEST(FailureInjectionTest, ZeroVisibilityFogParksTheDrone) {
   config.max_mission_time = 120.0;
   const auto result =
       runtime::runMission(environment, runtime::DesignType::RoboRun, config);
-  EXPECT_FALSE(result.reached_goal);
-  EXPECT_FALSE(result.collided);
+  EXPECT_FALSE(result.reached_goal());
+  EXPECT_FALSE(result.collided());
   for (const auto& rec : result.records)
     EXPECT_LE(rec.commanded_velocity, 0.5) << "flew at t=" << rec.t;
 }
@@ -67,9 +67,9 @@ TEST(FailureInjectionTest, StarvedPlannerVolumeTimesOutCleanly) {
   config.max_mission_time = 90.0;
   const auto result =
       runtime::runMission(environment, runtime::DesignType::RoboRun, config);
-  EXPECT_FALSE(result.reached_goal);
-  EXPECT_TRUE(result.timed_out);
-  EXPECT_FALSE(result.collided);
+  EXPECT_FALSE(result.reached_goal());
+  EXPECT_TRUE(result.timed_out());
+  EXPECT_FALSE(result.collided());
 }
 
 TEST(FailureInjectionTest, ZeroDeadlineBudgetFloorHolds) {
@@ -137,7 +137,7 @@ TEST(FailureInjectionTest, ImpossibleGoalTimesOut) {
   config.max_mission_time = 150.0;
   const auto result =
       runtime::runMission(environment, runtime::DesignType::RoboRun, config);
-  EXPECT_FALSE(result.reached_goal);
+  EXPECT_FALSE(result.reached_goal());
 }
 
 TEST(FailureInjectionTest, ReactionDelayedDroneStillSafe) {

@@ -47,20 +47,20 @@ MissionResult* MissionFixture::baseline_ = nullptr;
 MissionResult* MissionFixture::roborun_ = nullptr;
 
 TEST_F(MissionFixture, BothDesignsReachTheGoal) {
-  EXPECT_TRUE(baseline_->reached_goal)
-      << "baseline: collided=" << baseline_->collided << " t=" << baseline_->mission_time;
-  EXPECT_TRUE(roborun_->reached_goal)
-      << "roborun: collided=" << roborun_->collided << " t=" << roborun_->mission_time;
+  EXPECT_TRUE(baseline_->reached_goal())
+      << "baseline: collided=" << baseline_->collided() << " t=" << baseline_->mission_time;
+  EXPECT_TRUE(roborun_->reached_goal())
+      << "roborun: collided=" << roborun_->collided() << " t=" << roborun_->mission_time;
 }
 
 TEST_F(MissionFixture, RoboRunIsFaster) {
-  ASSERT_TRUE(baseline_->reached_goal && roborun_->reached_goal);
+  ASSERT_TRUE(baseline_->reached_goal() && roborun_->reached_goal());
   // Paper Fig. 7: 4.5x mission time. Demand at least 2x on this small map.
   EXPECT_LT(roborun_->mission_time * 2.0, baseline_->mission_time);
 }
 
 TEST_F(MissionFixture, RoboRunUsesLessEnergy) {
-  ASSERT_TRUE(baseline_->reached_goal && roborun_->reached_goal);
+  ASSERT_TRUE(baseline_->reached_goal() && roborun_->reached_goal());
   EXPECT_LT(roborun_->flight_energy * 1.5, baseline_->flight_energy);
 }
 

@@ -1,0 +1,140 @@
+// MissionStatus regression pins: one test per termination path, each
+// asserting the exact status the taxonomy assigns (and that the legacy bool
+// accessors stay consistent with it). These pins are what make the old
+// "mission ended in an undefined state" escape hatches in the tools safe to
+// delete.
+#include <gtest/gtest.h>
+
+#include "env/env_gen.h"
+#include "runtime/designs.h"
+#include "runtime/mission.h"
+
+namespace roborun::runtime {
+namespace {
+
+env::Environment shortEnvironment(std::uint64_t seed) {
+  env::EnvSpec spec;
+  spec.obstacle_density = 0.45;
+  spec.obstacle_spread = 22.0;
+  spec.goal_distance = 140.0;
+  spec.seed = seed;
+  return env::generateEnvironment(spec);
+}
+
+/// Exactly one terminal reading per status: the accessors must agree with
+/// the enum, and the non-matching ones must all be false.
+void expectConsistent(const MissionResult& r) {
+  const int trues = (r.reached_goal() ? 1 : 0) + (r.collided() ? 1 : 0) +
+                    (r.timed_out() ? 1 : 0) + (r.battery_depleted() ? 1 : 0);
+  if (missionStatusIsInfrastructureFailure(r.status))
+    EXPECT_EQ(trues, 0) << missionStatusName(r.status);
+  else
+    EXPECT_EQ(trues, 1) << missionStatusName(r.status);
+}
+
+TEST(MissionStatusPin, ReachedGoal) {
+  const auto result =
+      runMission(shortEnvironment(11), DesignType::RoboRun, smokeMissionConfig());
+  EXPECT_EQ(result.status, MissionStatus::ReachedGoal) << missionStatusName(result.status);
+  EXPECT_TRUE(result.reached_goal());
+  expectConsistent(result);
+}
+
+TEST(MissionStatusPin, Collided) {
+  // A stationary mover parked on the start position: the drone spawns inside
+  // it, so the very first collision probe trips.
+  const auto environment = shortEnvironment(11);
+  auto config = smokeMissionConfig();
+  env::MovingObstacle parked;
+  parked.base = environment.spec.start();
+  parked.speed = 0.0;
+  parked.patrol_span = 0.0;
+  parked.radius = 3.0;
+  config.dynamic_obstacles.add(parked);
+  const auto result = runMission(environment, DesignType::RoboRun, config);
+  EXPECT_EQ(result.status, MissionStatus::Collided) << missionStatusName(result.status);
+  EXPECT_TRUE(result.collided());
+  expectConsistent(result);
+}
+
+TEST(MissionStatusPin, SimTimeout) {
+  auto config = smokeMissionConfig();
+  config.max_mission_time = 5.0;  // far too short to finish
+  const auto result = runMission(shortEnvironment(11), DesignType::RoboRun, config);
+  EXPECT_EQ(result.status, MissionStatus::TimedOut) << missionStatusName(result.status);
+  EXPECT_TRUE(result.timed_out());
+  expectConsistent(result);
+}
+
+TEST(MissionStatusPin, EnergyExhausted) {
+  auto config = smokeMissionConfig();
+  config.enforce_battery = true;
+  config.battery.capacity = 20e3;  // ~40 s of hover
+  config.battery.reserve_fraction = 0.1;
+  const auto result = runMission(shortEnvironment(11), DesignType::RoboRun, config);
+  EXPECT_EQ(result.status, MissionStatus::EnergyExhausted)
+      << missionStatusName(result.status);
+  EXPECT_TRUE(result.battery_depleted());
+  expectConsistent(result);
+}
+
+TEST(MissionStatusPin, WallDeadlineAborts) {
+  auto config = smokeMissionConfig();
+  config.max_wall_ms = 1e-6;  // expires before the first epoch's check
+  const auto result = runMission(shortEnvironment(11), DesignType::RoboRun, config);
+  EXPECT_EQ(result.status, MissionStatus::AbortedWallDeadline)
+      << missionStatusName(result.status);
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_TRUE(missionStatusIsInfrastructureFailure(result.status));
+  expectConsistent(result);
+}
+
+TEST(MissionStatusPin, WatchdogDisabledByDefault) {
+  // max_wall_ms = 0 must mean "no watchdog", not "instant abort".
+  ASSERT_DOUBLE_EQ(MissionConfig{}.max_wall_ms, 0.0);
+  auto config = smokeMissionConfig();
+  config.max_mission_time = 5.0;
+  const auto result = runMission(shortEnvironment(11), DesignType::RoboRun, config);
+  EXPECT_NE(result.status, MissionStatus::AbortedWallDeadline);
+  EXPECT_FALSE(result.records.empty());
+}
+
+TEST(MissionStatusTest, NamesAreStable) {
+  EXPECT_STREQ(missionStatusName(MissionStatus::ReachedGoal), "reached_goal");
+  EXPECT_STREQ(missionStatusName(MissionStatus::Collided), "collided");
+  EXPECT_STREQ(missionStatusName(MissionStatus::TimedOut), "timed_out");
+  EXPECT_STREQ(missionStatusName(MissionStatus::EnergyExhausted), "energy_exhausted");
+  EXPECT_STREQ(missionStatusName(MissionStatus::AbortedWallDeadline),
+               "aborted_wall_deadline");
+  EXPECT_STREQ(missionStatusName(MissionStatus::Crashed), "crashed");
+}
+
+TEST(MissionStatusTest, CodesAreFrozen) {
+  // The integer codes are part of the trace format: append, never renumber.
+  EXPECT_EQ(static_cast<int>(MissionStatus::ReachedGoal), 0);
+  EXPECT_EQ(static_cast<int>(MissionStatus::Collided), 1);
+  EXPECT_EQ(static_cast<int>(MissionStatus::TimedOut), 2);
+  EXPECT_EQ(static_cast<int>(MissionStatus::EnergyExhausted), 3);
+  EXPECT_EQ(static_cast<int>(MissionStatus::AbortedWallDeadline), 4);
+  EXPECT_EQ(static_cast<int>(MissionStatus::Crashed), 5);
+}
+
+TEST(MissionStatusTest, DefaultIsTimedOutNeverUndefined) {
+  // The old bool quartet's all-false "undefined state" is unrepresentable:
+  // a default-constructed result already reads as a defined non-success.
+  const MissionResult r;
+  EXPECT_EQ(r.status, MissionStatus::TimedOut);
+  expectConsistent(r);
+}
+
+TEST(MissionStatusTest, InfrastructureFailurePredicate) {
+  EXPECT_FALSE(missionStatusIsInfrastructureFailure(MissionStatus::ReachedGoal));
+  EXPECT_FALSE(missionStatusIsInfrastructureFailure(MissionStatus::Collided));
+  EXPECT_FALSE(missionStatusIsInfrastructureFailure(MissionStatus::TimedOut));
+  EXPECT_FALSE(missionStatusIsInfrastructureFailure(MissionStatus::EnergyExhausted));
+  EXPECT_TRUE(missionStatusIsInfrastructureFailure(MissionStatus::AbortedWallDeadline));
+  EXPECT_TRUE(missionStatusIsInfrastructureFailure(MissionStatus::Crashed));
+}
+
+}  // namespace
+}  // namespace roborun::runtime

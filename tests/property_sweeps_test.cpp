@@ -397,8 +397,9 @@ class TraceFuzzProperty : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(TraceFuzzProperty, RandomMissionsRoundTrip) {
   geom::Rng rng(GetParam());
   runtime::MissionResult mission;
-  mission.reached_goal = rng.chance(0.5);
-  mission.collided = !mission.reached_goal && rng.chance(0.5);
+  mission.status = rng.chance(0.5)   ? runtime::MissionStatus::ReachedGoal
+                   : rng.chance(0.5) ? runtime::MissionStatus::Collided
+                                     : runtime::MissionStatus::TimedOut;
   mission.mission_time = rng.uniform(1.0, 5000.0);
   mission.flight_energy = rng.uniform(1e3, 2e6);
   mission.distance_traveled = rng.uniform(10.0, 2000.0);

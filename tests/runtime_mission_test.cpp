@@ -28,17 +28,17 @@ MissionConfig quickConfig() {
 TEST(MissionRunnerTest, RoboRunCompletesTinyMission) {
   const auto env = tinyEnvironment(5);
   const auto result = runMission(env, DesignType::RoboRun, quickConfig());
-  EXPECT_TRUE(result.reached_goal) << "t=" << result.mission_time
-                                   << " collided=" << result.collided;
-  EXPECT_FALSE(result.collided);
+  EXPECT_TRUE(result.reached_goal()) << "t=" << result.mission_time
+                                   << " collided=" << result.collided();
+  EXPECT_FALSE(result.collided());
   EXPECT_GT(result.decisions(), 10u);
 }
 
 TEST(MissionRunnerTest, BaselineCompletesTinyMission) {
   const auto env = tinyEnvironment(5);
   const auto result = runMission(env, DesignType::SpatialOblivious, quickConfig());
-  EXPECT_TRUE(result.reached_goal);
-  EXPECT_FALSE(result.collided);
+  EXPECT_TRUE(result.reached_goal());
+  EXPECT_FALSE(result.collided());
 }
 
 TEST(MissionRunnerTest, RecordsAreTimeOrdered) {
@@ -86,8 +86,8 @@ TEST(MissionRunnerTest, WeatherVisibilitySlowsRoboRun) {
   foggy_config.sensor.weather_visibility = 10.0;
   const auto clear = runMission(env, DesignType::RoboRun, clear_config);
   const auto foggy = runMission(env, DesignType::RoboRun, foggy_config);
-  ASSERT_TRUE(clear.reached_goal);
-  if (foggy.reached_goal) {
+  ASSERT_TRUE(clear.reached_goal());
+  if (foggy.reached_goal()) {
     EXPECT_GE(foggy.mission_time, clear.mission_time * 0.9);
     EXPECT_LE(foggy.averageVelocity(), clear.averageVelocity() * 1.05);
   }
@@ -129,8 +129,8 @@ TEST(MissionRunnerTest, TimeoutMarksTimedOut) {
   auto config = quickConfig();
   config.max_mission_time = 5.0;  // far too short to finish
   const auto result = runMission(env, DesignType::SpatialOblivious, config);
-  EXPECT_FALSE(result.reached_goal);
-  EXPECT_TRUE(result.timed_out);
+  EXPECT_FALSE(result.reached_goal());
+  EXPECT_TRUE(result.timed_out());
 }
 
 }  // namespace

@@ -26,9 +26,9 @@ TEST_P(StrategyMissionTest, MissionCompletesSafely) {
   auto config = testMissionConfig();
   config.solver_strategy = GetParam();
   const auto result = runMission(environment, DesignType::RoboRun, config);
-  EXPECT_TRUE(result.reached_goal)
+  EXPECT_TRUE(result.reached_goal())
       << "strategy " << core::strategyName(GetParam()) << " t=" << result.mission_time;
-  EXPECT_FALSE(result.collided);
+  EXPECT_FALSE(result.collided());
 }
 
 TEST_P(StrategyMissionTest, KeepsAdvantageOverStaticBaseline) {
@@ -37,8 +37,8 @@ TEST_P(StrategyMissionTest, KeepsAdvantageOverStaticBaseline) {
   config.solver_strategy = GetParam();
   const auto roborun = runMission(environment, DesignType::RoboRun, config);
   const auto baseline = runMission(environment, DesignType::SpatialOblivious, config);
-  ASSERT_TRUE(roborun.reached_goal);
-  ASSERT_TRUE(baseline.reached_goal);
+  ASSERT_TRUE(roborun.reached_goal());
+  ASSERT_TRUE(baseline.reached_goal());
   // Any reasonable strategy keeps a clear multi-x improvement.
   EXPECT_GT(baseline.mission_time / roborun.mission_time, 2.0)
       << "strategy " << core::strategyName(GetParam());

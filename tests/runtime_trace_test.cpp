@@ -14,7 +14,7 @@ namespace {
 
 MissionResult syntheticMission() {
   MissionResult mission;
-  mission.reached_goal = true;
+  mission.status = MissionStatus::ReachedGoal;
   mission.mission_time = 30.0;
   mission.flight_energy = 15000.0;
   mission.compute_energy = 12.5;
@@ -56,10 +56,9 @@ TEST(TraceRoundTripTest, PreservesMissionMetadata) {
   std::stringstream buffer;
   writeTrace(mission, buffer);
   const auto loaded = readTrace(buffer);
-  EXPECT_EQ(loaded.reached_goal, mission.reached_goal);
-  EXPECT_EQ(loaded.collided, mission.collided);
-  EXPECT_EQ(loaded.timed_out, mission.timed_out);
-  EXPECT_EQ(loaded.battery_depleted, mission.battery_depleted);
+  EXPECT_EQ(loaded.status, mission.status);
+  EXPECT_EQ(loaded.fault_blackouts, mission.fault_blackouts);
+  EXPECT_EQ(loaded.fault_spikes, mission.fault_spikes);
   EXPECT_DOUBLE_EQ(loaded.mission_time, mission.mission_time);
   EXPECT_DOUBLE_EQ(loaded.flight_energy, mission.flight_energy);
   EXPECT_DOUBLE_EQ(loaded.compute_energy, mission.compute_energy);
@@ -200,7 +199,7 @@ TEST(TraceAnalysisTest, BreakdownOfEmptyMissionIsZero) {
 TEST(TraceAnalysisTest, DescribeMentionsVerdictAndZones) {
   const auto mission = syntheticMission();
   const auto text = describeTrace(mission);
-  EXPECT_NE(text.find("reached goal"), std::string::npos);
+  EXPECT_NE(text.find("reached_goal"), std::string::npos);
   EXPECT_NE(text.find("zone"), std::string::npos);
   EXPECT_NE(text.find("stage shares"), std::string::npos);
 }

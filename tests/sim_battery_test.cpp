@@ -148,9 +148,9 @@ TEST(MissionBatteryTest, TinyPackAbortsMission) {
   config.battery.reserve_fraction = 0.1;
   const auto result =
       runtime::runMission(environment, runtime::DesignType::SpatialOblivious, config);
-  EXPECT_TRUE(result.battery_depleted);
-  EXPECT_FALSE(result.reached_goal);
-  EXPECT_FALSE(result.timed_out);
+  EXPECT_TRUE(result.battery_depleted());
+  EXPECT_FALSE(result.reached_goal());
+  EXPECT_FALSE(result.timed_out());
   EXPECT_LE(result.battery_soc, config.battery.reserve_fraction + 0.05);
 }
 
@@ -164,7 +164,7 @@ TEST(MissionBatteryTest, DefaultConfigIgnoresBattery) {
   auto config = runtime::testMissionConfig();
   ASSERT_FALSE(config.enforce_battery);
   const auto result = runtime::runMission(environment, runtime::DesignType::RoboRun, config);
-  EXPECT_FALSE(result.battery_depleted);
+  EXPECT_FALSE(result.battery_depleted());
   EXPECT_DOUBLE_EQ(result.battery_soc, 1.0);
 }
 
@@ -178,8 +178,8 @@ TEST(MissionBatteryTest, AdequatePackFinishesWithChargeToSpare) {
   auto config = runtime::testMissionConfig();
   config.enforce_battery = true;  // default 1.28 MJ pack
   const auto result = runtime::runMission(environment, runtime::DesignType::RoboRun, config);
-  EXPECT_TRUE(result.reached_goal);
-  EXPECT_FALSE(result.battery_depleted);
+  EXPECT_TRUE(result.reached_goal());
+  EXPECT_FALSE(result.battery_depleted());
   EXPECT_GT(result.battery_soc, 0.5);
 }
 

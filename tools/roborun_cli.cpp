@@ -221,19 +221,14 @@ int main(int argc, char** argv) {
   for (const auto design : designs) {
     const auto result = runtime::runMission(environment, design, config);
     runtime::printBanner(std::cout, runtime::designName(design));
-    std::cout << "  outcome: "
-              << (result.reached_goal      ? "reached goal"
-                  : result.collided        ? "collision"
-                  : result.battery_depleted ? "battery depleted"
-                                            : "timed out")
-              << "\n";
+    std::cout << "  outcome: " << runtime::missionStatusName(result.status) << "\n";
     runtime::printMetric(std::cout, "mission time", result.mission_time, "s");
     runtime::printMetric(std::cout, "flight energy", result.flight_energy / 1000.0, "kJ");
     runtime::printMetric(std::cout, "average velocity", result.averageVelocity(), "m/s");
     runtime::printMetric(std::cout, "median decision latency", result.medianLatency(), "s");
     runtime::printMetric(std::cout, "average CPU utilization",
                          100.0 * result.averageCpuUtilization(), "%");
-    all_ok = all_ok && result.reached_goal;
+    all_ok = all_ok && result.reached_goal();
     if (opt.csv_path)
       dumpCsv(*opt.csv_path + "." + runtime::designName(design) + ".csv", result,
               runtime::designName(design));
