@@ -365,6 +365,24 @@ GovernorDecision DecisionEngine::decide(const SpaceProfile& profile) {
   return decision;
 }
 
+GovernorDecision DecisionEngine::blackoutFallback(const SpaceProfile& profile) const {
+  // The safe envelope at minimum cost: the constraints still come from
+  // computeEnvelope (so the fallback obeys the same feasible region every
+  // policy source does), but instead of solving, pin the coarsest admitted
+  // precision and the floor volumes. No memo, no stats, no locks.
+  const KnobEnvelope env = computeEnvelope(config_.knobs, profile);
+  const std::array<double, 3> volumes = env.volumesAtScale(0.0);
+  GovernorDecision decision;
+  for (std::size_t i = 0; i < kNumStages; ++i)
+    decision.policy.stages[i] = {env.p0_hi, volumes[i]};
+  decision.budget = budgeter_.config().budget_floor;
+  decision.policy.deadline = decision.budget;
+  decision.policy.predicted_latency = predictor_.predictTotal(decision.policy);
+  decision.budget_met = false;  // blackout decisions always read as degraded
+  decision.solver_objective = 0.0;
+  return decision;
+}
+
 EngineDecision DecisionEngine::decideFromSensors(const sim::SensorFrame& frame,
                                                  const perception::OccupancyOctree& map,
                                                  const planning::Trajectory& trajectory,

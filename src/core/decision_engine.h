@@ -195,6 +195,17 @@ class DecisionEngine {
   /// callers only contend per memo shard.
   GovernorDecision decide(const SpaceProfile& profile);
 
+  /// Degraded-sensing fallback: the safe-envelope policy a governor pins
+  /// while its sensors are blacked out — the coarsest precision the
+  /// envelope admits, floor volumes (volumesAtScale(0)), and the budgeter's
+  /// floor deadline, with budget_met = false so the decision reads as
+  /// degraded downstream. A pure function of (knobs, profile): no memo, no
+  /// strategy, no per-client state, so it is trivially thread-safe and
+  /// bit-reproducible. Used by the mission runner during FaultPlan
+  /// blackout epochs (the drone hovers; the pipeline keeps ticking at
+  /// minimum cost so the map and trajectory stay warm for recovery).
+  GovernorDecision blackoutFallback(const SpaceProfile& profile) const;
+
   /// The full per-decision path: profile space from the live sensor frame /
   /// map / trajectory (fused sampling, cross-epoch reuse against the given
   /// client's cache), then decide().

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "core/decision_engine.h"
 
@@ -106,22 +108,42 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
   int consecutive_plan_failures = 0;
 
   const WallDeadline wall_deadline(config.max_wall_ms);
+  // The fault schedule is a pure function of (mission seed, dials), indexed
+  // by decision epoch — and every loop iteration pushes exactly one record,
+  // so records.size() IS the epoch counter (tests recompute the plan and
+  // index records by epoch against it).
+  const sim::FaultPlan fault_plan(config.seed, config.faults);
 
   while (t < config.max_mission_time) {
     if (wall_deadline.expired()) {
       result.status = MissionStatus::AbortedWallDeadline;
       break;
     }
+    const std::size_t epoch = result.records.size();
+    const sim::FaultEpoch fault =
+        fault_plan.active() ? fault_plan.at(epoch) : sim::FaultEpoch{};
+    if (fault.poisoned)
+      throw std::runtime_error("fault plan: poisoned at epoch " +
+                               std::to_string(epoch));
     const Vec3 pos = drone.state().position;
     const Vec3 vel = drone.state().velocity;
 
     // --- sense ---
     // Ambient visibility is a property of the space being flown through
-    // (per-zone weather), capped by the configured global conditions.
-    sensor.setWeatherVisibility(std::min(config.sensor.weather_visibility,
-                                         environment.spec.weatherVisibilityAt(pos.x)));
-    const sim::SensorFrame frame =
+    // (per-zone weather), capped by the configured global conditions — and
+    // collapsed to the blackout floor while the fault plan blacks out the
+    // sensors.
+    double ambient = std::min(config.sensor.weather_visibility,
+                              environment.spec.weatherVisibilityAt(pos.x));
+    if (fault.blackout) {
+      ambient = std::min(ambient, fault_plan.config().blackout_visibility);
+      ++result.fault_blackouts;
+    }
+    sensor.setWeatherVisibility(ambient);
+    sim::SensorFrame frame =
         sensor.capture(world, pos, dynamic.empty() ? nullptr : &dynamic);
+    if (fault_plan.config().dropout > 0.0)
+      frame = fault_plan.degradeFrame(frame, epoch);
 
     // --- profile + govern (the pipeline's DecisionEngine owns the path) ---
     const auto govern_start = std::chrono::steady_clock::now();
@@ -129,10 +151,21 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
     core::GovernorDecision decision;
     double runtime_latency = 0.0;
     if (design == DesignType::RoboRun) {
-      core::EngineDecision governed = pipeline.govern(frame, pos, vel);
-      profile = std::move(governed.profile);
-      decision = governed.decision;
-      runtime_latency = config.pipeline.latency.runtime_governor;
+      if (fault.blackout) {
+        // Graceful degradation: with the sensors blacked out there is
+        // nothing to solve against — pin the engine's safe-envelope
+        // fallback (coarsest precision, floor volumes, floor deadline) and
+        // hover through the outage. The static runtime cost applies: no
+        // budgeting/solving ran this epoch.
+        profile = pipeline.profileSpace(frame, pos, vel);
+        decision = pipeline.engine()->blackoutFallback(profile);
+        runtime_latency = config.pipeline.latency.runtime_static;
+      } else {
+        core::EngineDecision governed = pipeline.govern(frame, pos, vel);
+        profile = std::move(governed.profile);
+        decision = governed.decision;
+        runtime_latency = config.pipeline.latency.runtime_governor;
+      }
     } else {
       profile = pipeline.profileSpace(frame, pos, vel);
       decision = oblivious.decide();
@@ -143,8 +176,20 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
                                    .count();
 
     // --- execute the pipeline under the policy ---
-    const DecisionOutcome outcome =
-        pipeline.decide(frame, pos, decision.policy, runtime_latency);
+    DecisionOutcome outcome = pipeline.decide(frame, pos, decision.policy, runtime_latency);
+    if (fault.spike) {
+      // Compute-latency spike: scale the modeled compute-stage latencies
+      // (comm and the governor's own runtime cost are untouched). The
+      // scaled latency flows into the safe-velocity inversion and the
+      // decision period exactly like a genuinely slow decision would.
+      const double mag = fault_plan.config().spike_mag;
+      outcome.latencies.point_cloud *= mag;
+      outcome.latencies.octomap *= mag;
+      outcome.latencies.bridge *= mag;
+      outcome.latencies.planning *= mag;
+      outcome.latencies.smoothing *= mag;
+      ++result.fault_spikes;
+    }
     const double latency = outcome.latencies.total();
 
     // --- dead-end recovery bookkeeping ---
@@ -187,12 +232,18 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
     // A failed replan means the current trajectory is invalid (that is what
     // triggered replanning) — do not fly it; hover and retry next decision.
     if (outcome.plan_failed || !pipeline.follower().hasTrajectory()) speed = 0.0;
+    // Blacked-out sensors: hover with bounded patience (blackout windows
+    // are finite by construction) — flying blind on a stale map is how a
+    // degraded mission becomes a lost airframe. Retreat is suppressed too:
+    // the blackout frame's closest-hit direction is meaningless.
+    if (fault.blackout) speed = 0.0;
     // Wedged against an obstacle: retreat straight away from it instead of
     // tracking the trajectory (recovery behavior; also how a stuck planner
     // regains room to find a path). The threshold must stay BELOW the
     // planner map's inflation radius, or valid trajectories trigger
     // permanent follow/retreat oscillation.
-    const bool retreat = profile.d_obstacle < config.drone.collision_radius + 0.1;
+    const bool retreat =
+        !fault.blackout && profile.d_obstacle < config.drone.collision_radius + 0.1;
     commanded_speed = retreat ? config.creep_velocity * 0.8 : speed;
 
     // --- record ---

@@ -20,6 +20,7 @@
 #include "sim/battery.h"
 #include "sim/drone.h"
 #include "sim/energy_model.h"
+#include "sim/fault_plan.h"
 #include "sim/sensor.h"
 
 namespace roborun::runtime {
@@ -63,6 +64,13 @@ struct MissionConfig {
   /// (the paper's "longer flight times expend the battery" failure mode).
   bool enforce_battery = false;
   sim::BatteryConfig battery;
+
+  /// Deterministic fault injection (sim::FaultPlan, seeded from `seed`):
+  /// sensor blackout windows, per-ray dropout, compute-latency spikes, plus
+  /// the poison_epoch crash hook. Defaults are inert — a default config
+  /// keeps the mission on the exact fault-free code path, and any armed
+  /// schedule is replayable bit-for-bit (same seed + dials => same faults).
+  sim::FaultConfig faults;
 
   /// Moving obstacles layered over the static world (empty = none). The
   /// field's clock is driven by the mission clock, so runs stay replayable.

@@ -50,6 +50,23 @@ void pushCase(std::vector<MissionCase>& out, const ScenarioSpec& spec,
               std::size_t case_index, bool engine_shareable = true) {
   env.seed = mixSeed(spec.seed, 2 * case_index);
   config.seed = mixSeed(spec.seed, 2 * case_index + 1);
+  // Fault-injection dials ride along with EVERY family (this is the shared
+  // tail of all expansions): any scenario line can arm the mission's
+  // deterministic sim::FaultPlan. Clamps mirror FaultPlan's own sanitizing,
+  // so a catalog typo degrades to the nearest sane schedule instead of UB.
+  sim::FaultConfig& faults = config.faults;
+  faults.blackout_rate =
+      std::clamp(spec.param("fault_blackout_rate", faults.blackout_rate), 0.0, 1.0);
+  faults.blackout_len = std::max(
+      1, static_cast<int>(spec.param("fault_blackout_len", faults.blackout_len)));
+  faults.blackout_visibility = std::max(
+      0.01, spec.param("fault_blackout_visibility", faults.blackout_visibility));
+  faults.dropout = std::clamp(spec.param("fault_dropout", faults.dropout), 0.0, 1.0);
+  faults.spike_rate =
+      std::clamp(spec.param("fault_spike_rate", faults.spike_rate), 0.0, 1.0);
+  faults.spike_mag = std::max(1.0, spec.param("fault_spike_mag", faults.spike_mag));
+  faults.poison_epoch =
+      static_cast<int>(spec.param("fault_poison_epoch", faults.poison_epoch));
   auto add = [&](runtime::DesignType design, const char* suffix) {
     MissionCase c;
     c.scenario = spec.displayName();
@@ -249,6 +266,9 @@ void printFamilies(std::ostream& os) {
     os << "  " << f.name << "\n    " << f.summary << "\n";
     if (f.params[0] != '\0') os << "    dials: " << f.params << "\n";
   }
+  os << "  shared fault dials (every family): fault_blackout_rate fault_blackout_len\n"
+        "    fault_blackout_visibility fault_dropout fault_spike_rate fault_spike_mag\n"
+        "    fault_poison_epoch  (deterministic injection; see sim/fault_plan.h)\n";
   os << "catalog file grammar: scenario <family> [key=value]...  "
         "(see src/scenario/catalog_file.h)\n";
 }
@@ -314,6 +334,14 @@ std::string describeCases(const std::vector<MissionCase>& cases) {
       putBits(os, v);
     }
     os << ' ' << c.config.sensor.rays_horizontal << 'x' << c.config.sensor.rays_vertical
+       << "\n faults";
+    const sim::FaultConfig& f = c.config.faults;
+    for (const double v : {f.blackout_rate, f.blackout_visibility, f.dropout,
+                           f.spike_rate, f.spike_mag}) {
+      os << ' ';
+      putBits(os, v);
+    }
+    os << ' ' << f.blackout_len << ' ' << f.poison_epoch
        << "\n movers " << c.config.dynamic_obstacles.size();
     for (const env::MovingObstacle& o : c.config.dynamic_obstacles.obstacles()) {
       os << "\n  ";

@@ -1,0 +1,93 @@
+#include "sim/fault_plan.h"
+
+#include <algorithm>
+
+namespace roborun::sim {
+
+namespace {
+
+/// splitmix64 finalizer — the same mixer the scenario catalog derives its
+/// per-case seeds with. Full-avalanche, so consecutive counters decorrelate.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+
+}  // namespace
+
+FaultPlan::FaultPlan(std::uint64_t mission_seed, const FaultConfig& config)
+    : config_(config), seed_(mix64(mission_seed ^ 0xFA17A1B7C0DE5EEDULL)) {
+  config_.blackout_rate = std::clamp(config_.blackout_rate, 0.0, 1.0);
+  config_.blackout_len = std::max(1, config_.blackout_len);
+  config_.blackout_visibility = std::max(0.01, config_.blackout_visibility);
+  config_.dropout = std::clamp(config_.dropout, 0.0, 1.0);
+  config_.spike_rate = std::clamp(config_.spike_rate, 0.0, 1.0);
+  config_.spike_mag = std::max(1.0, config_.spike_mag);
+}
+
+double FaultPlan::sample(std::uint64_t stream, std::uint64_t a, std::uint64_t b) const {
+  // Counter-based: fold each coordinate in with a golden-ratio step and
+  // re-mix, so sample(s, a, b) is a pure function with no sequencing.
+  std::uint64_t x = mix64(seed_ + kGamma * (stream + 1));
+  x = mix64(x + kGamma * (a + 1));
+  x = mix64(x + kGamma * (b + 1));
+  // Top 53 bits -> uniform double in [0, 1).
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+FaultEpoch FaultPlan::at(std::size_t epoch) const {
+  FaultEpoch e;
+  if (config_.poison_epoch >= 0 &&
+      epoch == static_cast<std::size_t>(config_.poison_epoch))
+    e.poisoned = true;
+  if (config_.blackout_rate > 0.0) {
+    // Epoch is blacked out iff any window starting in the last
+    // `blackout_len` epochs fired — windows may overlap (extending the
+    // outage), and the check stays O(len) random access.
+    const auto len = static_cast<std::size_t>(config_.blackout_len);
+    const std::size_t first = epoch + 1 >= len ? epoch + 1 - len : 0;
+    for (std::size_t s = first; s <= epoch; ++s) {
+      if (sample(kBlackoutStream, s) < config_.blackout_rate) {
+        e.blackout = true;
+        break;
+      }
+    }
+  }
+  if (config_.spike_rate > 0.0 && sample(kSpikeStream, epoch) < config_.spike_rate)
+    e.spike = true;
+  return e;
+}
+
+SensorFrame FaultPlan::degradeFrame(const SensorFrame& frame, std::size_t epoch) const {
+  if (config_.dropout <= 0.0) return frame;
+  SensorFrame out;
+  out.origin = frame.origin;
+  out.max_range = frame.max_range;
+  out.rays.reserve(frame.rays.size());
+  out.points.reserve(frame.points.size());
+  for (std::size_t i = 0; i < frame.rays.size(); ++i) {
+    SensorRay ray = frame.rays[i];
+    if (ray.hit && sample(kDropoutStream, epoch, i) < config_.dropout) {
+      // A dropped return reads as free space out to the effective range —
+      // the obstacle (or ground) behind it becomes invisible this epoch.
+      ray.hit = false;
+      ray.ground = false;
+      ray.range = frame.max_range;
+    }
+    // Rebuild surviving points with the capture path's exact expression
+    // (origin + direction * range on the same operands), so kept points are
+    // bit-identical to the undegraded frame's.
+    if (ray.hit && !ray.ground)
+      out.points.push_back(out.origin + ray.direction * ray.range);
+    out.rays.push_back(ray);
+  }
+  return out;
+}
+
+}  // namespace roborun::sim

@@ -1,0 +1,94 @@
+// Deterministic fault injection — seeded, counter-based fault schedules.
+//
+// A FaultPlan is a pure function of (mission seed, FaultConfig): every
+// query mixes the seed with a stream id and the query counters
+// (splitmix64-style), so the schedule is random-access, replayable, and
+// independent of threads, wall clocks, and call order. The same mission
+// seed + dials therefore produce the same blackout windows, ray dropouts
+// and latency spikes on every run and host — fault-injected missions stay
+// inside the bitwise replay contract.
+//
+// Three degradation channels, all off by default:
+//
+//   blackout  windows of `blackout_len` consecutive decision epochs during
+//             which ambient visibility collapses to `blackout_visibility`
+//             (total sensor whiteout; the runner hovers through it)
+//   dropout   per-ray sensor dropout: each returned ray is independently
+//             discarded with probability `dropout` (missing returns — the
+//             obstacle behind a dropped ray becomes invisible)
+//   spike     per-epoch compute-latency spikes: the decision's modeled
+//             compute-stage latencies are scaled by `spike_mag`
+//
+// plus a test hook, `poison_epoch`, which makes the mission runner throw at
+// exactly that epoch — the deliberately crashing mission the fleet
+// scheduler's crash-isolation tests are built on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/sensor.h"
+
+namespace roborun::sim {
+
+/// Fault-injection dials. Defaults are all inert: a default FaultConfig
+/// means "no faults" and costs the mission loop nothing.
+struct FaultConfig {
+  double blackout_rate = 0.0;        ///< per-epoch P(a blackout window starts)
+  int blackout_len = 3;              ///< epochs per blackout window (>= 1)
+  double blackout_visibility = 0.05; ///< m; ambient visibility while blacked out
+  double dropout = 0.0;              ///< per-ray P(return discarded)
+  double spike_rate = 0.0;           ///< per-epoch P(compute-latency spike)
+  double spike_mag = 3.0;            ///< compute-stage latency multiplier (>= 1)
+  int poison_epoch = -1;             ///< throw at this epoch (< 0 = never)
+
+  /// Any channel armed? False for a default config — the gate that keeps
+  /// fault-free missions on the exact pre-fault code path.
+  bool any() const {
+    return blackout_rate > 0.0 || dropout > 0.0 || spike_rate > 0.0 ||
+           poison_epoch >= 0;
+  }
+};
+
+/// The faults scheduled for one decision epoch.
+struct FaultEpoch {
+  bool blackout = false;
+  bool spike = false;
+  bool poisoned = false;
+};
+
+class FaultPlan {
+ public:
+  // Channel stream ids (public so tests can recompute the schedule a
+  // mission flew against and assert per-epoch invariants).
+  static constexpr std::uint64_t kBlackoutStream = 1;
+  static constexpr std::uint64_t kDropoutStream = 2;
+  static constexpr std::uint64_t kSpikeStream = 3;
+
+  /// Dials are sanitized on construction (rates clamped to [0,1],
+  /// blackout_len >= 1, spike_mag >= 1, blackout_visibility > 0), so a
+  /// catalog cannot configure a nonsensical schedule.
+  FaultPlan(std::uint64_t mission_seed, const FaultConfig& config);
+
+  const FaultConfig& config() const { return config_; }
+  bool active() const { return config_.any(); }
+
+  /// The schedule at `epoch`. Random access: O(blackout_len), no state.
+  FaultEpoch at(std::size_t epoch) const;
+
+  /// Apply per-ray dropout to a captured frame. Dropped rays read as free
+  /// space out to the frame's max range; surviving hit points are rebuilt
+  /// with the capture path's exact arithmetic, so a zero-dropout config (or
+  /// an epoch where no ray happens to drop) returns a bit-identical frame.
+  SensorFrame degradeFrame(const SensorFrame& frame, std::size_t epoch) const;
+
+  /// The underlying counter-based uniform sample in [0, 1): pure function
+  /// of (seed, stream, a, b). Public for schedule-recomputing tests.
+  double sample(std::uint64_t stream, std::uint64_t a, std::uint64_t b = 0) const;
+
+ private:
+  FaultConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace roborun::sim

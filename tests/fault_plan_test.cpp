@@ -1,0 +1,277 @@
+// sim::FaultPlan unit tests plus the mission runner's fault-injection
+// behavior: schedules are pure functions of (seed, dials), degradation is
+// bitwise-replayable, blackouts hover, spikes scale latency, poison throws.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "env/env_gen.h"
+#include "runtime/designs.h"
+#include "runtime/mission.h"
+#include "sim/fault_plan.h"
+
+namespace roborun::sim {
+namespace {
+
+constexpr std::uint64_t kSeed = 0xD1CEULL;
+
+TEST(FaultPlanTest, DefaultConfigIsInert) {
+  const FaultConfig config;
+  EXPECT_FALSE(config.any());
+  const FaultPlan plan(kSeed, config);
+  EXPECT_FALSE(plan.active());
+  for (std::size_t e = 0; e < 64; ++e) {
+    const FaultEpoch fault = plan.at(e);
+    EXPECT_FALSE(fault.blackout);
+    EXPECT_FALSE(fault.spike);
+    EXPECT_FALSE(fault.poisoned);
+  }
+}
+
+TEST(FaultPlanTest, SamplesAreDeterministicAndInUnitInterval) {
+  FaultConfig config;
+  config.spike_rate = 0.5;
+  const FaultPlan a(kSeed, config);
+  const FaultPlan b(kSeed, config);
+  for (std::uint64_t i = 0; i < 512; ++i) {
+    const double s = a.sample(FaultPlan::kSpikeStream, i);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 1.0);
+    EXPECT_DOUBLE_EQ(s, b.sample(FaultPlan::kSpikeStream, i));
+  }
+  // Different seeds and different streams decorrelate.
+  const FaultPlan c(kSeed + 1, config);
+  int differs = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (a.sample(FaultPlan::kSpikeStream, i) != c.sample(FaultPlan::kSpikeStream, i))
+      ++differs;
+    if (a.sample(FaultPlan::kSpikeStream, i) !=
+        a.sample(FaultPlan::kBlackoutStream, i))
+      ++differs;
+  }
+  EXPECT_GT(differs, 100);
+}
+
+TEST(FaultPlanTest, BlackoutWindowsSpanConfiguredLength) {
+  FaultConfig config;
+  config.blackout_rate = 0.05;
+  config.blackout_len = 4;
+  const FaultPlan plan(kSeed, config);
+  // Forward: every fired window start covers the next `len` epochs.
+  int starts = 0;
+  for (std::size_t s = 0; s < 400; ++s) {
+    if (plan.sample(FaultPlan::kBlackoutStream, s) < config.blackout_rate) {
+      ++starts;
+      for (std::size_t k = 0; k < 4; ++k)
+        EXPECT_TRUE(plan.at(s + k).blackout) << "window start " << s << " +" << k;
+    }
+  }
+  EXPECT_GT(starts, 0) << "seed produced no windows in 400 epochs at rate 0.05";
+  // Backward: a blacked-out epoch implies a start within the window.
+  for (std::size_t e = 0; e < 400; ++e) {
+    if (!plan.at(e).blackout) continue;
+    bool found = false;
+    for (std::size_t k = 0; k < 4 && k <= e; ++k)
+      if (plan.sample(FaultPlan::kBlackoutStream, e - k) < config.blackout_rate)
+        found = true;
+    EXPECT_TRUE(found) << "epoch " << e;
+  }
+}
+
+TEST(FaultPlanTest, ConstructorSanitizesDials) {
+  FaultConfig config;
+  config.blackout_rate = 7.0;
+  config.blackout_len = -3;
+  config.blackout_visibility = -1.0;
+  config.dropout = -0.5;
+  config.spike_rate = 2.0;
+  config.spike_mag = 0.1;
+  const FaultPlan plan(kSeed, config);
+  EXPECT_DOUBLE_EQ(plan.config().blackout_rate, 1.0);
+  EXPECT_EQ(plan.config().blackout_len, 1);
+  EXPECT_GT(plan.config().blackout_visibility, 0.0);
+  EXPECT_DOUBLE_EQ(plan.config().dropout, 0.0);
+  EXPECT_DOUBLE_EQ(plan.config().spike_rate, 1.0);
+  EXPECT_DOUBLE_EQ(plan.config().spike_mag, 1.0);
+}
+
+TEST(FaultPlanTest, PoisonEpochFlagsExactlyThatEpoch) {
+  FaultConfig config;
+  config.poison_epoch = 17;
+  EXPECT_TRUE(config.any());
+  const FaultPlan plan(kSeed, config);
+  for (std::size_t e = 0; e < 40; ++e)
+    EXPECT_EQ(plan.at(e).poisoned, e == 17u) << "epoch " << e;
+}
+
+class FaultFrameTest : public ::testing::Test {
+ protected:
+  SensorFrame captureFrame() {
+    env::EnvSpec spec;
+    spec.obstacle_density = 0.45;
+    spec.obstacle_spread = 22.0;
+    spec.goal_distance = 140.0;
+    spec.seed = 11;
+    environment_ = env::generateEnvironment(spec);
+    const DepthCameraArray sensor{SensorConfig{}};
+    return sensor.capture(*environment_.world, environment_.spec.start());
+  }
+  env::Environment environment_;
+};
+
+TEST_F(FaultFrameTest, ZeroDropoutIsIdentity) {
+  const SensorFrame frame = captureFrame();
+  const FaultPlan plan(kSeed, FaultConfig{});
+  const SensorFrame out = plan.degradeFrame(frame, 3);
+  ASSERT_EQ(out.rays.size(), frame.rays.size());
+  ASSERT_EQ(out.points.size(), frame.points.size());
+}
+
+TEST_F(FaultFrameTest, DropoutIsDeterministicAndConsistent) {
+  const SensorFrame frame = captureFrame();
+  FaultConfig config;
+  config.dropout = 0.3;
+  const FaultPlan plan(kSeed, config);
+  const SensorFrame a = plan.degradeFrame(frame, 5);
+  const SensorFrame b = plan.degradeFrame(frame, 5);
+  ASSERT_EQ(a.rays.size(), frame.rays.size());
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_LT(a.points.size(), frame.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.points[i].x, b.points[i].x);
+    EXPECT_DOUBLE_EQ(a.points[i].y, b.points[i].y);
+    EXPECT_DOUBLE_EQ(a.points[i].z, b.points[i].z);
+  }
+  // Dropped rays read as free space at full range; survivors are untouched.
+  std::size_t dropped = 0;
+  for (std::size_t i = 0; i < a.rays.size(); ++i) {
+    if (frame.rays[i].hit && !a.rays[i].hit) {
+      ++dropped;
+      EXPECT_DOUBLE_EQ(a.rays[i].range, frame.max_range);
+      EXPECT_FALSE(a.rays[i].ground);
+    } else {
+      EXPECT_EQ(a.rays[i].hit, frame.rays[i].hit);
+      EXPECT_DOUBLE_EQ(a.rays[i].range, frame.rays[i].range);
+    }
+  }
+  EXPECT_GT(dropped, 0u);
+  // A different epoch drops a different subset.
+  const SensorFrame c = plan.degradeFrame(frame, 6);
+  EXPECT_NE(c.points.size(), a.points.size());
+}
+
+TEST_F(FaultFrameTest, SurvivingPointsAreBitIdenticalToCapture) {
+  // Kept points must be a subsequence of the undegraded frame's points —
+  // the exact doubles capture() produced, in order.
+  const SensorFrame frame = captureFrame();
+  FaultConfig config;
+  config.dropout = 0.25;
+  const FaultPlan plan(kSeed, config);
+  const SensorFrame out = plan.degradeFrame(frame, 2);
+  std::size_t j = 0;
+  for (const auto& p : out.points) {
+    while (j < frame.points.size() &&
+           (frame.points[j].x != p.x || frame.points[j].y != p.y ||
+            frame.points[j].z != p.z))
+      ++j;
+    ASSERT_LT(j, frame.points.size()) << "degraded point not found in capture order";
+    ++j;
+  }
+}
+
+// --- mission-level injection ------------------------------------------------
+
+env::Environment shortEnvironment(std::uint64_t seed) {
+  env::EnvSpec spec;
+  spec.obstacle_density = 0.45;
+  spec.obstacle_spread = 22.0;
+  spec.goal_distance = 140.0;
+  spec.seed = seed;
+  return env::generateEnvironment(spec);
+}
+
+TEST(FaultMissionTest, BlackoutEpochsHoverAndAreCounted) {
+  auto config = runtime::smokeMissionConfig();
+  config.faults.blackout_rate = 0.04;
+  config.faults.blackout_len = 3;
+  const auto result =
+      runtime::runMission(shortEnvironment(11), runtime::DesignType::RoboRun, config);
+  ASSERT_FALSE(result.records.empty());
+  // Recompute the schedule the mission flew against: records[i] is epoch i.
+  const FaultPlan plan(config.seed, config.faults);
+  std::size_t blackouts = 0;
+  for (std::size_t e = 0; e < result.records.size(); ++e) {
+    if (!plan.at(e).blackout) continue;
+    ++blackouts;
+    EXPECT_DOUBLE_EQ(result.records[e].commanded_velocity, 0.0) << "epoch " << e;
+    EXPECT_FALSE(result.records[e].budget_met) << "epoch " << e;
+  }
+  EXPECT_EQ(result.fault_blackouts, blackouts);
+  EXPECT_GT(blackouts, 0u) << "schedule produced no blackout inside the mission";
+  EXPECT_FALSE(runtime::missionStatusIsInfrastructureFailure(result.status));
+}
+
+TEST(FaultMissionTest, SpikesScaleComputeLatencyExactly) {
+  auto base = runtime::smokeMissionConfig();
+  auto spiky = base;
+  spiky.faults.spike_rate = 1.0;
+  spiky.faults.spike_mag = 3.0;
+  const auto env = shortEnvironment(11);
+  const auto clean = runtime::runMission(env, runtime::DesignType::RoboRun, base);
+  const auto spiked = runtime::runMission(env, runtime::DesignType::RoboRun, spiky);
+  ASSERT_FALSE(clean.records.empty());
+  ASSERT_FALSE(spiked.records.empty());
+  // The first epoch sees identical inputs, so the spike's effect is the
+  // exact 3x scaling of the compute stages (runtime + comm untouched).
+  const auto& a = clean.records[0].latencies;
+  const auto& b = spiked.records[0].latencies;
+  EXPECT_DOUBLE_EQ(b.octomap, 3.0 * a.octomap);
+  EXPECT_DOUBLE_EQ(b.point_cloud, 3.0 * a.point_cloud);
+  EXPECT_DOUBLE_EQ(b.runtime, a.runtime);
+  EXPECT_DOUBLE_EQ(b.comm_map, a.comm_map);
+  EXPECT_EQ(spiked.fault_spikes, spiked.records.size());
+  EXPECT_EQ(clean.fault_spikes, 0u);
+}
+
+TEST(FaultMissionTest, FaultInjectedMissionIsBitReproducible) {
+  auto config = runtime::smokeMissionConfig();
+  config.faults.blackout_rate = 0.03;
+  config.faults.dropout = 0.1;
+  config.faults.spike_rate = 0.1;
+  const auto env = shortEnvironment(12);
+  const auto a = runtime::runMission(env, runtime::DesignType::RoboRun, config);
+  const auto b = runtime::runMission(env, runtime::DesignType::RoboRun, config);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.fault_blackouts, b.fault_blackouts);
+  EXPECT_EQ(a.fault_spikes, b.fault_spikes);
+  EXPECT_DOUBLE_EQ(a.mission_time, b.mission_time);
+  EXPECT_DOUBLE_EQ(a.distance_traveled, b.distance_traveled);
+  EXPECT_DOUBLE_EQ(a.flight_energy, b.flight_energy);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].commanded_velocity, b.records[i].commanded_velocity);
+    EXPECT_DOUBLE_EQ(a.records[i].latencies.total(), b.records[i].latencies.total());
+  }
+}
+
+TEST(FaultMissionTest, PoisonEpochThrows) {
+  auto config = runtime::smokeMissionConfig();
+  config.faults.poison_epoch = 2;
+  EXPECT_THROW(
+      runtime::runMission(shortEnvironment(11), runtime::DesignType::RoboRun, config),
+      std::runtime_error);
+}
+
+TEST(FaultMissionTest, BaselineDesignHoversThroughBlackoutToo) {
+  auto config = runtime::smokeMissionConfig();
+  config.faults.blackout_rate = 0.04;
+  const auto result = runtime::runMission(shortEnvironment(11),
+                                          runtime::DesignType::SpatialOblivious, config);
+  const FaultPlan plan(config.seed, config.faults);
+  for (std::size_t e = 0; e < result.records.size(); ++e)
+    if (plan.at(e).blackout)
+      EXPECT_DOUBLE_EQ(result.records[e].commanded_velocity, 0.0) << "epoch " << e;
+}
+
+}  // namespace
+}  // namespace roborun::sim
