@@ -2,6 +2,7 @@
 
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 namespace roborun::scenario {
 
@@ -58,6 +59,8 @@ void writeFleetJson(std::ostream& os, const FleetResult& result,
        << ", \"reached_goal\": " << s.reached << ", \"collided\": " << s.collided
        << ", \"timed_out\": " << s.timed_out
        << ", \"battery_depleted\": " << s.battery_depleted
+       << ", \"wall_aborted\": " << s.wall_aborted
+       << ", \"crashed\": " << s.crashed
        << ", \"decisions\": " << s.decisions << ", \"replans\": " << s.replans
        << ", \"mean_mission_time\": " << jsonNumber(s.mission_time / n)
        << ", \"mean_velocity\": " << jsonNumber(s.mean_velocity)
@@ -86,8 +89,31 @@ void writeFleetJson(std::ostream& os, const FleetResult& result,
        << ", \"median_latency\": " << jsonNumber(r.medianLatency())
        << ", \"flight_energy\": " << jsonNumber(r.flight_energy)
        << ", \"compute_energy\": " << jsonNumber(r.compute_energy)
-       << ", \"decisions\": " << r.decisions() << ", \"replans\": " << r.replans() << "}"
+       << ", \"decisions\": " << r.decisions() << ", \"replans\": " << r.replans()
+       << ", \"attempts\": " << result.rows[i].attempts << "}"
        << (i + 1 < result.rows.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  // Infrastructure failures (Crashed / AbortedWallDeadline after all
+  // retries), in case-index order — the quarantine list a fleet operator
+  // acts on. Deterministic like the rest of the document: which cases fail,
+  // their final status, attempt counts and error strings are all replayable.
+  std::vector<std::size_t> failed;
+  for (std::size_t i = 0; i < result.rows.size(); ++i)
+    if (runtime::missionStatusIsInfrastructureFailure(result.rows[i].result.status))
+      failed.push_back(i);
+  os << "  \"failures\": [\n";
+  for (std::size_t k = 0; k < failed.size(); ++k) {
+    const std::size_t i = failed[k];
+    const MissionCase& c = result.cases[i];
+    const FleetRow& row = result.rows[i];
+    os << "    {\"case\": " << i << ", \"scenario\": \"" << jsonEscape(c.scenario)
+       << "\", \"label\": \"" << jsonEscape(c.label) << "\", \"design\": \""
+       << runtime::designName(c.design) << "\", \"mission_seed\": " << c.config.seed
+       << ", \"status\": \"" << runtime::missionStatusName(row.result.status) << "\""
+       << ", \"attempts\": " << row.attempts
+       << ", \"error\": \"" << jsonEscape(row.error) << "\"}"
+       << (k + 1 < failed.size() ? "," : "") << "\n";
   }
   os << "  ]\n";
   os << "}\n";

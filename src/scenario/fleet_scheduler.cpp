@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <thread>
 
@@ -67,8 +68,12 @@ bool missionResultsIdentical(const runtime::MissionResult& a,
 bool fleetResultsIdentical(const FleetResult& a, const FleetResult& b) {
   if (a.cases.size() != b.cases.size() || a.rows.size() != b.rows.size()) return false;
   if (describeCases(a.cases) != describeCases(b.cases)) return false;
-  for (std::size_t i = 0; i < a.rows.size(); ++i)
+  for (std::size_t i = 0; i < a.rows.size(); ++i) {
+    if (a.rows[i].error != b.rows[i].error ||
+        a.rows[i].attempts != b.rows[i].attempts)
+      return false;
     if (!missionResultsIdentical(a.rows[i].result, b.rows[i].result)) return false;
+  }
   return true;
 }
 
@@ -159,11 +164,36 @@ FleetResult FleetScheduler::run() {
       config.shared_engine = engine;
     if (config_.reuse_arenas) config.pipeline.shared_arena = arenas[worker].get();
     const auto started = std::chrono::steady_clock::now();
-    const env::Environment environment = env::generateEnvironment(c.env);
-    out.rows[i].result = runtime::runMission(environment, c.design, config);
-    out.rows[i].wall_ms = std::chrono::duration<double, std::milli>(
-                              std::chrono::steady_clock::now() - started)
-                              .count();
+    FleetRow& row = out.rows[i];
+    // Crash isolation + bounded retries. An exception escaping the mission
+    // (a poisoned fault plan, a pipeline bug) is caught HERE, at the worker,
+    // and becomes a structured Crashed row — it never unwinds through the
+    // pool or touches any other tenant's slot. Only infrastructure failures
+    // (Crashed, AbortedWallDeadline) are retried: a retry replays the
+    // identical seeded mission, so a deterministic mission outcome would
+    // only repeat, while wall aborts can be load-dependent. The retry count
+    // itself is deterministic — a deterministic failure fails every attempt,
+    // so `attempts` is the same for any thread count or dispatch mode.
+    for (std::size_t attempt = 0; attempt < 1 + config_.retry_limit; ++attempt) {
+      row.attempts = attempt + 1;
+      row.error.clear();
+      try {
+        const env::Environment environment = env::generateEnvironment(c.env);
+        row.result = runtime::runMission(environment, c.design, config);
+      } catch (const std::exception& e) {
+        row.result = runtime::MissionResult{};
+        row.result.status = runtime::MissionStatus::Crashed;
+        row.error = e.what();
+      } catch (...) {
+        row.result = runtime::MissionResult{};
+        row.result.status = runtime::MissionStatus::Crashed;
+        row.error = "non-standard exception";
+      }
+      if (!runtime::missionStatusIsInfrastructureFailure(row.result.status)) break;
+    }
+    row.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
   };
 
   const auto fleet_start = std::chrono::steady_clock::now();
@@ -217,6 +247,9 @@ FleetResult FleetScheduler::run() {
       agg.collided += r.collided() ? 1 : 0;
       agg.timed_out += r.timed_out() ? 1 : 0;
       agg.battery_depleted += r.battery_depleted() ? 1 : 0;
+      agg.wall_aborted +=
+          r.status == runtime::MissionStatus::AbortedWallDeadline ? 1 : 0;
+      agg.crashed += r.status == runtime::MissionStatus::Crashed ? 1 : 0;
       agg.decisions += r.decisions();
       agg.replans += r.replans();
       agg.mission_time += r.mission_time;

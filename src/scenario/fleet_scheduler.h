@@ -32,6 +32,12 @@
 // Only the wall-time fields and the engine counters (which hits land where
 // is a race) vary run to run; tools keep those out of the deterministic
 // report (fleet_report.h).
+//
+// Fault isolation: a mission that throws (a poisoned fault plan, a bug in a
+// pipeline) is caught at its worker and lands as a structured Crashed row at
+// its case index — one bad tenant never takes down the fleet or shifts any
+// other tenant's results. Crashed and wall-deadline-aborted cases get up to
+// FleetConfig::retry_limit deterministic re-runs before the row is final.
 #pragma once
 
 #include <string>
@@ -62,12 +68,23 @@ struct FleetConfig {
   bool share_engine = true;
   /// Lend each worker a persistent PlannerArena reused across its missions.
   bool reuse_arenas = true;
+  /// Extra attempts granted to a case whose mission ends in an
+  /// infrastructure failure (Crashed / AbortedWallDeadline). Retries are
+  /// deterministic re-runs of the same seeded mission, so they only help
+  /// against nondeterministic infrastructure (wall-clock aborts under load,
+  /// resource exhaustion); a mission-outcome failure (Collided, TimedOut,
+  /// EnergyExhausted) is a result, never retried.
+  std::size_t retry_limit = 1;
 };
 
 /// One finished mission (at its case index).
 struct FleetRow {
   runtime::MissionResult result;
   double wall_ms = 0.0;  ///< this run's wall clock — NOT deterministic
+  /// what() of the exception that crashed the final attempt; empty unless
+  /// result.status == MissionStatus::Crashed.
+  std::string error;
+  std::size_t attempts = 1;  ///< runs consumed (1 + retries actually taken)
 };
 
 /// Deterministic per-scenario aggregate (the fleet's metric shard).
@@ -78,6 +95,8 @@ struct ShardAggregate {
   std::size_t collided = 0;
   std::size_t timed_out = 0;
   std::size_t battery_depleted = 0;
+  std::size_t wall_aborted = 0;  ///< AbortedWallDeadline after all retries
+  std::size_t crashed = 0;       ///< Crashed (threw) after all retries
   std::size_t decisions = 0;
   std::size_t replans = 0;
   double mission_time = 0.0;    ///< s, summed over the shard

@@ -14,13 +14,18 @@
 // Usage:
 //   fleet_runner [--catalog file] [--seed N] [--scale F] [--missions N]
 //                [--threads N] [--mode sync|async] [--config smoke|test|default]
-//                [--no-share-engine] [--no-reuse-arenas]
+//                [--retries N] [--no-share-engine] [--no-reuse-arenas]
 //                [--out results.json] [--bench-json perf.json]
 //                [--list-families] [--print-catalog] [--quiet]
 //
-// Exit code: 0 when every mission terminated in a defined state, 1 on IO /
-// undefined-state errors, 2 on usage errors.
+// Exit code: the number of infrastructure failures (cases still Crashed or
+// AbortedWallDeadline after --retries extra attempts), capped at 100 — so 0
+// means the whole fleet ran to simulated conclusions and a CI step fails
+// exactly when a case is quarantined. IO errors exit 1, usage errors 2
+// (ambiguous with 1 or 2 failures; scripts that need the count should read
+// the report's "failures" array instead of the exit code).
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -46,6 +51,7 @@ struct Options {
   unsigned threads = std::thread::hardware_concurrency();
   scenario::DispatchMode mode = scenario::DispatchMode::Async;
   std::string config = "test";
+  std::size_t retries = 1;
   bool share_engine = true;
   bool reuse_arenas = true;
   std::string out_path;
@@ -58,14 +64,17 @@ struct Options {
 void usage(std::ostream& os) {
   os << "usage: fleet_runner [--catalog file] [--seed N] [--scale F] [--missions N]\n"
         "                    [--threads N] [--mode sync|async]\n"
-        "                    [--config smoke|test|default]\n"
+        "                    [--config smoke|test|default] [--retries N]\n"
         "                    [--no-share-engine] [--no-reuse-arenas]\n"
         "                    [--out results.json] [--bench-json perf.json]\n"
         "                    [--list-families] [--print-catalog] [--quiet]\n"
         "\n"
         "Without --catalog, serves the built-in demo catalog (one scenario per\n"
         "registered family; --seed/--scale/--missions shape it). The --out JSON\n"
-        "is deterministic: byte-identical for any --threads and either --mode.\n";
+        "is deterministic: byte-identical for any --threads and either --mode.\n"
+        "A case that crashes or trips the wall-clock watchdog gets --retries\n"
+        "extra attempts (default 1) before landing in the report's failures\n"
+        "array; the exit code is the failure count (capped at 100).\n";
 }
 
 bool parseCount(const char* flag, const char* text, std::size_t& out, std::size_t max) {
@@ -134,6 +143,9 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       const char* v = next("--config");
       if (v == nullptr) return false;
       opts.config = v;
+    } else if (arg == "--retries") {
+      const char* v = next("--retries");
+      if (v == nullptr || !parseCount("--retries", v, opts.retries, 16)) return false;
     } else if (arg == "--no-share-engine") {
       opts.share_engine = false;
     } else if (arg == "--no-reuse-arenas") {
@@ -218,6 +230,7 @@ int main(int argc, char** argv) {
   fleet_config.mode = opts.mode;
   fleet_config.share_engine = opts.share_engine;
   fleet_config.reuse_arenas = opts.reuse_arenas;
+  fleet_config.retry_limit = opts.retries;
   scenario::FleetScheduler scheduler(base, fleet_config);
   const std::size_t admitted = scheduler.admitAll(catalog);
   if (admitted != catalog.size()) {
@@ -234,6 +247,10 @@ int main(int argc, char** argv) {
 
   const scenario::FleetResult result = scheduler.run();
 
+  std::size_t failures = 0;
+  for (const scenario::FleetRow& row : result.rows)
+    failures += runtime::missionStatusIsInfrastructureFailure(row.result.status) ? 1 : 0;
+
   if (!opts.quiet) {
     std::size_t reached = 0;
     for (const scenario::FleetRow& row : result.rows)
@@ -244,12 +261,22 @@ int main(int argc, char** argv) {
     line << "fleet_runner: " << result.rows.size() << " missions in " << result.wall_s
          << " s (" << result.missions_per_sec << " missions/s), " << reached
          << " reached goal";
+    if (failures > 0) line << ", " << failures << " quarantined";
     if (result.engine_shared) {
       line.precision(1);
       line << "; engine memo hit-rate " << 100.0 * result.engine.solverMemoHitRate()
            << "% across tenants";
     }
     std::cerr << line.str() << "\n";
+    for (const scenario::FleetRow& row : result.rows) {
+      if (!runtime::missionStatusIsInfrastructureFailure(row.result.status)) continue;
+      const std::size_t i = static_cast<std::size_t>(&row - result.rows.data());
+      const scenario::MissionCase& c = result.cases[i];
+      std::cerr << "fleet_runner: FAILED case " << i << " (" << c.scenario << " / "
+                << c.label << "): " << runtime::missionStatusName(row.result.status)
+                << " after " << row.attempts << " attempt(s)"
+                << (row.error.empty() ? "" : ": " + row.error) << "\n";
+    }
   }
 
   if (opts.out_path.empty()) {
@@ -274,6 +301,7 @@ int main(int argc, char** argv) {
   }
 
   // The old "mission ended in an undefined state" smoke check is gone:
-  // MissionStatus makes that state unrepresentable.
-  return 0;
+  // MissionStatus makes that state unrepresentable. The exit code now
+  // reports infrastructure failures directly (see the header comment).
+  return static_cast<int>(std::min<std::size_t>(failures, 100));
 }
