@@ -19,10 +19,18 @@
 // async_N run (a measurement: which hits land where is scheduling-
 // dependent; the mission results are not).
 //
+// On top of the dispatch variants, a warm-store pair exercises the
+// content-addressed result store: a cold run populates a fresh store
+// directory, a warm rerun (different dispatch mode) must hit on every case,
+// and the two runs' deterministic reports are compared byte for byte — the
+// bench exits nonzero if a warm report diverges from cold, so a store
+// speedup number can never come from a wrong replay.
+//
 // Usage:
 //   bench_fleet_throughput [--smoke] [--json <path>] [--threads N]
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -34,6 +42,7 @@
 #include "scenario/catalog.h"
 #include "scenario/fleet_report.h"
 #include "scenario/fleet_scheduler.h"
+#include "store/result_store.h"
 
 namespace {
 
@@ -133,6 +142,49 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Warm-store pair: cold populates a fresh store directory, warm replays
+  // from it under a different dispatch mode. The warm report must be byte-
+  // identical to cold — the store contract is "faster, never different".
+  const std::filesystem::path store_dir =
+      std::filesystem::temp_directory_path() / "roborun_bench_fleet_store";
+  std::error_code store_ec;
+  std::filesystem::remove_all(store_dir, store_ec);
+  store::ResultStore::Config store_config;
+  store_config.dir = store_dir.string();
+  store_config.version = store::defaultVersionStamp("smoke");
+  store::ResultStore result_store(store_config);
+
+  scenario::FleetResult cold_result, warm_result;
+  {
+    scenario::FleetConfig c;
+    c.threads = threads;
+    c.mode = scenario::DispatchMode::Async;
+    c.store = &result_store;
+    scenario::FleetScheduler cold(base, c);
+    if (cold.admitAll(catalog) != catalog.size()) {
+      std::cerr << "bench_fleet_throughput: catalog admission failed (cold store run)\n";
+      return 1;
+    }
+    cold_result = cold.run();
+    c.mode = scenario::DispatchMode::Sync;
+    scenario::FleetScheduler warm(base, c);
+    if (warm.admitAll(catalog) != catalog.size()) {
+      std::cerr << "bench_fleet_throughput: catalog admission failed (warm store run)\n";
+      return 1;
+    }
+    warm_result = warm.run();
+  }
+  std::ostringstream cold_report, warm_report;
+  scenario::writeFleetJson(cold_report, cold_result, "builtin");
+  scenario::writeFleetJson(warm_report, warm_result, "builtin");
+  const bool store_identical = cold_report.str() == warm_report.str();
+  if (!store_identical) {
+    std::cerr << "bench_fleet_throughput: DIVERGENCE between cold-store and "
+                 "warm-store deterministic reports\n";
+    identical = false;
+  }
+  std::filesystem::remove_all(store_dir, store_ec);
+
   const scenario::FleetResult& shared = variants[1].result;  // async_N
   std::cerr << "fleet throughput (" << (smoke ? "smoke" : "full") << ": " << total_missions
             << " missions, " << catalog.size() << " scenarios, " << threads
@@ -146,6 +198,12 @@ int main(int argc, char** argv) {
                 << jsonNumber(100.0 * v.result.engine.solverMemoHitRate(), 1) << "%";
     std::cerr << ")\n";
   }
+  std::cerr << "  warm store:       " << jsonNumber(warm_result.missions_per_sec, 2)
+            << " missions/s  (" << jsonNumber(warm_result.wall_s, 3) << " s, hit-rate "
+            << jsonNumber(100.0 * warm_result.store.hitRate(), 1) << "%, cold "
+            << jsonNumber(cold_result.wall_s, 3) << " s)\n";
+  std::cerr << "  warm report byte-identical to cold: " << (store_identical ? "yes" : "NO")
+            << "\n";
   std::cerr << "  results identical across variants: " << (identical ? "yes" : "NO") << "\n";
 
   std::ostringstream json;
@@ -184,6 +242,15 @@ int main(int argc, char** argv) {
                          std::max(variants[2].result.wall_s, 1e-12),
                      3)
        << "},\n";
+  json << "  \"store\": {\"cold_wall_s\": " << jsonNumber(cold_result.wall_s)
+       << ", \"warm_wall_s\": " << jsonNumber(warm_result.wall_s)
+       << ", \"warm_speedup\": "
+       << jsonNumber(cold_result.wall_s / std::max(warm_result.wall_s, 1e-12), 3)
+       << ", \"warm_hit_rate\": " << jsonNumber(warm_result.store.hitRate(), 4)
+       << ", \"warm_hits\": " << warm_result.store.hits()
+       << ", \"warm_misses\": " << warm_result.store.misses
+       << ", \"cold_inserts\": " << cold_result.store.inserts
+       << ", \"report_identical\": " << (store_identical ? "true" : "false") << "},\n";
   json << "  \"results_identical\": " << (identical ? "true" : "false") << "\n";
   json << "}\n";
 

@@ -82,9 +82,18 @@ struct EnvSpec {
 };
 
 inline std::string EnvSpec::label() const {
-  return "d" + std::to_string(obstacle_density).substr(0, 4) + "_s" +
-         std::to_string(static_cast<int>(obstacle_spread)) + "_g" +
-         std::to_string(static_cast<int>(goal_distance)) + "_seed" + std::to_string(seed);
+  // Built with append rather than a `"lit" + std::string&&` chain: the
+  // rvalue operator+ path trips GCC 12's -Wrestrict false positive
+  // (PR105651) under -Werror once this gets inlined into larger TUs.
+  std::string out = "d";
+  out += std::to_string(obstacle_density).substr(0, 4);
+  out += "_s";
+  out += std::to_string(static_cast<int>(obstacle_spread));
+  out += "_g";
+  out += std::to_string(static_cast<int>(goal_distance));
+  out += "_seed";
+  out += std::to_string(seed);
+  return out;
 }
 
 }  // namespace roborun::env

@@ -1,0 +1,48 @@
+// Strict, locale-independent numeric parsing — the one checked parse
+// helper every text surface (trace files, CLI options, catalog dials,
+// store metadata) routes through.
+//
+// std::stod / istream extraction consult LC_NUMERIC, so the same token
+// parses differently (or throws an uncaught std::invalid_argument) under
+// e.g. de_DE.UTF-8. std::from_chars never looks at the locale and reports
+// failure as a value, so callers decide the error convention — a
+// line-numbered catalog error, a "trace: ..." runtime_error, a usage
+// message and exit 2 — instead of crashing on malformed input.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string_view>
+#include <system_error>
+
+namespace roborun::runtime {
+
+/// Parse the WHOLE token as one double in the C locale's format. A leading
+/// '+' is accepted (istream compatibility); any trailing character —
+/// including a ',' decimal separator — rejects the token. NaN/Inf spellings
+/// parse (callers that need finiteness gate on std::isfinite themselves).
+inline bool parseNumber(std::string_view s, double& out) {
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  if (first != last && *first == '+') ++first;  // from_chars rejects '+'
+  if (first == last) return false;
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+/// Strict decimal u64 parse: digits only — no sign, no whitespace, no
+/// trailing characters; rejects overflow.
+inline bool parseNumber(std::string_view s, std::uint64_t& out) {
+  if (s.empty() || s.size() > 20) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace roborun::runtime

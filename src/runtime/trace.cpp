@@ -4,9 +4,12 @@
 #include <array>
 #include <cmath>
 #include <fstream>
+#include <locale>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
+
+#include "runtime/parse_number.h"
 
 namespace roborun::runtime {
 
@@ -40,15 +43,17 @@ std::vector<double> parseRow(const std::string& line, std::size_t expected) {
   std::size_t start = 0;
   while (start <= line.size()) {
     const std::size_t comma = line.find(',', start);
-    const std::string field =
-        line.substr(start, comma == std::string::npos ? std::string::npos : comma - start);
-    try {
-      std::size_t used = 0;
-      values.push_back(std::stod(field, &used));
-      if (used == 0) throw std::invalid_argument(field);
-    } catch (const std::exception&) {
-      throw std::runtime_error("trace: non-numeric field '" + field + "'");
-    }
+    const std::string_view field =
+        std::string_view(line).substr(start,
+                                      comma == std::string::npos ? std::string::npos
+                                                                 : comma - start);
+    // Locale-independent checked parse: std::stod would read "1,5" as 1.5
+    // under de_DE (silently mis-splitting rows) and throw an UNCAUGHT
+    // std::invalid_argument straight through the tools on garbage.
+    double value = 0.0;
+    if (!parseNumber(field, value))
+      throw std::runtime_error("trace: non-numeric field '" + std::string(field) + "'");
+    values.push_back(value);
     if (comma == std::string::npos) break;
     start = comma + 1;
   }
@@ -61,6 +66,11 @@ std::vector<double> parseRow(const std::string& line, std::size_t expected) {
 }  // namespace
 
 void writeTrace(const MissionResult& mission, std::ostream& out) {
+  // The trace format is locale-independent by contract: pin the classic
+  // ("C") locale so a de_DE global locale can't format 1.5 as "1,5" —
+  // which would corrupt the CSV (every ',' is a field separator) and break
+  // the write->read->write byte fixpoint.
+  out.imbue(std::locale::classic());
   // max_digits10: doubles round-trip bit-exactly through the text format.
   out.precision(17);
   out << kMagic << "\n";
@@ -115,7 +125,13 @@ MissionResult readTrace(std::istream& in) {
       if (eq == std::string::npos)
         throw std::runtime_error("trace: malformed metadata '" + pair + "'");
       const std::string key = pair.substr(0, eq);
-      const double value = std::stod(pair.substr(eq + 1));
+      // Checked parse, same helper as the row fields: `status=abc` must
+      // surface as this file's own "trace: ..." error convention, not an
+      // uncaught std::invalid_argument aborting the tool.
+      double value = 0.0;
+      if (!parseNumber(std::string_view(pair).substr(eq + 1), value))
+        throw std::runtime_error("trace: non-numeric metadata value for '" + key +
+                                 "': '" + pair.substr(eq + 1) + "'");
       if (key == "status") {
         const int code = static_cast<int>(value);
         if (code < static_cast<int>(MissionStatus::ReachedGoal) ||

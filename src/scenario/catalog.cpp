@@ -317,7 +317,13 @@ void putBits(std::ostringstream& os, double v) {
 std::string describeCases(const std::vector<MissionCase>& cases) {
   std::ostringstream os;
   os << "cases " << cases.size() << "\n";
-  for (const MissionCase& c : cases) {
+  for (const MissionCase& c : cases) os << describeCase(c);
+  return os.str();
+}
+
+std::string describeCase(const MissionCase& c) {
+  std::ostringstream os;
+  {
     os << c.scenario << "/" << c.label << " design=" << runtime::designName(c.design)
        << " shareable=" << (c.engine_shareable ? 1 : 0) << "\n env";
     const env::EnvSpec& e = c.env;

@@ -88,4 +88,9 @@ std::vector<ScenarioSpec> builtinCatalog(std::uint64_t base_seed = 1, double sca
 /// dump.
 std::string describeCases(const std::vector<MissionCase>& cases);
 
+/// One case's block of describeCases() (same bytes, no "cases N" header) —
+/// the per-mission identity the content-addressed result store hashes into
+/// its keys (store::ResultStore::keyFor).
+std::string describeCase(const MissionCase& c);
+
 }  // namespace roborun::scenario

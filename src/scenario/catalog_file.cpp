@@ -8,48 +8,27 @@
 #include <sstream>
 #include <system_error>
 
+#include "runtime/parse_number.h"
 #include "scenario/catalog.h"
 
 namespace roborun::scenario {
 
 namespace {
 
-/// Strict decimal u64 parse (no sign, no whitespace).
-bool parseU64(const std::string& s, std::uint64_t& out) {
-  if (s.empty() || s.size() > 20) return false;
-  std::uint64_t v = 0;
-  for (const char c : s) {
-    if (c < '0' || c > '9') return false;
-    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
-    if (v > (UINT64_MAX - digit) / 10) return false;
-    v = v * 10 + digit;
-  }
-  out = v;
-  return true;
-}
+// The strict, locale-independent parses live in runtime/parse_number.h —
+// one checked helper shared by the catalog parser, the trace reader and
+// the CLI option parsers (std::from_chars never consults LC_NUMERIC, so
+// the same catalog means the same missions on a de_DE host, and a ','
+// decimal separator is a line-numbered error in every locale).
+using runtime::parseNumber;
 
-/// Strict, locale-independent double parse: the whole token must be one
-/// number in the C locale's format (std::from_chars never consults
-/// LC_NUMERIC, unlike istream extraction, which would parse the same
-/// catalog differently under e.g. de_DE.UTF-8). A leading '+' is accepted
-/// for istream compatibility; trailing characters — including a ','
-/// decimal separator — reject the token.
-bool parseDouble(const std::string& s, double& out) {
-  const char* first = s.data();
-  const char* last = s.data() + s.size();
-  if (first != last && *first == '+') ++first;  // from_chars rejects '+'
-  if (first == last) return false;
-  const auto [ptr, ec] = std::from_chars(first, last, out);
-  return ec == std::errc{} && ptr == last;
-}
-
-/// parseDouble plus a finiteness gate: catalog dials are mission geometry —
+/// parseNumber plus a finiteness gate: catalog dials are mission geometry —
 /// a NaN or infinity would flow through describeCases() into shard
 /// aggregates and fleet reports, poisoning the byte-identity contract, so
 /// the parser rejects them up front with a line-numbered error instead of
 /// letting the report writer mask them later.
 bool parseFiniteDouble(const std::string& s, double& out) {
-  return parseDouble(s, out) && std::isfinite(out);
+  return parseNumber(s, out) && std::isfinite(out);
 }
 
 std::string knownFamilies() {
@@ -110,14 +89,14 @@ CatalogParseResult parseCatalog(std::istream& in) {
           break;
         }
       } else if (key == "seed") {
-        if (!parseU64(value, spec.seed)) {
+        if (!parseNumber(value, spec.seed)) {
           error("seed must be a decimal u64, got '" + value + "'");
           line_ok = false;
           break;
         }
       } else if (key == "missions") {
         std::uint64_t n = 0;
-        if (!parseU64(value, n) || n == 0 || n > 10000) {
+        if (!parseNumber(value, n) || n == 0 || n > 10000) {
           error("missions must be an integer in [1, 10000], got '" + value + "'");
           line_ok = false;
           break;

@@ -139,6 +139,22 @@ void writeFleetBenchJson(std::ostream& os, const FleetResult& result,
   os << "    \"solver_memo_hit_rate\": " << jsonNumber(e.solverMemoHitRate(), 4) << ",\n";
   os << "    \"profile_builds\": " << e.profile_builds << ",\n";
   os << "    \"profile_reuses\": " << e.profile_reuses << "\n";
+  os << "  },\n";
+  // Store traffic is a MEASUREMENT (which lookups hit depends on what some
+  // earlier run inserted), so it lives here and never in the result
+  // document — the --out report stays byte-identical warm or cold.
+  const store::StoreStats& s = result.store;
+  os << "  \"store\": {\n";
+  os << "    \"enabled\": " << (result.store_enabled ? "true" : "false") << ",\n";
+  os << "    \"lookups\": " << s.lookups << ",\n";
+  os << "    \"hits\": " << s.hits() << ",\n";
+  os << "    \"hits_memory\": " << s.hits_memory << ",\n";
+  os << "    \"hits_disk\": " << s.hits_disk << ",\n";
+  os << "    \"misses\": " << s.misses << ",\n";
+  os << "    \"hit_rate\": " << jsonNumber(s.hitRate(), 4) << ",\n";
+  os << "    \"inserts\": " << s.inserts << ",\n";
+  os << "    \"readonly_skips\": " << s.readonly_skips << ",\n";
+  os << "    \"corrupt_rejected\": " << s.corrupt_rejected << "\n";
   os << "  }\n";
   os << "}\n";
 }

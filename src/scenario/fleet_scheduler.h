@@ -45,6 +45,7 @@
 
 #include "core/decision_engine.h"
 #include "scenario/catalog.h"
+#include "store/result_store.h"
 
 namespace roborun::scenario {
 
@@ -75,6 +76,14 @@ struct FleetConfig {
   /// resource exhaustion); a mission-outcome failure (Collided, TimedOut,
   /// EnergyExhausted) is a result, never retried.
   std::size_t retry_limit = 1;
+  /// Content-addressed result store (not owned; may be shared by several
+  /// fleets). When set, every case is looked up by its describeCase() bit
+  /// pattern before dispatch — a hit short-circuits the mission and lands
+  /// the cached (bit-identical) result at the case index — and every
+  /// mission that ran to a simulated conclusion is inserted afterwards.
+  /// Infrastructure failures (Crashed / AbortedWallDeadline) never touch
+  /// the store: they describe this run's infrastructure, not the mission.
+  store::ResultStore* store = nullptr;
 };
 
 /// One finished mission (at its case index).
@@ -117,6 +126,11 @@ struct FleetResult {
   DispatchMode mode = DispatchMode::Async;
   bool engine_shared = false;
   core::EngineStats engine;  ///< shared-engine counters; zeros when unshared
+  bool store_enabled = false;
+  /// This run's store traffic (delta over the store's lifetime counters —
+  /// a store may outlive many fleets). Like the engine counters, a
+  /// measurement: cache hits don't change any deterministic field.
+  store::StoreStats store;
 };
 
 /// Bitwise comparison of every deterministic field (each row's full

@@ -1,0 +1,159 @@
+#include "store/mission_serde.h"
+
+#include <cstring>
+
+#include "core/policy.h"
+
+namespace roborun::store {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'R', 'S', 'R'};
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void putDouble(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(out, bits);
+}
+
+struct Reader {
+  const unsigned char* p;
+  const unsigned char* end;
+
+  bool u32(std::uint32_t& v) {
+    if (end - p < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (end - p < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string serializeStoredResult(const StoredResult& value) {
+  const runtime::MissionResult& r = value.result;
+  std::string out;
+  // header: magic, version, record count up front so a truncated file is
+  // detectable before any record decodes.
+  out.append(kMagic, sizeof(kMagic));
+  putU32(out, kSerdeVersion);
+  putU32(out, static_cast<std::uint32_t>(r.status));
+  putU64(out, value.attempts);
+  putU64(out, r.fault_blackouts);
+  putU64(out, r.fault_spikes);
+  putDouble(out, r.mission_time);
+  putDouble(out, r.flight_energy);
+  putDouble(out, r.compute_energy);
+  putDouble(out, r.battery_soc);
+  putDouble(out, r.distance_traveled);
+  putU64(out, r.records.size());
+  for (const runtime::DecisionRecord& rec : r.records) {
+    putDouble(out, rec.t);
+    putDouble(out, rec.position.x);
+    putDouble(out, rec.position.y);
+    putDouble(out, rec.position.z);
+    putU32(out, static_cast<std::uint32_t>(rec.zone));
+    putDouble(out, rec.velocity);
+    putDouble(out, rec.commanded_velocity);
+    putDouble(out, rec.visibility);
+    putDouble(out, rec.known_free_horizon);
+    putDouble(out, rec.deadline);
+    putDouble(out, rec.latencies.runtime);
+    putDouble(out, rec.latencies.point_cloud);
+    putDouble(out, rec.latencies.octomap);
+    putDouble(out, rec.latencies.bridge);
+    putDouble(out, rec.latencies.planning);
+    putDouble(out, rec.latencies.smoothing);
+    putDouble(out, rec.latencies.comm_point_cloud);
+    putDouble(out, rec.latencies.comm_map);
+    putDouble(out, rec.latencies.comm_trajectory);
+    for (const core::StagePolicy& stage : rec.policy.stages) {
+      putDouble(out, stage.precision);
+      putDouble(out, stage.volume);
+    }
+    putDouble(out, rec.policy.deadline);
+    putDouble(out, rec.policy.predicted_latency);
+    putU32(out, (rec.replanned ? 1u : 0u) | (rec.plan_failed ? 2u : 0u) |
+                    (rec.budget_met ? 4u : 0u));
+    putDouble(out, rec.cpu_utilization);
+  }
+  return out;
+}
+
+bool deserializeStoredResult(std::string_view bytes, StoredResult& out) {
+  Reader in{reinterpret_cast<const unsigned char*>(bytes.data()),
+            reinterpret_cast<const unsigned char*>(bytes.data()) + bytes.size()};
+  if (in.end - in.p < 4 || std::memcmp(in.p, kMagic, sizeof(kMagic)) != 0) return false;
+  in.p += 4;
+  std::uint32_t version = 0;
+  if (!in.u32(version) || version != kSerdeVersion) return false;
+
+  out = StoredResult{};
+  runtime::MissionResult& r = out.result;
+  std::uint32_t status = 0;
+  if (!in.u32(status) ||
+      status > static_cast<std::uint32_t>(runtime::MissionStatus::Crashed))
+    return false;
+  r.status = static_cast<runtime::MissionStatus>(status);
+  std::uint64_t count = 0;
+  if (!in.u64(out.attempts) || !in.u64(r.fault_blackouts) || !in.u64(r.fault_spikes) ||
+      !in.f64(r.mission_time) || !in.f64(r.flight_energy) || !in.f64(r.compute_energy) ||
+      !in.f64(r.battery_soc) || !in.f64(r.distance_traveled) || !in.u64(count))
+    return false;
+  // 27 doubles + 2 u32 per record — reject impossible counts before the
+  // reserve so a corrupt header can't trigger a huge allocation.
+  constexpr std::uint64_t kRecordBytes = 27 * 8 + 2 * 4;
+  if (count > static_cast<std::uint64_t>(in.end - in.p) / kRecordBytes) return false;
+  r.records.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    runtime::DecisionRecord rec;
+    std::uint32_t zone = 0;
+    if (!in.f64(rec.t) || !in.f64(rec.position.x) || !in.f64(rec.position.y) ||
+        !in.f64(rec.position.z) || !in.u32(zone) || zone > 2)
+      return false;
+    rec.zone = static_cast<env::Zone>(zone);
+    if (!in.f64(rec.velocity) || !in.f64(rec.commanded_velocity) ||
+        !in.f64(rec.visibility) || !in.f64(rec.known_free_horizon) ||
+        !in.f64(rec.deadline) || !in.f64(rec.latencies.runtime) ||
+        !in.f64(rec.latencies.point_cloud) || !in.f64(rec.latencies.octomap) ||
+        !in.f64(rec.latencies.bridge) || !in.f64(rec.latencies.planning) ||
+        !in.f64(rec.latencies.smoothing) || !in.f64(rec.latencies.comm_point_cloud) ||
+        !in.f64(rec.latencies.comm_map) || !in.f64(rec.latencies.comm_trajectory))
+      return false;
+    for (core::StagePolicy& stage : rec.policy.stages)
+      if (!in.f64(stage.precision) || !in.f64(stage.volume)) return false;
+    std::uint32_t flags = 0;
+    if (!in.f64(rec.policy.deadline) || !in.f64(rec.policy.predicted_latency) ||
+        !in.u32(flags) || flags > 7 || !in.f64(rec.cpu_utilization))
+      return false;
+    rec.replanned = (flags & 1u) != 0;
+    rec.plan_failed = (flags & 2u) != 0;
+    rec.budget_met = (flags & 4u) != 0;
+    r.records.push_back(rec);
+  }
+  return in.p == in.end;  // trailing bytes = corrupt
+}
+
+}  // namespace roborun::store

@@ -1,0 +1,51 @@
+// Binary serialization of a stored mission outcome — the payload format of
+// the content-addressed result store (see result_store.h).
+//
+// The encoding covers exactly the deterministic replay surface of a
+// MissionResult (status, energy/usage metrics, fault tallies and every
+// DecisionRecord field the fleet's bitwise comparator checks) plus the
+// fleet row's deterministic attempt count. Doubles are stored as their
+// exact IEEE-754 bit patterns, so deserialize(serialize(r)) reproduces the
+// result bit-for-bit — a store hit feeds the fleet report the same bytes a
+// fresh mission would.
+//
+// The wall-clock measurement fields (planner_wall_ms, decision_wall_ms)
+// are deliberately NOT stored: they describe one historical run, not the
+// mission, and nothing deterministic consumes them. A result served from
+// the store reports them as 0.
+//
+// Format: little-endian, fixed-width, magic "RRSR" + version. Any size or
+// tag mismatch fails the decode (the store treats that as a corrupt record
+// and falls back to running the mission).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "runtime/metrics.h"
+
+namespace roborun::store {
+
+/// Payload format version. Bump on ANY layout change; old records then
+/// fail decode and are re-run + re-inserted (they are only caches).
+inline constexpr std::uint32_t kSerdeVersion = 1;
+
+/// The stored value: the mission's deterministic result plus the fleet
+/// row's deterministic attempt count (retries of a flaky first attempt are
+/// part of the replayable row contract).
+struct StoredResult {
+  runtime::MissionResult result;
+  std::uint64_t attempts = 1;
+};
+
+/// Encode to the binary payload.
+std::string serializeStoredResult(const StoredResult& value);
+
+/// Decode a payload produced by serializeStoredResult. Returns false (and
+/// leaves `out` unspecified) on any structural problem: bad magic, unknown
+/// version, truncation, trailing bytes, out-of-range enum codes. Never
+/// throws.
+bool deserializeStoredResult(std::string_view bytes, StoredResult& out);
+
+}  // namespace roborun::store

@@ -199,8 +199,12 @@ TEST(ChaosSweepTest, FaultCocktailsNeverCrashAndNeverFalselySucceed) {
               << "reported success far from goal";
         }
         // Fault tallies only when the channel is armed.
-        if (c.blackout_rate == 0.0) EXPECT_EQ(result.fault_blackouts, 0u);
-        if (c.spike_rate == 0.0) EXPECT_EQ(result.fault_spikes, 0u);
+        if (c.blackout_rate == 0.0) {
+          EXPECT_EQ(result.fault_blackouts, 0u);
+        }
+        if (c.spike_rate == 0.0) {
+          EXPECT_EQ(result.fault_spikes, 0u);
+        }
       }
     }
   }

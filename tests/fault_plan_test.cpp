@@ -268,9 +268,11 @@ TEST(FaultMissionTest, BaselineDesignHoversThroughBlackoutToo) {
   const auto result = runtime::runMission(shortEnvironment(11),
                                           runtime::DesignType::SpatialOblivious, config);
   const FaultPlan plan(config.seed, config.faults);
-  for (std::size_t e = 0; e < result.records.size(); ++e)
-    if (plan.at(e).blackout)
+  for (std::size_t e = 0; e < result.records.size(); ++e) {
+    if (plan.at(e).blackout) {
       EXPECT_DOUBLE_EQ(result.records[e].commanded_velocity, 0.0) << "epoch " << e;
+    }
+  }
 }
 
 }  // namespace

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <locale>
 #include <sstream>
+#include <stdexcept>
 
 #include "env/env_gen.h"
 #include "runtime/designs.h"
@@ -117,6 +119,54 @@ TEST(TraceRoundTripTest, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(TraceRoundTripTest, WriteReadWriteIsAByteFixpoint) {
+  // The trace format is a fixpoint under write->read->write: re-serializing
+  // a parsed trace reproduces the original file byte for byte (max_digits10
+  // doubles, fixed column order, classic-locale formatting). This is what
+  // makes traces diffable artifacts and catches any writer/reader drift.
+  const auto mission = syntheticMission();
+  std::stringstream first;
+  writeTrace(mission, first);
+  const auto loaded = readTrace(first);
+  std::stringstream second;
+  writeTrace(loaded, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(TraceLocaleTest, RoundTripIsLocaleIndependent) {
+  // Mirrors CatalogFileTest.ParsingIsLocaleIndependent: a de_DE global
+  // locale formats 1.5 as "1,5" through an unimbued ostream, which would
+  // corrupt the CSV (every ',' is a field separator). writeTrace pins the
+  // classic locale and parsing uses std::from_chars, so the trace bytes
+  // and the parsed mission are identical whatever the global locale says.
+  const auto mission = syntheticMission();
+  std::stringstream c_locale_bytes;
+  writeTrace(mission, c_locale_bytes);
+
+  const std::locale original = std::locale();
+  bool de_installed = false;
+  try {
+    std::locale::global(std::locale("de_DE.UTF-8"));
+    de_installed = true;
+  } catch (const std::runtime_error&) {
+    // Locale not installed in this image: the comma-rejection assertion
+    // below still pins the locale-independent parse semantics.
+  }
+  std::stringstream de_bytes;
+  writeTrace(mission, de_bytes);
+  EXPECT_EQ(de_bytes.str(), c_locale_bytes.str());
+  const auto loaded = readTrace(de_bytes);
+  EXPECT_EQ(loaded.records.size(), mission.records.size());
+  EXPECT_DOUBLE_EQ(loaded.mission_time, mission.mission_time);
+  if (de_installed) std::locale::global(original);
+
+  // A comma decimal separator is a parse error in every locale — never a
+  // silently mis-split row.
+  std::stringstream comma;
+  comma << "# roborun-trace v1\n# mission_time=1,5\nt\n";
+  EXPECT_THROW(readTrace(comma), std::runtime_error);
+}
+
 TEST(TraceErrorTest, MissingMagicThrows) {
   std::stringstream buffer("not a trace\n1,2,3\n");
   EXPECT_THROW(readTrace(buffer), std::runtime_error);
@@ -145,6 +195,21 @@ TEST(TraceErrorTest, NonNumericFieldThrows) {
   text.replace(line_start, 1, "x");
   std::stringstream corrupted(text);
   EXPECT_THROW(readTrace(corrupted), std::runtime_error);
+}
+
+TEST(TraceErrorTest, NonNumericMetadataIsATraceError) {
+  // `status=abc` must surface as the file's own "trace: ..." error
+  // convention — historically this was an uncaught std::invalid_argument
+  // from std::stod that aborted trace_inspect outright.
+  std::stringstream buffer("# roborun-trace v1\n# status=abc mission_time=1\nt\n");
+  try {
+    readTrace(buffer);
+    FAIL() << "expected a trace runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("trace:", 0), 0u) << e.what();
+    EXPECT_NE(std::string(e.what()).find("status"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("abc"), std::string::npos) << e.what();
+  }
 }
 
 TEST(TraceErrorTest, BadZoneIndexThrows) {

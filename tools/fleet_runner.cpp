@@ -28,6 +28,7 @@
 #include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -38,6 +39,7 @@
 #include "scenario/catalog_file.h"
 #include "scenario/fleet_report.h"
 #include "scenario/fleet_scheduler.h"
+#include "store/result_store.h"
 
 namespace {
 
@@ -56,6 +58,8 @@ struct Options {
   bool reuse_arenas = true;
   std::string out_path;
   std::string bench_json_path;
+  std::string store_dir;  ///< empty = result store disabled
+  bool store_readonly = false;
   bool list_families = false;
   bool print_catalog = false;
   bool quiet = false;
@@ -67,6 +71,7 @@ void usage(std::ostream& os) {
         "                    [--config smoke|test|default] [--retries N]\n"
         "                    [--no-share-engine] [--no-reuse-arenas]\n"
         "                    [--out results.json] [--bench-json perf.json]\n"
+        "                    [--store DIR] [--store-readonly]\n"
         "                    [--list-families] [--print-catalog] [--quiet]\n"
         "\n"
         "Without --catalog, serves the built-in demo catalog (one scenario per\n"
@@ -74,7 +79,14 @@ void usage(std::ostream& os) {
         "is deterministic: byte-identical for any --threads and either --mode.\n"
         "A case that crashes or trips the wall-clock watchdog gets --retries\n"
         "extra attempts (default 1) before landing in the report's failures\n"
-        "array; the exit code is the failure count (capped at 100).\n";
+        "array; the exit code is the failure count (capped at 100).\n"
+        "\n"
+        "--store DIR enables the content-addressed mission result store: each\n"
+        "case is looked up by its exact describeCases() bit pattern before\n"
+        "dispatch, and clean results are inserted after the run. A warm store\n"
+        "changes only wall-clock speed, never a byte of --out. Hit/miss counts\n"
+        "land in --bench-json and the stderr summary; --store-readonly consults\n"
+        "the store without writing new records.\n";
 }
 
 bool parseCount(const char* flag, const char* text, std::size_t& out, std::size_t max) {
@@ -158,6 +170,12 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       const char* v = next("--bench-json");
       if (v == nullptr) return false;
       opts.bench_json_path = v;
+    } else if (arg == "--store") {
+      const char* v = next("--store");
+      if (v == nullptr) return false;
+      opts.store_dir = v;
+    } else if (arg == "--store-readonly") {
+      opts.store_readonly = true;
     } else if (arg == "--list-families") {
       opts.list_families = true;
     } else if (arg == "--print-catalog") {
@@ -175,6 +193,10 @@ bool parseArgs(int argc, char** argv, Options& opts) {
   }
   if (opts.config != "smoke" && opts.config != "test" && opts.config != "default") {
     std::cerr << "fleet_runner: --config must be smoke, test, or default\n";
+    return false;
+  }
+  if (opts.store_readonly && opts.store_dir.empty()) {
+    std::cerr << "fleet_runner: --store-readonly requires --store DIR\n";
     return false;
   }
   if (opts.threads == 0) opts.threads = 1;
@@ -231,6 +253,21 @@ int main(int argc, char** argv) {
   fleet_config.share_engine = opts.share_engine;
   fleet_config.reuse_arenas = opts.reuse_arenas;
   fleet_config.retry_limit = opts.retries;
+
+  // The store key is the case's describeCases() bit pattern, which does not
+  // cover the base MissionConfig — the engine version stamp carries the
+  // --config preset instead, so a smoke-fidelity record can never satisfy a
+  // test-fidelity lookup (see store/result_store.h).
+  std::optional<store::ResultStore> result_store;
+  if (!opts.store_dir.empty()) {
+    store::ResultStore::Config store_config;
+    store_config.dir = opts.store_dir;
+    store_config.version = store::defaultVersionStamp(opts.config);
+    store_config.readonly = opts.store_readonly;
+    result_store.emplace(store_config);
+    fleet_config.store = &*result_store;
+  }
+
   scenario::FleetScheduler scheduler(base, fleet_config);
   const std::size_t admitted = scheduler.admitAll(catalog);
   if (admitted != catalog.size()) {
@@ -266,6 +303,14 @@ int main(int argc, char** argv) {
       line.precision(1);
       line << "; engine memo hit-rate " << 100.0 * result.engine.solverMemoHitRate()
            << "% across tenants";
+    }
+    if (result.store_enabled) {
+      line.precision(1);
+      line << "; result store " << result.store.hits() << " hit(s) / "
+           << result.store.misses << " miss(es) (" << 100.0 * result.store.hitRate()
+           << "%), " << result.store.inserts << " inserted";
+      if (result.store.corrupt_rejected > 0)
+        line << ", " << result.store.corrupt_rejected << " corrupt record(s) rejected";
     }
     std::cerr << line.str() << "\n";
     for (const scenario::FleetRow& row : result.rows) {

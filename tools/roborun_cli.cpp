@@ -29,6 +29,7 @@
 
 #include "env/env_gen.h"
 #include "runtime/designs.h"
+#include "runtime/parse_number.h"
 #include "runtime/report.h"
 #include "runtime/trace.h"
 #include "scenario/catalog.h"
@@ -103,34 +104,42 @@ bool parseArgs(int argc, char** argv, CliOptions& opt) {
       }
       return argv[++i];
     };
+    // Checked numeric option parse (runtime::parseNumber — the same
+    // strict, locale-independent helper the trace parser uses): a typo
+    // like `--vmax fast` prints what was wrong and exits 2 through the
+    // normal usage path instead of crashing with an uncaught std::stod
+    // exception, and `--vmax 3,2` is rejected the same way under every
+    // locale instead of silently parsing as 3 under de_DE.
+    auto nextNumber = [&](double& out) {
+      const char* v = next();
+      if (!v) return false;
+      if (!runtime::parseNumber(std::string_view(v), out)) {
+        std::cerr << arg << " needs a number, got '" << v << "'\n";
+        return false;
+      }
+      return true;
+    };
     if (arg == "--design") {
       const char* v = next();
       if (!v) return false;
       opt.design = v;
     } else if (arg == "--density") {
-      const char* v = next();
-      if (!v) return false;
-      opt.spec.obstacle_density = std::stod(v);
+      if (!nextNumber(opt.spec.obstacle_density)) return false;
     } else if (arg == "--spread") {
-      const char* v = next();
-      if (!v) return false;
-      opt.spec.obstacle_spread = std::stod(v);
+      if (!nextNumber(opt.spec.obstacle_spread)) return false;
     } else if (arg == "--goal") {
-      const char* v = next();
-      if (!v) return false;
-      opt.spec.goal_distance = std::stod(v);
+      if (!nextNumber(opt.spec.goal_distance)) return false;
     } else if (arg == "--seed") {
       const char* v = next();
       if (!v) return false;
-      opt.spec.seed = std::stoull(v);
+      if (!runtime::parseNumber(std::string_view(v), opt.spec.seed)) {
+        std::cerr << "--seed needs a decimal integer, got '" << v << "'\n";
+        return false;
+      }
     } else if (arg == "--weather") {
-      const char* v = next();
-      if (!v) return false;
-      opt.weather = std::stod(v);
+      if (!nextNumber(opt.weather)) return false;
     } else if (arg == "--vmax") {
-      const char* v = next();
-      if (!v) return false;
-      opt.vmax = std::stod(v);
+      if (!nextNumber(opt.vmax)) return false;
     } else if (arg == "--quick") {
       opt.quick = true;
     } else if (arg == "--csv") {
@@ -142,9 +151,9 @@ bool parseArgs(int argc, char** argv, CliOptions& opt) {
       if (!v) return false;
       opt.trace_path = v;
     } else if (arg == "--battery") {
-      const char* v = next();
-      if (!v) return false;
-      opt.battery_kj = std::stod(v);
+      double kj = 0.0;
+      if (!nextNumber(kj)) return false;
+      opt.battery_kj = kj;
     } else if (arg == "--strategy") {
       const char* v = next();
       if (!v) return false;
