@@ -39,6 +39,8 @@ OccupancyOctree::OccupancyOctree(const Aabb& extent, double voxel_min) : voxel_m
   const Vec3 h{root_size_ * 0.5, root_size_ * 0.5, root_size_ * 0.5};
   root_box_ = {c - h, c + h};
   pool_.push_back(Node{});  // the root leaf
+  subtree_stats_.push_back(SubtreeStats{});
+  subtree_valid_.push_back(0);
 }
 
 int OccupancyOctree::levelForPrecision(double precision) const {
@@ -110,13 +112,18 @@ Vec3 OccupancyOctree::cellCenter(std::uint64_t key, int level) const {
 }
 
 std::uint32_t OccupancyOctree::allocBlock() {
+  std::uint32_t block;
   if (!free_blocks_.empty()) {
-    const std::uint32_t block = free_blocks_.back();
+    block = free_blocks_.back();
     free_blocks_.pop_back();
-    return block;
+  } else {
+    block = static_cast<std::uint32_t>(pool_.size());
+    pool_.resize(pool_.size() + 8);
+    subtree_stats_.resize(pool_.size());
+    subtree_valid_.resize(pool_.size());
   }
-  const std::uint32_t block = static_cast<std::uint32_t>(pool_.size());
-  pool_.resize(pool_.size() + 8);
+  // Whether recycled or fresh, the slots carry stale reductions.
+  for (int i = 0; i < 8; ++i) subtree_valid_[block + static_cast<std::uint32_t>(i)] = 0;
   return block;
 }
 
@@ -139,6 +146,7 @@ void OccupancyOctree::collapseToLeaf(Node& node) {
 
 void OccupancyOctree::splitNode(std::uint32_t index) {
   const std::uint32_t block = allocBlock();  // may reallocate the pool
+  subtree_valid_[index] = 0;  // leaf -> inner changes the node's reduction
   Node& node = pool_[index];
   for (int i = 0; i < 8; ++i) {
     Node& child = pool_[block + static_cast<std::uint32_t>(i)];
@@ -150,6 +158,10 @@ void OccupancyOctree::splitNode(std::uint32_t index) {
 }
 
 void OccupancyOctree::finalizeNode(std::uint32_t index, std::uint32_t child_index) {
+  // finalizeNode runs exactly on the ancestors of a structural change (the
+  // walker's dirty levels), which is precisely the set of nodes whose
+  // cached subtree reduction went stale.
+  subtree_valid_[index] = 0;
   Node& node = pool_[index];
   // has_occupied is monotone (occupancy is sticky; nothing ever clears it
   // while structure exists), so propagating the bit of the one child the
@@ -228,12 +240,14 @@ void OccupancyOctree::applyKeys(std::span<const std::uint64_t> keys, int depth,
         if (!node.has_occupied) {
           collapseToLeaf(node);
           node.state = Occupancy::Free;
+          subtree_valid_[path[depth]] = 0;
           structural = true;
         }
       } else {
         collapseToLeaf(node);
         node.state = Occupancy::Occupied;
         node.has_occupied = 1;
+        subtree_valid_[path[depth]] = 0;
         structural = true;
       }
     }
@@ -303,29 +317,50 @@ Occupancy OccupancyOctree::queryAtLevel(const Vec3& p, int level) const {
 
 const OccupancyOctree::Stats& OccupancyOctree::stats() const {
   if (stats_dirty_) {
-    stats_cache_ = Stats{};
-    accumulateStats(kRootIndex, root_size_, stats_cache_);
+    const SubtreeStats& root = reduceStats(kRootIndex, root_size_);
+    stats_cache_.occupied_leaves = root.occupied_leaves;
+    stats_cache_.free_leaves = root.free_leaves;
+    stats_cache_.inner_nodes = root.inner_nodes;
+    stats_cache_.occupied_volume = root.occupied_volume;
+    stats_cache_.free_volume = root.free_volume;
     stats_dirty_ = false;
   }
   return stats_cache_;
 }
 
-void OccupancyOctree::accumulateStats(std::uint32_t index, double size, Stats& s) const {
+const OccupancyOctree::SubtreeStats& OccupancyOctree::reduceStats(std::uint32_t index,
+                                                                  double size) const {
+  if (subtree_valid_[index]) return subtree_stats_[index];
   const Node& node = pool_[index];
+  SubtreeStats s;
   if (node.isLeaf()) {
     const double vol = size * size * size;
     if (node.state == Occupancy::Occupied) {
-      ++s.occupied_leaves;
-      s.occupied_volume += vol;
+      s.occupied_leaves = 1;
+      s.occupied_volume = vol;
     } else if (node.state == Occupancy::Free) {
-      ++s.free_leaves;
-      s.free_volume += vol;
+      s.free_leaves = 1;
+      s.free_volume = vol;
     }
-    return;
+  } else {
+    // Child-index order, children's own reductions first: the value is a
+    // pure function of tree shape, so cached and recomputed answers are
+    // bit-identical no matter which updates invalidated which paths.
+    s.inner_nodes = 1;
+    const double half = size * 0.5;
+    for (int ci = 0; ci < 8; ++ci) {
+      const SubtreeStats& c =
+          reduceStats(node.first_child + static_cast<std::uint32_t>(ci), half);
+      s.occupied_leaves += c.occupied_leaves;
+      s.free_leaves += c.free_leaves;
+      s.inner_nodes += c.inner_nodes;
+      s.occupied_volume += c.occupied_volume;
+      s.free_volume += c.free_volume;
+    }
   }
-  ++s.inner_nodes;
-  for (int ci = 0; ci < 8; ++ci)
-    accumulateStats(node.first_child + static_cast<std::uint32_t>(ci), size * 0.5, s);
+  subtree_stats_[index] = s;
+  subtree_valid_[index] = 1;
+  return subtree_stats_[index];
 }
 
 std::vector<VoxelBox> OccupancyOctree::collectOccupied(int level) const {

@@ -114,7 +114,18 @@ class OccupancyOctree {
     double mappedVolume() const { return occupied_volume + free_volume; }
     std::size_t leafCount() const { return occupied_leaves + free_leaves; }
   };
-  /// Full-tree traversal (cached until the next update).
+  /// Incremental per-subtree reduction: each node caches its subtree's
+  /// Stats, the update walk invalidates only the root-to-write paths it
+  /// actually touched, and stats() re-reduces just those paths (leaning on
+  /// every untouched sibling's cached value). Cost per call tracks the
+  /// number of cells updated since the last call, not tree size — the
+  /// full-DFS recompute this replaces was the dominant per-decision
+  /// profiler cost on grown maps. The reduction is a pure function of tree
+  /// shape (child-index order within each subtree), so the returned value
+  /// is independent of update history; its float accumulation ORDER,
+  /// however, is hierarchical rather than the old single-accumulator DFS,
+  /// so volumes differ in the last bits from the frozen seed reference
+  /// (the deliberate equivalence break tracked in ROADMAP).
   const Stats& stats() const;
 
   /// Level-bounded iteration over occupied space: invokes
@@ -184,7 +195,17 @@ class OccupancyOctree {
   /// collapse to one application; non-adjacent repeats are no-ops).
   void applyKeys(std::span<const std::uint64_t> keys, int depth, Occupancy state);
 
-  void accumulateStats(std::uint32_t index, double size, Stats& s) const;
+  /// Per-node cached subtree reduction (compact mirror of Stats: counts fit
+  /// u32 because they are bounded by pool indices). One entry per pool slot.
+  struct SubtreeStats {
+    std::uint32_t occupied_leaves = 0;
+    std::uint32_t free_leaves = 0;
+    std::uint32_t inner_nodes = 0;
+    double occupied_volume = 0.0;
+    double free_volume = 0.0;
+  };
+  /// Return the (recomputing if stale) cached reduction for `index`.
+  const SubtreeStats& reduceStats(std::uint32_t index, double size) const;
 
   template <typename Visitor>
   void visitOccupiedRec(std::uint32_t index, const Vec3& center, double size, double target_size,
@@ -213,6 +234,12 @@ class OccupancyOctree {
   int max_depth_;
   std::vector<Node> pool_;                  ///< pool_[0] is the root
   std::vector<std::uint32_t> free_blocks_;  ///< recycled 8-child blocks
+  /// Parallel to pool_: cached subtree reductions + their validity bits.
+  /// Invalidated along the touched root-to-write paths by the update walk
+  /// (splitNode / finalizeNode / the terminal write); recycled blocks are
+  /// re-invalidated by allocBlock.
+  mutable std::vector<SubtreeStats> subtree_stats_;
+  mutable std::vector<std::uint8_t> subtree_valid_;
   mutable Stats stats_cache_;
   mutable bool stats_dirty_ = true;
 };

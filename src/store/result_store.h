@@ -63,7 +63,7 @@ inline constexpr int kStoreSchemaVersion = 1;
 /// The engine-version half of the default key stamp. Bump whenever an
 /// engine/runtime change alters any mission's deterministic result — every
 /// key changes, so stale results can never be served.
-inline constexpr const char* kEngineVersionStamp = "roborun-engine-v8";
+inline constexpr const char* kEngineVersionStamp = "roborun-engine-v9";
 
 /// The conventional stamp for a store keyed against a named base-config
 /// preset ("smoke", "test", "default"): the case description does not

@@ -43,16 +43,22 @@ Vec3 randomDirection(Rng& rng) {
 /// Compare every externally observable view of the two trees.
 void expectEquivalent(const OccupancyOctree& pooled, const reference::ReferenceOctree& ref,
                       Rng& rng, int max_level) {
-  // Structural counters and volumes: both implementations accumulate over
-  // the same child-index DFS, so even the floating-point sums must agree
-  // exactly, not just approximately.
+  // Structural counters must match exactly. Volumes are compared to a
+  // tight relative tolerance rather than bit-for-bit: the pooled tree's
+  // stats() is an incremental per-subtree reduction (hierarchical float
+  // accumulation), while the frozen seed reference accumulates leaves into
+  // one running sum in global DFS order — same leaves, same per-leaf
+  // volumes, different association, so the last bits legitimately differ
+  // (the deliberate equivalence break tracked in ROADMAP).
   const auto& ps = pooled.stats();
   const auto& rs = ref.stats();
   EXPECT_EQ(ps.occupied_leaves, rs.occupied_leaves);
   EXPECT_EQ(ps.free_leaves, rs.free_leaves);
   EXPECT_EQ(ps.inner_nodes, rs.inner_nodes);
-  EXPECT_EQ(ps.occupied_volume, rs.occupied_volume);
-  EXPECT_EQ(ps.free_volume, rs.free_volume);
+  const double occ_tol = 1e-12 * std::max(1.0, rs.occupied_volume);
+  const double free_tol = 1e-12 * std::max(1.0, rs.free_volume);
+  EXPECT_NEAR(ps.occupied_volume, rs.occupied_volume, occ_tol);
+  EXPECT_NEAR(ps.free_volume, rs.free_volume, free_tol);
 
   // Dense fine-voxel sweep.
   const int n = static_cast<int>(std::round(2.0 * kHalf / kVoxMin));
