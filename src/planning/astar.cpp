@@ -144,9 +144,8 @@ AStarResult planPathAStar(const perception::PlannerMap& map, const Vec3& start,
   return planPathAStar(map, start, goal, params, arena);
 }
 
-bool AStarIncremental::canReuse(const perception::PlannerMap& map, const Vec3& start,
-                                const Vec3& goal, const AStarParams& params,
-                                const geom::Aabb& dirty) const {
+bool AStarIncremental::inputsMatch(const perception::PlannerMap& map, const Vec3& start,
+                                   const Vec3& goal, const AStarParams& params) const {
   if (!has_cached_) return false;
   // Any change to the search inputs themselves forces a full plan: the
   // cached search replays bit-exactly only for identical start/goal/params.
@@ -156,7 +155,13 @@ bool AStarIncremental::canReuse(const perception::PlannerMap& map, const Vec3& s
     return false;
   if (!(params.bounds.lo == params_.bounds.lo) || !(params.bounds.hi == params_.bounds.hi))
     return false;
-  if (map.precision() != map_precision_ || map.inflation() != map_inflation_) return false;
+  return map.precision() == map_precision_ && map.inflation() == map_inflation_;
+}
+
+bool AStarIncremental::canReuse(const perception::PlannerMap& map, const Vec3& start,
+                                const Vec3& goal, const AStarParams& params,
+                                const geom::Aabb& dirty) const {
+  if (!inputsMatch(map, start, goal, params)) return false;
 
   // Nothing changed at all.
   if (dirty.isEmpty()) return true;
@@ -205,12 +210,35 @@ bool AStarIncremental::canReuse(const perception::PlannerMap& map, const Vec3& s
 AStarResult AStarIncremental::plan(const perception::PlannerMap& map, const Vec3& start,
                                    const Vec3& goal, const AStarParams& params,
                                    const geom::Aabb& dirty) {
+  return plan(map, start, goal, params, dirty, nullptr);
+}
+
+AStarResult AStarIncremental::plan(const perception::PlannerMap& map, const Vec3& start,
+                                   const Vec3& goal, const AStarParams& params,
+                                   const geom::Aabb& dirty, const AStarPrewarmHint* hint) {
   ++stats_.plans;
+  // A prewarm hint is usable only when it provably describes THIS reuse
+  // question: same search generation (no plan ran since the probe was
+  // captured, so the consulted bounds and the inflation it baked in are
+  // still the live ones) and a bit-identical dirty box. Under those guards
+  // "misses" is exactly the AABB-rejection test canReuse would run, so the
+  // hinted path cannot accept a reuse the unhinted path would reject (or
+  // vice versa) — results stay bit-identical, only the redundant test is
+  // skipped.
+  const bool hint_applies = hint != nullptr && hint->valid &&
+                            hint->generation == generation_ && hint->misses &&
+                            hint->dirty.lo == dirty.lo && hint->dirty.hi == dirty.hi;
+  if (hint_applies && inputsMatch(map, start, goal, params)) {
+    ++stats_.reused;
+    ++stats_.prewarm_hits;
+    return cached_;
+  }
   if (canReuse(map, start, goal, params, dirty)) {
     ++stats_.reused;
     return cached_;
   }
   ++stats_.full;
+  ++generation_;  // the consulted record is about to be rebuilt
   cached_ = planPathAStar(map, start, goal, params, arena_);
   has_cached_ = true;
   start_ = start;
@@ -219,6 +247,37 @@ AStarResult AStarIncremental::plan(const perception::PlannerMap& map, const Vec3
   map_precision_ = map.precision();
   map_inflation_ = map.inflation();
   return cached_;
+}
+
+AStarPrewarmProbe AStarIncremental::prewarmProbe() const {
+  AStarPrewarmProbe probe;
+  probe.valid = has_cached_;
+  probe.generation = generation_;
+  if (has_cached_) {
+    probe.consulted = arena_.consultedBounds();
+    probe.inflation = map_inflation_;
+  }
+  return probe;
+}
+
+AStarPrewarmHint AStarIncremental::evaluatePrewarm(const AStarPrewarmProbe& probe,
+                                                   const geom::Aabb& dirty) {
+  AStarPrewarmHint hint;
+  hint.valid = probe.valid;
+  hint.generation = probe.generation;
+  hint.dirty = dirty;
+  if (!probe.valid) return hint;
+  if (dirty.isEmpty()) {
+    hint.misses = true;  // nothing changed anywhere
+    return hint;
+  }
+  // Same widening canReuse applies: the search consults the map through
+  // occupiedPoint(center), which probes up to the inflation radius away.
+  const double r = probe.inflation;
+  const geom::Aabb dirty_infl{{dirty.lo.x - r, dirty.lo.y - r, dirty.lo.z - r},
+                              {dirty.hi.x + r, dirty.hi.y + r, dirty.hi.z + r}};
+  hint.misses = !dirty_infl.intersects(probe.consulted);
+  return hint;
 }
 
 }  // namespace roborun::planning

@@ -134,4 +134,18 @@ struct MissionResult {
   double timeInZone(env::Zone zone) const;
 };
 
+/// Bitwise equality of every field of two decision records (doubles compared
+/// by bit pattern, so -0.0 vs 0.0 or NaN payload differences count as
+/// divergence — exactly what the replay contract distinguishes).
+bool decisionRecordsIdentical(const DecisionRecord& a, const DecisionRecord& b);
+
+/// Bitwise equality of every DETERMINISTIC MissionResult field: status,
+/// fault tallies, the summary metrics, and all records. The wall-clock
+/// measurement fields (planner_wall_ms, decision_wall_ms) are excluded —
+/// they vary run to run by contract. This is the single definition of
+/// "same mission result" shared by the fleet replay pin
+/// (fleetResultsIdentical), the pipeline equivalence suites, and
+/// bench_mission_latency's sync-anchor check.
+bool missionResultsIdentical(const MissionResult& a, const MissionResult& b);
+
 }  // namespace roborun::runtime

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 
 #include "core/governor.h"
@@ -100,9 +101,25 @@ struct MissionConfig {
   /// null or when solver_strategy is not Exhaustive — stateful strategies
   /// must stay per-mission.
   std::shared_ptr<core::DecisionEngine> shared_engine;
+
+  /// Measurement hook, called once per decision epoch right after its
+  /// record is pushed: (epoch index, staleness) where staleness is how many
+  /// sweeps old the map snapshot consumed by that epoch's planning stage
+  /// was — always 0 under ExecutionMode::Sync, at most 1 under Async (the
+  /// pipelined executor's bounded-staleness contract, which
+  /// pipeline_equivalence_test and bench_mission_latency assert through
+  /// this hook). Observes only; it must not touch mission state, and a
+  /// null hook (the default) leaves both loops on their exact frozen code
+  /// paths.
+  std::function<void(std::size_t epoch, std::size_t staleness)> decision_observer;
 };
 
-/// Run one full mission of `design` through `environment`.
+/// Run one full mission of `design` through `environment`. Dispatches on
+/// config.pipeline.execution: Sync runs the frozen reference loop
+/// (byte-identical to tests/reference_mission.h); Async runs the same
+/// mission shape with sweep integration overlapped one epoch ahead
+/// (runtime/epoch_executor.h) — deterministic, same safety invariants,
+/// different (stale-by-one-planning) numeric results.
 MissionResult runMission(const env::Environment& environment, DesignType design,
                          const MissionConfig& config = {});
 

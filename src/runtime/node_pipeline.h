@@ -16,6 +16,12 @@
 //                      /map/delta         (octree dirty bounds per sweep)
 //   PlannerNode     -> /trajectory        (RRT* + smoothing)
 //   ControlNode     -> /cmd_vel           (PID follower)
+//
+// This graph is inherently free-running: each node fires when its inputs
+// arrive, so perception and planning overlap naturally. The procedural
+// runner gets the same overlap from PipelineConfig::execution = async
+// (runtime/epoch_executor.h), which keeps the paper evaluation's bitwise
+// sync anchor while reproducing this graph's pipelined timing shape.
 #pragma once
 
 #include <functional>

@@ -112,30 +112,41 @@ core::SpaceProfile NavigationPipeline::profileSpace(const sim::SensorFrame& fram
 DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const Vec3& position,
                                            const core::PipelinePolicy& policy,
                                            double runtime_latency) {
-  DecisionOutcome out;
-  out.latencies.runtime = runtime_latency;
+  // The sync composition of the three stage methods. Byte-identical to the
+  // pre-split monolithic decide(): the only reordering is that the two
+  // perception publishes and the engine's map-change note now happen
+  // together (after the bridge) instead of interleaved with the kernels —
+  // unobservable, because publish() only enqueues a value copy (delivery
+  // stays in spinAll, in the same pc -> map -> trajectory order), the
+  // bridge never reads the engine, and the kernels never read the bus.
+  const auto traj_positions = follower_.trajectory().positions();
+  const PerceptionOutcome perception =
+      integrateSweep(frame, position, policy, traj_positions, goal_override_.has_value());
+  publishPerception(perception);
+  return planStage(perception, position, policy, runtime_latency, nullptr);
+}
 
+PerceptionOutcome NavigationPipeline::integrateSweep(const sim::SensorFrame& frame,
+                                                     const Vec3& position,
+                                                     const core::PipelinePolicy& policy,
+                                                     std::span<const geom::Vec3> traj_positions,
+                                                     bool recovery_inflation) {
+  PerceptionOutcome out;
   const auto& p_perc = policy.stage(Stage::Perception);
   const auto& p_bridge = policy.stage(Stage::PerceptionToPlanning);
-  const auto& p_plan = policy.stage(Stage::Planning);
 
   // --- Perception: point cloud kernel + precision operator ---
   const auto raw_cloud = perception::fromSensorFrame(frame);
-  const auto ds = perception::downsample(raw_cloud, p_perc.precision);
+  auto ds = perception::downsample(raw_cloud, p_perc.precision);
   out.latencies.point_cloud = latency_model_.pointCloud(frame.rayCount());
   out.latencies.comm_point_cloud = config_.comm.cost(perception::byteSizeOf(ds.cloud));
-  pc_pub_.publish(ds.cloud);
 
   // --- Perception: OctoMap kernel (precision + volume operators) ---
   perception::OctomapInsertParams ins;
   ins.precision = p_perc.precision;
   ins.volume_budget = std::max(p_perc.volume, 1.0);
-  const auto traj_positions = follower_.trajectory().positions();
   out.octomap_report = perception::insertPointCloud(*octree_, ds.cloud, ins, traj_positions);
   out.latencies.octomap = latency_model_.octomap(out.octomap_report.ray_steps);
-  // Feed the governor core's incremental profiler the same dirty region the
-  // incremental planner consumes: everything this sweep may have changed.
-  if (engine_) engine_->noteMapChanged(out.octomap_report.touched, engine_client_);
 
   // --- Perception-to-planning bridge (precision + volume operators) ---
   perception::BridgeParams bp;
@@ -144,7 +155,8 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
   // Recovery replans (goal override) shave the inflation down to just above
   // the airframe radius: the drone must always be able to re-plan the path
   // it physically flew, or backtracking out of dead ends is impossible.
-  if (goal_override_) bp.inflation = 0.45;
+  // (Passed in as a flag: the async worker must not read goal_override_.)
+  if (recovery_inflation) bp.inflation = 0.45;
   // Hand the bridge this epoch's octree delta and the previous epoch's cull
   // inputs so the built map carries a bounded dirty region (consumed by the
   // incremental planner; inert in the other modes).
@@ -157,12 +169,36 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
   out.bridge_report = bridge.report;
   out.latencies.bridge = latency_model_.bridge(bridge.report.nodes);
   out.latencies.comm_map = config_.comm.cost(perception::byteSizeOf(bridge.msg));
-  map_pub_.publish(bridge.msg);
-  const perception::PlannerMap& planner_map = bridge.msg.map;
-  // This epoch's map change joins the pending dirty set whether or not a
-  // replan triggers below — the incremental planner must see every change
+  out.cloud = std::move(ds.cloud);
+  out.map_msg = std::move(bridge.msg);
+  return out;
+}
+
+void NavigationPipeline::publishPerception(const PerceptionOutcome& perception) {
+  pc_pub_.publish(perception.cloud);
+  // Feed the governor core's incremental profiler the same dirty region the
+  // incremental planner consumes: everything this sweep may have changed.
+  if (engine_) engine_->noteMapChanged(perception.octomap_report.touched, engine_client_);
+  map_pub_.publish(perception.map_msg);
+  // This sweep's map change joins the pending dirty set whether or not the
+  // next plan stage replans — the incremental planner must see every change
   // since it last ran, not just the final epoch's.
-  pending_plan_dirty_.merge(planner_map.dirtyBounds());
+  pending_plan_dirty_.merge(perception.map_msg.map.dirtyBounds());
+}
+
+DecisionOutcome NavigationPipeline::planStage(const PerceptionOutcome& perception,
+                                              const Vec3& position,
+                                              const core::PipelinePolicy& policy,
+                                              double runtime_latency,
+                                              const planning::AStarPrewarmHint* hint) {
+  DecisionOutcome out;
+  out.latencies = perception.latencies;
+  out.latencies.runtime = runtime_latency;
+  out.octomap_report = perception.octomap_report;
+  out.bridge_report = perception.bridge_report;
+
+  const auto& p_plan = policy.stage(Stage::Planning);
+  const perception::PlannerMap& planner_map = perception.map_msg.map;
 
   // --- Planning: replan check, planner (RRT* or pooled A*), smoothing ---
   std::size_t monitor_steps = 0;
@@ -222,7 +258,7 @@ DecisionOutcome NavigationPipeline::decide(const sim::SensorFrame& frame, const 
       planning::AStarResult astar;
       if (config_.planner_mode == PlannerMode::AStarIncremental) {
         astar = astar_incremental_.plan(planner_map, position, local_goal, ap,
-                                        pending_plan_dirty_);
+                                        pending_plan_dirty_, hint);
         pending_plan_dirty_ = geom::Aabb::empty();  // consumed by this plan()
       } else {
         astar = planning::planPathAStar(planner_map, position, local_goal, ap,

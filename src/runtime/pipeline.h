@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <string>
 
 #include "control/follower.h"
 #include "core/decision_engine.h"
@@ -41,6 +42,34 @@ namespace roborun::runtime {
 /// provably cannot have affected (planning/astar.h).
 enum class PlannerMode { RrtStar, AStar, AStarIncremental };
 
+/// How the mission runner schedules the pipeline's stages within an epoch.
+///
+/// Sync is the frozen reference: every stage of epoch N runs to completion
+/// on the calling thread before the interval is flown — mission results are
+/// byte-identical to the pre-pipelining loop (tests/reference_mission.h,
+/// enforced by pipeline_equivalence_test and bench_mission_latency's
+/// anchor check). Async overlaps the expensive perception work (octree ray
+/// integration + bridge rebuild) of sweep N with the governing, planning
+/// and flying of the decision interval, double-buffered by epoch parity:
+/// the governor still sees the map through sweep N-1 (exactly what sync's
+/// govern sees — insertion happens after governing either way) and the
+/// planner consumes the newest *published* map snapshot, which is at most
+/// one sweep stale (runtime/epoch_executor.h). Async missions satisfy the
+/// same safety invariants and are deterministic run-to-run, but their
+/// records are NOT byte-comparable to sync's (planning inputs lag a sweep).
+enum class ExecutionMode { Sync, Async };
+
+inline const char* executionModeName(ExecutionMode m) {
+  return m == ExecutionMode::Sync ? "sync" : "async";
+}
+
+inline bool parseExecutionMode(const std::string& name, ExecutionMode& out) {
+  if (name == "sync") out = ExecutionMode::Sync;
+  else if (name == "async") out = ExecutionMode::Async;
+  else return false;
+  return true;
+}
+
 struct PipelineConfig {
   double v_max = 3.2;              ///< m/s; design velocity cap (smoother profile)
   double a_max = 4.0;              ///< m/s^2
@@ -53,6 +82,10 @@ struct PipelineConfig {
   std::size_t rrt_max_iterations = 3000;
   double rrt_step = 4.0;           ///< m
   PlannerMode planner_mode = PlannerMode::RrtStar;  ///< design knob (see enum)
+  /// Stage scheduling within each mission epoch (see enum). Sync (default)
+  /// is the byte-identical reference; Async overlaps perception with
+  /// planning/flying for lower wall time and decision latency.
+  ExecutionMode execution = ExecutionMode::Sync;
   double astar_goal_tolerance = 3.0;      ///< m; A*-mode goal acceptance
   std::size_t astar_max_expansions = 200000;
   sim::LatencyConfig latency;
@@ -67,6 +100,22 @@ struct PipelineConfig {
   /// pipeline's private arena. The incremental A* cache stays per-pipeline
   /// either way (it persists search state tied to this pipeline's map).
   planning::PlannerArena* shared_arena = nullptr;
+};
+
+/// Everything one sensor sweep's perception half produces: the modeled
+/// stage latencies for the perception stages, the kernels' work reports,
+/// and the two messages the sweep publishes (downsampled cloud + planner
+/// map). Built by NavigationPipeline::integrateSweep — on the calling
+/// thread in sync mode, on the epoch executor's worker in async mode —
+/// and handed back to the pipeline via publishPerception + planStage.
+struct PerceptionOutcome {
+  /// Only the perception fields are populated: point_cloud, octomap,
+  /// bridge, comm_point_cloud, comm_map. planStage fills the rest.
+  StageLatencies latencies;
+  perception::OctomapInsertReport octomap_report;
+  perception::BridgeReport bridge_report;
+  perception::PointCloud cloud;        ///< downsampled; for "/sensor/points"
+  perception::PlannerMapMsg map_msg;   ///< the bridge's output ("/map/planner")
 };
 
 struct DecisionOutcome {
@@ -93,9 +142,53 @@ class NavigationPipeline {
   ~NavigationPipeline();
 
   /// Execute one decision with the given policy. `runtime_latency` is the
-  /// governor's own cost (charged to the runtime stage).
+  /// governor's own cost (charged to the runtime stage). Composed of the
+  /// three stage methods below (integrateSweep -> publishPerception ->
+  /// planStage) — the composition is byte-identical to the pre-split
+  /// monolithic decide() and IS the sync execution mode.
   DecisionOutcome decide(const sim::SensorFrame& frame, const geom::Vec3& position,
                          const core::PipelinePolicy& policy, double runtime_latency);
+
+  // --- Stage methods (the async executor drives these individually) ---
+
+  /// Perception half of a decision: downsample the sweep, integrate it into
+  /// the octree, rebuild the planner map through the bridge. Mutates ONLY
+  /// the world-model state (octree_ + bridge_delta_) — no publishing, no
+  /// engine notes, no RNG — so the epoch executor may run it on its worker
+  /// thread while the calling thread governs/plans/flies on the previously
+  /// published snapshot. `traj_positions` is the planned path to prioritize
+  /// (captured by the caller; sync passes the live trajectory) and
+  /// `recovery_inflation` is goal_override_.has_value() captured at the
+  /// same instant (the worker must not read goal_override_ — the mission
+  /// runner writes it concurrently).
+  PerceptionOutcome integrateSweep(const sim::SensorFrame& frame, const geom::Vec3& position,
+                                   const core::PipelinePolicy& policy,
+                                   std::span<const geom::Vec3> traj_positions,
+                                   bool recovery_inflation);
+
+  /// Publish a sweep's outputs into this pipeline's side effects: the two
+  /// topic messages, the engine's map-change note, and the pending dirty
+  /// region the incremental planner consumes. Caller's thread only — this
+  /// is the moment an integrated sweep becomes visible to governing and
+  /// planning (async calls it when it consumes a snapshot; sync right after
+  /// integrateSweep).
+  void publishPerception(const PerceptionOutcome& perception);
+
+  /// Planning half of a decision: replan check against `perception`'s map,
+  /// plan + smooth if needed, charge planning/comm latencies, deliver the
+  /// bus. Copies `perception`'s latencies/reports into the returned
+  /// outcome so one DecisionOutcome per epoch keeps its sync shape. `hint`
+  /// (nullable) is a pre-computed dirty-region verdict for the incremental
+  /// A* planner — results are bit-identical with or without it (see
+  /// planning/astar.h); only AStarIncremental mode consults it.
+  DecisionOutcome planStage(const PerceptionOutcome& perception, const geom::Vec3& position,
+                            const core::PipelinePolicy& policy, double runtime_latency,
+                            const planning::AStarPrewarmHint* hint);
+
+  /// Snapshot the incremental planner's consulted-region summary (for the
+  /// async executor's prewarm: evaluated off-thread against the dirty
+  /// bounds of the sweep being integrated). Calling thread only.
+  planning::AStarPrewarmProbe prewarmProbe() const { return astar_incremental_.prewarmProbe(); }
 
   /// Install the shared decision engine this pipeline governs through.
   /// The pipeline acquires its own profiling client key from the engine

@@ -67,6 +67,16 @@ void pushCase(std::vector<MissionCase>& out, const ScenarioSpec& spec,
   faults.spike_mag = std::max(1.0, spec.param("fault_spike_mag", faults.spike_mag));
   faults.poison_epoch =
       static_cast<int>(spec.param("fault_poison_epoch", faults.poison_epoch));
+  // The intra-mission execution knob rides along the same way: any catalog
+  // line can flip a scenario onto the pipelined executor (pipeline_async=1)
+  // or pin it back to the sync anchor (pipeline_async=0) regardless of the
+  // fleet-wide --pipeline default the base config carries.
+  const bool base_async =
+      config.pipeline.execution == runtime::ExecutionMode::Async;
+  config.pipeline.execution =
+      spec.param("pipeline_async", base_async ? 1.0 : 0.0) != 0.0
+          ? runtime::ExecutionMode::Async
+          : runtime::ExecutionMode::Sync;
   auto add = [&](runtime::DesignType design, const char* suffix) {
     MissionCase c;
     c.scenario = spec.displayName();
@@ -269,6 +279,9 @@ void printFamilies(std::ostream& os) {
   os << "  shared fault dials (every family): fault_blackout_rate fault_blackout_len\n"
         "    fault_blackout_visibility fault_dropout fault_spike_rate fault_spike_mag\n"
         "    fault_poison_epoch  (deterministic injection; see sim/fault_plan.h)\n";
+  os << "  shared pipeline dial (every family): pipeline_async=0|1 — run the\n"
+        "    scenario's missions under the intra-mission pipelined executor\n"
+        "    instead of the sync anchor (see runtime/pipeline.h)\n";
   os << "catalog file grammar: scenario <family> [key=value]...  "
         "(see src/scenario/catalog_file.h)\n";
 }
@@ -334,7 +347,8 @@ std::string describeCase(const MissionCase& c) {
       os << ' ';
       putBits(os, v);
     }
-    os << " seed=" << e.seed << "\n cfg seed=" << c.config.seed << " sensor";
+    os << " seed=" << e.seed << "\n cfg seed=" << c.config.seed << " pipeline="
+       << runtime::executionModeName(c.config.pipeline.execution) << " sensor";
     for (const double v : {c.config.sensor.range, c.config.sensor.weather_visibility}) {
       os << ' ';
       putBits(os, v);

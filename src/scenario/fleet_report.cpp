@@ -47,8 +47,13 @@ std::string jsonEscape(const std::string& s) {
 void writeFleetJson(std::ostream& os, const FleetResult& result,
                     const std::string& catalog_label) {
   os << "{\n";
-  os << "  \"schema\": \"roborun-fleet-v2\",\n";
+  os << "  \"schema\": \"roborun-fleet-v3\",\n";
   os << "  \"catalog\": \"" << jsonEscape(catalog_label) << "\",\n";
+  // The intra-mission execution mode is a deterministic, result-shaping
+  // config (unlike --threads/--mode, which this document must be invariant
+  // to), so it belongs in the replayable report: the base mode here, each
+  // case's effective mode on its row (the pipeline_async dial can differ).
+  os << "  \"pipeline\": \"" << runtime::executionModeName(result.pipeline) << "\",\n";
   os << "  \"scenarios\": " << result.shards.size() << ",\n";
   os << "  \"missions\": " << result.rows.size() << ",\n";
   os << "  \"shards\": [\n";
@@ -78,6 +83,8 @@ void writeFleetJson(std::ostream& os, const FleetResult& result,
        << "\", \"env\": \"" << c.env.label() << "\", \"design\": \""
        << runtime::designName(c.design) << "\", \"mission_seed\": " << c.config.seed
        << ", \"movers\": " << c.config.dynamic_obstacles.size()
+       << ", \"pipeline\": \"" << runtime::executionModeName(c.config.pipeline.execution)
+       << "\""
        << ", \"status\": \"" << runtime::missionStatusName(r.status) << "\""
        << ", \"reached_goal\": " << (r.reached_goal() ? "true" : "false")
        << ", \"collided\": " << (r.collided() ? "true" : "false")
@@ -127,6 +134,7 @@ void writeFleetBenchJson(std::ostream& os, const FleetResult& result,
   os << "  \"catalog\": \"" << jsonEscape(catalog_label) << "\",\n";
   os << "  \"threads\": " << result.threads << ",\n";
   os << "  \"mode\": \"" << dispatchModeName(result.mode) << "\",\n";
+  os << "  \"pipeline\": \"" << runtime::executionModeName(result.pipeline) << "\",\n";
   os << "  \"scenarios\": " << result.shards.size() << ",\n";
   os << "  \"missions\": " << result.rows.size() << ",\n";
   os << "  \"wall_s\": " << jsonNumber(result.wall_s) << ",\n";

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cstring>
 #include <exception>
 #include <memory>
 #include <thread>
@@ -14,57 +13,6 @@
 
 namespace roborun::scenario {
 
-namespace {
-
-bool bitEqual(double a, double b) { return std::memcmp(&a, &b, sizeof(double)) == 0; }
-
-bool recordsIdentical(const runtime::DecisionRecord& a, const runtime::DecisionRecord& b) {
-  if (!bitEqual(a.t, b.t) || !bitEqual(a.position.x, b.position.x) ||
-      !bitEqual(a.position.y, b.position.y) || !bitEqual(a.position.z, b.position.z) ||
-      a.zone != b.zone || !bitEqual(a.velocity, b.velocity) ||
-      !bitEqual(a.commanded_velocity, b.commanded_velocity) ||
-      !bitEqual(a.visibility, b.visibility) ||
-      !bitEqual(a.known_free_horizon, b.known_free_horizon) ||
-      !bitEqual(a.deadline, b.deadline))
-    return false;
-  const runtime::StageLatencies& la = a.latencies;
-  const runtime::StageLatencies& lb = b.latencies;
-  if (!bitEqual(la.runtime, lb.runtime) || !bitEqual(la.point_cloud, lb.point_cloud) ||
-      !bitEqual(la.octomap, lb.octomap) || !bitEqual(la.bridge, lb.bridge) ||
-      !bitEqual(la.planning, lb.planning) || !bitEqual(la.smoothing, lb.smoothing) ||
-      !bitEqual(la.comm_point_cloud, lb.comm_point_cloud) ||
-      !bitEqual(la.comm_map, lb.comm_map) ||
-      !bitEqual(la.comm_trajectory, lb.comm_trajectory))
-    return false;
-  for (std::size_t s = 0; s < core::kNumStages; ++s)
-    if (!bitEqual(a.policy.stages[s].precision, b.policy.stages[s].precision) ||
-        !bitEqual(a.policy.stages[s].volume, b.policy.stages[s].volume))
-      return false;
-  if (!bitEqual(a.policy.deadline, b.policy.deadline) ||
-      !bitEqual(a.policy.predicted_latency, b.policy.predicted_latency))
-    return false;
-  return a.replanned == b.replanned && a.plan_failed == b.plan_failed &&
-         a.budget_met == b.budget_met && bitEqual(a.cpu_utilization, b.cpu_utilization);
-}
-
-bool missionResultsIdentical(const runtime::MissionResult& a,
-                             const runtime::MissionResult& b) {
-  if (a.status != b.status || a.fault_blackouts != b.fault_blackouts ||
-      a.fault_spikes != b.fault_spikes ||
-      !bitEqual(a.mission_time, b.mission_time) ||
-      !bitEqual(a.flight_energy, b.flight_energy) ||
-      !bitEqual(a.compute_energy, b.compute_energy) ||
-      !bitEqual(a.battery_soc, b.battery_soc) ||
-      !bitEqual(a.distance_traveled, b.distance_traveled) ||
-      a.records.size() != b.records.size())
-    return false;
-  for (std::size_t i = 0; i < a.records.size(); ++i)
-    if (!recordsIdentical(a.records[i], b.records[i])) return false;
-  return true;
-}
-
-}  // namespace
-
 bool fleetResultsIdentical(const FleetResult& a, const FleetResult& b) {
   if (a.cases.size() != b.cases.size() || a.rows.size() != b.rows.size()) return false;
   if (describeCases(a.cases) != describeCases(b.cases)) return false;
@@ -72,7 +20,11 @@ bool fleetResultsIdentical(const FleetResult& a, const FleetResult& b) {
     if (a.rows[i].error != b.rows[i].error ||
         a.rows[i].attempts != b.rows[i].attempts)
       return false;
-    if (!missionResultsIdentical(a.rows[i].result, b.rows[i].result)) return false;
+    // The per-result comparison lives with MissionResult itself
+    // (runtime::missionResultsIdentical) so the bench and the pipeline
+    // equivalence suites pin the exact same field set.
+    if (!runtime::missionResultsIdentical(a.rows[i].result, b.rows[i].result))
+      return false;
   }
   return true;
 }
@@ -126,6 +78,7 @@ FleetResult FleetScheduler::run() {
   out.cases = cases_;
   out.threads = config_.threads;
   out.mode = config_.mode;
+  out.pipeline = base_.pipeline.execution;
   out.rows.resize(cases_.size());
 
   // Shared governor core: calibrated once from the base config, pooled

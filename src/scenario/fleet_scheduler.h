@@ -119,6 +119,11 @@ struct FleetResult {
   std::vector<MissionCase> cases;      ///< the admitted expansion, in order
   std::vector<FleetRow> rows;          ///< by case index
   std::vector<ShardAggregate> shards;  ///< in scenario admission order
+  /// Base intra-mission execution mode (runtime/pipeline.h). Deterministic
+  /// — it changes mission numbers, unlike the dispatch shape — so the
+  /// report document carries it; individual cases may override it via the
+  /// shared `pipeline_async` catalog dial (their rows say so).
+  runtime::ExecutionMode pipeline = runtime::ExecutionMode::Sync;
   // --- measurements of this run (never deterministic) ---
   double wall_s = 0.0;
   double missions_per_sec = 0.0;

@@ -142,6 +142,35 @@ TEST(DeterminismTest, IncrementalAStarMissionRepeatsBitwise) {
   EXPECT_TRUE(resultsIdentical(first, second));
 }
 
+// The pipelined execution mode must honor the same replayability contract:
+// a worker thread integrating sweeps one epoch ahead is still a
+// deterministic schedule (the loop synchronizes on epoch boundaries, never
+// on wall time), so async re-runs must be bitwise identical — including
+// with the incremental planner's prewarm hints in play, which are
+// guaranteed bit-inert (planning/astar.h).
+TEST(DeterminismTest, AsyncPipelineRepeatsBitwise) {
+  const env::Environment environment = env::generateEnvironment(shortSpec(11));
+  runtime::MissionConfig config = runtime::smokeMissionConfig();
+  config.seed = 7;
+  config.pipeline.execution = runtime::ExecutionMode::Async;
+  const auto first = runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  const auto second = runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  ASSERT_GT(first.decisions(), 0u);
+  EXPECT_TRUE(resultsIdentical(first, second));
+}
+
+TEST(DeterminismTest, AsyncIncrementalAStarRepeatsBitwise) {
+  const env::Environment environment = env::generateEnvironment(shortSpec(11));
+  runtime::MissionConfig config = runtime::smokeMissionConfig();
+  config.seed = 7;
+  config.pipeline.execution = runtime::ExecutionMode::Async;
+  config.pipeline.planner_mode = runtime::PlannerMode::AStarIncremental;
+  const auto first = runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  const auto second = runtime::runMission(environment, runtime::DesignType::RoboRun, config);
+  ASSERT_GT(first.decisions(), 0u);
+  EXPECT_TRUE(resultsIdentical(first, second));
+}
+
 TEST(DeterminismTest, DifferentSeedsDiverge) {
   const runtime::MissionResult a = runOnce(runtime::DesignType::RoboRun, 11, 7);
   const runtime::MissionResult b = runOnce(runtime::DesignType::RoboRun, 12, 7);

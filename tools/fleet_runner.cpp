@@ -13,7 +13,8 @@
 //
 // Usage:
 //   fleet_runner [--catalog file] [--seed N] [--scale F] [--missions N]
-//                [--threads N] [--mode sync|async] [--config smoke|test|default]
+//                [--threads N] [--mode sync|async] [--pipeline sync|async]
+//                [--config smoke|test|default]
 //                [--retries N] [--no-share-engine] [--no-reuse-arenas]
 //                [--out results.json] [--bench-json perf.json]
 //                [--list-families] [--print-catalog] [--quiet]
@@ -52,6 +53,7 @@ struct Options {
   std::size_t missions = 2;  ///< built-in catalog cases per scenario
   unsigned threads = std::thread::hardware_concurrency();
   scenario::DispatchMode mode = scenario::DispatchMode::Async;
+  runtime::ExecutionMode pipeline = runtime::ExecutionMode::Sync;
   std::string config = "test";
   std::size_t retries = 1;
   bool share_engine = true;
@@ -67,7 +69,7 @@ struct Options {
 
 void usage(std::ostream& os) {
   os << "usage: fleet_runner [--catalog file] [--seed N] [--scale F] [--missions N]\n"
-        "                    [--threads N] [--mode sync|async]\n"
+        "                    [--threads N] [--mode sync|async] [--pipeline sync|async]\n"
         "                    [--config smoke|test|default] [--retries N]\n"
         "                    [--no-share-engine] [--no-reuse-arenas]\n"
         "                    [--out results.json] [--bench-json perf.json]\n"
@@ -80,6 +82,13 @@ void usage(std::ostream& os) {
         "A case that crashes or trips the wall-clock watchdog gets --retries\n"
         "extra attempts (default 1) before landing in the report's failures\n"
         "array; the exit code is the failure count (capped at 100).\n"
+        "\n"
+        "--mode picks the FLEET dispatch shape (how missions are scheduled\n"
+        "across workers); --pipeline picks the INTRA-MISSION execution mode:\n"
+        "sync (the bitwise-replayable anchor, default) or async (the\n"
+        "pipelined executor — deterministic, but its mission numbers differ\n"
+        "from sync, so the --out document carries the mode). A catalog line\n"
+        "can override per scenario with the shared pipeline_async dial.\n"
         "\n"
         "--store DIR enables the content-addressed mission result store: each\n"
         "case is looked up by its exact describeCases() bit pattern before\n"
@@ -149,6 +158,12 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       const char* v = next("--mode");
       if (v == nullptr || !scenario::parseDispatchMode(v, opts.mode)) {
         std::cerr << "fleet_runner: --mode must be sync or async\n";
+        return false;
+      }
+    } else if (arg == "--pipeline") {
+      const char* v = next("--pipeline");
+      if (v == nullptr || !runtime::parseExecutionMode(v, opts.pipeline)) {
+        std::cerr << "fleet_runner: --pipeline must be sync or async\n";
         return false;
       }
     } else if (arg == "--config") {
@@ -246,6 +261,7 @@ int main(int argc, char** argv) {
                                     ? runtime::defaultMissionConfig()
                                     : (opts.config == "smoke" ? runtime::smokeMissionConfig()
                                                               : runtime::testMissionConfig());
+  base.pipeline.execution = opts.pipeline;
 
   scenario::FleetConfig fleet_config;
   fleet_config.threads = opts.threads;
@@ -279,7 +295,8 @@ int main(int argc, char** argv) {
   if (!opts.quiet) {
     std::cerr << "fleet_runner: " << scheduler.cases().size() << " missions from "
               << admitted << " scenarios (" << catalog_label << ") on " << opts.threads
-              << " thread(s), " << scenario::dispatchModeName(opts.mode) << " dispatch\n";
+              << " thread(s), " << scenario::dispatchModeName(opts.mode) << " dispatch, "
+              << runtime::executionModeName(opts.pipeline) << " pipeline\n";
   }
 
   const scenario::FleetResult result = scheduler.run();

@@ -8,6 +8,7 @@
 //     --seed <n>                          (default: 1)
 //     --weather <m>                       ambient visibility cap (default: clear)
 //     --vmax <m/s>                        RoboRun velocity cap (default: 3.2)
+//     --pipeline sync|async               intra-mission execution mode (default: sync)
 //     --quick                             reduced sensor/planner fidelity
 //     --csv <path>                        per-decision records as CSV
 //     --trace <path>                      full mission trace (trace_inspect format)
@@ -44,6 +45,7 @@ struct CliOptions {
   env::EnvSpec spec;
   double weather = 1e9;
   double vmax = 3.2;
+  runtime::ExecutionMode pipeline = runtime::ExecutionMode::Sync;
   bool quick = false;
   std::optional<std::string> csv_path;
   std::optional<std::string> trace_path;
@@ -61,6 +63,9 @@ void usage(std::ostream& os) {
         "  --seed <n>                       environment seed (default: 1)\n"
         "  --weather <m>                    ambient visibility cap (default: clear)\n"
         "  --vmax <m/s>                     RoboRun velocity cap (default: 3.2)\n"
+        "  --pipeline sync|async            intra-mission execution mode: sync is the\n"
+        "                                   bitwise-replayable anchor, async overlaps\n"
+        "                                   map integration with planning (default: sync)\n"
         "  --quick                          reduced sensor/planner fidelity\n"
         "  --csv <path>                     per-decision records as CSV\n"
         "  --trace <path>                   full mission trace (trace_inspect format)\n"
@@ -140,6 +145,13 @@ bool parseArgs(int argc, char** argv, CliOptions& opt) {
       if (!nextNumber(opt.weather)) return false;
     } else if (arg == "--vmax") {
       if (!nextNumber(opt.vmax)) return false;
+    } else if (arg == "--pipeline") {
+      const char* v = next();
+      if (!v) return false;
+      if (!runtime::parseExecutionMode(v, opt.pipeline)) {
+        std::cerr << "--pipeline must be sync or async, got '" << v << "'\n";
+        return false;
+      }
     } else if (arg == "--quick") {
       opt.quick = true;
     } else if (arg == "--csv") {
@@ -203,6 +215,7 @@ int main(int argc, char** argv) {
   auto config = opt.quick ? runtime::testMissionConfig() : runtime::defaultMissionConfig();
   config.sensor.weather_visibility = opt.weather;
   config.v_max_dynamic = opt.vmax;
+  config.pipeline.execution = opt.pipeline;
   if (opt.battery_kj) {
     config.enforce_battery = true;
     config.battery.capacity = *opt.battery_kj * 1e3;

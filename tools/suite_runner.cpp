@@ -26,7 +26,8 @@
 // Usage:
 //   suite_runner [--grid smoke|small|paper] [--max-envs N] [--seeds N]
 //                [--design both|roborun|baseline] [--config smoke|test|default]
-//                [--threads N] [--out results.json] [--bench-json perf.json]
+//                [--pipeline sync|async] [--threads N]
+//                [--out results.json] [--bench-json perf.json]
 //                [--quiet]
 
 #include <algorithm>
@@ -55,6 +56,7 @@ struct Options {
   std::size_t seeds = 2;
   std::string design = "both";
   std::string config = "test";
+  runtime::ExecutionMode pipeline = runtime::ExecutionMode::Sync;
   unsigned threads = std::thread::hardware_concurrency();
   std::string out_path;
   std::string bench_json_path;
@@ -76,10 +78,14 @@ struct Row {
 void usage(std::ostream& os) {
   os << "usage: suite_runner [--grid smoke|small|paper] [--max-envs N] [--seeds N]\n"
         "                    [--design both|roborun|baseline] [--config smoke|test|default]\n"
-        "                    [--threads N] [--out results.json] [--bench-json perf.json]\n"
+        "                    [--pipeline sync|async] [--threads N]\n"
+        "                    [--out results.json] [--bench-json perf.json]\n"
         "                    [--quiet]\n"
         "  --seeds 0 expands the grid but runs no missions (config dry-run: the\n"
-        "  JSON reports come out with zero rows and zeroed aggregates).\n";
+        "  JSON reports come out with zero rows and zeroed aggregates).\n"
+        "  --pipeline selects the intra-mission execution mode: sync (the\n"
+        "  bitwise-replayable anchor, default) or async (the pipelined\n"
+        "  executor; deterministic, but its numbers differ from sync).\n";
 }
 
 /// Strict decimal parse with failure reporting. Deliberately not std::stoul:
@@ -134,6 +140,14 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       const char* v = next("--config");
       if (v == nullptr) return false;
       opts.config = v;
+    } else if (arg == "--pipeline") {
+      const char* v = next("--pipeline");
+      if (v == nullptr) return false;
+      if (!runtime::parseExecutionMode(v, opts.pipeline)) {
+        std::cerr << "suite_runner: --pipeline must be sync or async, got '" << v << "'\n";
+        usage(std::cerr);
+        return false;
+      }
     } else if (arg == "--threads") {
       const char* v = next("--threads");
       std::size_t threads = 0;
@@ -310,6 +324,7 @@ void writeJson(std::ostream& os, const Options& opts, const std::vector<Row>& ro
   os << "{\n";
   os << "  \"grid\": \"" << opts.grid << "\",\n";
   os << "  \"config\": \"" << opts.config << "\",\n";
+  os << "  \"pipeline\": \"" << runtime::executionModeName(opts.pipeline) << "\",\n";
   os << "  \"missions\": " << rows.size() << ",\n";
   os << "  \"aggregate\": {\n";
   os << "    \"reached_goal\": " << reached << ",\n";
@@ -358,6 +373,7 @@ void writeBenchJson(std::ostream& os, const Options& opts, const std::vector<Row
   os << "  \"schema\": \"roborun-mission-perf-v1\",\n";
   os << "  \"grid\": \"" << opts.grid << "\",\n";
   os << "  \"config\": \"" << opts.config << "\",\n";
+  os << "  \"pipeline\": \"" << runtime::executionModeName(opts.pipeline) << "\",\n";
   os << "  \"threads\": " << opts.threads << ",\n";
   os << "  \"missions\": " << rows.size() << ",\n";
   writeTimingObject(os, timing, "  ");
@@ -377,6 +393,7 @@ int main(int argc, char** argv) {
                                            : (opts.config == "smoke"
                                                   ? runtime::smokeMissionConfig()
                                                   : runtime::testMissionConfig());
+  base_config.pipeline.execution = opts.pipeline;
 
   std::vector<Job> jobs;
   for (const env::EnvSpec& spec : specs) {
