@@ -320,11 +320,18 @@ GovernorDecision DecisionEngine::decideCore(const SpaceProfile& profile,
   const auto t0 = timed ? Clock::now() : Clock::time_point{};
 
   GovernorDecision decision;
+  const std::size_t obs_budget = config_.spans
+                                     ? config_.spans->begin(obs::Stage::Govern, "budget")
+                                     : obs::SpanRecorder::kNoSpan;
   decision.budget = budgeter_.globalBudget(profile.waypoints);
+  if (config_.spans) config_.spans->end(obs_budget);
   const auto t1 = timed ? Clock::now() : Clock::time_point{};
 
   SolverResult result;
   memo_hit = false;
+  const std::size_t obs_solve = config_.spans
+                                    ? config_.spans->begin(obs::Stage::Govern, "solve")
+                                    : obs::SpanRecorder::kNoSpan;
   if (has_strategy_.load(std::memory_order_acquire)) {
     // Strategies may carry cross-decision state, so they serialize here;
     // the fleet-shared shape never takes this branch (Exhaustive-only).
@@ -340,6 +347,7 @@ GovernorDecision DecisionEngine::decideCore(const SpaceProfile& profile,
     // skips the waypoint-vector copy the SolverInputs interface forces.
     result = solveMemoized(decision.budget, profile, memo_hit);
   }
+  if (config_.spans) config_.spans->end(obs_solve);
   const auto t2 = timed ? Clock::now() : Clock::time_point{};
 
   decision.policy = result.policy;
@@ -395,6 +403,7 @@ EngineDecision DecisionEngine::decideFromSensors(const sim::SensorFrame& frame,
 
   EngineDecision out;
   {
+    obs::ScopedSpan obs_profile(config_.spans, obs::Stage::Govern, "profile");
     const std::shared_ptr<ClientState> state = clientState(client);
     std::lock_guard lock(state->mutex);
     out.profile = profileForClient(*state, frame, map, trajectory, position, velocity,
@@ -664,6 +673,26 @@ void DecisionEngine::recordTiming(const DecisionTiming& timing) {
 DecisionTiming DecisionEngine::lastTiming() const {
   std::lock_guard lock(timing_mutex_);
   return last_timing_;
+}
+
+void exportStats(const EngineStats& stats, obs::MetricsRegistry& registry,
+                 std::string_view prefix) {
+  auto name = [&](const char* field) {
+    std::string s(prefix);
+    s += '.';
+    s += field;
+    return s;
+  };
+  registry.counter(name("decisions")).add(stats.decisions);
+  registry.counter(name("solver_memo_hits")).add(stats.solver_memo_hits);
+  registry.counter(name("solver_memo_misses")).add(stats.solver_memo_misses);
+  registry.counter(name("strategy_decisions")).add(stats.strategy_decisions);
+  registry.counter(name("profile_builds")).add(stats.profile_builds);
+  registry.counter(name("profile_reuses")).add(stats.profile_reuses);
+  registry.gauge(name("profile_wall_ms")).set(stats.profile_wall_ms);
+  registry.gauge(name("budget_wall_ms")).set(stats.budget_wall_ms);
+  registry.gauge(name("solve_wall_ms")).set(stats.solve_wall_ms);
+  registry.gauge(name("solver_memo_hit_rate")).set(stats.solverMemoHitRate());
 }
 
 }  // namespace roborun::core

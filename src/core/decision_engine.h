@@ -78,6 +78,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -89,6 +90,8 @@
 #include "core/strategies.h"
 #include "core/time_budgeter.h"
 #include "geom/aabb.h"
+#include "obs/metrics_registry.h"
+#include "obs/span_recorder.h"
 
 namespace roborun::sim {
 class LatencyModel;
@@ -142,6 +145,14 @@ struct EngineStats {
   }
 };
 
+/// Adapter into the observability spine: publish these counters into a
+/// MetricsRegistry under `<prefix>.<field>` (counters for the monotonic
+/// counts, gauges for the wall sums and the derived hit rate). This is how
+/// legacy stat structs flow into the one snapshot/delta API reports
+/// consume — see obs/metrics_registry.h.
+void exportStats(const EngineStats& stats, obs::MetricsRegistry& registry,
+                 std::string_view prefix = "engine");
+
 class DecisionEngine {
  public:
   /// Key of one profiling client (tenant) — see acquireClient(). Client 0
@@ -167,6 +178,11 @@ class DecisionEngine {
     /// Collect per-stage wall timing. Costs a few clock reads per decision;
     /// throughput benches may turn it off.
     bool collect_timing = true;
+    /// Span recorder for the governor sub-stages (Govern spans with detail
+    /// "profile" / "budget" / "solve"). Pure measurement channel — null
+    /// (the default) costs one branch per site and nothing else, and a
+    /// non-null recorder can never change a decision.
+    obs::SpanRecorder* spans = nullptr;
   };
 
   DecisionEngine(const Config& config, LatencyPredictor predictor);

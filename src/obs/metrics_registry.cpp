@@ -1,0 +1,173 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace roborun::obs {
+
+int Histogram::bucketIndex(double v) {
+  if (!(v >= kLo)) return 0;  // underflow; NaN lands here too, by the !>=
+  const double hi = kLo * std::pow(10.0, kDecades);
+  if (v >= hi) return kBuckets - 1;
+  const int ladder = static_cast<int>(std::floor(std::log10(v / kLo) *
+                                                 kBucketsPerDecade));
+  return std::clamp(ladder + 1, 1, kBuckets - 2);
+}
+
+double Histogram::bucketUpperEdge(int i) {
+  if (i <= 0) return kLo;
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return kLo * std::pow(10.0, static_cast<double>(i) /
+                                  static_cast<double>(kBucketsPerDecade));
+}
+
+void Histogram::record(double v) {
+  if (!(v == v)) v = 0.0;  // a NaN sample is a visible underflow, not UB
+  buckets_[bucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  double seen = min_.load(std::memory_order_relaxed);
+  while (v < seen &&
+         !min_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+double bucketPercentile(const std::vector<std::uint64_t>& buckets,
+                        std::uint64_t count, double p, double min_clamp,
+                        double max_clamp) {
+  if (count == 0) return 0.0;
+  // Nearest-rank: the smallest sample whose cumulative count covers p% of
+  // the multiset. Rank math is exact; only the VALUE is bucket-quantized.
+  const double want = std::ceil(p / 100.0 * static_cast<double>(count));
+  const std::uint64_t rank =
+      std::clamp<std::uint64_t>(static_cast<std::uint64_t>(want), 1, count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      const double edge =
+          i == 0 ? min_clamp : Histogram::bucketUpperEdge(static_cast<int>(i));
+      return std::clamp(edge, min_clamp, max_clamp);
+    }
+  }
+  return max_clamp;
+}
+
+double Histogram::percentile(double p) const {
+  const HistogramSummary s = summary();
+  return s.count == 0 ? 0.0
+                      : bucketPercentile(s.buckets, s.count, p, s.min, s.max);
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.buckets.resize(kBuckets);
+  for (int i = 0; i < kBuckets; ++i)
+    s.buckets[static_cast<std::size_t>(i)] =
+        buckets_[i].load(std::memory_order_relaxed);
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+  s.max = s.count == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+  s.p50 = bucketPercentile(s.buckets, s.count, 50.0, s.min, s.max);
+  s.p95 = bucketPercentile(s.buckets, s.count, 95.0, s.min, s.max);
+  s.p99 = bucketPercentile(s.buckets, s.count, 99.0, s.min, s.max);
+  return s;
+}
+
+std::uint64_t MetricsSnapshot::counterOr(std::string_view name,
+                                         std::uint64_t fallback) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? fallback : it->second;
+}
+
+double MetricsSnapshot::gaugeOr(std::string_view name, double fallback) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? fallback : it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    const std::uint64_t before = it == earlier.counters.end() ? 0 : it->second;
+    out.counters[name] = value >= before ? value - before : 0;
+  }
+  out.gauges = gauges;  // a gauge is a level, not a flow
+  for (const auto& [name, later] : histograms) {
+    const auto it = earlier.histograms.find(name);
+    HistogramSummary d;
+    d.buckets.resize(later.buckets.size());
+    std::uint64_t dcount = 0;
+    for (std::size_t i = 0; i < later.buckets.size(); ++i) {
+      const std::uint64_t before =
+          it != earlier.histograms.end() && i < it->second.buckets.size()
+              ? it->second.buckets[i]
+              : 0;
+      d.buckets[i] = later.buckets[i] >= before ? later.buckets[i] - before : 0;
+      dcount += d.buckets[i];
+    }
+    d.count = dcount;
+    d.sum = later.sum - (it == earlier.histograms.end() ? 0.0 : it->second.sum);
+    // The exact extrema of just the delta window were never stored; bucket
+    // edges are the honest bound (the later snapshot's max caps overflow).
+    d.min = 0.0;
+    d.max = later.max;
+    for (std::size_t i = 0; i < d.buckets.size(); ++i) {
+      if (d.buckets[i] == 0) continue;
+      d.min = i == 0 ? 0.0 : Histogram::bucketUpperEdge(static_cast<int>(i) - 1);
+      break;
+    }
+    for (std::size_t i = d.buckets.size(); i-- > 0;) {
+      if (d.buckets[i] == 0) continue;
+      if (i + 1 < d.buckets.size())
+        d.max = Histogram::bucketUpperEdge(static_cast<int>(i));
+      break;
+    }
+    d.p50 = bucketPercentile(d.buckets, d.count, 50.0, d.min, d.max);
+    d.p95 = bucketPercentile(d.buckets, d.count, 95.0, d.min, d.max);
+    d.p99 = bucketPercentile(d.buckets, d.count, 99.0, d.min, d.max);
+    out.histograms[name] = std::move(d);
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end())
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) s.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) s.histograms[name] = h->summary();
+  return s;
+}
+
+}  // namespace roborun::obs

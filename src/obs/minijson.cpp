@@ -1,0 +1,256 @@
+#include "obs/minijson.h"
+
+#include <charconv>
+#include <cstdint>
+
+namespace roborun::obs {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error) : text_(text), error_(error) {}
+
+  bool parseDocument(JsonValue& out) {
+    skipWs();
+    if (!parseValue(out, 0)) return false;
+    skipWs();
+    if (pos_ != text_.size()) return fail("trailing bytes after document");
+    return true;
+  }
+
+ private:
+  // Deep enough for every document we write; shallow enough that hostile
+  // input cannot blow the stack.
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const std::string& what) {
+    if (error_) *error_ = "json: " + what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool parseValue(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parseObject(out, depth);
+      case '[': return parseArray(out, depth);
+      case '"':
+        out.type = JsonValue::Type::String;
+        return parseString(out.string);
+      case 't':
+      case 'f': return parseBool(out);
+      case 'n': return parseNull(out);
+      default: return parseNumber(out);
+    }
+  }
+
+  bool parseLiteral(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word)
+      return fail("invalid literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parseBool(JsonValue& out) {
+    out.type = JsonValue::Type::Bool;
+    if (text_[pos_] == 't') {
+      out.boolean = true;
+      return parseLiteral("true");
+    }
+    out.boolean = false;
+    return parseLiteral("false");
+  }
+
+  bool parseNull(JsonValue& out) {
+    out.type = JsonValue::Type::Null;
+    return parseLiteral("null");
+  }
+
+  bool parseNumber(JsonValue& out) {
+    // from_chars is strict and locale-independent — the same contract as
+    // runtime::parseNumber, restated here because obs sits below runtime
+    // in the module layering.
+    const char* first = text_.data() + pos_;
+    const char* last = text_.data() + text_.size();
+    double value = 0.0;
+    const auto res = std::from_chars(first, last, value);
+    if (res.ec != std::errc() || res.ptr == first) return fail("invalid number");
+    pos_ += static_cast<std::size_t>(res.ptr - first);
+    out.type = JsonValue::Type::Number;
+    out.number = value;
+    return true;
+  }
+
+  void appendUtf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parseHex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint32_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      else return fail("invalid \\u escape");
+    }
+    pos_ += 4;
+    out = value;
+    return true;
+  }
+
+  bool parseString(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parseHex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow.
+            if (text_.substr(pos_, 2) != "\\u") return fail("lone high surrogate");
+            pos_ += 2;
+            std::uint32_t low = 0;
+            if (!parseHex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) return fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("lone low surrogate");
+          }
+          appendUtf8(out, cp);
+          break;
+        }
+        default: return fail("invalid escape");
+      }
+    }
+  }
+
+  bool parseArray(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    out.type = JsonValue::Type::Array;
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue element;
+      skipWs();
+      if (!parseValue(element, depth + 1)) return false;
+      out.array.push_back(std::move(element));
+      skipWs();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseObject(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    out.type = JsonValue::Type::Object;
+    skipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      std::string key;
+      if (!parseString(key)) return false;
+      skipWs();
+      if (pos_ >= text_.size() || text_[pos_++] != ':')
+        return fail("expected ':' after object key");
+      JsonValue value;
+      skipWs();
+      if (!parseValue(value, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skipWs();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type != Type::Object) return nullptr;
+  for (const auto& [name, value] : object)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+double JsonValue::numberAt(std::string_view key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v && v->type == Type::Number ? v->number : fallback;
+}
+
+std::string JsonValue::stringAt(std::string_view key, std::string fallback) const {
+  const JsonValue* v = find(key);
+  return v && v->type == Type::String ? v->string : fallback;
+}
+
+bool parseJson(std::string_view text, JsonValue& out, std::string* error) {
+  out = JsonValue{};
+  return Parser(text, error).parseDocument(out);
+}
+
+}  // namespace roborun::obs

@@ -1,0 +1,48 @@
+// A small recursive-descent JSON reader for the repo's OWN documents —
+// BENCH_PERF.json, the Chrome traces writeChromeTrace emits, bench JSON —
+// consumed by roborun_dash and the observability tests. It is a strict
+// reader (full RFC 8259 value grammar, locale-independent number parsing
+// via from_chars, \uXXXX escapes decoded to UTF-8) but a deliberately
+// plain DOM: every value is one variant-ish struct, object keys keep
+// insertion order, duplicate keys resolve to the first occurrence.
+//
+// This is a diagnostic-surface parser, not a hot path; it makes no
+// attempt at zero-copy. Like runtime/trace's CSV reader, it treats its
+// input as attacker-shaped bytes: any malformed document is a clean
+// `false` + error message, never UB (the ASan lane runs the suite that
+// feeds it garbage).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace roborun::obs {
+
+struct JsonValue {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member with this key, or nullptr (also nullptr when this value
+  /// is not an object) — lookups chain safely off missing sections.
+  const JsonValue* find(std::string_view key) const;
+
+  /// Member `key` as a number, or `fallback` when absent / not numeric.
+  double numberAt(std::string_view key, double fallback) const;
+
+  /// Member `key` as a string, or `fallback` when absent / not a string.
+  std::string stringAt(std::string_view key, std::string fallback) const;
+};
+
+/// Parse a complete JSON document (one value + optional trailing
+/// whitespace). Returns false and sets `error` (with a byte offset) on
+/// malformed input.
+bool parseJson(std::string_view text, JsonValue& out, std::string* error);
+
+}  // namespace roborun::obs

@@ -1,0 +1,161 @@
+#include "obs/span_recorder.h"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <ostream>
+
+#include "obs/json.h"
+#include "obs/minijson.h"
+
+namespace roborun::obs {
+
+namespace {
+
+constexpr const char* kStageNames[kStageCount] = {
+    "capture", "integrate", "publish", "govern", "plan",
+    "smooth",  "fly",       "store_lookup", "retry",
+};
+
+// Lane ids are process-wide (not per-recorder) so a thread keeps one
+// identity even when several recorders coexist (tests, tools tracing two
+// missions). Lane 0 is reserved as "never recorded".
+std::atomic<std::uint32_t> g_next_lane{1};
+
+thread_local std::uint32_t t_lane = 0;
+thread_local std::uint64_t t_epoch = 0;
+
+}  // namespace
+
+const char* stageName(Stage stage) {
+  const auto i = static_cast<std::size_t>(stage);
+  return i < kStageCount ? kStageNames[i] : "unknown";
+}
+
+bool parseStage(std::string_view name, Stage& out) {
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    if (name == kStageNames[i]) {
+      out = static_cast<Stage>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+struct SpanRecorder::Impl {
+  std::chrono::steady_clock::time_point origin;
+  mutable std::mutex mu;
+  std::vector<SpanRecord> spans;
+};
+
+SpanRecorder::SpanRecorder() : impl_(std::make_unique<Impl>()) {
+  impl_->origin = std::chrono::steady_clock::now();
+}
+
+SpanRecorder::~SpanRecorder() = default;
+
+void SpanRecorder::setEpoch(std::uint64_t epoch) { t_epoch = epoch; }
+
+std::uint64_t SpanRecorder::currentEpoch() { return t_epoch; }
+
+std::uint32_t SpanRecorder::currentLane() {
+  if (t_lane == 0) t_lane = g_next_lane.fetch_add(1, std::memory_order_relaxed);
+  return t_lane;
+}
+
+std::size_t SpanRecorder::begin(Stage stage, std::string detail) {
+  SpanRecord record;
+  record.stage = stage;
+  record.lane = currentLane();
+  record.epoch = t_epoch;
+  record.start_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - impl_->origin)
+                        .count();
+  record.end_ns = record.start_ns;
+  record.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->spans.push_back(std::move(record));
+  return impl_->spans.size() - 1;
+}
+
+void SpanRecorder::end(std::size_t id) {
+  const std::int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                  std::chrono::steady_clock::now() - impl_->origin)
+                                  .count();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (id < impl_->spans.size()) impl_->spans[id].end_ns = now_ns;
+}
+
+std::size_t SpanRecorder::spanCount() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->spans.size();
+}
+
+std::vector<SpanRecord> SpanRecorder::spans() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->spans;
+}
+
+void writeChromeTrace(std::ostream& os, const std::vector<SpanRecord>& spans) {
+  os << "{\n";
+  os << "  \"displayTimeUnit\": \"ms\",\n";
+  os << "  \"traceEvents\": [\n";
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    const SpanRecord& s = spans[i];
+    const double ts_us = static_cast<double>(s.start_ns) / 1e3;
+    const double dur_us = static_cast<double>(s.end_ns - s.start_ns) / 1e3;
+    os << "    {\"name\": \"" << stageName(s.stage)
+       << "\", \"cat\": \"roborun\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << s.lane
+       << ", \"ts\": " << jsonNumber(ts_us, 3) << ", \"dur\": " << jsonNumber(dur_us, 3)
+       << ", \"args\": {\"epoch\": " << s.epoch;
+    if (!s.detail.empty()) os << ", \"detail\": \"" << jsonEscape(s.detail) << "\"";
+    os << "}}" << (i + 1 < spans.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n";
+  os << "}\n";
+}
+
+bool readChromeTrace(std::string_view text, std::vector<SpanRecord>& out,
+                     std::string* error) {
+  JsonValue doc;
+  if (!parseJson(text, doc, error)) return false;
+  const JsonValue* events = doc.find("traceEvents");
+  if (!events || events->type != JsonValue::Type::Array) {
+    if (error) *error = "trace: missing traceEvents array";
+    return false;
+  }
+  out.clear();
+  out.reserve(events->array.size());
+  for (const JsonValue& ev : events->array) {
+    if (ev.type != JsonValue::Type::Object) {
+      if (error) *error = "trace: non-object event";
+      return false;
+    }
+    const JsonValue* name = ev.find("name");
+    Stage stage;
+    if (!name || name->type != JsonValue::Type::String ||
+        !parseStage(name->string, stage))
+      continue;  // counters / metadata / foreign events: not ours to reject
+    SpanRecord s;
+    s.stage = stage;
+    s.lane = static_cast<std::uint32_t>(ev.numberAt("tid", 0.0));
+    const double ts_us = ev.numberAt("ts", 0.0);
+    const double dur_us = ev.numberAt("dur", 0.0);
+    // Round, don't truncate: ts is written with 3 decimals (ns precision),
+    // and the nearest-double representation sits a hair either side.
+    s.start_ns = std::llround(ts_us * 1e3);
+    s.end_ns = s.start_ns + std::llround(dur_us * 1e3);
+    if (const JsonValue* args = ev.find("args");
+        args && args->type == JsonValue::Type::Object) {
+      s.epoch = static_cast<std::uint64_t>(args->numberAt("epoch", 0.0));
+      if (const JsonValue* detail = args->find("detail");
+          detail && detail->type == JsonValue::Type::String)
+        s.detail = detail->string;
+    }
+    out.push_back(std::move(s));
+  }
+  return true;
+}
+
+}  // namespace roborun::obs

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/span_recorder.h"
+
 namespace roborun::runtime {
 
 EpochExecutor::EpochExecutor(NavigationPipeline& pipeline)
@@ -71,6 +73,11 @@ void EpochExecutor::workerLoop() {
     Snapshot& slot = slots_[task.epoch % 2];
     std::exception_ptr error;
     try {
+      // Stamp this worker lane with the sweep's epoch so the integrate
+      // span integrateSweep records (and anything nested under it) says
+      // which sweep it served — the worker runs one epoch ahead of the
+      // main lane, which is exactly the overlap the trace should show.
+      if (pipeline_.config().spans) obs::SpanRecorder::setEpoch(task.epoch);
       slot.epoch = task.epoch;
       slot.perception = pipeline_.integrateSweep(task.frame, task.position, task.policy,
                                                  task.traj_positions, task.recovery_inflation);

@@ -87,6 +87,9 @@ MissionResult runMissionAsync(const env::Environment& environment, DesignType de
     engine_config.knobs = config.knobs;
     engine_config.budgeter = config.budgeter;
     engine_config.profiler = config.profiler;
+    // A private engine records its governor sub-spans (profile/budget/
+    // solve) into the same recorder the mission loop uses; null means off.
+    engine_config.spans = config.pipeline.spans;
     auto engine = core::DecisionEngine::calibrated(
         sim::LatencyModel(config.pipeline.latency), engine_config);
     engine->selectStrategy(config.solver_strategy);
@@ -113,6 +116,10 @@ MissionResult runMissionAsync(const env::Environment& environment, DesignType de
 
   const WallDeadline wall_deadline(config.max_wall_ms);
   const sim::FaultPlan fault_plan(config.seed, config.faults);
+  // Observability: null means off — no clocks, no atomics, one branch per
+  // site (the overhead contract). The recorder only ever observes; the
+  // tier2 byte-identity suite pins that results are unchanged by it.
+  obs::SpanRecorder* const spans = config.pipeline.spans;
 
   while (t < config.max_mission_time) {
     if (wall_deadline.expired()) {
@@ -120,6 +127,7 @@ MissionResult runMissionAsync(const env::Environment& environment, DesignType de
       break;
     }
     const std::size_t epoch = result.records.size();
+    if (spans) obs::SpanRecorder::setEpoch(epoch);
     const sim::FaultEpoch fault =
         fault_plan.active() ? fault_plan.at(epoch) : sim::FaultEpoch{};
     if (fault.poisoned)
@@ -129,6 +137,8 @@ MissionResult runMissionAsync(const env::Environment& environment, DesignType de
     const Vec3 vel = drone.state().velocity;
 
     // --- sense (overlapped with the worker finishing sweep N-1) ---
+    const std::size_t obs_capture =
+        spans ? spans->begin(obs::Stage::Capture) : obs::SpanRecorder::kNoSpan;
     double ambient = std::min(config.sensor.weather_visibility,
                               environment.spec.weatherVisibilityAt(pos.x));
     if (fault.blackout) {
@@ -140,16 +150,23 @@ MissionResult runMissionAsync(const env::Environment& environment, DesignType de
         sensor.capture(world, pos, dynamic.empty() ? nullptr : &dynamic);
     if (fault_plan.config().dropout > 0.0)
       frame = fault_plan.degradeFrame(frame, epoch);
+    if (spans) spans->end(obs_capture);
 
     // --- retire sweep N-1: await its integration and publish it, so the
     // governor (and this epoch's planning) see the map through N-1 ---
     if (executor.pending()) {
       snapshot = &executor.await();
+      // The publish span belongs to the sweep being published (N-1), not
+      // the epoch consuming it; restore the loop's epoch right after.
+      if (spans) obs::SpanRecorder::setEpoch(snapshot->epoch);
       pipeline.publishPerception(snapshot->perception);
+      if (spans) obs::SpanRecorder::setEpoch(epoch);
     }
 
     // --- profile + govern (identical inputs to the sync loop: the octree
     // holds sweeps 0..N-1 and the worker is idle until the next submit) ---
+    const std::size_t obs_govern =
+        spans ? spans->begin(obs::Stage::Govern) : obs::SpanRecorder::kNoSpan;
     const auto govern_start = std::chrono::steady_clock::now();
     core::SpaceProfile profile;
     core::GovernorDecision decision;
@@ -173,6 +190,7 @@ MissionResult runMissionAsync(const env::Environment& environment, DesignType de
     result.decision_wall_ms += std::chrono::duration<double, std::milli>(
                                    std::chrono::steady_clock::now() - govern_start)
                                    .count();
+    if (spans) spans->end(obs_govern);
 
     // --- hand sweep N to the worker, then decide on the published
     // snapshot while it integrates ---
@@ -260,6 +278,8 @@ MissionResult runMissionAsync(const env::Environment& environment, DesignType de
 
     // --- fly the decision interval (verbatim sync flight code; the worker
     // integrates sweep N underneath) ---
+    const std::size_t obs_fly =
+        spans ? spans->begin(obs::Stage::Fly) : obs::SpanRecorder::kNoSpan;
     const double period = std::max(latency, config.min_decision_period);
     double flown = 0.0;
     bool terminal = false;
@@ -332,6 +352,7 @@ MissionResult runMissionAsync(const env::Environment& environment, DesignType de
         terminal = true;
       }
     }
+    if (spans) spans->end(obs_fly);
     t += flown;
     if (terminal) break;
   }
@@ -388,6 +409,9 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
     engine_config.knobs = config.knobs;
     engine_config.budgeter = config.budgeter;
     engine_config.profiler = config.profiler;
+    // A private engine records its governor sub-spans (profile/budget/
+    // solve) into the same recorder the mission loop uses; null means off.
+    engine_config.spans = config.pipeline.spans;
     auto engine = core::DecisionEngine::calibrated(
         sim::LatencyModel(config.pipeline.latency), engine_config);
     engine->selectStrategy(config.solver_strategy);
@@ -412,6 +436,10 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
   // so records.size() IS the epoch counter (tests recompute the plan and
   // index records by epoch against it).
   const sim::FaultPlan fault_plan(config.seed, config.faults);
+  // Observability: null means off — no clocks, no atomics, one branch per
+  // site (the overhead contract). The recorder only ever observes; the
+  // tier2 byte-identity suite pins that results are unchanged by it.
+  obs::SpanRecorder* const spans = config.pipeline.spans;
 
   while (t < config.max_mission_time) {
     if (wall_deadline.expired()) {
@@ -419,6 +447,7 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
       break;
     }
     const std::size_t epoch = result.records.size();
+    if (spans) obs::SpanRecorder::setEpoch(epoch);
     const sim::FaultEpoch fault =
         fault_plan.active() ? fault_plan.at(epoch) : sim::FaultEpoch{};
     if (fault.poisoned)
@@ -432,6 +461,8 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
     // (per-zone weather), capped by the configured global conditions — and
     // collapsed to the blackout floor while the fault plan blacks out the
     // sensors.
+    const std::size_t obs_capture =
+        spans ? spans->begin(obs::Stage::Capture) : obs::SpanRecorder::kNoSpan;
     double ambient = std::min(config.sensor.weather_visibility,
                               environment.spec.weatherVisibilityAt(pos.x));
     if (fault.blackout) {
@@ -443,8 +474,11 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
         sensor.capture(world, pos, dynamic.empty() ? nullptr : &dynamic);
     if (fault_plan.config().dropout > 0.0)
       frame = fault_plan.degradeFrame(frame, epoch);
+    if (spans) spans->end(obs_capture);
 
     // --- profile + govern (the pipeline's DecisionEngine owns the path) ---
+    const std::size_t obs_govern =
+        spans ? spans->begin(obs::Stage::Govern) : obs::SpanRecorder::kNoSpan;
     const auto govern_start = std::chrono::steady_clock::now();
     core::SpaceProfile profile;
     core::GovernorDecision decision;
@@ -473,6 +507,7 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
     result.decision_wall_ms += std::chrono::duration<double, std::milli>(
                                    std::chrono::steady_clock::now() - govern_start)
                                    .count();
+    if (spans) spans->end(obs_govern);
 
     // --- execute the pipeline under the policy ---
     DecisionOutcome outcome = pipeline.decide(frame, pos, decision.policy, runtime_latency);
@@ -570,6 +605,8 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
     energy.integrate(0.0, 0.0, outcome.latencies.compute());
 
     // --- fly the decision interval ---
+    const std::size_t obs_fly =
+        spans ? spans->begin(obs::Stage::Fly) : obs::SpanRecorder::kNoSpan;
     const double period = std::max(latency, config.min_decision_period);
     double flown = 0.0;
     bool terminal = false;
@@ -654,6 +691,7 @@ MissionResult runMission(const env::Environment& environment, DesignType design,
         terminal = true;
       }
     }
+    if (spans) spans->end(obs_fly);
     t += flown;
     if (terminal) break;
   }

@@ -131,6 +131,11 @@ PerceptionOutcome NavigationPipeline::integrateSweep(const sim::SensorFrame& fra
                                                      const core::PipelinePolicy& policy,
                                                      std::span<const geom::Vec3> traj_positions,
                                                      bool recovery_inflation) {
+  // Span stamped with whatever epoch the executing lane is serving: the
+  // sync loop's current epoch, or — on the epoch executor's worker — the
+  // submitted sweep's epoch (set in workerLoop), so async overlap shows up
+  // as an integrate span on its own lane overlapping the main lane.
+  obs::ScopedSpan obs_span(config_.spans, obs::Stage::Integrate);
   PerceptionOutcome out;
   const auto& p_perc = policy.stage(Stage::Perception);
   const auto& p_bridge = policy.stage(Stage::PerceptionToPlanning);
@@ -175,6 +180,7 @@ PerceptionOutcome NavigationPipeline::integrateSweep(const sim::SensorFrame& fra
 }
 
 void NavigationPipeline::publishPerception(const PerceptionOutcome& perception) {
+  obs::ScopedSpan obs_span(config_.spans, obs::Stage::Publish);
   pc_pub_.publish(perception.cloud);
   // Feed the governor core's incremental profiler the same dirty region the
   // incremental planner consumes: everything this sweep may have changed.
@@ -191,6 +197,7 @@ DecisionOutcome NavigationPipeline::planStage(const PerceptionOutcome& perceptio
                                               const core::PipelinePolicy& policy,
                                               double runtime_latency,
                                               const planning::AStarPrewarmHint* hint) {
+  obs::ScopedSpan obs_span(config_.spans, obs::Stage::Plan);
   DecisionOutcome out;
   out.latencies = perception.latencies;
   out.latencies.runtime = runtime_latency;
@@ -271,6 +278,9 @@ DecisionOutcome NavigationPipeline::planStage(const PerceptionOutcome& perceptio
     }
 
     if (plan_found) {
+      // Covers smoothing plus the trajectory handoff (follower + publish
+      // enqueue) — nested inside this epoch's plan span.
+      obs::ScopedSpan smooth_span(config_.spans, obs::Stage::Smooth);
       planning::SmootherParams sp;
       sp.v_max = config_.v_max;
       sp.a_max = config_.a_max;

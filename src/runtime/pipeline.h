@@ -19,6 +19,7 @@
 #include "geom/rng.h"
 #include "miniros/bus.h"
 #include "miniros/node.h"
+#include "obs/span_recorder.h"
 #include "perception/map_bridge.h"
 #include "perception/octomap_kernel.h"
 #include "perception/octree.h"
@@ -100,6 +101,13 @@ struct PipelineConfig {
   /// pipeline's private arena. The incremental A* cache stays per-pipeline
   /// either way (it persists search state tied to this pipeline's map).
   planning::PlannerArena* shared_arena = nullptr;
+  /// Observability hook: when non-null, the pipeline's stage methods (and
+  /// the mission loop / epoch executor driving them) record epoch-stamped
+  /// spans into this recorder. A MEASUREMENT channel, strictly outside the
+  /// bitwise replay contract — results are byte-identical with it on or
+  /// off (the tier2 byte-identity suite pins this). Null (the default)
+  /// costs one branch per instrumentation site and nothing else.
+  obs::SpanRecorder* spans = nullptr;
 };
 
 /// Everything one sensor sweep's perception half produces: the modeled

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/json.h"
 #include "runtime/parse_number.h"
 
 namespace roborun::runtime {
@@ -304,6 +305,46 @@ std::string describeTrace(const MissionResult& mission) {
      << b.octomap << ", bridge " << b.bridge << ", planning " << b.planning << ", smoothing "
      << b.smoothing << ", comm " << b.comm << "\n";
   return os.str();
+}
+
+void writeTraceJson(std::ostream& os, const MissionResult& mission) {
+  const auto num = [](double v) { return obs::jsonNumber(v, 6); };
+  os << "{\n";
+  os << "  \"schema\": \"roborun-trace-summary-v1\",\n";
+  os << "  \"verdict\": \"" << obs::jsonEscape(missionStatusName(mission.status))
+     << "\",\n";
+  os << "  \"decisions\": " << mission.records.size() << ",\n";
+  os << "  \"mission_time_s\": " << num(mission.mission_time) << ",\n";
+  os << "  \"flight_energy_j\": " << num(mission.flight_energy) << ",\n";
+  os << "  \"compute_energy_j\": " << num(mission.compute_energy) << ",\n";
+  os << "  \"average_velocity_mps\": " << num(mission.averageVelocity()) << ",\n";
+  os << "  \"median_latency_s\": " << num(mission.medianLatency()) << ",\n";
+  os << "  \"zones\": [\n";
+  const auto zones = summarizeZones(mission);
+  for (std::size_t z = 0; z < zones.size(); ++z) {
+    const ZoneSummary& s = zones[z];
+    os << "    {\"zone\": \"" << env::zoneName(s.zone)
+       << "\", \"decisions\": " << s.decisions
+       << ", \"time_in_zone_s\": " << num(s.time_in_zone)
+       << ", \"mean_velocity_mps\": " << num(s.mean_velocity)
+       << ", \"mean_latency_s\": " << num(s.mean_latency)
+       << ", \"latency_spread_s\": " << num(s.latency_spread)
+       << ", \"mean_precision_m\": " << num(s.mean_precision)
+       << ", \"mean_cpu_utilization\": " << num(s.mean_cpu_utilization) << "}"
+       << (z + 1 < zones.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n";
+  const BreakdownSummary b = normalizedBreakdown(mission);
+  os << "  \"stage_shares\": {\n";
+  os << "    \"runtime\": " << num(b.runtime) << ",\n";
+  os << "    \"point_cloud\": " << num(b.point_cloud) << ",\n";
+  os << "    \"octomap\": " << num(b.octomap) << ",\n";
+  os << "    \"bridge\": " << num(b.bridge) << ",\n";
+  os << "    \"planning\": " << num(b.planning) << ",\n";
+  os << "    \"smoothing\": " << num(b.smoothing) << ",\n";
+  os << "    \"comm\": " << num(b.comm) << "\n";
+  os << "  }\n";
+  os << "}\n";
 }
 
 }  // namespace roborun::runtime

@@ -64,4 +64,10 @@ BreakdownSummary normalizedBreakdown(const MissionResult& mission);
 /// headline metrics, zone table, stage breakdown).
 std::string describeTrace(const MissionResult& mission);
 
+/// The same summary as describeTrace, as one machine-readable JSON object
+/// (schema "roborun-trace-summary-v1": verdict, headline metrics, per-zone
+/// aggregates, normalized stage shares). Non-finite numbers render as JSON
+/// null (obs::jsonNumber). Powers `trace_inspect --json`.
+void writeTraceJson(std::ostream& os, const MissionResult& mission);
+
 }  // namespace roborun::runtime

@@ -1,47 +1,18 @@
 #include "scenario/fleet_report.h"
 
 #include <ostream>
-#include <sstream>
 #include <vector>
 
 namespace roborun::scenario {
 
-std::string jsonNumber(double v, int decimals) {
-  // JSON has no NaN/Inf: emit null so a poisoned metric is visible to the
-  // consumer instead of masquerading as a measured zero.
-  if (!(v == v) || v > 1e300 || v < -1e300) return "null";
-  std::ostringstream ss;
-  ss.setf(std::ios::fixed);
-  ss.precision(decimals);
-  ss << v;
-  return ss.str();
-}
-
-std::string jsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char hex[] = "0123456789abcdef";
-          out += "\\u00";
-          out += hex[(static_cast<unsigned char>(c) >> 4) & 0xF];
-          out += hex[static_cast<unsigned char>(c) & 0xF];
-        } else {
-          out += c;
-        }
-        break;
-    }
-  }
-  return out;
+obs::MetricsSnapshot fleetMetricsSnapshot(const FleetResult& result) {
+  obs::MetricsRegistry registry;
+  core::exportStats(result.engine, registry, "engine");
+  store::exportStats(result.store, registry, "store");
+  registry.gauge("fleet.wall_s").set(result.wall_s);
+  registry.gauge("fleet.missions_per_sec").set(result.missions_per_sec);
+  registry.counter("fleet.missions").add(result.rows.size());
+  return registry.snapshot();
 }
 
 void writeFleetJson(std::ostream& os, const FleetResult& result,
@@ -128,7 +99,11 @@ void writeFleetJson(std::ostream& os, const FleetResult& result,
 
 void writeFleetBenchJson(std::ostream& os, const FleetResult& result,
                          const std::string& catalog_label) {
-  const core::EngineStats& e = result.engine;
+  // Every engine/store number below reads from the SAME adapted snapshot
+  // fleet_runner's stderr summary prints — one measurement source, two
+  // renderings, no drift.
+  const obs::MetricsSnapshot m = fleetMetricsSnapshot(result);
+  auto c = [&](const char* name) { return m.counterOr(name, 0); };
   os << "{\n";
   os << "  \"schema\": \"roborun-fleet-throughput-v1\",\n";
   os << "  \"catalog\": \"" << jsonEscape(catalog_label) << "\",\n";
@@ -137,32 +112,33 @@ void writeFleetBenchJson(std::ostream& os, const FleetResult& result,
   os << "  \"pipeline\": \"" << runtime::executionModeName(result.pipeline) << "\",\n";
   os << "  \"scenarios\": " << result.shards.size() << ",\n";
   os << "  \"missions\": " << result.rows.size() << ",\n";
-  os << "  \"wall_s\": " << jsonNumber(result.wall_s) << ",\n";
-  os << "  \"missions_per_sec\": " << jsonNumber(result.missions_per_sec, 3) << ",\n";
+  os << "  \"wall_s\": " << jsonNumber(m.gaugeOr("fleet.wall_s", 0.0)) << ",\n";
+  os << "  \"missions_per_sec\": "
+     << jsonNumber(m.gaugeOr("fleet.missions_per_sec", 0.0), 3) << ",\n";
   os << "  \"engine\": {\n";
   os << "    \"shared\": " << (result.engine_shared ? "true" : "false") << ",\n";
-  os << "    \"decisions\": " << e.decisions << ",\n";
-  os << "    \"solver_memo_hits\": " << e.solver_memo_hits << ",\n";
-  os << "    \"solver_memo_misses\": " << e.solver_memo_misses << ",\n";
-  os << "    \"solver_memo_hit_rate\": " << jsonNumber(e.solverMemoHitRate(), 4) << ",\n";
-  os << "    \"profile_builds\": " << e.profile_builds << ",\n";
-  os << "    \"profile_reuses\": " << e.profile_reuses << "\n";
+  os << "    \"decisions\": " << c("engine.decisions") << ",\n";
+  os << "    \"solver_memo_hits\": " << c("engine.solver_memo_hits") << ",\n";
+  os << "    \"solver_memo_misses\": " << c("engine.solver_memo_misses") << ",\n";
+  os << "    \"solver_memo_hit_rate\": "
+     << jsonNumber(m.gaugeOr("engine.solver_memo_hit_rate", 0.0), 4) << ",\n";
+  os << "    \"profile_builds\": " << c("engine.profile_builds") << ",\n";
+  os << "    \"profile_reuses\": " << c("engine.profile_reuses") << "\n";
   os << "  },\n";
   // Store traffic is a MEASUREMENT (which lookups hit depends on what some
   // earlier run inserted), so it lives here and never in the result
   // document — the --out report stays byte-identical warm or cold.
-  const store::StoreStats& s = result.store;
   os << "  \"store\": {\n";
   os << "    \"enabled\": " << (result.store_enabled ? "true" : "false") << ",\n";
-  os << "    \"lookups\": " << s.lookups << ",\n";
-  os << "    \"hits\": " << s.hits() << ",\n";
-  os << "    \"hits_memory\": " << s.hits_memory << ",\n";
-  os << "    \"hits_disk\": " << s.hits_disk << ",\n";
-  os << "    \"misses\": " << s.misses << ",\n";
-  os << "    \"hit_rate\": " << jsonNumber(s.hitRate(), 4) << ",\n";
-  os << "    \"inserts\": " << s.inserts << ",\n";
-  os << "    \"readonly_skips\": " << s.readonly_skips << ",\n";
-  os << "    \"corrupt_rejected\": " << s.corrupt_rejected << "\n";
+  os << "    \"lookups\": " << c("store.lookups") << ",\n";
+  os << "    \"hits\": " << c("store.hits") << ",\n";
+  os << "    \"hits_memory\": " << c("store.hits_memory") << ",\n";
+  os << "    \"hits_disk\": " << c("store.hits_disk") << ",\n";
+  os << "    \"misses\": " << c("store.misses") << ",\n";
+  os << "    \"hit_rate\": " << jsonNumber(m.gaugeOr("store.hit_rate", 0.0), 4) << ",\n";
+  os << "    \"inserts\": " << c("store.inserts") << ",\n";
+  os << "    \"readonly_skips\": " << c("store.readonly_skips") << ",\n";
+  os << "    \"corrupt_rejected\": " << c("store.corrupt_rejected") << "\n";
   os << "  }\n";
   os << "}\n";
 }

@@ -17,6 +17,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "obs/json.h"
+#include "obs/metrics_registry.h"
 #include "scenario/fleet_scheduler.h"
 
 namespace roborun::scenario {
@@ -25,15 +27,24 @@ namespace roborun::scenario {
 /// no NaN/Inf, so non-finite (or absurdly huge) values render as `null` —
 /// visible to any consumer, never silently masked as a fabricated 0. Fixed
 /// decimals over bit-identical inputs render byte-identically, which is
-/// what lets the result document promise byte equality. (Shared with
-/// bench_fleet_throughput; the older tools and benches carry their own
-/// private copies of the same helper.)
-std::string jsonNumber(double v, int decimals = 6);
+/// what lets the result document promise byte equality. Delegates to the
+/// observability layer's canonical helper (obs/json.h); kept as an alias
+/// so existing scenario-layer callers and tests keep their spelling.
+inline std::string jsonNumber(double v, int decimals = 6) {
+  return obs::jsonNumber(v, decimals);
+}
 
 /// JSON string escaping for user-controlled text (scenario names, catalog
 /// paths): quotes, backslashes and control characters must never corrupt
-/// the document.
-std::string jsonEscape(const std::string& s);
+/// the document. Alias of obs::jsonEscape.
+inline std::string jsonEscape(const std::string& s) { return obs::jsonEscape(s); }
+
+/// The fleet run's measurement side, adapted into the observability
+/// snapshot: engine counters under "engine.*", store traffic under
+/// "store.*", plus "fleet.*" gauges (wall_s, missions_per_sec). This is
+/// the ONE source both writeFleetBenchJson and fleet_runner's stderr
+/// summary read, so the two surfaces can never drift apart again.
+obs::MetricsSnapshot fleetMetricsSnapshot(const FleetResult& result);
 
 void writeFleetJson(std::ostream& os, const FleetResult& result,
                     const std::string& catalog_label);

@@ -102,6 +102,9 @@ FleetResult FleetScheduler::run() {
     // and dispatch mode.
     engine_config.profile_cache_clients =
         std::max<std::size_t>(2 * std::max<std::size_t>(config_.threads, 1), 8);
+    // The shared engine's governor sub-spans (profile/budget/solve) record
+    // into the same fleet-level recorder as everything else.
+    engine_config.spans = config_.spans;
     engine = core::DecisionEngine::calibrated(sim::LatencyModel(base_.pipeline.latency),
                                               engine_config);
   }
@@ -123,6 +126,11 @@ FleetResult FleetScheduler::run() {
   auto run_case = [&](std::size_t i, unsigned worker) {
     const MissionCase& c = cases_[i];
     FleetRow& row = out.rows[i];
+    // Fleet-level spans stamp the case index as the epoch: in the trace a
+    // worker lane reads as a sequence of cases, each decomposing into the
+    // mission stages the pipeline records inside runMission.
+    obs::SpanRecorder* const spans = config_.spans;
+    if (spans) obs::SpanRecorder::setEpoch(i);
     // Substituter short-circuit: a repeated case (same bit pattern under
     // the store's version stamp) is served from the content-addressed
     // store instead of flying the mission. The stored result is
@@ -132,6 +140,7 @@ FleetResult FleetScheduler::run() {
     store::StoreKey store_key;
     std::size_t case_bytes = 0;
     if (config_.store != nullptr) {
+      obs::ScopedSpan obs_lookup(spans, obs::Stage::StoreLookup, c.scenario);
       const std::string description = describeCase(c);
       case_bytes = description.size();
       store_key = config_.store->keyFor(description);
@@ -151,6 +160,10 @@ FleetResult FleetScheduler::run() {
         config.solver_strategy == core::StrategyType::Exhaustive)
       config.shared_engine = engine;
     if (config_.reuse_arenas) config.pipeline.shared_arena = arenas[worker].get();
+    // Thread the recorder into the tenant pipeline: the mission loop's
+    // capture/govern/fly spans and the pipeline's integrate/publish/plan/
+    // smooth spans all land in the fleet trace under this worker's lane.
+    config.pipeline.spans = spans;
     const auto started = std::chrono::steady_clock::now();
     // Crash isolation + bounded retries. An exception escaping the mission
     // (a poisoned fault plan, a pipeline bug) is caught HERE, at the worker,
@@ -162,6 +175,11 @@ FleetResult FleetScheduler::run() {
     // itself is deterministic — a deterministic failure fails every attempt,
     // so `attempts` is the same for any thread count or dispatch mode.
     for (std::size_t attempt = 0; attempt < 1 + config_.retry_limit; ++attempt) {
+      // Only re-runs record a Retry span: attempt 0 is the normal path, and
+      // tracing it would double-count every healthy mission.
+      const std::size_t obs_retry =
+          (spans && attempt > 0) ? spans->begin(obs::Stage::Retry, c.scenario)
+                                 : obs::SpanRecorder::kNoSpan;
       row.attempts = attempt + 1;
       row.error.clear();
       try {
@@ -176,6 +194,7 @@ FleetResult FleetScheduler::run() {
         row.result.status = runtime::MissionStatus::Crashed;
         row.error = "non-standard exception";
       }
+      if (spans) spans->end(obs_retry);
       if (!runtime::missionStatusIsInfrastructureFailure(row.result.status)) break;
     }
     row.wall_ms = std::chrono::duration<double, std::milli>(

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "core/decision_engine.h"
+#include "obs/span_recorder.h"
 #include "scenario/catalog.h"
 #include "store/result_store.h"
 
@@ -84,6 +85,12 @@ struct FleetConfig {
   /// Infrastructure failures (Crashed / AbortedWallDeadline) never touch
   /// the store: they describe this run's infrastructure, not the mission.
   store::ResultStore* store = nullptr;
+  /// Span recorder threaded through the whole fleet: store lookups and
+  /// retry attempts record at this level (epoch = case index), and the
+  /// recorder is forwarded into every tenant pipeline and the shared
+  /// engine. Null (the default) costs one branch per site; a non-null
+  /// recorder never changes any deterministic field (tier2-pinned).
+  obs::SpanRecorder* spans = nullptr;
 };
 
 /// One finished mission (at its case index).

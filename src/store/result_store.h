@@ -48,9 +48,11 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics_registry.h"
 #include "store/mission_serde.h"
 
 namespace roborun::store {
@@ -99,6 +101,13 @@ struct StoreStats {
   /// this - since, field-wise (for per-run deltas of a long-lived store).
   StoreStats minus(const StoreStats& since) const;
 };
+
+/// Adapter into the observability spine: publish these counters into a
+/// MetricsRegistry under `<prefix>.<field>` (plus the derived hits/hit_rate
+/// as counter/gauge) — the store half of the one snapshot/delta API fleet
+/// reports consume. See obs/metrics_registry.h.
+void exportStats(const StoreStats& stats, obs::MetricsRegistry& registry,
+                 std::string_view prefix = "store");
 
 class ResultStore {
  public:

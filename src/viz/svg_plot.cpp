@@ -58,9 +58,14 @@ struct Range {
 }  // namespace
 
 const std::vector<std::string>& plotPalette() {
+  // Fixed categorical assignment order, validated as a set for light
+  // surfaces: worst adjacent-pair color-vision-deficiency ΔE 9.1 (protan)
+  // and worst adjacent normal-vision ΔE 19.6 (OKLab ×100). Assign slots in
+  // this order, never re-sorted by value rank; the dashboard's stage
+  // taxonomy maps onto the same slots (see viz/dashboard.cpp).
   static const std::vector<std::string> palette = {
-      "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
-      "#8c564b", "#17becf", "#e377c2", "#7f7f7f", "#bcbd22",
+      "#2a78d6", "#eb6834", "#1baf7a", "#eda100",
+      "#e87ba4", "#008300", "#4a3aa7", "#e34948",
   };
   return palette;
 }
@@ -132,7 +137,20 @@ std::string SvgPlot::render() const {
     yr.lo = options_.y_min_hint;
     yr.hi = options_.y_max_hint;
   }
-  yr.pad();
+  if (options_.log_y) {
+    // Additive padding crosses zero on a log axis (a constant series used
+    // to come out as log10(v - 0.5) = NaN coordinates); pad an empty or
+    // degenerate range multiplicatively instead.
+    if (!yr.valid() || yr.hi <= 0.0) {
+      yr.lo = 0.1;
+      yr.hi = 10.0;
+    } else if (yr.hi == yr.lo) {
+      yr.lo /= 2.0;
+      yr.hi *= 2.0;
+    }
+  } else {
+    yr.pad();
+  }
 
   const double plot_w = options_.width - options_.margin_left - options_.margin_right;
   const double plot_h = options_.height - options_.margin_top - options_.margin_bottom;

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "env/env_gen.h"
+#include "obs/minijson.h"
 #include "runtime/designs.h"
 #include "runtime/mission.h"
 #include "runtime/trace.h"
@@ -267,6 +268,35 @@ TEST(TraceAnalysisTest, DescribeMentionsVerdictAndZones) {
   EXPECT_NE(text.find("reached_goal"), std::string::npos);
   EXPECT_NE(text.find("zone"), std::string::npos);
   EXPECT_NE(text.find("stage shares"), std::string::npos);
+}
+
+TEST(TraceAnalysisTest, JsonSummaryParsesAndMatchesTheMission) {
+  const auto mission = syntheticMission();
+  std::ostringstream os;
+  writeTraceJson(os, mission);
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::parseJson(os.str(), doc, &error)) << error;
+  EXPECT_EQ(doc.stringAt("schema", ""), "roborun-trace-summary-v1");
+  EXPECT_EQ(doc.stringAt("verdict", ""), "reached_goal");
+  EXPECT_DOUBLE_EQ(doc.numberAt("decisions", -1.0),
+                   static_cast<double>(mission.records.size()));
+  EXPECT_DOUBLE_EQ(doc.numberAt("mission_time_s", 0.0), mission.mission_time);
+  const obs::JsonValue* zones = doc.find("zones");
+  ASSERT_NE(zones, nullptr);
+  ASSERT_EQ(zones->array.size(), 3u);
+  double zone_decisions = 0.0;
+  for (const obs::JsonValue& zone : zones->array)
+    zone_decisions += zone.numberAt("decisions", 0.0);
+  EXPECT_DOUBLE_EQ(zone_decisions, static_cast<double>(mission.records.size()));
+  const obs::JsonValue* shares = doc.find("stage_shares");
+  ASSERT_NE(shares, nullptr);
+  EXPECT_NEAR(shares->numberAt("runtime", 0.0) + shares->numberAt("point_cloud", 0.0) +
+                  shares->numberAt("octomap", 0.0) + shares->numberAt("bridge", 0.0) +
+                  shares->numberAt("planning", 0.0) + shares->numberAt("smoothing", 0.0) +
+                  shares->numberAt("comm", 0.0),
+              1.0, 1e-5);  // shares serialize with 6 fixed decimals
 }
 
 TEST(TraceIntegrationTest, RealMissionRoundTrips) {

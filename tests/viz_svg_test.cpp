@@ -116,6 +116,19 @@ TEST(SvgPlotTest, ConstantSeriesDoesNotDivideByZero) {
   EXPECT_EQ(svg.find("-nan"), std::string::npos);
 }
 
+TEST(SvgPlotTest, ConstantSeriesOnLogScaleStaysFinite) {
+  // Regression: the degenerate-range pad used to subtract 0.5 even on a
+  // log axis, so a constant series at v <= 0.5 rendered log10(<=0) = NaN
+  // polyline coordinates.
+  PlotOptions options;
+  options.log_y = true;
+  SvgPlot plot("flat-log", "x", "y", options);
+  plot.addSeries("s", {0.46, 0.46, 0.46});
+  const std::string svg = plot.render();
+  EXPECT_EQ(svg.find("nan"), std::string::npos);
+  EXPECT_NE(svg.find("<polyline"), std::string::npos);
+}
+
 TEST(SvgPlotTest, ForcedYRangeIsHonored) {
   PlotOptions options;
   options.y_force_range = true;

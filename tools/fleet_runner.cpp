@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/span_recorder.h"
 #include "runtime/designs.h"
 #include "scenario/catalog.h"
 #include "scenario/catalog_file.h"
@@ -60,6 +61,7 @@ struct Options {
   bool reuse_arenas = true;
   std::string out_path;
   std::string bench_json_path;
+  std::string trace_out_path;  ///< empty = span tracing off (zero overhead)
   std::string store_dir;  ///< empty = result store disabled
   bool store_readonly = false;
   bool list_families = false;
@@ -73,6 +75,7 @@ void usage(std::ostream& os) {
         "                    [--config smoke|test|default] [--retries N]\n"
         "                    [--no-share-engine] [--no-reuse-arenas]\n"
         "                    [--out results.json] [--bench-json perf.json]\n"
+        "                    [--trace-out trace.json]\n"
         "                    [--store DIR] [--store-readonly]\n"
         "                    [--list-families] [--print-catalog] [--quiet]\n"
         "\n"
@@ -95,7 +98,14 @@ void usage(std::ostream& os) {
         "dispatch, and clean results are inserted after the run. A warm store\n"
         "changes only wall-clock speed, never a byte of --out. Hit/miss counts\n"
         "land in --bench-json and the stderr summary; --store-readonly consults\n"
-        "the store without writing new records.\n";
+        "the store without writing new records.\n"
+        "\n"
+        "--trace-out records every stage span the fleet executes (store\n"
+        "lookups, retries, and each tenant mission's capture/integrate/\n"
+        "publish/govern/plan/smooth/fly stages across all worker lanes) as\n"
+        "Chrome trace_event JSON — open it in about:tracing or Perfetto.\n"
+        "Tracing is a measurement channel: --out stays byte-identical with\n"
+        "or without it.\n";
 }
 
 bool parseCount(const char* flag, const char* text, std::size_t& out, std::size_t max) {
@@ -185,6 +195,10 @@ bool parseArgs(int argc, char** argv, Options& opts) {
       const char* v = next("--bench-json");
       if (v == nullptr) return false;
       opts.bench_json_path = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next("--trace-out");
+      if (v == nullptr) return false;
+      opts.trace_out_path = v;
     } else if (arg == "--store") {
       const char* v = next("--store");
       if (v == nullptr) return false;
@@ -284,6 +298,15 @@ int main(int argc, char** argv) {
     fleet_config.store = &*result_store;
   }
 
+  // Span tracing: one recorder for the whole fleet run. Off (the default)
+  // costs one null-check per instrumentation site; on, every worker lane's
+  // stage spans land in one Chrome trace_event document.
+  std::optional<obs::SpanRecorder> recorder;
+  if (!opts.trace_out_path.empty()) {
+    recorder.emplace();
+    fleet_config.spans = &*recorder;
+  }
+
   scenario::FleetScheduler scheduler(base, fleet_config);
   const std::size_t admitted = scheduler.admitAll(catalog);
   if (admitted != catalog.size()) {
@@ -309,25 +332,32 @@ int main(int argc, char** argv) {
     std::size_t reached = 0;
     for (const scenario::FleetRow& row : result.rows)
       reached += row.result.reached_goal() ? 1 : 0;
+    // The summary reads from the same adapted metrics snapshot
+    // --bench-json serializes (scenario::fleetMetricsSnapshot) — the two
+    // surfaces report the same numbers by construction.
+    const obs::MetricsSnapshot metrics = scenario::fleetMetricsSnapshot(result);
     std::ostringstream line;
     line.setf(std::ios::fixed);
     line.precision(2);
-    line << "fleet_runner: " << result.rows.size() << " missions in " << result.wall_s
-         << " s (" << result.missions_per_sec << " missions/s), " << reached
-         << " reached goal";
+    line << "fleet_runner: " << result.rows.size() << " missions in "
+         << metrics.gaugeOr("fleet.wall_s", 0.0) << " s ("
+         << metrics.gaugeOr("fleet.missions_per_sec", 0.0) << " missions/s), "
+         << reached << " reached goal";
     if (failures > 0) line << ", " << failures << " quarantined";
     if (result.engine_shared) {
       line.precision(1);
-      line << "; engine memo hit-rate " << 100.0 * result.engine.solverMemoHitRate()
+      line << "; engine memo hit-rate "
+           << 100.0 * metrics.gaugeOr("engine.solver_memo_hit_rate", 0.0)
            << "% across tenants";
     }
     if (result.store_enabled) {
       line.precision(1);
-      line << "; result store " << result.store.hits() << " hit(s) / "
-           << result.store.misses << " miss(es) (" << 100.0 * result.store.hitRate()
-           << "%), " << result.store.inserts << " inserted";
-      if (result.store.corrupt_rejected > 0)
-        line << ", " << result.store.corrupt_rejected << " corrupt record(s) rejected";
+      line << "; result store " << metrics.counterOr("store.hits", 0) << " hit(s) / "
+           << metrics.counterOr("store.misses", 0) << " miss(es) ("
+           << 100.0 * metrics.gaugeOr("store.hit_rate", 0.0) << "%), "
+           << metrics.counterOr("store.inserts", 0) << " inserted";
+      const std::uint64_t corrupt = metrics.counterOr("store.corrupt_rejected", 0);
+      if (corrupt > 0) line << ", " << corrupt << " corrupt record(s) rejected";
     }
     std::cerr << line.str() << "\n";
     for (const scenario::FleetRow& row : result.rows) {
@@ -360,6 +390,17 @@ int main(int argc, char** argv) {
     }
     scenario::writeFleetBenchJson(bench, result, catalog_label);
     if (!opts.quiet) std::cerr << "fleet_runner: wrote " << opts.bench_json_path << "\n";
+  }
+  if (recorder) {
+    std::ofstream trace(opts.trace_out_path, std::ios::binary);
+    if (!trace) {
+      std::cerr << "fleet_runner: cannot open " << opts.trace_out_path << "\n";
+      return 1;
+    }
+    obs::writeChromeTrace(trace, recorder->spans());
+    if (!opts.quiet)
+      std::cerr << "fleet_runner: wrote " << opts.trace_out_path << " ("
+                << recorder->spanCount() << " spans; open in about:tracing / Perfetto)\n";
   }
 
   // The old "mission ended in an undefined state" smoke check is gone:

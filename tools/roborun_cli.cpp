@@ -12,6 +12,9 @@
 //     --quick                             reduced sensor/planner fidelity
 //     --csv <path>                        per-decision records as CSV
 //     --trace <path>                      full mission trace (trace_inspect format)
+//     --trace-out <path>                  per-design stage span trace as Chrome
+//                                         trace_event JSON (<path>.<design>.json;
+//                                         open in about:tracing / Perfetto)
 //     --battery <kJ>                      enforce a battery pack of this size
 //     --strategy <name>                   roborun solver strategy: exhaustive|greedy|
 //                                         uniform_split|hysteresis_exhaustive|hysteresis_greedy
@@ -28,7 +31,10 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "env/env_gen.h"
+#include "obs/span_recorder.h"
 #include "runtime/designs.h"
 #include "runtime/parse_number.h"
 #include "runtime/report.h"
@@ -49,6 +55,7 @@ struct CliOptions {
   bool quick = false;
   std::optional<std::string> csv_path;
   std::optional<std::string> trace_path;
+  std::optional<std::string> span_trace_path;
   std::optional<std::string> map_path;
   std::optional<double> battery_kj;
   std::string strategy = "exhaustive";
@@ -69,6 +76,8 @@ void usage(std::ostream& os) {
         "  --quick                          reduced sensor/planner fidelity\n"
         "  --csv <path>                     per-decision records as CSV\n"
         "  --trace <path>                   full mission trace (trace_inspect format)\n"
+        "  --trace-out <path>               per-design stage span trace as Chrome\n"
+        "                                   trace_event JSON (<path>.<design>.json)\n"
         "  --battery <kJ>                   enforce a battery pack of this size\n"
         "  --strategy <name>                exhaustive|greedy|uniform_split|\n"
         "                                   hysteresis_exhaustive|hysteresis_greedy\n"
@@ -162,6 +171,10 @@ bool parseArgs(int argc, char** argv, CliOptions& opt) {
       const char* v = next();
       if (!v) return false;
       opt.trace_path = v;
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (!v) return false;
+      opt.span_trace_path = v;
     } else if (arg == "--battery") {
       double kj = 0.0;
       if (!nextNumber(kj)) return false;
@@ -241,7 +254,16 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   std::vector<runtime::MissionResult> results;
   for (const auto design : designs) {
+    // One recorder per design so each trace file stands alone. The recorder
+    // is a pure measurement channel: the mission result is byte-identical
+    // with or without it (tier2 obs_byte_identity_test pins this).
+    std::optional<obs::SpanRecorder> recorder;
+    if (opt.span_trace_path) {
+      recorder.emplace();
+      config.pipeline.spans = &*recorder;
+    }
     const auto result = runtime::runMission(environment, design, config);
+    config.pipeline.spans = nullptr;
     runtime::printBanner(std::cout, runtime::designName(design));
     std::cout << "  outcome: " << runtime::missionStatusName(result.status) << "\n";
     runtime::printMetric(std::cout, "mission time", result.mission_time, "s");
@@ -260,6 +282,20 @@ int main(int argc, char** argv) {
         std::cout << "  trace written to " << path << " (inspect with trace_inspect)\n";
       else
         std::cerr << "  failed to write trace " << path << "\n";
+    }
+    if (recorder) {
+      std::string path = *opt.span_trace_path;
+      path += '.';
+      path += runtime::designName(design);
+      path += ".json";
+      std::ofstream os(path, std::ios::binary);
+      if (os) {
+        obs::writeChromeTrace(os, recorder->spans());
+        std::cout << "  span trace written to " << path
+                  << " (open in about:tracing / Perfetto)\n";
+      } else {
+        std::cerr << "  failed to write span trace " << path << "\n";
+      }
     }
     results.push_back(std::move(result));
   }

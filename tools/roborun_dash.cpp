@@ -1,0 +1,145 @@
+// roborun_dash — render the self-contained SVG performance dashboard.
+//
+// Usage:
+//   roborun_dash [--bench BENCH_PERF.json] [--trace label=trace.json ...]
+//                [--window-ms N] --out dashboard.svg
+//
+// Inputs are the repo's own observability artifacts: the tracked
+// BENCH_PERF.json trend record and Chrome trace_event JSON recorded by
+// `roborun_cli --trace-out` / `fleet_runner --trace-out`. Either input is
+// optional, but at least one must be given. The output is one standalone
+// SVG (no scripts, no external fonts) that opens in any browser; CI
+// renders it from the committed bench record plus a smoke trace and
+// uploads it with the perf-smoke artifact.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/minijson.h"
+#include "obs/span_recorder.h"
+#include "runtime/parse_number.h"
+#include "viz/dashboard.h"
+
+namespace {
+
+void printUsage(std::ostream& os) {
+  os << "usage: roborun_dash [--bench BENCH_PERF.json]\n"
+     << "                    [--trace label=trace.json ...]\n"
+     << "                    [--window-ms N] --out dashboard.svg\n"
+     << "At least one of --bench / --trace is required. --trace may repeat;\n"
+     << "the label captions that trace's timeline panel (e.g. sync=..,\n"
+     << "async=..). A bare path uses the file name as the label.\n";
+}
+
+bool readFile(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return static_cast<bool>(in) || in.eof();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using roborun::obs::JsonValue;
+  using roborun::viz::DashboardOptions;
+  using roborun::viz::DashboardTrace;
+
+  std::string bench_path;
+  std::string out_path;
+  DashboardOptions options;
+  std::vector<std::pair<std::string, std::string>> trace_args;  // label, path
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    const auto next = [&]() -> const std::string* {
+      return i + 1 < args.size() ? &args[++i] : nullptr;
+    };
+    if (arg == "--help" || arg == "-h") {
+      printUsage(std::cout);
+      return 0;
+    } else if (arg == "--bench") {
+      const std::string* v = next();
+      if (!v) { std::cerr << "--bench needs a path\n"; return 2; }
+      bench_path = *v;
+    } else if (arg == "--out") {
+      const std::string* v = next();
+      if (!v) { std::cerr << "--out needs a path\n"; return 2; }
+      out_path = *v;
+    } else if (arg == "--trace") {
+      const std::string* v = next();
+      if (!v) { std::cerr << "--trace needs [label=]path\n"; return 2; }
+      const std::size_t eq = v->find('=');
+      if (eq == std::string::npos)
+        trace_args.emplace_back(*v, *v);
+      else
+        trace_args.emplace_back(v->substr(0, eq), v->substr(eq + 1));
+    } else if (arg == "--window-ms") {
+      const std::string* v = next();
+      double ms = 0.0;
+      if (!v || !roborun::runtime::parseNumber(*v, ms) || ms <= 0.0) {
+        std::cerr << "--window-ms needs a positive number\n";
+        return 2;
+      }
+      options.window_ms = ms;
+    } else {
+      std::cerr << "unknown option '" << arg << "'\n";
+      printUsage(std::cerr);
+      return 2;
+    }
+  }
+  if (out_path.empty() || (bench_path.empty() && trace_args.empty())) {
+    printUsage(std::cerr);
+    return 2;
+  }
+
+  JsonValue bench;
+  bool have_bench = false;
+  if (!bench_path.empty()) {
+    std::string text, error;
+    if (!readFile(bench_path, text)) {
+      std::cerr << "error: cannot read " << bench_path << "\n";
+      return 1;
+    }
+    if (!roborun::obs::parseJson(text, bench, &error)) {
+      std::cerr << "error: " << bench_path << ": " << error << "\n";
+      return 1;
+    }
+    have_bench = true;
+  }
+
+  std::vector<DashboardTrace> traces;
+  for (const auto& [label, path] : trace_args) {
+    std::string text, error;
+    if (!readFile(path, text)) {
+      std::cerr << "error: cannot read " << path << "\n";
+      return 1;
+    }
+    DashboardTrace trace;
+    trace.label = label;
+    if (!roborun::obs::readChromeTrace(text, trace.spans, &error)) {
+      std::cerr << "error: " << path << ": " << error << "\n";
+      return 1;
+    }
+    traces.push_back(std::move(trace));
+  }
+
+  const std::string svg = roborun::viz::renderPerfDashboard(
+      have_bench ? &bench : nullptr, traces, options);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out || !(out << svg)) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  const roborun::viz::SvgStats stats = roborun::viz::inspectSvg(svg);
+  std::cout << "dashboard: " << out_path << " (" << stats.width << "x"
+            << stats.height << ", " << stats.rects << " rects, " << stats.texts
+            << " labels" << (stats.well_formed ? "" : ", MALFORMED") << ")\n";
+  return stats.well_formed ? 0 : 1;
+}

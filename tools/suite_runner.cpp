@@ -43,6 +43,7 @@
 
 #include "env/env_gen.h"
 #include "env/suite.h"
+#include "obs/metrics_registry.h"
 #include "runtime/designs.h"
 #include "runtime/mission.h"
 
@@ -229,80 +230,122 @@ std::string jsonNumber(double v, int decimals = 6) {
   return ss.str();
 }
 
-/// This run's wall-clock measurements, aggregated over all missions.
+/// This run's wall-clock measurements, aggregated over all missions through
+/// the observability layer's histograms (obs/metrics_registry.h): rank-exact,
+/// bucket-quantized p50/p95/p99 per stage instead of the old mean-only
+/// fields. Staleness is recorded per EPOCH (through the decision_observer
+/// hook) — always 0 under --pipeline sync, bounded by 1 under async.
 struct SuiteTiming {
   double harness_wall_s = 0.0;   ///< configure-to-finish wall time of the grid
-  double total_mission_ms = 0.0; ///< sum of per-mission wall times
-  double mean_mission_ms = 0.0;
-  double p50_mission_ms = 0.0;
-  double p95_mission_ms = 0.0;
-  double max_mission_ms = 0.0;
   double missions_per_sec = 0.0; ///< throughput including pool parallelism
-  // Planning-stage breakdown (per-replan planner timing; replan counts are
-  // deterministic, the wall fields are this run's measurements).
-  std::size_t total_replans = 0;
-  double total_plan_wall_ms = 0.0;
-  double mean_plan_wall_ms = 0.0;  ///< per replan
-  // Governor breakdown (per-decision DecisionEngine timing; decision counts
-  // are deterministic, the wall fields are this run's measurements).
-  std::size_t total_decisions = 0;
-  double total_decision_wall_ms = 0.0;
-  double mean_decision_wall_ms = 0.0;  ///< per decision
-  double decisions_per_sec = 0.0;      ///< governor throughput observed in-mission
+  std::size_t total_replans = 0;      ///< deterministic mission metric
+  std::size_t total_decisions = 0;    ///< deterministic mission metric
+  double decisions_per_sec = 0.0;     ///< governor throughput observed in-mission
+  obs::HistogramSummary mission_wall;   ///< per-mission wall, ms
+  obs::HistogramSummary plan_wall;      ///< per-mission planner-stage wall, ms
+  obs::HistogramSummary decision_wall;  ///< per-mission governor-stage wall, ms
+  obs::HistogramSummary staleness;      ///< per-epoch map-snapshot age, sweeps
+  std::uint64_t staleness_fresh = 0;
+  std::uint64_t staleness_stale_one = 0;
+  std::uint64_t staleness_stale_over = 0;
 };
 
-SuiteTiming computeTiming(const std::vector<Row>& rows, double harness_wall_s) {
+/// Fold the finished rows into the registry's stage histograms (the
+/// staleness histogram was already populated per epoch by the workers) and
+/// summarize. Zero-mission runs (--seeds 0) fall through to all-zero
+/// summaries — an empty histogram reports count 0 and zeroed percentiles.
+SuiteTiming computeTiming(const std::vector<Row>& rows, double harness_wall_s,
+                          obs::MetricsRegistry& registry) {
   SuiteTiming t;
   t.harness_wall_s = harness_wall_s;
-  // Zero-mission runs (--seeds 0) report a zeroed aggregate: every mean /
-  // percentile below divides or indexes by the row count, so bail before
-  // any of them can produce NaN or walk off an empty vector.
-  if (rows.empty()) return t;
-  std::vector<double> walls;
-  walls.reserve(rows.size());
+  obs::Histogram& mission_wall = registry.histogram("mission_wall_ms");
+  obs::Histogram& plan_wall = registry.histogram("plan_wall_ms");
+  obs::Histogram& decision_wall = registry.histogram("decision_wall_ms");
   for (const Row& row : rows) {
-    walls.push_back(row.wall_ms);
-    t.total_mission_ms += row.wall_ms;
-    t.max_mission_ms = std::max(t.max_mission_ms, row.wall_ms);
+    mission_wall.record(row.wall_ms);
+    plan_wall.record(row.result.planner_wall_ms);
+    decision_wall.record(row.result.decision_wall_ms);
     t.total_replans += row.result.replans();
-    t.total_plan_wall_ms += row.result.planner_wall_ms;
     t.total_decisions += row.result.decisions();
-    t.total_decision_wall_ms += row.result.decision_wall_ms;
   }
-  std::sort(walls.begin(), walls.end());
-  t.mean_mission_ms = t.total_mission_ms / static_cast<double>(walls.size());
-  t.p50_mission_ms = walls[walls.size() / 2];
-  t.p95_mission_ms = walls[std::min(walls.size() - 1, (walls.size() * 95) / 100)];
-  if (harness_wall_s > 0.0)
+  t.mission_wall = mission_wall.summary();
+  t.plan_wall = plan_wall.summary();
+  t.decision_wall = decision_wall.summary();
+  t.staleness = registry.histogram("epoch_staleness").summary();
+  t.staleness_fresh = registry.counter("epoch_staleness_fresh").value();
+  t.staleness_stale_one = registry.counter("epoch_staleness_stale_one").value();
+  t.staleness_stale_over = registry.counter("epoch_staleness_stale_over").value();
+  if (harness_wall_s > 0.0 && !rows.empty())
     t.missions_per_sec = static_cast<double>(rows.size()) / harness_wall_s;
-  if (t.total_replans > 0)
-    t.mean_plan_wall_ms = t.total_plan_wall_ms / static_cast<double>(t.total_replans);
-  if (t.total_decisions > 0)
-    t.mean_decision_wall_ms =
-        t.total_decision_wall_ms / static_cast<double>(t.total_decisions);
-  if (t.total_decision_wall_ms > 0.0)
+  if (t.decision_wall.sum > 0.0)
     t.decisions_per_sec =
-        static_cast<double>(t.total_decisions) / (t.total_decision_wall_ms / 1000.0);
+        static_cast<double>(t.total_decisions) / (t.decision_wall.sum / 1000.0);
   return t;
 }
 
+/// One stage's histogram summary as a JSON object ({count, mean, p50, p95,
+/// p99, max, sum}) — the shape every "stage wall" consumer (dashboards,
+/// trend diffing) reads.
+void writeStageObject(std::ostream& os, const obs::HistogramSummary& h,
+                      int decimals) {
+  os << "{\"count\": " << h.count << ", \"mean\": " << jsonNumber(h.mean(), decimals)
+     << ", \"p50\": " << jsonNumber(h.p50, decimals)
+     << ", \"p95\": " << jsonNumber(h.p95, decimals)
+     << ", \"p99\": " << jsonNumber(h.p99, decimals)
+     << ", \"max\": " << jsonNumber(h.max, decimals)
+     << ", \"sum\": " << jsonNumber(h.sum, decimals) << "}";
+}
+
 void writeTimingObject(std::ostream& os, const SuiteTiming& t, const char* indent) {
+  // The scalar fields keep their historical names (trend tooling diffs
+  // them); the percentiles now come from the stage histograms, so they are
+  // bucket-quantized (within 10^(1/8) ≈ 1.334x) instead of sample-exact.
   os << indent << "\"harness_wall_s\": " << jsonNumber(t.harness_wall_s) << ",\n";
   os << indent << "\"missions_per_sec\": " << jsonNumber(t.missions_per_sec) << ",\n";
-  os << indent << "\"total_mission_wall_ms\": " << jsonNumber(t.total_mission_ms, 3) << ",\n";
-  os << indent << "\"mean_mission_wall_ms\": " << jsonNumber(t.mean_mission_ms, 3) << ",\n";
-  os << indent << "\"p50_mission_wall_ms\": " << jsonNumber(t.p50_mission_ms, 3) << ",\n";
-  os << indent << "\"p95_mission_wall_ms\": " << jsonNumber(t.p95_mission_ms, 3) << ",\n";
-  os << indent << "\"max_mission_wall_ms\": " << jsonNumber(t.max_mission_ms, 3) << ",\n";
+  os << indent << "\"total_mission_wall_ms\": " << jsonNumber(t.mission_wall.sum, 3) << ",\n";
+  os << indent << "\"mean_mission_wall_ms\": " << jsonNumber(t.mission_wall.mean(), 3) << ",\n";
+  os << indent << "\"p50_mission_wall_ms\": " << jsonNumber(t.mission_wall.p50, 3) << ",\n";
+  os << indent << "\"p95_mission_wall_ms\": " << jsonNumber(t.mission_wall.p95, 3) << ",\n";
+  os << indent << "\"p99_mission_wall_ms\": " << jsonNumber(t.mission_wall.p99, 3) << ",\n";
+  os << indent << "\"max_mission_wall_ms\": " << jsonNumber(t.mission_wall.max, 3) << ",\n";
   os << indent << "\"total_replans\": " << t.total_replans << ",\n";
-  os << indent << "\"total_plan_wall_ms\": " << jsonNumber(t.total_plan_wall_ms, 3) << ",\n";
-  os << indent << "\"mean_plan_wall_ms\": " << jsonNumber(t.mean_plan_wall_ms, 4) << ",\n";
+  os << indent << "\"total_plan_wall_ms\": " << jsonNumber(t.plan_wall.sum, 3) << ",\n";
+  os << indent << "\"mean_plan_wall_ms\": "
+     << jsonNumber(t.total_replans > 0
+                       ? t.plan_wall.sum / static_cast<double>(t.total_replans)
+                       : 0.0,
+                   4)
+     << ",\n";
   os << indent << "\"total_decisions\": " << t.total_decisions << ",\n";
-  os << indent << "\"total_decision_wall_ms\": " << jsonNumber(t.total_decision_wall_ms, 3)
+  os << indent << "\"total_decision_wall_ms\": " << jsonNumber(t.decision_wall.sum, 3)
      << ",\n";
-  os << indent << "\"mean_decision_wall_ms\": " << jsonNumber(t.mean_decision_wall_ms, 4)
+  os << indent << "\"mean_decision_wall_ms\": "
+     << jsonNumber(t.total_decisions > 0
+                       ? t.decision_wall.sum / static_cast<double>(t.total_decisions)
+                       : 0.0,
+                   4)
      << ",\n";
-  os << indent << "\"decisions_per_sec\": " << jsonNumber(t.decisions_per_sec, 1) << "\n";
+  os << indent << "\"decisions_per_sec\": " << jsonNumber(t.decisions_per_sec, 1) << ",\n";
+  // The promoted distributions: full per-stage summaries plus the per-epoch
+  // staleness split the async executor's bounded-staleness contract shows
+  // up in (fresh / stale-by-one; stale_over would be a contract violation).
+  os << indent << "\"stages\": {\n";
+  os << indent << "  \"mission_wall_ms\": ";
+  writeStageObject(os, t.mission_wall, 3);
+  os << ",\n";
+  os << indent << "  \"plan_wall_ms\": ";
+  writeStageObject(os, t.plan_wall, 3);
+  os << ",\n";
+  os << indent << "  \"decision_wall_ms\": ";
+  writeStageObject(os, t.decision_wall, 4);
+  os << "\n";
+  os << indent << "},\n";
+  os << indent << "\"epoch_staleness\": {\"epochs\": " << t.staleness.count
+     << ", \"fresh\": " << t.staleness_fresh
+     << ", \"stale_one\": " << t.staleness_stale_one
+     << ", \"stale_over\": " << t.staleness_stale_over
+     << ", \"mean\": " << jsonNumber(t.staleness.mean(), 4)
+     << ", \"p95\": " << jsonNumber(t.staleness.p95, 4) << "}\n";
 }
 
 void writeJson(std::ostream& os, const Options& opts, const std::vector<Row>& rows,
@@ -421,6 +464,14 @@ int main(int argc, char** argv) {
   std::vector<Row> rows(jobs.size());
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  // Shared measurement sink: histogram records are lock-free relaxed
+  // atomics, so every worker records straight into the same histogram (see
+  // obs/metrics_registry.h). Resolved once, outside the loop.
+  obs::MetricsRegistry metrics;
+  obs::Histogram& staleness_hist = metrics.histogram("epoch_staleness");
+  obs::Counter& staleness_fresh = metrics.counter("epoch_staleness_fresh");
+  obs::Counter& staleness_one = metrics.counter("epoch_staleness_stale_one");
+  obs::Counter& staleness_over = metrics.counter("epoch_staleness_stale_over");
   const auto harness_start = std::chrono::steady_clock::now();
   auto worker = [&]() {
     for (;;) {
@@ -431,6 +482,15 @@ int main(int argc, char** argv) {
       const env::Environment environment = env::generateEnvironment(job.spec);
       runtime::MissionConfig config = base_config;
       config.seed = job.mission_seed;
+      // Per-epoch staleness, promoted into the suite's histogram summaries.
+      // The observer only measures — mission results are identical with or
+      // without it (runtime/mission.h's decision_observer contract).
+      config.decision_observer = [&](std::size_t, std::size_t staleness) {
+        staleness_hist.record(static_cast<double>(staleness));
+        if (staleness == 0) staleness_fresh.add();
+        else if (staleness == 1) staleness_one.add();
+        else staleness_over.add();
+      };
       rows[i].job = job;
       rows[i].result = runtime::runMission(environment, job.design, config);
       rows[i].wall_ms = std::chrono::duration<double, std::milli>(
@@ -455,7 +515,7 @@ int main(int argc, char** argv) {
   for (std::thread& t : pool) t.join();
   const double harness_wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - harness_start).count();
-  const SuiteTiming timing = computeTiming(rows, harness_wall_s);
+  const SuiteTiming timing = computeTiming(rows, harness_wall_s, metrics);
 
   if (!opts.quiet) {
     std::cerr << "suite_runner: " << rows.size() << " missions in "

@@ -2,6 +2,7 @@
 //
 // Usage:
 //   trace_inspect <trace.csv> [more traces...]    summarize each trace
+//   trace_inspect --json <trace.csv> [...]        same summaries, as a JSON array
 //   trace_inspect --compare <a.csv> <b.csv>       side-by-side improvement factors
 //
 // Traces are produced by runtime::saveTrace (see roborun_cli's --trace flag
@@ -31,6 +32,30 @@ int summarize(const std::vector<std::string>& paths) {
     }
   }
   return failures == 0 ? 0 : 1;
+}
+
+// One "roborun-trace-summary-v1" object per trace, wrapped in a JSON array
+// so multi-trace invocations stay parseable with a single json.load().
+// A trace that fails to load aborts the whole document (exit 1) rather
+// than emitting a half-array.
+int summarizeJson(const std::vector<std::string>& paths) {
+  std::vector<MissionResult> missions;
+  missions.reserve(paths.size());
+  for (const auto& path : paths) {
+    try {
+      missions.push_back(loadTrace(path));
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << path << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  std::cout << "[\n";
+  for (std::size_t i = 0; i < missions.size(); ++i) {
+    roborun::runtime::writeTraceJson(std::cout, missions[i]);
+    if (i + 1 < missions.size()) std::cout << ",\n";
+  }
+  std::cout << "]\n";
+  return 0;
 }
 
 int compare(const std::string& path_a, const std::string& path_b) {
@@ -64,13 +89,22 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   if (!args.empty() && (args[0] == "--help" || args[0] == "-h")) {
     std::cout << "usage: trace_inspect <trace.csv> [...]\n"
+              << "       trace_inspect --json <trace.csv> [...]\n"
               << "       trace_inspect --compare <a.csv> <b.csv>\n";
     return 0;
   }
   if (args.empty()) {
     std::cerr << "usage: trace_inspect <trace.csv> [...]\n"
+              << "       trace_inspect --json <trace.csv> [...]\n"
               << "       trace_inspect --compare <a.csv> <b.csv>\n";
     return 2;
+  }
+  if (args[0] == "--json") {
+    if (args.size() < 2) {
+      std::cerr << "--json needs at least one trace path\n";
+      return 2;
+    }
+    return summarizeJson({args.begin() + 1, args.end()});
   }
   if (args[0] == "--compare") {
     if (args.size() != 3) {
